@@ -1,0 +1,64 @@
+//===- bench/BenchUtil.cpp -------------------------------------------------------===//
+//
+// Part of the hybridpt project (PLDI 2013 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "context/PolicyRegistry.h"
+#include "ir/Program.h"
+#include "pta/AnalysisResult.h"
+#include "pta/Solver.h"
+#include "support/TableWriter.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <vector>
+
+using namespace pt;
+
+CellOptions CellOptions::fromEnv() {
+  CellOptions Opts;
+  if (const char *Budget = std::getenv("HYBRIDPT_BUDGET_MS"))
+    Opts.BudgetMs = std::strtoull(Budget, nullptr, 10);
+  if (const char *Runs = std::getenv("HYBRIDPT_RUNS")) {
+    Opts.Runs = static_cast<uint32_t>(std::strtoul(Runs, nullptr, 10));
+    if (Opts.Runs == 0)
+      Opts.Runs = 1;
+  }
+  return Opts;
+}
+
+PrecisionMetrics pt::runCell(const Program &Prog, std::string_view PolicyName,
+                             const CellOptions &Opts) {
+  std::vector<double> Times;
+  PrecisionMetrics Last;
+  for (uint32_t RunIdx = 0; RunIdx < Opts.Runs; ++RunIdx) {
+    auto Policy = createPolicy(PolicyName, Prog);
+    SolverOptions SOpts;
+    SOpts.TimeBudgetMs = Opts.BudgetMs;
+    Solver S(Prog, *Policy, SOpts);
+    AnalysisResult R = S.run();
+    Last = computeMetrics(R);
+    Times.push_back(Last.SolveMs);
+    if (Last.Aborted)
+      break; // A timeout will time out again; report the dash.
+  }
+  std::sort(Times.begin(), Times.end());
+  Last.SolveMs = Times[Times.size() / 2];
+  return Last;
+}
+
+std::string pt::formatFactCount(size_t Facts) {
+  if (Facts >= 1000000)
+    return formatFixed(static_cast<double>(Facts) / 1e6, 1) + "M";
+  if (Facts >= 1000)
+    return formatFixed(static_cast<double>(Facts) / 1e3, 1) + "K";
+  return std::to_string(Facts);
+}
+
+std::string pt::formatSeconds(double Ms) {
+  double Sec = Ms / 1000.0;
+  return formatFixed(Sec, Sec < 10 ? 2 : 1);
+}

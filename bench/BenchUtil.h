@@ -1,0 +1,54 @@
+//===- bench/BenchUtil.h - Shared harness helpers ---------------*- C++ -*-===//
+//
+// Part of the hybridpt project (PLDI 2013 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the table/figure harnesses: run one (benchmark,
+/// policy) cell under a budget, with optional repetition taking medians as
+/// the paper does ("all numbers shown are medians of three runs").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HYBRIDPT_BENCH_BENCHUTIL_H
+#define HYBRIDPT_BENCH_BENCHUTIL_H
+
+#include "pta/Metrics.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace pt {
+
+class Program;
+
+/// Configuration for cell runs, overridable via environment variables:
+/// HYBRIDPT_BUDGET_MS (per-cell time budget, 0 = unlimited),
+/// HYBRIDPT_RUNS (repetitions per cell; median time reported).
+struct CellOptions {
+  uint64_t BudgetMs = 120000;
+  uint32_t Runs = 1;
+
+  /// Reads the environment overrides.
+  static CellOptions fromEnv();
+};
+
+/// Runs \p PolicyName over \p Prog and returns the metrics; \c SolveMs is
+/// the median over \c Runs repetitions.  Aborted runs report the paper's
+/// dash convention via \c PrecisionMetrics::Aborted.
+PrecisionMetrics runCell(const Program &Prog, std::string_view PolicyName,
+                         const CellOptions &Opts);
+
+/// Formats a fact count the way the paper's Table 1 does ("sensitive
+/// var-points-to (M)"): millions with one decimal when large, thousands
+/// with the K suffix otherwise.
+std::string formatFactCount(size_t Facts);
+
+/// Seconds with adaptive precision (two decimals under 10s, one above).
+std::string formatSeconds(double Ms);
+
+} // namespace pt
+
+#endif // HYBRIDPT_BENCH_BENCHUTIL_H

@@ -1,0 +1,138 @@
+//===- bench/micro_engine.cpp - Engine microbenchmarks --------------------===//
+//
+// Part of the hybridpt project (PLDI 2013 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// google-benchmark microbenchmarks for the substrate the time metric
+/// rests on: context interning, relation insertion/indexing, the Datalog
+/// fixpoint on transitive closure, and end-to-end solves of the smallest
+/// stand-in benchmark under representative policies.
+///
+//===----------------------------------------------------------------------===//
+
+#include "context/ContextTable.h"
+#include "context/PolicyRegistry.h"
+#include "datalog/Engine.h"
+#include "ir/Program.h"
+#include "pta/AnalysisResult.h"
+#include "pta/Solver.h"
+#include "support/Rng.h"
+#include "workloads/Profiles.h"
+
+#include <benchmark/benchmark.h>
+
+namespace {
+
+using namespace pt;
+
+void BM_ContextIntern(benchmark::State &State) {
+  Rng R(42);
+  std::vector<ContextElem> Elems;
+  for (int I = 0; I < 1024; ++I)
+    Elems.push_back(
+        ContextElem::heap(HeapId(static_cast<uint32_t>(R.below(256)))));
+  for (auto _ : State) {
+    ContextTable<CtxId> Table;
+    for (size_t I = 0; I + 2 < Elems.size(); ++I)
+      benchmark::DoNotOptimize(
+          Table.intern3(Elems[I], Elems[I + 1], Elems[I + 2]));
+  }
+  State.SetItemsProcessed(State.iterations() * 1022);
+}
+BENCHMARK(BM_ContextIntern);
+
+void BM_ContextHitLookup(benchmark::State &State) {
+  // Re-interning an existing tuple (the hot path during solving).
+  ContextTable<CtxId> Table;
+  ContextElem A = ContextElem::heap(HeapId(1));
+  ContextElem B = ContextElem::heap(HeapId(2));
+  Table.intern2(A, B);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Table.intern2(A, B));
+}
+BENCHMARK(BM_ContextHitLookup);
+
+void BM_RelationInsert(benchmark::State &State) {
+  Rng R(7);
+  std::vector<dl::Value> Rows;
+  for (int I = 0; I < 4096 * 2; ++I)
+    Rows.push_back(static_cast<dl::Value>(R.below(1 << 20)));
+  for (auto _ : State) {
+    dl::Relation Rel("r", 2);
+    for (size_t I = 0; I + 1 < Rows.size(); I += 2) {
+      dl::Value Row[2] = {Rows[I], Rows[I + 1]};
+      benchmark::DoNotOptimize(Rel.insert(Row));
+    }
+  }
+  State.SetItemsProcessed(State.iterations() * 4096);
+}
+BENCHMARK(BM_RelationInsert);
+
+void BM_RelationIndexedScan(benchmark::State &State) {
+  dl::Relation Rel("edge", 2);
+  Rng R(9);
+  for (int I = 0; I < 10000; ++I) {
+    dl::Value Row[2] = {static_cast<dl::Value>(R.below(100)),
+                        static_cast<dl::Value>(R.below(100))};
+    Rel.insert(Row);
+  }
+  Rel.promote();
+  for (auto _ : State) {
+    size_t Count = 0;
+    for (dl::Value Key = 0; Key < 100; ++Key)
+      Rel.scan(dl::Range::All, 0b01, &Key,
+               [&Count](const dl::Value *) { ++Count; });
+    benchmark::DoNotOptimize(Count);
+  }
+}
+BENCHMARK(BM_RelationIndexedScan);
+
+void BM_DatalogTransitiveClosure(benchmark::State &State) {
+  for (auto _ : State) {
+    dl::Engine E;
+    dl::Relation &Edge = E.relation("edge", 2);
+    dl::Relation &Path = E.relation("path", 2);
+    {
+      dl::Rule R;
+      R.NumVars = 2;
+      R.Head = dl::Atom(Path, {dl::Term::var(0), dl::Term::var(1)});
+      R.Body.push_back(dl::Atom(Edge, {dl::Term::var(0), dl::Term::var(1)}));
+      E.addRule(std::move(R));
+    }
+    {
+      dl::Rule R;
+      R.NumVars = 3;
+      R.Head = dl::Atom(Path, {dl::Term::var(0), dl::Term::var(2)});
+      R.Body.push_back(dl::Atom(Path, {dl::Term::var(0), dl::Term::var(1)}));
+      R.Body.push_back(dl::Atom(Edge, {dl::Term::var(1), dl::Term::var(2)}));
+      E.addRule(std::move(R));
+    }
+    // A 64-node cycle: closure has 4096 tuples.
+    for (dl::Value I = 0; I < 64; ++I)
+      Edge.insert({I, (I + 1) % 64});
+    benchmark::DoNotOptimize(E.run());
+  }
+}
+BENCHMARK(BM_DatalogTransitiveClosure);
+
+void BM_SolveLuindex(benchmark::State &State, const char *Policy) {
+  Benchmark Bench = buildBenchmark("luindex");
+  for (auto _ : State) {
+    auto Pol = createPolicy(Policy, *Bench.Prog);
+    Solver S(*Bench.Prog, *Pol);
+    AnalysisResult R = S.run();
+    benchmark::DoNotOptimize(R.numCsVarPointsTo());
+  }
+}
+BENCHMARK_CAPTURE(BM_SolveLuindex, insens, "insens");
+BENCHMARK_CAPTURE(BM_SolveLuindex, onecall, "1call");
+BENCHMARK_CAPTURE(BM_SolveLuindex, oneobj, "1obj");
+BENCHMARK_CAPTURE(BM_SolveLuindex, twoobjh, "2obj+H");
+BENCHMARK_CAPTURE(BM_SolveLuindex, s2objh, "S-2obj+H");
+BENCHMARK_CAPTURE(BM_SolveLuindex, u2objh, "U-2obj+H");
+
+} // namespace
+
+BENCHMARK_MAIN();

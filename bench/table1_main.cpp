@@ -1,0 +1,144 @@
+//===- bench/table1_main.cpp - Reproduce the paper's Table 1 --------------===//
+//
+// Part of the hybridpt project (PLDI 2013 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates the paper's Table 1: for each of the ten benchmarks, the
+/// four precision metrics (average points-to set size, call-graph edges,
+/// poly v-calls, may-fail casts) and the two performance metrics (elapsed
+/// time, context-sensitive var-points-to size) across the twelve analyses,
+/// grouped as in the paper: call-site-sensitive, 1obj family, 2obj+H
+/// family, 2type+H family.
+///
+/// Dash entries mean the per-cell budget expired (paper: 90-minute
+/// timeout; here HYBRIDPT_BUDGET_MS, default 120s).  Pass benchmark names
+/// as arguments to restrict the run; pass --csv for machine-readable
+/// output.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "context/PolicyRegistry.h"
+#include "ir/Program.h"
+#include "support/TableWriter.h"
+#include "workloads/Profiles.h"
+
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+using namespace pt;
+
+int main(int argc, char **argv) {
+  bool Csv = false;
+  std::vector<std::string> Selected;
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--csv") == 0) {
+      Csv = true;
+    } else if (isBenchmarkName(argv[I])) {
+      Selected.push_back(argv[I]);
+    } else {
+      std::cerr << "unknown benchmark '" << argv[I] << "'; known:";
+      for (const std::string &N : benchmarkNames())
+        std::cerr << ' ' << N;
+      std::cerr << '\n';
+      return 1;
+    }
+  }
+  if (Selected.empty())
+    Selected = benchmarkNames();
+
+  CellOptions Opts = CellOptions::fromEnv();
+  const std::vector<std::string> &Policies = table1PolicyNames();
+
+  std::cout << "Table 1: precision and performance metrics for all "
+               "benchmarks and analyses.\n"
+            << "(dash = budget of " << Opts.BudgetMs
+            << " ms expired; lower is better everywhere)\n\n";
+
+  TableWriter CsvOut;
+  CsvOut.setHeader({"benchmark", "analysis", "avg_objs_per_var",
+                    "cg_edges", "poly_vcalls", "reachable_vcalls",
+                    "may_fail_casts", "reachable_casts", "time_s",
+                    "cs_vpt_facts", "reachable_methods"});
+
+  for (const std::string &Name : Selected) {
+    Benchmark Bench = buildBenchmark(Name);
+
+    std::vector<PrecisionMetrics> Cells;
+    Cells.reserve(Policies.size());
+    for (const std::string &Policy : Policies) {
+      Cells.push_back(runCell(*Bench.Prog, Policy, Opts));
+      const PrecisionMetrics &M = Cells.back();
+      CsvOut.addRow(
+          {Name, Policy,
+           M.Aborted ? "-" : formatFixed(M.AvgPointsTo, 2),
+           M.Aborted ? "-" : std::to_string(M.CallGraphEdges),
+           M.Aborted ? "-" : std::to_string(M.PolyVCalls),
+           std::to_string(M.ReachableVCalls),
+           M.Aborted ? "-" : std::to_string(M.MayFailCasts),
+           std::to_string(M.ReachableCasts),
+           M.Aborted ? "-" : formatSeconds(M.SolveMs),
+           M.Aborted ? "-" : std::to_string(M.CsVarPointsTo),
+           M.Aborted ? "-" : std::to_string(M.ReachableMethods)});
+    }
+    if (Csv)
+      continue;
+
+    // Reference counts from the most common cell (they vary only slightly
+    // per analysis, as in the paper's parenthetical headings).
+    const PrecisionMetrics &Ref = Cells.front();
+    std::cout << "=== " << Name << "  (~" << Ref.ReachableMethods
+              << " reachable methods, ~" << Ref.ReachableVCalls
+              << " v-calls, ~" << Ref.ReachableCasts << " casts; program: "
+              << Bench.Stats.Methods << " methods, "
+              << Bench.Prog->numInstructions() << " instructions) ===\n";
+
+    TableWriter T;
+    T.setHeader({"metric"});
+    std::vector<std::string> Header = {"metric"};
+    for (const std::string &Policy : Policies)
+      Header.push_back(Policy);
+    T.setHeader(Header);
+
+    auto Row = [&](const std::string &Label, auto Get, int Decimals) {
+      std::vector<std::string> Cols = {Label};
+      for (const PrecisionMetrics &M : Cells) {
+        if (M.Aborted)
+          Cols.push_back("-");
+        else
+          Cols.push_back(formatFixed(Get(M), Decimals));
+      }
+      T.addRow(Cols);
+    };
+    Row("avg objs per var",
+        [](const PrecisionMetrics &M) { return M.AvgPointsTo; }, 2);
+    Row("call-graph edges",
+        [](const PrecisionMetrics &M) { return double(M.CallGraphEdges); },
+        0);
+    Row("poly v-calls",
+        [](const PrecisionMetrics &M) { return double(M.PolyVCalls); }, 0);
+    Row("may-fail casts",
+        [](const PrecisionMetrics &M) { return double(M.MayFailCasts); }, 0);
+
+    std::vector<std::string> TimeRow = {"elapsed time (s)"};
+    std::vector<std::string> FactRow = {"sensitive var-points-to"};
+    for (const PrecisionMetrics &M : Cells) {
+      TimeRow.push_back(M.Aborted ? "-" : formatSeconds(M.SolveMs));
+      FactRow.push_back(M.Aborted ? "-" : formatFactCount(M.CsVarPointsTo));
+    }
+    T.addRow(TimeRow);
+    T.addRow(FactRow);
+
+    T.print(std::cout);
+    std::cout << '\n';
+  }
+
+  if (Csv)
+    CsvOut.printCsv(std::cout);
+  return 0;
+}

@@ -1,0 +1,106 @@
+//===- examples/quickstart.cpp - Five-minute tour -------------------------===//
+//
+// Part of the hybridpt project (PLDI 2013 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The smallest end-to-end use of the library: write a program in PTIR
+/// text, parse it, run two analyses (the paper's 1obj baseline and its
+/// selective hybrid SB-1obj), and look at what a variable may point to.
+///
+/// The embedded program is the paper's Section 3 motivation: a static
+/// factory-style method whose call sites object-sensitivity cannot tell
+/// apart.
+///
+//===----------------------------------------------------------------------===//
+
+#include "context/PolicyRegistry.h"
+#include "ir/Program.h"
+#include "irtext/TextFormat.h"
+#include "pta/AnalysisResult.h"
+#include "pta/Metrics.h"
+#include "pta/Solver.h"
+
+#include <iostream>
+
+using namespace pt;
+
+namespace {
+
+const char *Source = R"(
+# The paper's MERGESTATIC motivation, as a runnable program.
+#
+# Util::identity is a static pass-through called from two sites in the
+# same (single-receiver) virtual method.  A 1-object-sensitive analysis
+# analyzes identity once, merging apple and banana; the selective hybrid
+# SB-1obj gives each call site its own context and keeps them apart.
+
+class Object {
+}
+class Apple extends Object {
+}
+class Banana extends Object {
+}
+class Util extends Object {
+  static method identity/1 {
+    return p0
+  }
+}
+class Basket extends Object {
+  method fill/0 {
+    new apple Apple
+    new banana Banana
+    scall a Util::identity/1 apple
+    scall b Util::identity/1 banana
+    cast onlyApple Apple a
+    cast onlyBanana Banana b
+  }
+}
+class App extends Object {
+  static method main/0 {
+    new basket Basket
+    vcall basket fill/0
+  }
+}
+entry App::main/0
+)";
+
+void report(const Program &P, std::string_view PolicyName) {
+  auto Policy = createPolicy(PolicyName, P);
+  Solver S(P, *Policy);
+  AnalysisResult R = S.run();
+  PrecisionMetrics M = computeMetrics(R);
+
+  VarId A = findVarByPath(P, "Basket::fill/0::a");
+  std::cout << "--- " << PolicyName << " ---\n";
+  std::cout << "variable 'a' may point to:";
+  for (HeapId H : R.pointsTo(A))
+    std::cout << "  " << P.text(P.heap(H).Name);
+  std::cout << "\nmay-fail casts: " << M.MayFailCasts << " of "
+            << M.ReachableCasts << "\n";
+  std::cout << "context-sensitive facts: " << M.CsVarPointsTo << "\n\n";
+}
+
+} // namespace
+
+int main() {
+  ParseResult Parsed = parseProgram(Source);
+  if (!Parsed.ok()) {
+    for (const std::string &E : Parsed.Errors)
+      std::cerr << "parse error: " << E << "\n";
+    return 1;
+  }
+  const Program &P = *Parsed.Prog;
+  std::cout << "parsed " << P.numMethods() << " methods, "
+            << P.numInstructions() << " instructions\n\n";
+
+  // 1obj merges the two identity calls; SB-1obj separates them.
+  report(P, "1obj");
+  report(P, "SB-1obj");
+
+  std::cout << "The hybrid proves both casts safe by giving the static\n"
+               "pass-through a per-call-site context (the paper's\n"
+               "MERGESTATIC); plain object-sensitivity cannot.\n";
+  return 0;
+}

@@ -1,0 +1,109 @@
+//===- context/ContextElement.h - One slot of a context ---------*- C++ -*-===//
+//
+// Part of the hybridpt project (PLDI 2013 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A single context element: an allocation site (H), an invocation site (I),
+/// a class type (T), or the distinguished star `*`.
+///
+/// Hybrid analyses (paper Section 3) form context sets like
+/// `H x (H u I) x (H u I u {*})`: each *slot* of a context tuple may hold an
+/// element of a different kind.  Encoding the kind in the element itself —
+/// two tag bits over a 30-bit payload — makes such unions free and keeps a
+/// full 3-slot context in 12 bytes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HYBRIDPT_CONTEXT_CONTEXTELEMENT_H
+#define HYBRIDPT_CONTEXT_CONTEXTELEMENT_H
+
+#include "support/Ids.h"
+
+#include <cassert>
+#include <cstdint>
+
+namespace pt {
+
+/// Discriminates what a context slot holds.
+enum class ElemKind : uint8_t {
+  Star = 0,   ///< The distinguished `*` (no information).
+  Heap = 1,   ///< An allocation site (object-sensitivity).
+  Invoke = 2, ///< An invocation site (call-site-sensitivity).
+  Type = 3,   ///< A class type (type-sensitivity).
+};
+
+/// A tagged 32-bit context element.
+class ContextElem {
+public:
+  /// Default: the star element.
+  constexpr ContextElem() : Bits(0) {}
+
+  static constexpr ContextElem star() { return ContextElem(); }
+
+  static ContextElem heap(HeapId H) {
+    return ContextElem(ElemKind::Heap, H.index());
+  }
+
+  static ContextElem invoke(InvokeId I) {
+    return ContextElem(ElemKind::Invoke, I.index());
+  }
+
+  static ContextElem type(TypeId T) {
+    return ContextElem(ElemKind::Type, T.index());
+  }
+
+  ElemKind kind() const { return static_cast<ElemKind>(Bits >> 30); }
+
+  bool isStar() const { return Bits == 0; }
+  bool isHeap() const { return kind() == ElemKind::Heap; }
+  bool isInvoke() const { return kind() == ElemKind::Invoke; }
+  bool isType() const { return kind() == ElemKind::Type; }
+
+  HeapId asHeap() const {
+    assert(isHeap() && "element is not an allocation site");
+    return HeapId(payload());
+  }
+
+  InvokeId asInvoke() const {
+    assert(isInvoke() && "element is not an invocation site");
+    return InvokeId(payload());
+  }
+
+  TypeId asType() const {
+    assert(isType() && "element is not a type");
+    return TypeId(payload());
+  }
+
+  /// The raw tagged bits, used as interning key material.
+  uint32_t raw() const { return Bits; }
+
+  /// Rebuilds an element from \c raw().
+  static ContextElem fromRaw(uint32_t Bits) {
+    ContextElem E;
+    E.Bits = Bits;
+    return E;
+  }
+
+  friend bool operator==(ContextElem A, ContextElem B) {
+    return A.Bits == B.Bits;
+  }
+  friend bool operator!=(ContextElem A, ContextElem B) {
+    return A.Bits != B.Bits;
+  }
+
+private:
+  ContextElem(ElemKind K, uint32_t Payload)
+      : Bits((static_cast<uint32_t>(K) << 30) | Payload) {
+    assert(Payload < (1u << 30) && "payload exceeds 30 bits");
+  }
+
+  uint32_t payload() const { return Bits & ((1u << 30) - 1); }
+
+  uint32_t Bits;
+};
+
+} // namespace pt
+
+#endif // HYBRIDPT_CONTEXT_CONTEXTELEMENT_H

@@ -1,0 +1,411 @@
+//===- context/Policies.h - All analysis flavors ----------------*- C++ -*-===//
+//
+// Part of the hybridpt project (PLDI 2013 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Concrete \c ContextPolicy subclasses for every analysis in the paper
+/// (Sections 2.2 and 3) plus the ablation variants the paper argues against
+/// and the depth-adaptive future-work variant (Section 6).
+///
+/// Each class documents its constructor functions exactly as the paper's
+/// definitions read.  Tests in tests/context_policies_test.cpp check each
+/// definition point-wise.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HYBRIDPT_CONTEXT_POLICIES_H
+#define HYBRIDPT_CONTEXT_POLICIES_H
+
+#include "context/Policy.h"
+
+namespace pt {
+
+/// Context-insensitive baseline: C = HC = {*}.
+class InsensPolicy final : public ContextPolicy {
+public:
+  using ContextPolicy::ContextPolicy;
+  std::string name() const override { return "insens"; }
+  uint32_t methodCtxArity() const override { return 0; }
+  uint32_t heapCtxArity() const override { return 0; }
+  HCtxId record(HeapId, CtxId) override { return makeHCtx(); }
+  CtxId merge(HeapId, HCtxId, InvokeId, CtxId) override { return makeCtx(); }
+  CtxId mergeStatic(InvokeId, CtxId) override { return makeCtx(); }
+};
+
+/// 1-call-site-sensitive (1call): C = I, HC = {*}.
+///   RECORD = *;  MERGE = invo;  MERGESTATIC = invo.
+class OneCallPolicy final : public ContextPolicy {
+public:
+  using ContextPolicy::ContextPolicy;
+  std::string name() const override { return "1call"; }
+  uint32_t methodCtxArity() const override { return 1; }
+  uint32_t heapCtxArity() const override { return 0; }
+  HCtxId record(HeapId, CtxId) override { return makeHCtx(); }
+  CtxId merge(HeapId, HCtxId, InvokeId Invo, CtxId) override {
+    return makeCtx(ContextElem::invoke(Invo));
+  }
+  CtxId mergeStatic(InvokeId Invo, CtxId) override {
+    return makeCtx(ContextElem::invoke(Invo));
+  }
+};
+
+/// 1-call-site-sensitive with context-sensitive heap (1call+H): C = HC = I.
+///   RECORD = ctx;  MERGE = invo;  MERGESTATIC = invo.
+class OneCallHPolicy final : public ContextPolicy {
+public:
+  using ContextPolicy::ContextPolicy;
+  std::string name() const override { return "1call+H"; }
+  uint32_t methodCtxArity() const override { return 1; }
+  uint32_t heapCtxArity() const override { return 1; }
+  HCtxId record(HeapId, CtxId Ctx) override {
+    return makeHCtx(Ctxs.elem(Ctx, 0));
+  }
+  CtxId merge(HeapId, HCtxId, InvokeId Invo, CtxId) override {
+    return makeCtx(ContextElem::invoke(Invo));
+  }
+  CtxId mergeStatic(InvokeId Invo, CtxId) override {
+    return makeCtx(ContextElem::invoke(Invo));
+  }
+};
+
+/// 1-object-sensitive (1obj): C = H, HC = {*}.
+///   RECORD = *;  MERGE = heap;  MERGESTATIC = ctx (copies caller context).
+class OneObjPolicy final : public ContextPolicy {
+public:
+  using ContextPolicy::ContextPolicy;
+  std::string name() const override { return "1obj"; }
+  uint32_t methodCtxArity() const override { return 1; }
+  uint32_t heapCtxArity() const override { return 0; }
+  HCtxId record(HeapId, CtxId) override { return makeHCtx(); }
+  CtxId merge(HeapId Heap, HCtxId, InvokeId, CtxId) override {
+    return makeCtx(ContextElem::heap(Heap));
+  }
+  CtxId mergeStatic(InvokeId, CtxId Ctx) override { return Ctx; }
+};
+
+/// 2-object-sensitive with 1-context-sensitive heap (2obj+H):
+/// C = H x H, HC = H.
+///   RECORD = first(ctx);  MERGE = pair(heap, hctx);  MERGESTATIC = ctx.
+class TwoObjHPolicy final : public ContextPolicy {
+public:
+  using ContextPolicy::ContextPolicy;
+  std::string name() const override { return "2obj+H"; }
+  uint32_t methodCtxArity() const override { return 2; }
+  uint32_t heapCtxArity() const override { return 1; }
+  HCtxId record(HeapId, CtxId Ctx) override {
+    return makeHCtx(Ctxs.elem(Ctx, 0));
+  }
+  CtxId merge(HeapId Heap, HCtxId HCtx, InvokeId, CtxId) override {
+    return makeCtx(ContextElem::heap(Heap), HCtxs.elem(HCtx, 0));
+  }
+  CtxId mergeStatic(InvokeId, CtxId Ctx) override { return Ctx; }
+};
+
+/// 2-type-sensitive with 1-context-sensitive heap (2type+H):
+/// C = T x T, HC = T.  As 2obj+H with CA mapped over new elements.
+class TwoTypeHPolicy final : public ContextPolicy {
+public:
+  using ContextPolicy::ContextPolicy;
+  std::string name() const override { return "2type+H"; }
+  uint32_t methodCtxArity() const override { return 2; }
+  uint32_t heapCtxArity() const override { return 1; }
+  HCtxId record(HeapId, CtxId Ctx) override {
+    return makeHCtx(Ctxs.elem(Ctx, 0));
+  }
+  CtxId merge(HeapId Heap, HCtxId HCtx, InvokeId, CtxId) override {
+    return makeCtx(caElem(Heap), HCtxs.elem(HCtx, 0));
+  }
+  CtxId mergeStatic(InvokeId, CtxId Ctx) override { return Ctx; }
+};
+
+/// Uniform 1-object hybrid (U-1obj): C = H x I, HC = {*}.
+///   RECORD = *;
+///   MERGE = pair(heap, invo);
+///   MERGESTATIC = pair(first(ctx), invo).
+class UniformOneObjPolicy final : public ContextPolicy {
+public:
+  using ContextPolicy::ContextPolicy;
+  std::string name() const override { return "U-1obj"; }
+  uint32_t methodCtxArity() const override { return 2; }
+  uint32_t heapCtxArity() const override { return 0; }
+  HCtxId record(HeapId, CtxId) override { return makeHCtx(); }
+  CtxId merge(HeapId Heap, HCtxId, InvokeId Invo, CtxId) override {
+    return makeCtx(ContextElem::heap(Heap), ContextElem::invoke(Invo));
+  }
+  CtxId mergeStatic(InvokeId Invo, CtxId Ctx) override {
+    return makeCtx(Ctxs.elem(Ctx, 0), ContextElem::invoke(Invo));
+  }
+};
+
+/// Uniform 2obj+H hybrid (U-2obj+H): C = H x H x I, HC = H.
+///   RECORD = first(ctx);
+///   MERGE = triple(heap, hctx, invo);
+///   MERGESTATIC = triple(first(ctx), second(ctx), invo).
+class UniformTwoObjHPolicy final : public ContextPolicy {
+public:
+  using ContextPolicy::ContextPolicy;
+  std::string name() const override { return "U-2obj+H"; }
+  uint32_t methodCtxArity() const override { return 3; }
+  uint32_t heapCtxArity() const override { return 1; }
+  HCtxId record(HeapId, CtxId Ctx) override {
+    return makeHCtx(Ctxs.elem(Ctx, 0));
+  }
+  CtxId merge(HeapId Heap, HCtxId HCtx, InvokeId Invo, CtxId) override {
+    return makeCtx(ContextElem::heap(Heap), HCtxs.elem(HCtx, 0),
+                   ContextElem::invoke(Invo));
+  }
+  CtxId mergeStatic(InvokeId Invo, CtxId Ctx) override {
+    return makeCtx(Ctxs.elem(Ctx, 0), Ctxs.elem(Ctx, 1),
+                   ContextElem::invoke(Invo));
+  }
+};
+
+/// Uniform 2type+H hybrid (U-2type+H): C = T x T x I, HC = T.
+class UniformTwoTypeHPolicy final : public ContextPolicy {
+public:
+  using ContextPolicy::ContextPolicy;
+  std::string name() const override { return "U-2type+H"; }
+  uint32_t methodCtxArity() const override { return 3; }
+  uint32_t heapCtxArity() const override { return 1; }
+  HCtxId record(HeapId, CtxId Ctx) override {
+    return makeHCtx(Ctxs.elem(Ctx, 0));
+  }
+  CtxId merge(HeapId Heap, HCtxId HCtx, InvokeId Invo, CtxId) override {
+    return makeCtx(caElem(Heap), HCtxs.elem(HCtx, 0),
+                   ContextElem::invoke(Invo));
+  }
+  CtxId mergeStatic(InvokeId Invo, CtxId Ctx) override {
+    return makeCtx(Ctxs.elem(Ctx, 0), Ctxs.elem(Ctx, 1),
+                   ContextElem::invoke(Invo));
+  }
+};
+
+/// Selective hybrid A of 1obj (SA-1obj): C = H u I, HC = {*}.
+/// Keeps a *single* element: allocation site at virtual calls, invocation
+/// site at static calls.  Not guaranteed more precise than 1obj.
+class SelectiveAOneObjPolicy final : public ContextPolicy {
+public:
+  using ContextPolicy::ContextPolicy;
+  std::string name() const override { return "SA-1obj"; }
+  uint32_t methodCtxArity() const override { return 1; }
+  uint32_t heapCtxArity() const override { return 0; }
+  HCtxId record(HeapId, CtxId) override { return makeHCtx(); }
+  CtxId merge(HeapId Heap, HCtxId, InvokeId, CtxId) override {
+    return makeCtx(ContextElem::heap(Heap));
+  }
+  CtxId mergeStatic(InvokeId Invo, CtxId) override {
+    return makeCtx(ContextElem::invoke(Invo));
+  }
+};
+
+/// Selective hybrid B of 1obj (SB-1obj): C = H x (I u {*}), HC = {*}.
+///   RECORD = *;
+///   MERGE = pair(heap, *);
+///   MERGESTATIC = pair(first(ctx), invo).
+/// Context is always a superset of 1obj's, hence strictly more precise.
+class SelectiveBOneObjPolicy final : public ContextPolicy {
+public:
+  using ContextPolicy::ContextPolicy;
+  std::string name() const override { return "SB-1obj"; }
+  uint32_t methodCtxArity() const override { return 2; }
+  uint32_t heapCtxArity() const override { return 0; }
+  HCtxId record(HeapId, CtxId) override { return makeHCtx(); }
+  CtxId merge(HeapId Heap, HCtxId, InvokeId, CtxId) override {
+    return makeCtx(ContextElem::heap(Heap));
+  }
+  CtxId mergeStatic(InvokeId Invo, CtxId Ctx) override {
+    return makeCtx(Ctxs.elem(Ctx, 0), ContextElem::invoke(Invo));
+  }
+};
+
+/// Selective 2obj+H hybrid (S-2obj+H):
+/// C = H x (H u I) x (H u I u {*}), HC = H.
+///   RECORD = first(ctx);
+///   MERGE = triple(heap, hctx, *);
+///   MERGESTATIC = triple(first(ctx), invo, second(ctx)).
+/// Virtual calls look like 2obj+H; the first static level appends an
+/// invocation site; deeper static chains favor call-site elements while
+/// pinning the most-significant object element (for heap-context quality).
+class SelectiveTwoObjHPolicy final : public ContextPolicy {
+public:
+  using ContextPolicy::ContextPolicy;
+  std::string name() const override { return "S-2obj+H"; }
+  uint32_t methodCtxArity() const override { return 3; }
+  uint32_t heapCtxArity() const override { return 1; }
+  HCtxId record(HeapId, CtxId Ctx) override {
+    return makeHCtx(Ctxs.elem(Ctx, 0));
+  }
+  CtxId merge(HeapId Heap, HCtxId HCtx, InvokeId, CtxId) override {
+    return makeCtx(ContextElem::heap(Heap), HCtxs.elem(HCtx, 0));
+  }
+  CtxId mergeStatic(InvokeId Invo, CtxId Ctx) override {
+    return makeCtx(Ctxs.elem(Ctx, 0), ContextElem::invoke(Invo),
+                   Ctxs.elem(Ctx, 1));
+  }
+};
+
+/// Selective 2type+H hybrid (S-2type+H):
+/// C = T x (T u I) x (T u I u {*}), HC = T.  Isomorphic to S-2obj+H.
+class SelectiveTwoTypeHPolicy final : public ContextPolicy {
+public:
+  using ContextPolicy::ContextPolicy;
+  std::string name() const override { return "S-2type+H"; }
+  uint32_t methodCtxArity() const override { return 3; }
+  uint32_t heapCtxArity() const override { return 1; }
+  HCtxId record(HeapId, CtxId Ctx) override {
+    return makeHCtx(Ctxs.elem(Ctx, 0));
+  }
+  CtxId merge(HeapId Heap, HCtxId HCtx, InvokeId, CtxId) override {
+    return makeCtx(caElem(Heap), HCtxs.elem(HCtx, 0));
+  }
+  CtxId mergeStatic(InvokeId Invo, CtxId Ctx) override {
+    return makeCtx(Ctxs.elem(Ctx, 0), ContextElem::invoke(Invo),
+                   Ctxs.elem(Ctx, 1));
+  }
+};
+
+// --- Deeper-context extensions (paper Section 6: "our model gives the
+// ability for further experimentation, e.g., with deeper-context
+// analyses"; Section 2.2 notes 2call+H / 3obj "quickly make an analysis
+// intractable for a substantial portion of realistic programs") ---
+
+/// 3-object-sensitive with a 2-context-sensitive heap (3obj+2H):
+/// C = H x H x H, HC = H x H.
+///   RECORD = (first(ctx), second(ctx));
+///   MERGE = (heap, first(hctx), second(hctx));
+///   MERGESTATIC = ctx.
+class ThreeObjTwoHPolicy final : public ContextPolicy {
+public:
+  using ContextPolicy::ContextPolicy;
+  std::string name() const override { return "3obj+2H"; }
+  uint32_t methodCtxArity() const override { return 3; }
+  uint32_t heapCtxArity() const override { return 2; }
+  HCtxId record(HeapId, CtxId Ctx) override {
+    return makeHCtx(Ctxs.elem(Ctx, 0), Ctxs.elem(Ctx, 1));
+  }
+  CtxId merge(HeapId Heap, HCtxId HCtx, InvokeId, CtxId) override {
+    return makeCtx(ContextElem::heap(Heap), HCtxs.elem(HCtx, 0),
+                   HCtxs.elem(HCtx, 1));
+  }
+  CtxId mergeStatic(InvokeId, CtxId Ctx) override { return Ctx; }
+};
+
+/// 2-call-site-sensitive with a 1-context-sensitive heap (2call+H):
+/// C = I x I, HC = I.
+///   RECORD = first(ctx);
+///   MERGE = MERGESTATIC = (invo, first(ctx)).
+class TwoCallHPolicy final : public ContextPolicy {
+public:
+  using ContextPolicy::ContextPolicy;
+  std::string name() const override { return "2call+H"; }
+  uint32_t methodCtxArity() const override { return 2; }
+  uint32_t heapCtxArity() const override { return 1; }
+  HCtxId record(HeapId, CtxId Ctx) override {
+    return makeHCtx(Ctxs.elem(Ctx, 0));
+  }
+  CtxId merge(HeapId, HCtxId, InvokeId Invo, CtxId Ctx) override {
+    return makeCtx(ContextElem::invoke(Invo), Ctxs.elem(Ctx, 0));
+  }
+  CtxId mergeStatic(InvokeId Invo, CtxId Ctx) override {
+    return makeCtx(ContextElem::invoke(Invo), Ctxs.elem(Ctx, 0));
+  }
+};
+
+// --- Ablation policies (paper Section 3.2 "Other analyses" / Section 6) ---
+
+/// Ablation: U-2obj+H with a *call-site* heap context (HC = I) — the
+/// combination the paper predicts is a bad choice ("the poor payoff of
+/// call-site heap contexts").
+class UniformTwoObjInvokeHeapPolicy final : public ContextPolicy {
+public:
+  using ContextPolicy::ContextPolicy;
+  std::string name() const override { return "U-2obj+HI"; }
+  uint32_t methodCtxArity() const override { return 3; }
+  uint32_t heapCtxArity() const override { return 1; }
+  HCtxId record(HeapId, CtxId Ctx) override {
+    // The invocation-site slot of the allocating method's context.
+    return makeHCtx(Ctxs.elem(Ctx, 2));
+  }
+  CtxId merge(HeapId Heap, HCtxId HCtx, InvokeId Invo, CtxId) override {
+    return makeCtx(ContextElem::heap(Heap), HCtxs.elem(HCtx, 0),
+                   ContextElem::invoke(Invo));
+  }
+  CtxId mergeStatic(InvokeId Invo, CtxId Ctx) override {
+    return makeCtx(Ctxs.elem(Ctx, 0), Ctxs.elem(Ctx, 1),
+                   ContextElem::invoke(Invo));
+  }
+};
+
+/// Ablation: U-2obj+H with hctx in the most-significant slot — "it is not
+/// reasonable to invert the natural significance order of heap vs. hctx".
+///
+/// RECORD deliberately stays `first(ctx)` (as every published analysis
+/// defines it): with the slots swapped that now yields the *grandparent*
+/// object as heap context rather than the allocating method's receiver,
+/// which is exactly the quality loss the paper warns about.  (Keeping
+/// RECORD slot-aware instead would make the swap a mere renaming.)
+class UniformTwoObjHSwappedPolicy final : public ContextPolicy {
+public:
+  using ContextPolicy::ContextPolicy;
+  std::string name() const override { return "U-2obj+H-swapped"; }
+  uint32_t methodCtxArity() const override { return 3; }
+  uint32_t heapCtxArity() const override { return 1; }
+  HCtxId record(HeapId, CtxId Ctx) override {
+    return makeHCtx(Ctxs.elem(Ctx, 0));
+  }
+  CtxId merge(HeapId Heap, HCtxId HCtx, InvokeId Invo, CtxId) override {
+    return makeCtx(HCtxs.elem(HCtx, 0), ContextElem::heap(Heap),
+                   ContextElem::invoke(Invo));
+  }
+  CtxId mergeStatic(InvokeId Invo, CtxId Ctx) override {
+    return makeCtx(Ctxs.elem(Ctx, 0), Ctxs.elem(Ctx, 1),
+                   ContextElem::invoke(Invo));
+  }
+};
+
+/// Future-work variant (paper Section 6): MERGESTATIC "could examine the
+/// context passed to them as argument and create different kinds of
+/// contexts in return" — "a different form (e.g., more elements) for a call
+/// made inside another statically called method vs. a call made in a
+/// virtual method".
+///
+/// Slot semantics: slot 0 pins the most-significant object element (heap
+/// context quality); slot 1 holds the second object element or, deeper in
+/// static chains, the previous invocation site; slot 2 holds the newest
+/// invocation site (star while inside a virtually-called method).
+///
+///   MERGE = triple(heap, hctx, *)                       (like S-2obj+H)
+///   MERGESTATIC, inside virtual  (ctx[2] = *):
+///       triple(first(ctx), second(ctx), invo)           (like U-2obj+H)
+///   MERGESTATIC, inside static   (ctx[2] = invocation):
+///       triple(first(ctx), third(ctx), invo)            (call-site chain)
+class DepthAdaptiveTwoObjHPolicy final : public ContextPolicy {
+public:
+  using ContextPolicy::ContextPolicy;
+  std::string name() const override { return "D-2obj+H"; }
+  uint32_t methodCtxArity() const override { return 3; }
+  uint32_t heapCtxArity() const override { return 1; }
+  HCtxId record(HeapId, CtxId Ctx) override {
+    return makeHCtx(Ctxs.elem(Ctx, 0));
+  }
+  CtxId merge(HeapId Heap, HCtxId HCtx, InvokeId, CtxId) override {
+    return makeCtx(ContextElem::heap(Heap), HCtxs.elem(HCtx, 0));
+  }
+  CtxId mergeStatic(InvokeId Invo, CtxId Ctx) override {
+    ContextElem Newest = Ctxs.elem(Ctx, 2);
+    if (Newest.isInvoke())
+      // Deeper static chain: keep the pinned object plus the last two
+      // invocation sites.
+      return makeCtx(Ctxs.elem(Ctx, 0), Newest, ContextElem::invoke(Invo));
+    // First static level under a virtual method: keep both object elements
+    // and append the invocation site (full uniform-hybrid context).
+    return makeCtx(Ctxs.elem(Ctx, 0), Ctxs.elem(Ctx, 1),
+                   ContextElem::invoke(Invo));
+  }
+};
+
+} // namespace pt
+
+#endif // HYBRIDPT_CONTEXT_POLICIES_H

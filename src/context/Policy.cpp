@@ -1,0 +1,43 @@
+//===- context/Policy.cpp ---------------------------------------------------===//
+//
+// Part of the hybridpt project (PLDI 2013 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "context/Policy.h"
+
+#include "ir/Program.h"
+
+using namespace pt;
+
+ContextPolicy::~ContextPolicy() = default;
+
+CtxId ContextPolicy::initialContext() { return makeCtx(); }
+
+CtxId ContextPolicy::makeCtx(ContextElem A, ContextElem B, ContextElem C) {
+  ContextElem Elems[MaxContextDepth] = {A, B, C};
+  return Ctxs.intern(Elems, methodCtxArity());
+}
+
+HCtxId ContextPolicy::makeHCtx(ContextElem A, ContextElem B, ContextElem C) {
+  ContextElem Elems[MaxContextDepth] = {A, B, C};
+  return HCtxs.intern(Elems, heapCtxArity());
+}
+
+ContextElem ContextPolicy::caElem(HeapId Heap) const {
+  return ContextElem::type(Prog.allocSiteClass(Heap));
+}
+
+std::string pt::formatContextElem(ContextElem E, const Program &Prog) {
+  switch (E.kind()) {
+  case ElemKind::Star:
+    return "*";
+  case ElemKind::Heap:
+    return "H:" + Prog.text(Prog.heap(E.asHeap()).Name);
+  case ElemKind::Invoke:
+    return "I:" + Prog.text(Prog.invoke(E.asInvoke()).Name);
+  case ElemKind::Type:
+    return "T:" + Prog.text(Prog.type(E.asType()).Name);
+  }
+  return "?";
+}

@@ -1,0 +1,86 @@
+//===- context/PolicyRegistry.cpp --------------------------------------------===//
+//
+// Part of the hybridpt project (PLDI 2013 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "context/PolicyRegistry.h"
+
+#include "context/Policies.h"
+
+using namespace pt;
+
+std::unique_ptr<ContextPolicy> pt::createPolicy(std::string_view Name,
+                                                const Program &Prog) {
+  if (Name == "insens")
+    return std::make_unique<InsensPolicy>(Prog);
+  if (Name == "1call")
+    return std::make_unique<OneCallPolicy>(Prog);
+  if (Name == "1call+H")
+    return std::make_unique<OneCallHPolicy>(Prog);
+  if (Name == "1obj")
+    return std::make_unique<OneObjPolicy>(Prog);
+  if (Name == "U-1obj")
+    return std::make_unique<UniformOneObjPolicy>(Prog);
+  if (Name == "SA-1obj")
+    return std::make_unique<SelectiveAOneObjPolicy>(Prog);
+  if (Name == "SB-1obj")
+    return std::make_unique<SelectiveBOneObjPolicy>(Prog);
+  if (Name == "2obj+H")
+    return std::make_unique<TwoObjHPolicy>(Prog);
+  if (Name == "U-2obj+H")
+    return std::make_unique<UniformTwoObjHPolicy>(Prog);
+  if (Name == "S-2obj+H")
+    return std::make_unique<SelectiveTwoObjHPolicy>(Prog);
+  if (Name == "2type+H")
+    return std::make_unique<TwoTypeHPolicy>(Prog);
+  if (Name == "U-2type+H")
+    return std::make_unique<UniformTwoTypeHPolicy>(Prog);
+  if (Name == "S-2type+H")
+    return std::make_unique<SelectiveTwoTypeHPolicy>(Prog);
+  if (Name == "U-2obj+HI")
+    return std::make_unique<UniformTwoObjInvokeHeapPolicy>(Prog);
+  if (Name == "U-2obj+H-swapped")
+    return std::make_unique<UniformTwoObjHSwappedPolicy>(Prog);
+  if (Name == "D-2obj+H")
+    return std::make_unique<DepthAdaptiveTwoObjHPolicy>(Prog);
+  if (Name == "3obj+2H")
+    return std::make_unique<ThreeObjTwoHPolicy>(Prog);
+  if (Name == "2call+H")
+    return std::make_unique<TwoCallHPolicy>(Prog);
+  return nullptr;
+}
+
+const std::vector<std::string> &pt::table1PolicyNames() {
+  // Column order of the paper's Table 1.
+  static const std::vector<std::string> Names = {
+      "1call",  "1call+H",  "1obj",    "U-1obj",    "SA-1obj",  "SB-1obj",
+      "2obj+H", "U-2obj+H", "S-2obj+H", "2type+H",  "U-2type+H", "S-2type+H"};
+  return Names;
+}
+
+const std::vector<std::string> &pt::paperPolicyNames() {
+  static const std::vector<std::string> Names = [] {
+    std::vector<std::string> All = {"insens"};
+    const auto &T1 = table1PolicyNames();
+    All.insert(All.end(), T1.begin(), T1.end());
+    return All;
+  }();
+  return Names;
+}
+
+const std::vector<std::string> &pt::ablationPolicyNames() {
+  static const std::vector<std::string> Names = {
+      "U-2obj+HI", "U-2obj+H-swapped", "D-2obj+H", "3obj+2H", "2call+H"};
+  return Names;
+}
+
+const std::vector<std::string> &pt::allPolicyNames() {
+  static const std::vector<std::string> Names = [] {
+    std::vector<std::string> All = paperPolicyNames();
+    const auto &Extra = ablationPolicyNames();
+    All.insert(All.end(), Extra.begin(), Extra.end());
+    return All;
+  }();
+  return Names;
+}

@@ -1,0 +1,48 @@
+//===- context/PolicyRegistry.h - Name-based policy lookup ------*- C++ -*-===//
+//
+// Part of the hybridpt project (PLDI 2013 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Creates \c ContextPolicy instances from paper abbreviations ("1obj",
+/// "S-2obj+H", ...) and enumerates the standard evaluation line-ups.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HYBRIDPT_CONTEXT_POLICYREGISTRY_H
+#define HYBRIDPT_CONTEXT_POLICYREGISTRY_H
+
+#include "context/Policy.h"
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pt {
+
+class Program;
+
+/// Instantiates the policy named \p Name for \p Prog.  Returns null for an
+/// unknown name.  Recognized names: insens, 1call, 1call+H, 1obj, U-1obj,
+/// SA-1obj, SB-1obj, 2obj+H, U-2obj+H, S-2obj+H, 2type+H, U-2type+H,
+/// S-2type+H, U-2obj+HI, U-2obj+H-swapped, D-2obj+H, 3obj+2H, 2call+H.
+std::unique_ptr<ContextPolicy> createPolicy(std::string_view Name,
+                                            const Program &Prog);
+
+/// The twelve analyses of the paper's Table 1, in column order.
+const std::vector<std::string> &table1PolicyNames();
+
+/// All thirteen paper analyses (Table 1 plus insens).
+const std::vector<std::string> &paperPolicyNames();
+
+/// The extra ablation / future-work variants this repo adds.
+const std::vector<std::string> &ablationPolicyNames();
+
+/// Everything createPolicy knows about.
+const std::vector<std::string> &allPolicyNames();
+
+} // namespace pt
+
+#endif // HYBRIDPT_CONTEXT_POLICYREGISTRY_H

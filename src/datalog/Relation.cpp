@@ -1,0 +1,100 @@
+//===- datalog/Relation.cpp -----------------------------------------------------===//
+//
+// Part of the hybridpt project (PLDI 2013 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "datalog/Relation.h"
+
+using namespace pt::dl;
+
+bool Relation::equalRows(const Value *A, const Value *B) const {
+  for (uint32_t I = 0; I < Arity; ++I)
+    if (A[I] != B[I])
+      return false;
+  return true;
+}
+
+bool Relation::contains(const Value *Row) const {
+  uint64_t H = hashRow(Row);
+  auto [It, End] = Dedup.equal_range(H);
+  size_t Settled = settledRows();
+  for (; It != End; ++It) {
+    size_t Idx = It->second;
+    const Value *Existing = Idx < Settled
+                                ? row(Idx)
+                                : &Pending[(Idx - Settled) * Arity];
+    if (equalRows(Existing, Row))
+      return true;
+  }
+  return false;
+}
+
+bool Relation::insert(const Value *Row) {
+  if (contains(Row))
+    return false;
+  size_t Idx = settledRows() + pendingRows();
+  Pending.insert(Pending.end(), Row, Row + Arity);
+  Dedup.emplace(hashRow(Row), Idx);
+  return true;
+}
+
+size_t Relation::promote() {
+  // Note: dedup indices for pending rows were assigned assuming they land
+  // right after the settled area, which is exactly what happens here.
+  size_t Promoted = Pending.size() / Arity;
+  DeltaBegin = settledRows();
+  Data.insert(Data.end(), Pending.begin(), Pending.end());
+  Pending.clear();
+
+  // Extend existing column indices over the new rows.
+  for (auto &[Mask, Index] : Indices) {
+    for (size_t I = DeltaBegin; I < settledRows(); ++I) {
+      Value Key[32];
+      uint32_t N = 0;
+      for (uint32_t C = 0; C < Arity; ++C)
+        if (Mask & (1u << C))
+          Key[N++] = row(I)[C];
+      Index.emplace(hashWords(Key, N), I);
+    }
+  }
+  return Promoted;
+}
+
+uint64_t Relation::hashKey(uint32_t ColMask, const Value *Key) const {
+  // Key values arrive pre-packed in ascending column order.
+  uint32_t Count = 0;
+  for (uint32_t C = 0; C < Arity; ++C)
+    if (ColMask & (1u << C))
+      ++Count;
+  return hashWords(Key, Count);
+}
+
+bool Relation::matches(const Value *Row, uint32_t ColMask,
+                       const Value *Key) const {
+  uint32_t N = 0;
+  for (uint32_t C = 0; C < Arity; ++C) {
+    if (ColMask & (1u << C)) {
+      if (Row[C] != Key[N])
+        return false;
+      ++N;
+    }
+  }
+  return true;
+}
+
+const Relation::IndexMap &Relation::indexFor(uint32_t ColMask) const {
+  auto It = Indices.find(ColMask);
+  if (It != Indices.end())
+    return It->second;
+  IndexMap &Index = Indices[ColMask];
+  for (size_t I = 0; I < settledRows(); ++I) {
+    Value Key[32];
+    uint32_t N = 0;
+    for (uint32_t C = 0; C < Arity; ++C)
+      if (ColMask & (1u << C))
+        Key[N++] = row(I)[C];
+    Index.emplace(hashWords(Key, N), I);
+  }
+  return Index;
+}

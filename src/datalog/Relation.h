@@ -1,0 +1,150 @@
+//===- datalog/Relation.h - Extensional/intensional relations ---*- C++ -*-===//
+//
+// Part of the hybridpt project (PLDI 2013 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Relations for the semi-naive Datalog engine: fixed-arity tuples of
+/// 32-bit values with hash-based deduplication, delta tracking, and
+/// on-demand column indices.
+///
+/// Storage layout: all settled rows live in one flat array; rows
+/// [0, DeltaBegin) are the "old" fixpoint part and [DeltaBegin, end) are
+/// the delta of the current round.  Rows derived during a round accumulate
+/// in a separate pending area and are promoted to the new delta when the
+/// round ends — the engine drives this via \c promote().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HYBRIDPT_DATALOG_RELATION_H
+#define HYBRIDPT_DATALOG_RELATION_H
+
+#include "support/Hashing.h"
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace pt::dl {
+
+/// All Datalog values are dense 32-bit ids.
+using Value = uint32_t;
+
+/// Which part of a relation a scan should cover.
+enum class Range : uint8_t {
+  All,   ///< Settled rows: old fixpoint plus current delta.
+  Delta, ///< Only the current delta.
+};
+
+/// A fixed-arity relation.
+class Relation {
+public:
+  Relation(std::string Name, uint32_t Arity)
+      : Name(std::move(Name)), Arity(Arity) {
+    assert(Arity > 0 && "relations need at least one column");
+  }
+
+  const std::string &name() const { return Name; }
+  uint32_t arity() const { return Arity; }
+
+  /// Inserts \p Row into the pending area unless already present anywhere.
+  /// Returns true when the tuple is new.
+  bool insert(const Value *Row);
+
+  /// Convenience insert from an initializer list (length must equal the
+  /// arity).
+  bool insert(std::initializer_list<Value> Row) {
+    assert(Row.size() == Arity && "arity mismatch");
+    return insert(Row.begin());
+  }
+
+  /// True when the tuple is already present (settled or pending).
+  bool contains(const Value *Row) const;
+
+  /// Rows settled into the fixpoint (excludes pending).
+  size_t settledRows() const { return Data.size() / Arity; }
+
+  /// Rows waiting for promotion.
+  size_t pendingRows() const { return Pending.size() / Arity; }
+
+  /// Total distinct tuples ever inserted.
+  size_t size() const { return settledRows() + pendingRows(); }
+
+  /// Pointer to settled row \p RowIdx.
+  const Value *row(size_t RowIdx) const { return &Data[RowIdx * Arity]; }
+
+  /// The settled row range for \p R: [begin, end) row indices.
+  std::pair<size_t, size_t> rowRange(Range R) const {
+    if (R == Range::Delta)
+      return {DeltaBegin, settledRows()};
+    return {0, settledRows()};
+  }
+
+  /// Moves pending rows into the delta (and the settled area).  Returns
+  /// the number of rows promoted.  The previous delta joins the old part.
+  size_t promote();
+
+  /// True when the last promote produced an empty delta.
+  bool deltaEmpty() const { return DeltaBegin == settledRows(); }
+
+  /// Scans settled rows in \p R whose columns selected by \p ColMask
+  /// (bitmask) equal \p Key values (listed in ascending column order),
+  /// invoking \p Fn with each matching row pointer.  Uses (and lazily
+  /// builds) a hash index when the mask is non-empty.
+  template <typename Callback>
+  void scan(Range R, uint32_t ColMask, const Value *Key,
+            Callback &&Fn) const {
+    auto [Begin, End] = rowRange(R);
+    if (ColMask == 0) {
+      for (size_t I = Begin; I < End; ++I)
+        Fn(row(I));
+      return;
+    }
+    const IndexMap &Index = indexFor(ColMask);
+    uint64_t H = hashKey(ColMask, Key);
+    auto [It, ItEnd] = Index.equal_range(H);
+    for (; It != ItEnd; ++It) {
+      size_t RowIdx = It->second;
+      if (RowIdx < Begin || RowIdx >= End)
+        continue;
+      const Value *R2 = row(RowIdx);
+      if (matches(R2, ColMask, Key))
+        Fn(R2);
+    }
+  }
+
+private:
+  using IndexMap = std::unordered_multimap<uint64_t, size_t>;
+
+  uint64_t hashRow(const Value *Row) const {
+    return hashWords(Row, Arity);
+  }
+  uint64_t hashKey(uint32_t ColMask, const Value *Key) const;
+  bool matches(const Value *Row, uint32_t ColMask, const Value *Key) const;
+  bool equalRows(const Value *A, const Value *B) const;
+
+  /// Returns (building on demand) the index for \p ColMask over all
+  /// settled rows.  Indices are kept current by promote().
+  const IndexMap &indexFor(uint32_t ColMask) const;
+
+  std::string Name;
+  uint32_t Arity;
+
+  std::vector<Value> Data;    ///< Settled rows (old + delta).
+  std::vector<Value> Pending; ///< Derived this round, not yet visible.
+  size_t DeltaBegin = 0;      ///< First row index of the current delta.
+
+  /// Dedup over settled + pending rows: hash -> row index.  Pending rows
+  /// are addressed as settledRows() + pendingIdx.
+  std::unordered_multimap<uint64_t, size_t> Dedup;
+
+  /// Lazily built column indices over settled rows, updated on promote.
+  mutable std::unordered_map<uint32_t, IndexMap> Indices;
+};
+
+} // namespace pt::dl
+
+#endif // HYBRIDPT_DATALOG_RELATION_H

@@ -1,0 +1,246 @@
+//===- interp/Interpreter.cpp ----------------------------------------------------===//
+//
+// Part of the hybridpt project (PLDI 2013 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interpreter.h"
+
+#include "ir/Program.h"
+#include "support/Rng.h"
+
+#include <unordered_map>
+#include <vector>
+
+using namespace pt;
+
+namespace {
+
+/// Null reference sentinel.
+constexpr int32_t Null = -1;
+
+class Machine {
+public:
+  Machine(const Program &Prog, const InterpOptions &Opts)
+      : Prog(Prog), Opts(Opts), R(Opts.Seed) {}
+
+  ConcreteObservations run() {
+    for (MethodId Entry : Prog.entryPoints()) {
+      std::vector<int32_t> NoArgs;
+      std::vector<int32_t> Escaping;
+      execute(Entry, Null, NoArgs, 0, Escaping);
+    }
+    Obs.Steps = Steps;
+    return std::move(Obs);
+  }
+
+private:
+  struct Object {
+    HeapId Site;
+    std::unordered_map<uint32_t, int32_t> Fields;
+  };
+
+  bool budgetLeft() { return Steps < Opts.MaxSteps; }
+
+  int32_t allocate(HeapId Site) {
+    Objects.push_back({Site, {}});
+    return static_cast<int32_t>(Objects.size() - 1);
+  }
+
+  void observeVar(VarId V, int32_t Obj) {
+    if (Obj != Null)
+      Obs.VarPointsTo.insert({V.index(), Objects[Obj].Site.index()});
+  }
+
+  void assign(std::unordered_map<uint32_t, int32_t> &Env, VarId V,
+              int32_t Obj) {
+    Env[V.index()] = Obj;
+    observeVar(V, Obj);
+  }
+
+  int32_t lookupEnv(const std::unordered_map<uint32_t, int32_t> &Env,
+                    VarId V) const {
+    auto It = Env.find(V.index());
+    return It == Env.end() ? Null : It->second;
+  }
+
+  /// Routes a raised object within frame (M, Env): binds every matching
+  /// handler, or appends to \p Escaping.
+  void raise(MethodId M, std::unordered_map<uint32_t, int32_t> &Env,
+             int32_t Obj, std::vector<int32_t> &Escaping) {
+    if (Obj == Null)
+      return;
+    const MethodInfo &Body = Prog.method(M);
+    TypeId ObjType = Prog.heap(Objects[Obj].Site).Type;
+    bool Caught = false;
+    for (const HandlerInfo &H : Body.Handlers) {
+      if (Prog.isSubtype(ObjType, H.CatchType)) {
+        assign(Env, H.Var, Obj);
+        Caught = true;
+      }
+    }
+    if (!Caught)
+      Escaping.push_back(Obj);
+  }
+
+  /// Executes one frame; returns the returned object (or Null).  Objects
+  /// escaping via uncaught throws are appended to \p Escaping.
+  int32_t execute(MethodId M, int32_t This,
+                  const std::vector<int32_t> &Args, uint32_t Depth,
+                  std::vector<int32_t> &Escaping) {
+    if (Depth > Opts.MaxDepth || !budgetLeft())
+      return Null;
+    Obs.ReachableMethods.insert(M.index());
+
+    const MethodInfo &Body = Prog.method(M);
+    std::unordered_map<uint32_t, int32_t> Env;
+    if (Body.This.isValid())
+      assign(Env, Body.This, This);
+    for (size_t I = 0; I < Body.Formals.size() && I < Args.size(); ++I)
+      assign(Env, Body.Formals[I], Args[I]);
+
+    // One tagged step per instruction; re-shuffled each pass.
+    enum class Kind : uint8_t {
+      Alloc, MoveI, CastI, LoadI, StoreI, SLoadI, SStoreI, ThrowI, Invoke
+    };
+    std::vector<std::pair<Kind, uint32_t>> Bag;
+    for (uint32_t I = 0; I < Body.Allocs.size(); ++I)
+      Bag.push_back({Kind::Alloc, I});
+    for (uint32_t I = 0; I < Body.Moves.size(); ++I)
+      Bag.push_back({Kind::MoveI, I});
+    for (uint32_t I = 0; I < Body.Casts.size(); ++I)
+      Bag.push_back({Kind::CastI, I});
+    for (uint32_t I = 0; I < Body.Loads.size(); ++I)
+      Bag.push_back({Kind::LoadI, I});
+    for (uint32_t I = 0; I < Body.Stores.size(); ++I)
+      Bag.push_back({Kind::StoreI, I});
+    for (uint32_t I = 0; I < Body.SLoads.size(); ++I)
+      Bag.push_back({Kind::SLoadI, I});
+    for (uint32_t I = 0; I < Body.SStores.size(); ++I)
+      Bag.push_back({Kind::SStoreI, I});
+    for (uint32_t I = 0; I < Body.Throws.size(); ++I)
+      Bag.push_back({Kind::ThrowI, I});
+    for (uint32_t I = 0; I < Body.Invokes.size(); ++I)
+      Bag.push_back({Kind::Invoke, I});
+
+    for (uint32_t Pass = 0; Pass < Opts.PassesPerFrame; ++Pass) {
+      // Fisher-Yates with the deterministic PRNG.
+      for (size_t I = Bag.size(); I > 1; --I)
+        std::swap(Bag[I - 1], Bag[R.below(I)]);
+
+      for (auto [K, Idx] : Bag) {
+        if (!budgetLeft())
+          break;
+        ++Steps;
+        switch (K) {
+        case Kind::Alloc: {
+          const AllocInstr &A = Body.Allocs[Idx];
+          assign(Env, A.Var, allocate(A.Heap));
+          break;
+        }
+        case Kind::MoveI: {
+          const MoveInstr &Mv = Body.Moves[Idx];
+          assign(Env, Mv.To, lookupEnv(Env, Mv.From));
+          break;
+        }
+        case Kind::CastI: {
+          const CastInstr &C = Body.Casts[Idx];
+          int32_t V = lookupEnv(Env, C.From);
+          if (V == Null)
+            break;
+          if (Prog.isSubtype(Prog.heap(Objects[V].Site).Type, C.Target))
+            assign(Env, C.To, V);
+          else
+            Obs.FailedCasts.insert(C.Site);
+          break;
+        }
+        case Kind::LoadI: {
+          const LoadInstr &L = Body.Loads[Idx];
+          int32_t Base = lookupEnv(Env, L.Base);
+          if (Base == Null)
+            break;
+          auto It = Objects[Base].Fields.find(L.Fld.index());
+          assign(Env, L.To,
+                 It == Objects[Base].Fields.end() ? Null : It->second);
+          break;
+        }
+        case Kind::StoreI: {
+          const StoreInstr &S = Body.Stores[Idx];
+          int32_t Base = lookupEnv(Env, S.Base);
+          if (Base == Null)
+            break;
+          Objects[Base].Fields[S.Fld.index()] = lookupEnv(Env, S.From);
+          break;
+        }
+        case Kind::SLoadI: {
+          const SLoadInstr &L = Body.SLoads[Idx];
+          auto It = Statics.find(L.Fld.index());
+          assign(Env, L.To, It == Statics.end() ? Null : It->second);
+          break;
+        }
+        case Kind::SStoreI: {
+          const SStoreInstr &S = Body.SStores[Idx];
+          int32_t V = lookupEnv(Env, S.From);
+          Statics[S.Fld.index()] = V;
+          if (V != Null)
+            Obs.StaticFieldPointsTo.insert(
+                {S.Fld.index(), Objects[V].Site.index()});
+          break;
+        }
+        case Kind::ThrowI: {
+          raise(M, Env, lookupEnv(Env, Body.Throws[Idx].V), Escaping);
+          break;
+        }
+        case Kind::Invoke: {
+          InvokeId Inv = Body.Invokes[Idx];
+          const InvokeInfo &Call = Prog.invoke(Inv);
+          MethodId Callee;
+          int32_t Receiver = Null;
+          if (Call.IsStatic) {
+            Callee = Call.Target;
+          } else {
+            Receiver = lookupEnv(Env, Call.Base);
+            if (Receiver == Null)
+              break;
+            Callee = Prog.lookup(Prog.heap(Objects[Receiver].Site).Type,
+                                 Call.Sig);
+            if (!Callee.isValid())
+              break; // Concrete execution would throw; model as no-op.
+          }
+          Obs.CallEdges.insert({Inv.index(), Callee.index()});
+          std::vector<int32_t> CallArgs;
+          for (VarId A : Call.Actuals)
+            CallArgs.push_back(lookupEnv(Env, A));
+          std::vector<int32_t> CalleeEscaping;
+          int32_t Ret =
+              execute(Callee, Receiver, CallArgs, Depth + 1, CalleeEscaping);
+          if (Call.RetTo.isValid())
+            assign(Env, Call.RetTo, Ret);
+          // Escalate the callee's uncaught exceptions into this frame.
+          for (int32_t Obj : CalleeEscaping)
+            raise(M, Env, Obj, Escaping);
+          break;
+        }
+        }
+      }
+    }
+
+    return Body.Return.isValid() ? lookupEnv(Env, Body.Return) : Null;
+  }
+
+  const Program &Prog;
+  const InterpOptions &Opts;
+  Rng R;
+  ConcreteObservations Obs;
+  std::vector<Object> Objects;
+  std::unordered_map<uint32_t, int32_t> Statics;
+  uint64_t Steps = 0;
+};
+
+} // namespace
+
+ConcreteObservations pt::interpret(const Program &Prog,
+                                   const InterpOptions &Opts) {
+  Machine M(Prog, Opts);
+  return M.run();
+}

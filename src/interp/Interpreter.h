@@ -1,0 +1,73 @@
+//===- interp/Interpreter.h - Concrete executor ------------------*- C++ -*-===//
+//
+// Part of the hybridpt project (PLDI 2013 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A randomized concrete interpreter for the analysis IR, used as the
+/// soundness oracle: any points-to fact or call edge observed in a real
+/// execution must be contained in every analysis' result (the abstract
+/// semantics over-approximates the collecting semantics).
+///
+/// Semantics: the language is flow-insensitive — a method body is an
+/// unordered instruction bag — so a concrete execution fires each frame's
+/// instructions in a random order, a configurable number of passes per
+/// frame (later passes can observe effects of earlier ones, e.g. a load
+/// seeing a store).  Objects are allocated with fresh identities per
+/// event; dispatch is on the receiver's concrete class; recursion and
+/// total work are depth- and budget-bounded.  Everything the interpreter
+/// can do is expressible by the analysis rules, so containment is exact
+/// soundness, not an approximation of it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HYBRIDPT_INTERP_INTERPRETER_H
+#define HYBRIDPT_INTERP_INTERPRETER_H
+
+#include "support/Ids.h"
+
+#include <cstdint>
+#include <set>
+#include <utility>
+
+namespace pt {
+
+class Program;
+
+/// Execution bounds for one run.
+struct InterpOptions {
+  uint64_t Seed = 1;
+  /// Random instruction-order passes over each frame's bag.
+  uint32_t PassesPerFrame = 3;
+  /// Maximum call depth (deeper calls are skipped, which is always sound
+  /// for containment checking).
+  uint32_t MaxDepth = 24;
+  /// Total instruction budget across the run.
+  uint64_t MaxSteps = 200000;
+};
+
+/// Everything a run observed, as analysis-comparable projections.
+struct ConcreteObservations {
+  /// (variable, allocation site) pairs: var held an object born there.
+  std::set<std::pair<uint32_t, uint32_t>> VarPointsTo;
+  /// (invocation site, callee method) pairs that actually dispatched.
+  std::set<std::pair<uint32_t, uint32_t>> CallEdges;
+  /// Methods that actually ran.
+  std::set<uint32_t> ReachableMethods;
+  /// Cast sites that concretely failed at least once (object of an
+  /// incompatible type arrived).
+  std::set<uint32_t> FailedCasts;
+  /// (static field, allocation site) pairs.
+  std::set<std::pair<uint32_t, uint32_t>> StaticFieldPointsTo;
+  /// Total instructions executed.
+  uint64_t Steps = 0;
+};
+
+/// Runs the program's entry points concretely under \p Opts.
+ConcreteObservations interpret(const Program &Prog,
+                               const InterpOptions &Opts = {});
+
+} // namespace pt
+
+#endif // HYBRIDPT_INTERP_INTERPRETER_H

@@ -1,0 +1,246 @@
+//===- ir/Program.cpp -------------------------------------------------------===//
+//
+// Part of the hybridpt project (PLDI 2013 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Program.h"
+
+#include <cassert>
+
+using namespace pt;
+
+MethodId Program::lookup(TypeId T, SigId S) const {
+  assert(Finalized && "lookup before finalize");
+  const auto &Table = Dispatch[T.index()];
+  auto It = Table.find(S);
+  return It == Table.end() ? MethodId::invalid() : It->second;
+}
+
+bool Program::isSubtype(TypeId Sub, TypeId Super) const {
+  assert(Finalized && "subtype query before finalize");
+  const TypeInfo &A = type(Sub);
+  const TypeInfo &B = type(Super);
+  return B.DfsEnter <= A.DfsEnter && A.DfsExit <= B.DfsExit;
+}
+
+std::string Program::qualifiedName(MethodId M) const {
+  const MethodInfo &Info = method(M);
+  std::string Result = text(type(Info.Owner).Name);
+  Result += '.';
+  Result += text(Sigs[Info.Sig.index()].Name);
+  Result += '/';
+  Result += std::to_string(Sigs[Info.Sig.index()].Arity);
+  return Result;
+}
+
+size_t Program::numInstructions() const {
+  size_t N = 0;
+  for (const MethodInfo &M : Methods)
+    N += M.Allocs.size() + M.Moves.size() + M.Casts.size() + M.Loads.size() +
+         M.Stores.size() + M.SLoads.size() + M.SStores.size() +
+         M.Throws.size() + M.Invokes.size();
+  return N;
+}
+
+void Program::finalize() {
+  assert(!Finalized && "finalize called twice");
+
+  // Children lists.
+  for (auto &T : Types)
+    T.Children.clear();
+  for (size_t I = 0; I < Types.size(); ++I) {
+    TypeId Id = TypeId::fromIndex(I);
+    if (Types[I].Super.isValid())
+      Types[Types[I].Super.index()].Children.push_back(Id);
+  }
+
+  // DFS interval labels for subtype tests plus top-down dispatch tables.
+  // The hierarchy is a forest (multiple roots allowed).
+  Dispatch.assign(Types.size(), {});
+  uint32_t Clock = 0;
+  // Iterative DFS; Phase 0 = enter, 1 = exit.
+  std::vector<std::pair<TypeId, int>> Stack;
+  for (size_t I = 0; I < Types.size(); ++I) {
+    if (Types[I].Super.isValid())
+      continue;
+    Stack.push_back({TypeId::fromIndex(I), 0});
+    while (!Stack.empty()) {
+      auto [T, Phase] = Stack.back();
+      Stack.pop_back();
+      TypeInfo &Info = Types[T.index()];
+      if (Phase == 1) {
+        Info.DfsExit = Clock++;
+        continue;
+      }
+      Info.DfsEnter = Clock++;
+      Stack.push_back({T, 1});
+      // Dispatch table: inherit the parent's, then apply own definitions.
+      auto &Table = Dispatch[T.index()];
+      if (Info.Super.isValid())
+        Table = Dispatch[Info.Super.index()];
+      for (size_t MI = 0; MI < Methods.size(); ++MI) {
+        const MethodInfo &M = Methods[MI];
+        if (M.Owner == T && !M.IsStatic)
+          Table[M.Sig] = MethodId::fromIndex(MI);
+      }
+      for (TypeId Child : Info.Children)
+        Stack.push_back({Child, 0});
+    }
+  }
+
+  Finalized = true;
+}
+
+bool Program::validate(std::vector<std::string> &Errors) const {
+  size_t Before = Errors.size();
+  auto Err = [&Errors](std::string Message) {
+    Errors.push_back(std::move(Message));
+  };
+
+  auto CheckVarInMethod = [&](VarId V, MethodId M, const char *Role) {
+    if (!V.isValid()) {
+      Err(std::string("invalid variable used as ") + Role);
+      return;
+    }
+    if (V.index() >= Vars.size()) {
+      Err(std::string("out-of-range variable id used as ") + Role);
+      return;
+    }
+    if (Vars[V.index()].Owner != M)
+      Err(std::string("variable '") + text(Vars[V.index()].Name) +
+          "' used as " + Role + " outside its declaring method");
+  };
+
+  // Acyclic single-inheritance hierarchy.
+  for (size_t I = 0; I < Types.size(); ++I) {
+    TypeId Walk = Types[I].Super;
+    size_t Steps = 0;
+    while (Walk.isValid()) {
+      if (++Steps > Types.size()) {
+        Err("inheritance cycle reaches type '" + text(Types[I].Name) + "'");
+        break;
+      }
+      Walk = Types[Walk.index()].Super;
+    }
+  }
+
+  for (size_t MI = 0; MI < Methods.size(); ++MI) {
+    MethodId M = MethodId::fromIndex(MI);
+    const MethodInfo &Info = Methods[MI];
+    const std::string Where = " in method '" + qualifiedName(M) + "'";
+
+    if (Info.IsStatic && Info.This.isValid())
+      Err("static method has a 'this' variable" + Where);
+    if (!Info.IsStatic && !Info.This.isValid())
+      Err("instance method lacks a 'this' variable" + Where);
+    if (Info.Formals.size() != sig(Info.Sig).Arity)
+      Err("formal count disagrees with signature arity" + Where);
+    if (!Info.IsStatic)
+      CheckVarInMethod(Info.This, M, "this");
+    for (VarId F : Info.Formals)
+      CheckVarInMethod(F, M, "formal");
+    if (Info.Return.isValid())
+      CheckVarInMethod(Info.Return, M, "return value");
+
+    for (const AllocInstr &A : Info.Allocs) {
+      CheckVarInMethod(A.Var, M, "alloc target");
+      if (!A.Heap.isValid() || A.Heap.index() >= Heaps.size())
+        Err("alloc with bad heap id" + Where);
+      else if (Heaps[A.Heap.index()].InMethod != M)
+        Err("alloc site registered to a different method" + Where);
+      else if (Types[Heaps[A.Heap.index()].Type.index()].IsAbstract)
+        Err("allocation of abstract type '" +
+            text(Types[Heaps[A.Heap.index()].Type.index()].Name) + "'" +
+            Where);
+    }
+    for (const MoveInstr &Mv : Info.Moves) {
+      CheckVarInMethod(Mv.To, M, "move target");
+      CheckVarInMethod(Mv.From, M, "move source");
+    }
+    for (const CastInstr &C : Info.Casts) {
+      CheckVarInMethod(C.To, M, "cast target");
+      CheckVarInMethod(C.From, M, "cast source");
+      if (!C.Target.isValid() || C.Target.index() >= Types.size())
+        Err("cast to unknown type" + Where);
+      if (C.Site >= CastSites.size())
+        Err("cast with unregistered site" + Where);
+    }
+    for (const LoadInstr &L : Info.Loads) {
+      CheckVarInMethod(L.To, M, "load target");
+      CheckVarInMethod(L.Base, M, "load base");
+      if (!L.Fld.isValid() || L.Fld.index() >= Fields.size())
+        Err("load of unknown field" + Where);
+      else if (Fields[L.Fld.index()].IsStatic)
+        Err("instance load of a static field" + Where);
+    }
+    for (const StoreInstr &S : Info.Stores) {
+      CheckVarInMethod(S.Base, M, "store base");
+      CheckVarInMethod(S.From, M, "store source");
+      if (!S.Fld.isValid() || S.Fld.index() >= Fields.size())
+        Err("store to unknown field" + Where);
+      else if (Fields[S.Fld.index()].IsStatic)
+        Err("instance store to a static field" + Where);
+    }
+    for (const SLoadInstr &L : Info.SLoads) {
+      CheckVarInMethod(L.To, M, "static load target");
+      if (!L.Fld.isValid() || L.Fld.index() >= Fields.size())
+        Err("static load of unknown field" + Where);
+      else if (!Fields[L.Fld.index()].IsStatic)
+        Err("static load of an instance field" + Where);
+    }
+    for (const SStoreInstr &S : Info.SStores) {
+      CheckVarInMethod(S.From, M, "static store source");
+      if (!S.Fld.isValid() || S.Fld.index() >= Fields.size())
+        Err("static store to unknown field" + Where);
+      else if (!Fields[S.Fld.index()].IsStatic)
+        Err("static store to an instance field" + Where);
+    }
+    for (const ThrowInstr &T : Info.Throws)
+      CheckVarInMethod(T.V, M, "throw operand");
+    for (const HandlerInfo &H : Info.Handlers) {
+      CheckVarInMethod(H.Var, M, "handler variable");
+      if (!H.CatchType.isValid() || H.CatchType.index() >= Types.size())
+        Err("handler with unknown catch type" + Where);
+    }
+    for (InvokeId Inv : Info.Invokes) {
+      if (!Inv.isValid() || Inv.index() >= Invokes.size()) {
+        Err("dangling invocation id" + Where);
+        continue;
+      }
+      const InvokeInfo &Call = Invokes[Inv.index()];
+      if (Call.InMethod != M)
+        Err("invocation registered to a different method" + Where);
+      for (VarId A : Call.Actuals)
+        CheckVarInMethod(A, M, "actual argument");
+      if (Call.RetTo.isValid())
+        CheckVarInMethod(Call.RetTo, M, "call result");
+      if (Call.IsStatic) {
+        if (!Call.Target.isValid() || Call.Target.index() >= Methods.size()) {
+          Err("static call to unknown method" + Where);
+          continue;
+        }
+        const MethodInfo &Callee = Methods[Call.Target.index()];
+        if (!Callee.IsStatic)
+          Err("static call targets an instance method" + Where);
+        if (Callee.Formals.size() != Call.Actuals.size())
+          Err("static call arity mismatch" + Where);
+      } else {
+        CheckVarInMethod(Call.Base, M, "receiver");
+        if (!Call.Sig.isValid() || Call.Sig.index() >= Sigs.size())
+          Err("virtual call with unknown signature" + Where);
+        else if (sig(Call.Sig).Arity != Call.Actuals.size())
+          Err("virtual call arity mismatch" + Where);
+      }
+    }
+  }
+
+  for (MethodId E : EntryPoints) {
+    if (!E.isValid() || E.index() >= Methods.size())
+      Err("dangling entry point");
+    else if (!Methods[E.index()].IsStatic)
+      Err("entry point '" + qualifiedName(E) + "' is not static");
+  }
+
+  return Errors.size() == Before;
+}

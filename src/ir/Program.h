@@ -1,0 +1,194 @@
+//===- ir/Program.h - Whole-program IR container ----------------*- C++ -*-===//
+//
+// Part of the hybridpt project (PLDI 2013 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The whole-program representation consumed by the points-to analyses.
+///
+/// A \c Program owns all entities of the paper's Figure 1 domain — types T,
+/// fields F, signatures S, methods M, variables V, allocation sites H, and
+/// invocation sites I — interned into dense id spaces, plus the symbol-table
+/// relations the analysis rules need: HEAPTYPE, LOOKUP (virtual dispatch),
+/// THISVAR, FORMALARG, FORMALRETURN, and the per-method instruction bags.
+///
+/// Programs are immutable once \c finalize() has been called; construction
+/// goes through \c ProgramBuilder.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HYBRIDPT_IR_PROGRAM_H
+#define HYBRIDPT_IR_PROGRAM_H
+
+#include "ir/Instructions.h"
+#include "support/Ids.h"
+#include "support/StringPool.h"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace pt {
+
+/// A class type.  Single inheritance; \c Super is invalid for the root.
+struct TypeInfo {
+  StrId Name;
+  TypeId Super;
+  /// Abstract classes are never instantiated; the generator and validator
+  /// use this, the analysis itself does not care.
+  bool IsAbstract = false;
+  /// Direct subtypes, filled by finalize().
+  std::vector<TypeId> Children;
+  /// DFS interval labels for O(1) subtype tests, filled by finalize().
+  uint32_t DfsEnter = 0;
+  uint32_t DfsExit = 0;
+};
+
+/// A field, owned by the class that declares it.  Static fields are
+/// global slots, not per-object state.
+struct FieldInfo {
+  StrId Name;
+  TypeId Owner;
+  bool IsStatic = false;
+};
+
+/// A dispatch signature: simple name plus arity.  Two methods with the same
+/// \c SigId override each other along the inheritance chain.
+struct SigInfo {
+  StrId Name;
+  uint32_t Arity = 0;
+};
+
+/// A local variable, owned by exactly one method (paper: "every local
+/// variable is defined in a unique method").
+struct VarInfo {
+  StrId Name;
+  MethodId Owner;
+};
+
+/// An allocation site.  \c InMethod is the method containing the `new`;
+/// \c Type is the dynamic type of objects born here (HEAPTYPE).
+struct HeapInfo {
+  StrId Name;
+  TypeId Type;
+  MethodId InMethod;
+};
+
+/// A method definition with its flow-insensitive instruction bag.
+struct MethodInfo {
+  StrId Name;
+  TypeId Owner;
+  SigId Sig;
+  bool IsStatic = false;
+  /// `this`, valid iff the method is an instance method (THISVAR).
+  VarId This;
+  /// Formal parameters excluding the receiver (FORMALARG).
+  std::vector<VarId> Formals;
+  /// Variable whose value is returned, or invalid for void (FORMALRETURN).
+  VarId Return;
+  /// All locals declared in this method (formals, this, and temporaries).
+  std::vector<VarId> Locals;
+
+  std::vector<AllocInstr> Allocs;
+  std::vector<MoveInstr> Moves;
+  std::vector<CastInstr> Casts;
+  std::vector<LoadInstr> Loads;
+  std::vector<StoreInstr> Stores;
+  std::vector<SLoadInstr> SLoads;
+  std::vector<SStoreInstr> SStores;
+  std::vector<ThrowInstr> Throws;
+  std::vector<InvokeId> Invokes;
+  /// Exception handlers (block-insensitive; see ThrowInstr).
+  std::vector<HandlerInfo> Handlers;
+};
+
+/// The immutable whole-program IR.
+class Program {
+public:
+  friend class ProgramBuilder;
+
+  // --- Entity tables (indexed by the corresponding id) ---
+
+  const TypeInfo &type(TypeId Id) const { return Types[Id.index()]; }
+  const FieldInfo &field(FieldId Id) const { return Fields[Id.index()]; }
+  const SigInfo &sig(SigId Id) const { return Sigs[Id.index()]; }
+  const VarInfo &var(VarId Id) const { return Vars[Id.index()]; }
+  const HeapInfo &heap(HeapId Id) const { return Heaps[Id.index()]; }
+  const MethodInfo &method(MethodId Id) const { return Methods[Id.index()]; }
+  const InvokeInfo &invoke(InvokeId Id) const { return Invokes[Id.index()]; }
+  const CastSite &castSite(uint32_t Site) const { return CastSites[Site]; }
+
+  size_t numTypes() const { return Types.size(); }
+  size_t numFields() const { return Fields.size(); }
+  size_t numSigs() const { return Sigs.size(); }
+  size_t numVars() const { return Vars.size(); }
+  size_t numHeaps() const { return Heaps.size(); }
+  size_t numMethods() const { return Methods.size(); }
+  size_t numInvokes() const { return Invokes.size(); }
+  size_t numCastSites() const { return CastSites.size(); }
+
+  /// Root methods from which reachability starts (the harness "main"s).
+  const std::vector<MethodId> &entryPoints() const { return EntryPoints; }
+
+  /// The string pool all entity names live in.
+  const StringPool &strings() const { return Pool; }
+
+  /// Convenience: the text of an interned name.
+  const std::string &text(StrId Id) const { return Pool.text(Id); }
+
+  // --- Symbol-table relations (paper Figure 1) ---
+
+  /// LOOKUP(type, sig) — the method a virtual call dispatches to when the
+  /// receiver's dynamic type is \p T.  Returns invalid when no (transitive)
+  /// definition exists.
+  MethodId lookup(TypeId T, SigId S) const;
+
+  /// True when \p Sub is \p Super or a (transitive) subclass of it.
+  /// O(1) via DFS interval labels.
+  bool isSubtype(TypeId Sub, TypeId Super) const;
+
+  /// CA : H -> T from the paper's type-sensitivity definition — the class
+  /// *containing the allocation site* (not the allocated type!).
+  TypeId allocSiteClass(HeapId H) const {
+    return method(heap(H).InMethod).Owner;
+  }
+
+  /// True once finalize() ran; analyses require a finalized program.
+  bool isFinalized() const { return Finalized; }
+
+  /// Structural well-formedness check.  Appends human-readable problems to
+  /// \p Errors and returns true when none were found.
+  bool validate(std::vector<std::string> &Errors) const;
+
+  /// Qualified display name "Owner.name/arity" for diagnostics.
+  std::string qualifiedName(MethodId M) const;
+
+  /// Total instruction count across all methods (program size proxy).
+  size_t numInstructions() const;
+
+private:
+  /// Builds dispatch tables, subtype intervals, and children lists.
+  void finalize();
+
+  StringPool Pool;
+  std::vector<TypeInfo> Types;
+  std::vector<FieldInfo> Fields;
+  std::vector<SigInfo> Sigs;
+  std::vector<VarInfo> Vars;
+  std::vector<HeapInfo> Heaps;
+  std::vector<MethodInfo> Methods;
+  std::vector<InvokeInfo> Invokes;
+  std::vector<CastSite> CastSites;
+  std::vector<MethodId> EntryPoints;
+
+  /// Per-type virtual dispatch table: SigId -> MethodId, inherited entries
+  /// included.  Built in finalize().
+  std::vector<std::unordered_map<SigId, MethodId>> Dispatch;
+
+  bool Finalized = false;
+};
+
+} // namespace pt
+
+#endif // HYBRIDPT_IR_PROGRAM_H

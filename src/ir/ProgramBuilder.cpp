@@ -1,0 +1,235 @@
+//===- ir/ProgramBuilder.cpp ------------------------------------------------===//
+//
+// Part of the hybridpt project (PLDI 2013 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/ProgramBuilder.h"
+
+#include "support/Hashing.h"
+
+#include <cassert>
+#include <cstdio>
+
+using namespace pt;
+
+ProgramBuilder::ProgramBuilder() : Prog(std::make_unique<Program>()) {}
+
+TypeId ProgramBuilder::addType(std::string_view Name, TypeId Super,
+                               bool IsAbstract) {
+  assert(!Prog->Finalized && "builder used after build()");
+  assert(TypeByName.find(std::string(Name)) == TypeByName.end() &&
+         "duplicate type name");
+  assert((!Super.isValid() || Super.index() < Prog->Types.size()) &&
+         "unknown supertype");
+  TypeId Id = TypeId::fromIndex(Prog->Types.size());
+  TypeInfo Info;
+  Info.Name = Prog->Pool.intern(Name);
+  Info.Super = Super;
+  Info.IsAbstract = IsAbstract;
+  Prog->Types.push_back(std::move(Info));
+  TypeByName.emplace(std::string(Name), Id);
+  return Id;
+}
+
+FieldId ProgramBuilder::addField(TypeId Owner, std::string_view Name) {
+  assert(Owner.isValid() && Owner.index() < Prog->Types.size());
+  FieldId Id = FieldId::fromIndex(Prog->Fields.size());
+  Prog->Fields.push_back({Prog->Pool.intern(Name), Owner, false});
+  return Id;
+}
+
+FieldId ProgramBuilder::addStaticField(TypeId Owner, std::string_view Name) {
+  assert(Owner.isValid() && Owner.index() < Prog->Types.size());
+  FieldId Id = FieldId::fromIndex(Prog->Fields.size());
+  Prog->Fields.push_back({Prog->Pool.intern(Name), Owner, true});
+  return Id;
+}
+
+SigId ProgramBuilder::getSig(std::string_view Name, uint32_t Arity) {
+  StrId NameId = Prog->Pool.intern(Name);
+  uint64_t Key = packPair(NameId.index(), Arity);
+  auto It = SigByKey.find(Key);
+  if (It != SigByKey.end())
+    return It->second;
+  SigId Id = SigId::fromIndex(Prog->Sigs.size());
+  Prog->Sigs.push_back({NameId, Arity});
+  SigByKey.emplace(Key, Id);
+  return Id;
+}
+
+VarId ProgramBuilder::addVarRaw(MethodId M, std::string_view Name) {
+  VarId Id = VarId::fromIndex(Prog->Vars.size());
+  Prog->Vars.push_back({Prog->Pool.intern(Name), M});
+  Prog->Methods[M.index()].Locals.push_back(Id);
+  return Id;
+}
+
+MethodId ProgramBuilder::addMethod(TypeId Owner, std::string_view Name,
+                                   uint32_t Arity, bool IsStatic) {
+  assert(Owner.isValid() && Owner.index() < Prog->Types.size());
+  MethodId Id = MethodId::fromIndex(Prog->Methods.size());
+  MethodInfo Info;
+  Info.Name = Prog->Pool.intern(Name);
+  Info.Owner = Owner;
+  Info.Sig = getSig(Name, Arity);
+  Info.IsStatic = IsStatic;
+  Prog->Methods.push_back(std::move(Info));
+
+  MethodInfo &Stored = Prog->Methods[Id.index()];
+  if (!IsStatic)
+    Stored.This = addVarRaw(Id, "this");
+  Stored.Formals.reserve(Arity);
+  for (uint32_t I = 0; I < Arity; ++I) {
+    std::string FormalName = "p";
+    FormalName += std::to_string(I);
+    Stored.Formals.push_back(addVarRaw(Id, FormalName));
+  }
+  return Id;
+}
+
+VarId ProgramBuilder::addLocal(MethodId M, std::string_view Name) {
+  assert(M.isValid() && M.index() < Prog->Methods.size());
+  return addVarRaw(M, Name);
+}
+
+VarId ProgramBuilder::formal(MethodId M, uint32_t I) const {
+  const MethodInfo &Info = Prog->Methods[M.index()];
+  assert(I < Info.Formals.size() && "formal index out of range");
+  return Info.Formals[I];
+}
+
+VarId ProgramBuilder::thisVar(MethodId M) const {
+  const MethodInfo &Info = Prog->Methods[M.index()];
+  assert(Info.This.isValid() && "static method has no this");
+  return Info.This;
+}
+
+void ProgramBuilder::setReturn(MethodId M, VarId V) {
+  assert(Prog->Vars[V.index()].Owner == M && "return var from other method");
+  Prog->Methods[M.index()].Return = V;
+}
+
+void ProgramBuilder::addEntryPoint(MethodId M) {
+  assert(Prog->Methods[M.index()].IsStatic && "entry points must be static");
+  Prog->EntryPoints.push_back(M);
+}
+
+HeapId ProgramBuilder::addAlloc(MethodId M, VarId Var, TypeId Type) {
+  HeapId Heap = HeapId::fromIndex(Prog->Heaps.size());
+  std::string Label = "new " + Prog->text(Prog->Types[Type.index()].Name) +
+                      "@" + std::to_string(Heap.index());
+  Prog->Heaps.push_back({Prog->Pool.intern(Label), Type, M});
+  Prog->Methods[M.index()].Allocs.push_back({Var, Heap});
+  return Heap;
+}
+
+void ProgramBuilder::addMove(MethodId M, VarId To, VarId From) {
+  Prog->Methods[M.index()].Moves.push_back({To, From});
+}
+
+uint32_t ProgramBuilder::addCast(MethodId M, VarId To, VarId From,
+                                 TypeId Target) {
+  uint32_t Site = static_cast<uint32_t>(Prog->CastSites.size());
+  Prog->CastSites.push_back({M, To, From, Target});
+  Prog->Methods[M.index()].Casts.push_back({To, From, Target, Site});
+  return Site;
+}
+
+void ProgramBuilder::addLoad(MethodId M, VarId To, VarId Base, FieldId Fld) {
+  assert(!Prog->Fields[Fld.index()].IsStatic && "use addSLoad");
+  Prog->Methods[M.index()].Loads.push_back({To, Base, Fld});
+}
+
+void ProgramBuilder::addStore(MethodId M, VarId Base, FieldId Fld,
+                              VarId From) {
+  assert(!Prog->Fields[Fld.index()].IsStatic && "use addSStore");
+  Prog->Methods[M.index()].Stores.push_back({Base, Fld, From});
+}
+
+void ProgramBuilder::addSLoad(MethodId M, VarId To, FieldId Fld) {
+  assert(Prog->Fields[Fld.index()].IsStatic && "use addLoad");
+  Prog->Methods[M.index()].SLoads.push_back({To, Fld});
+}
+
+void ProgramBuilder::addSStore(MethodId M, FieldId Fld, VarId From) {
+  assert(Prog->Fields[Fld.index()].IsStatic && "use addStore");
+  Prog->Methods[M.index()].SStores.push_back({Fld, From});
+}
+
+void ProgramBuilder::addThrow(MethodId M, VarId V) {
+  Prog->Methods[M.index()].Throws.push_back({V});
+}
+
+VarId ProgramBuilder::addHandler(MethodId M, TypeId CatchType,
+                                 std::string_view Name) {
+  assert(CatchType.isValid() && CatchType.index() < Prog->Types.size());
+  VarId V = addVarRaw(M, Name);
+  Prog->Methods[M.index()].Handlers.push_back({CatchType, V});
+  return V;
+}
+
+void ProgramBuilder::addHandlerTo(MethodId M, TypeId CatchType, VarId Var) {
+  assert(CatchType.isValid() && CatchType.index() < Prog->Types.size());
+  assert(Prog->Vars[Var.index()].Owner == M && "handler var of other method");
+  Prog->Methods[M.index()].Handlers.push_back({CatchType, Var});
+}
+
+InvokeId ProgramBuilder::addInvokeRaw(MethodId M, InvokeInfo Info) {
+  InvokeId Id = InvokeId::fromIndex(Prog->Invokes.size());
+  Prog->Invokes.push_back(std::move(Info));
+  Prog->Methods[M.index()].Invokes.push_back(Id);
+  return Id;
+}
+
+InvokeId ProgramBuilder::addVCall(MethodId M, VarId Base, SigId Sig,
+                                  std::vector<VarId> Actuals, VarId RetTo) {
+  InvokeInfo Info;
+  Info.IsStatic = false;
+  Info.InMethod = M;
+  Info.Base = Base;
+  Info.Sig = Sig;
+  Info.Actuals = std::move(Actuals);
+  Info.RetTo = RetTo;
+  Info.Name = Prog->Pool.intern(
+      "vcall " + Prog->text(Prog->Sigs[Sig.index()].Name) + "@" +
+      std::to_string(Prog->Invokes.size()));
+  return addInvokeRaw(M, std::move(Info));
+}
+
+InvokeId ProgramBuilder::addSCall(MethodId M, MethodId Target,
+                                  std::vector<VarId> Actuals, VarId RetTo) {
+  assert(Prog->Methods[Target.index()].IsStatic &&
+         "static call to instance method");
+  InvokeInfo Info;
+  Info.IsStatic = true;
+  Info.InMethod = M;
+  Info.Target = Target;
+  Info.Actuals = std::move(Actuals);
+  Info.RetTo = RetTo;
+  Info.Name = Prog->Pool.intern("scall " + Prog->qualifiedName(Target) + "@" +
+                                std::to_string(Prog->Invokes.size()));
+  return addInvokeRaw(M, std::move(Info));
+}
+
+TypeId ProgramBuilder::findType(std::string_view Name) const {
+  auto It = TypeByName.find(std::string(Name));
+  return It == TypeByName.end() ? TypeId::invalid() : It->second;
+}
+
+std::unique_ptr<Program> ProgramBuilder::build() {
+  Prog->finalize();
+#ifndef NDEBUG
+  std::vector<std::string> Errors;
+  if (!Prog->validate(Errors)) {
+    for (const std::string &E : Errors)
+      fprintf(stderr, "program validation: %s\n", E.c_str());
+    assert(false && "built an invalid program");
+  }
+#endif
+  auto Result = std::move(Prog);
+  Prog = std::make_unique<Program>();
+  TypeByName.clear();
+  SigByKey.clear();
+  return Result;
+}

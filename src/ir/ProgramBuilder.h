@@ -1,0 +1,139 @@
+//===- ir/ProgramBuilder.h - Mutable IR construction ------------*- C++ -*-===//
+//
+// Part of the hybridpt project (PLDI 2013 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builder for \c Program.
+///
+/// Usage: declare types, fields, and signatures; declare methods (which
+/// auto-creates `this` and formal variables); emit instructions into method
+/// bodies; then call \c build(), which finalizes dispatch tables and
+/// freezes the program.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HYBRIDPT_IR_PROGRAMBUILDER_H
+#define HYBRIDPT_IR_PROGRAMBUILDER_H
+
+#include "ir/Program.h"
+
+#include <memory>
+#include <string_view>
+
+namespace pt {
+
+/// Incrementally assembles a \c Program.
+class ProgramBuilder {
+public:
+  ProgramBuilder();
+
+  // --- Declarations ---
+
+  /// Declares a class.  \p Super must already exist (or be invalid for a
+  /// root class).  Type names must be unique.
+  TypeId addType(std::string_view Name, TypeId Super = TypeId::invalid(),
+                 bool IsAbstract = false);
+
+  /// Declares an instance field on \p Owner.
+  FieldId addField(TypeId Owner, std::string_view Name);
+
+  /// Declares a static (global) field on \p Owner.
+  FieldId addStaticField(TypeId Owner, std::string_view Name);
+
+  /// Interns the signature (name, arity).
+  SigId getSig(std::string_view Name, uint32_t Arity);
+
+  /// Declares a method and its parameter variables.
+  ///
+  /// For instance methods a `this` variable is created automatically.
+  /// \p Arity formals named "p0".."pN" are created.  Use \c setReturn to
+  /// designate the returned variable for non-void methods.
+  MethodId addMethod(TypeId Owner, std::string_view Name, uint32_t Arity,
+                     bool IsStatic);
+
+  /// Adds a fresh local variable to \p M.
+  VarId addLocal(MethodId M, std::string_view Name);
+
+  /// The i-th formal of \p M.
+  VarId formal(MethodId M, uint32_t I) const;
+
+  /// The `this` variable of instance method \p M.
+  VarId thisVar(MethodId M) const;
+
+  /// Marks \p V (a local of \p M) as the returned value.
+  void setReturn(MethodId M, VarId V);
+
+  /// Registers \p M as an entry point (must be static).
+  void addEntryPoint(MethodId M);
+
+  // --- Instruction emission (all into method \p M's body) ---
+
+  /// `Var = new Type` — returns the fresh allocation site.
+  HeapId addAlloc(MethodId M, VarId Var, TypeId Type);
+
+  /// `To = From`.
+  void addMove(MethodId M, VarId To, VarId From);
+
+  /// `To = (Target) From` — returns the cast-site index.
+  uint32_t addCast(MethodId M, VarId To, VarId From, TypeId Target);
+
+  /// `To = Base.Fld`.
+  void addLoad(MethodId M, VarId To, VarId Base, FieldId Fld);
+
+  /// `Base.Fld = From`.
+  void addStore(MethodId M, VarId Base, FieldId Fld, VarId From);
+
+  /// `To = Owner.Fld` for a static field.
+  void addSLoad(MethodId M, VarId To, FieldId Fld);
+
+  /// `Owner.Fld = From` for a static field.
+  void addSStore(MethodId M, FieldId Fld, VarId From);
+
+  /// `throw V`.
+  void addThrow(MethodId M, VarId V);
+
+  /// Declares a handler catching \p CatchType into a fresh local named
+  /// \p Name; returns the handler variable.
+  VarId addHandler(MethodId M, TypeId CatchType, std::string_view Name);
+
+  /// Declares a handler binding into an existing local of \p M.
+  void addHandlerTo(MethodId M, TypeId CatchType, VarId Var);
+
+  /// `RetTo = Base.Sig(Actuals...)` — virtual dispatch on Base's type.
+  InvokeId addVCall(MethodId M, VarId Base, SigId Sig,
+                    std::vector<VarId> Actuals,
+                    VarId RetTo = VarId::invalid());
+
+  /// `RetTo = Target(Actuals...)` — statically bound call.
+  InvokeId addSCall(MethodId M, MethodId Target, std::vector<VarId> Actuals,
+                    VarId RetTo = VarId::invalid());
+
+  // --- Queries during construction ---
+
+  /// Looks up a declared type by name; invalid when absent.
+  TypeId findType(std::string_view Name) const;
+
+  /// Read access to the program under construction (ids remain valid).
+  const Program &current() const { return *Prog; }
+
+  /// Number of methods declared so far.
+  size_t numMethods() const { return Prog->Methods.size(); }
+
+  /// Finalizes and returns the program.  The builder is left empty.
+  /// Asserts that the program validates in debug builds.
+  std::unique_ptr<Program> build();
+
+private:
+  VarId addVarRaw(MethodId M, std::string_view Name);
+  InvokeId addInvokeRaw(MethodId M, InvokeInfo Info);
+
+  std::unique_ptr<Program> Prog;
+  std::unordered_map<std::string, TypeId> TypeByName;
+  std::unordered_map<uint64_t, SigId> SigByKey;
+};
+
+} // namespace pt
+
+#endif // HYBRIDPT_IR_PROGRAMBUILDER_H

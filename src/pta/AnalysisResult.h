@@ -1,0 +1,169 @@
+//===- pta/AnalysisResult.h - Points-to analysis output ---------*- C++ -*-===//
+//
+// Part of the hybridpt project (PLDI 2013 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The output relations of one analysis run (paper Figure 1):
+/// VARPOINTSTO, FLDPOINTSTO, CALLGRAPH, and REACHABLE, together with query
+/// helpers and canonical exports used by the differential tests.
+///
+/// An \c AnalysisResult borrows the \c Program and \c ContextPolicy it was
+/// produced against; both must outlive it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HYBRIDPT_PTA_ANALYSISRESULT_H
+#define HYBRIDPT_PTA_ANALYSISRESULT_H
+
+#include "context/Policy.h"
+#include "support/Ids.h"
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace pt {
+
+class Program;
+
+/// One context-sensitive call-graph edge:
+/// CALLGRAPH(invo, callerCtx, callee, calleeCtx).
+struct CallGraphEdge {
+  InvokeId Invo;
+  CtxId CallerCtx;
+  MethodId Callee;
+  CtxId CalleeCtx;
+};
+
+/// The complete result of a points-to analysis run.
+class AnalysisResult {
+public:
+  /// Points-to facts of one (variable, context) pair.  \c Objs holds dense
+  /// object ids resolvable via \c objHeap / \c objHCtx.
+  struct VarFactsEntry {
+    VarId Var;
+    CtxId Ctx;
+    std::vector<uint32_t> Objs;
+  };
+
+  /// Field facts of one (object, field) slot:
+  /// FLDPOINTSTO(baseH, baseHCtx, fld, ...).
+  struct FieldFactsEntry {
+    uint32_t BaseObj;
+    FieldId Fld;
+    std::vector<uint32_t> Objs;
+  };
+
+  /// Facts of one static (global) field slot.
+  struct StaticFactsEntry {
+    FieldId Fld;
+    std::vector<uint32_t> Objs;
+  };
+
+  /// Exception objects escaping one (method, context) frame
+  /// (METHODTHROWS).
+  struct ThrowFactsEntry {
+    MethodId Meth;
+    CtxId Ctx;
+    std::vector<uint32_t> Objs;
+  };
+
+  AnalysisResult(const Program &Prog, const ContextPolicy &Policy)
+      : Prog(&Prog), Policy(&Policy) {}
+
+  // --- Raw relations (filled by the solver) ---
+
+  std::vector<VarFactsEntry> VarFacts;
+  std::vector<FieldFactsEntry> FieldFacts;
+  std::vector<StaticFactsEntry> StaticFacts;
+  std::vector<ThrowFactsEntry> ThrowFacts;
+  std::vector<CallGraphEdge> CallEdges;
+  std::vector<std::pair<MethodId, CtxId>> Reachable;
+
+  /// Heap site of dense object id \p Obj.
+  HeapId objHeap(uint32_t Obj) const { return ObjHeaps[Obj]; }
+  /// Heap context of dense object id \p Obj.
+  HCtxId objHCtx(uint32_t Obj) const { return ObjHCtxs[Obj]; }
+  size_t numObjects() const { return ObjHeaps.size(); }
+
+  std::vector<HeapId> ObjHeaps;
+  std::vector<HCtxId> ObjHCtxs;
+
+  /// True when the run hit its time or fact budget; facts are then a sound
+  /// under-approximation of the fixpoint and metrics must not be trusted.
+  bool Aborted = false;
+
+  /// Wall-clock solve time, filled by the solver.
+  double SolveMs = 0.0;
+
+  // --- Queries ---
+
+  const Program &program() const { return *Prog; }
+  const ContextPolicy &policy() const { return *Policy; }
+
+  /// Context-insensitive projection: all heap sites \p V may point to,
+  /// sorted and deduplicated.
+  std::vector<HeapId> pointsTo(VarId V) const;
+
+  /// All methods invocation site \p I may dispatch to, sorted and
+  /// deduplicated over all contexts.
+  std::vector<MethodId> callTargets(InvokeId I) const;
+
+  /// All methods reachable in at least one context, sorted and dedup'd.
+  std::vector<MethodId> reachableMethods() const;
+
+  /// True when cast site \p Site may observe an object that is not a
+  /// subtype of the cast target (the may-fail-casts client).
+  bool mayFailCast(uint32_t Site) const;
+
+  /// Total number of context-sensitive var-points-to facts — the paper's
+  /// platform-independent complexity metric ("sensitive var-points-to").
+  size_t numCsVarPointsTo() const;
+
+  /// Total number of field-points-to facts.
+  size_t numFieldPointsTo() const;
+
+  /// Total number of static-field-points-to facts.
+  size_t numStaticFieldPointsTo() const;
+
+  /// Total number of method-throws facts.
+  size_t numThrowFacts() const;
+
+  /// Heap sites of exception objects escaping the program's entry points
+  /// uncaught, sorted and deduplicated (the uncaught-exceptions client).
+  std::vector<HeapId> uncaughtExceptions() const;
+
+  // --- Canonical export for differential testing ---
+  //
+  // Context ids are interning-order dependent, so cross-solver comparison
+  // re-encodes each context as its element tuple.  Each exported row is a
+  // flat word vector; the full export is sorted.
+
+  /// VARPOINTSTO rows: var, ctx-elems..., heap, hctx-elems....
+  std::vector<std::vector<uint32_t>> exportVarPointsTo() const;
+
+  /// CALLGRAPH rows: invo, callerCtx-elems..., callee, calleeCtx-elems....
+  std::vector<std::vector<uint32_t>> exportCallGraph() const;
+
+  /// FLDPOINTSTO rows: baseHeap, baseHCtx-elems..., fld, heap, hctx-elems.
+  std::vector<std::vector<uint32_t>> exportFieldPointsTo() const;
+
+  /// REACHABLE rows: method, ctx-elems....
+  std::vector<std::vector<uint32_t>> exportReachable() const;
+
+  /// STATICFLDPOINTSTO rows: fld, heap, hctx-elems....
+  std::vector<std::vector<uint32_t>> exportStaticFieldPointsTo() const;
+
+  /// METHODTHROWS rows: method, ctx-elems..., heap, hctx-elems....
+  std::vector<std::vector<uint32_t>> exportThrowPointsTo() const;
+
+private:
+  const Program *Prog;
+  const ContextPolicy *Policy;
+};
+
+} // namespace pt
+
+#endif // HYBRIDPT_PTA_ANALYSISRESULT_H

@@ -1,0 +1,87 @@
+//===- pta/Clients.cpp ----------------------------------------------------------===//
+//
+// Part of the hybridpt project (PLDI 2013 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pta/Clients.h"
+
+#include "ir/Program.h"
+#include "pta/AnalysisResult.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace pt;
+
+std::vector<DevirtSite> pt::devirtualizeCalls(const AnalysisResult &Result) {
+  const Program &Prog = Result.program();
+
+  std::unordered_map<uint32_t, std::unordered_set<uint32_t>> TargetsPerSite;
+  for (const CallGraphEdge &E : Result.CallEdges)
+    if (!Prog.invoke(E.Invo).IsStatic)
+      TargetsPerSite[E.Invo.index()].insert(E.Callee.index());
+
+  std::vector<DevirtSite> Rows;
+  for (MethodId M : Result.reachableMethods()) {
+    for (InvokeId Inv : Prog.method(M).Invokes) {
+      if (Prog.invoke(Inv).IsStatic)
+        continue;
+      DevirtSite Row;
+      Row.Invo = Inv;
+      auto It = TargetsPerSite.find(Inv.index());
+      if (It == TargetsPerSite.end() || It->second.empty()) {
+        Row.Verdict = DevirtVerdict::Dead;
+      } else {
+        for (uint32_t T : It->second)
+          Row.Targets.push_back(MethodId(T));
+        std::sort(Row.Targets.begin(), Row.Targets.end());
+        Row.Verdict = Row.Targets.size() == 1 ? DevirtVerdict::Monomorphic
+                                              : DevirtVerdict::Polymorphic;
+      }
+      Rows.push_back(std::move(Row));
+    }
+  }
+  std::sort(Rows.begin(), Rows.end(),
+            [](const DevirtSite &A, const DevirtSite &B) {
+              return A.Invo < B.Invo;
+            });
+  return Rows;
+}
+
+std::vector<CastCheck> pt::checkCasts(const AnalysisResult &Result) {
+  const Program &Prog = Result.program();
+
+  std::unordered_map<uint32_t, std::unordered_set<uint32_t>> HeapsPerVar;
+  for (const auto &E : Result.VarFacts) {
+    auto &Set = HeapsPerVar[E.Var.index()];
+    for (uint32_t Obj : E.Objs)
+      Set.insert(Result.objHeap(Obj).index());
+  }
+
+  std::vector<CastCheck> Rows;
+  for (MethodId M : Result.reachableMethods()) {
+    for (const CastInstr &C : Prog.method(M).Casts) {
+      CastCheck Row;
+      Row.Site = C.Site;
+      auto It = HeapsPerVar.find(C.From.index());
+      if (It == HeapsPerVar.end() || It->second.empty()) {
+        Row.Verdict = CastVerdict::Unreached;
+      } else {
+        for (uint32_t HeapIdx : It->second)
+          if (!Prog.isSubtype(Prog.heap(HeapId(HeapIdx)).Type, C.Target))
+            Row.Offenders.push_back(HeapId(HeapIdx));
+        std::sort(Row.Offenders.begin(), Row.Offenders.end());
+        Row.Verdict = Row.Offenders.empty() ? CastVerdict::Safe
+                                            : CastVerdict::MayFail;
+      }
+      Rows.push_back(std::move(Row));
+    }
+  }
+  std::sort(Rows.begin(), Rows.end(),
+            [](const CastCheck &A, const CastCheck &B) {
+              return A.Site < B.Site;
+            });
+  return Rows;
+}

@@ -1,0 +1,164 @@
+//===- pta/DotExport.cpp ---------------------------------------------------------===//
+//
+// Part of the hybridpt project (PLDI 2013 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pta/DotExport.h"
+
+#include "ir/Program.h"
+#include "pta/AnalysisResult.h"
+#include "support/Hashing.h"
+
+#include <map>
+#include <ostream>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+
+using namespace pt;
+
+namespace {
+
+/// DOT-escapes a label.
+std::string escape(const std::string &Text) {
+  std::string Out;
+  Out.reserve(Text.size());
+  for (char C : Text) {
+    if (C == '"' || C == '\\')
+      Out.push_back('\\');
+    Out.push_back(C);
+  }
+  return Out;
+}
+
+} // namespace
+
+void pt::writeCallGraphDot(const AnalysisResult &Result, std::ostream &OS,
+                           const CallGraphDotOptions &Opts) {
+  const Program &Prog = Result.program();
+
+  // Context-insensitive edges: caller method -> callee method.
+  std::set<std::pair<uint32_t, uint32_t>> Edges;
+  std::map<uint32_t, size_t> Degree;
+  for (const CallGraphEdge &E : Result.CallEdges) {
+    uint32_t Caller = Prog.invoke(E.Invo).InMethod.index();
+    uint32_t Callee = E.Callee.index();
+    if (Edges.insert({Caller, Callee}).second) {
+      ++Degree[Caller];
+      ++Degree[Callee];
+    }
+  }
+
+  auto Keep = [&](uint32_t M) {
+    return Opts.HubLimit == 0 || Degree[M] <= Opts.HubLimit;
+  };
+
+  OS << "digraph callgraph {\n  rankdir=LR;\n  node [shape=box, "
+        "fontsize=9];\n";
+
+  // Nodes, optionally clustered by class.
+  std::set<uint32_t> Methods;
+  for (const auto &[Caller, Callee] : Edges) {
+    if (Keep(Caller))
+      Methods.insert(Caller);
+    if (Keep(Callee))
+      Methods.insert(Callee);
+  }
+  if (Opts.ClusterByClass) {
+    std::map<uint32_t, std::set<uint32_t>> ByClass;
+    for (uint32_t M : Methods)
+      ByClass[Prog.method(MethodId(M)).Owner.index()].insert(M);
+    for (const auto &[Cls, Members] : ByClass) {
+      OS << "  subgraph cluster_" << Cls << " {\n    label=\""
+         << escape(Prog.text(Prog.type(TypeId(Cls)).Name)) << "\";\n";
+      for (uint32_t M : Members)
+        OS << "    m" << M << " [label=\""
+           << escape(Prog.qualifiedName(MethodId(M))) << "\"];\n";
+      OS << "  }\n";
+    }
+  } else {
+    for (uint32_t M : Methods)
+      OS << "  m" << M << " [label=\""
+         << escape(Prog.qualifiedName(MethodId(M))) << "\"];\n";
+  }
+
+  for (const auto &[Caller, Callee] : Edges)
+    if (Keep(Caller) && Keep(Callee))
+      OS << "  m" << Caller << " -> m" << Callee << ";\n";
+  OS << "}\n";
+}
+
+void pt::writePointsToDot(const AnalysisResult &Result, MethodId Focus,
+                          std::ostream &OS) {
+  const Program &Prog = Result.program();
+  const MethodInfo &Body = Prog.method(Focus);
+
+  std::set<uint32_t> FocusVars;
+  for (VarId V : Body.Locals)
+    FocusVars.insert(V.index());
+
+  OS << "digraph pointsto {\n  rankdir=LR;\n"
+        "  node [fontsize=9];\n";
+
+  // Variable -> heap edges (context-insensitive projection).
+  std::set<uint32_t> Heaps;
+  std::set<std::pair<uint32_t, uint32_t>> VarEdges;
+  for (const auto &E : Result.VarFacts) {
+    if (!FocusVars.count(E.Var.index()))
+      continue;
+    for (uint32_t Obj : E.Objs) {
+      uint32_t H = Result.objHeap(Obj).index();
+      Heaps.insert(H);
+      VarEdges.insert({E.Var.index(), H});
+    }
+  }
+
+  for (uint32_t V : FocusVars) {
+    bool Points = false;
+    for (const auto &[Var, H] : VarEdges)
+      if (Var == V) {
+        Points = true;
+        break;
+      }
+    if (!Points)
+      continue;
+    OS << "  v" << V << " [shape=box, label=\""
+       << escape(Prog.text(Prog.var(VarId(V)).Name)) << "\"];\n";
+  }
+  for (uint32_t H : Heaps)
+    OS << "  h" << H << " [shape=ellipse, label=\""
+       << escape(Prog.text(Prog.heap(HeapId(H)).Name)) << "\"];\n";
+  for (const auto &[V, H] : VarEdges)
+    OS << "  v" << V << " -> h" << H << ";\n";
+
+  // Field edges among the displayed objects.
+  std::set<std::pair<uint64_t, uint32_t>> FieldEdges; // (packed pair, fld)
+  for (const auto &E : Result.FieldFacts) {
+    uint32_t BaseH = Result.objHeap(E.BaseObj).index();
+    if (!Heaps.count(BaseH))
+      continue;
+    for (uint32_t Obj : E.Objs) {
+      uint32_t H = Result.objHeap(Obj).index();
+      if (!Heaps.count(H))
+        continue;
+      if (FieldEdges.insert({packPair(BaseH, H), E.Fld.index()}).second)
+        OS << "  h" << BaseH << " -> h" << H << " [style=dashed, label=\""
+           << escape(Prog.text(Prog.field(E.Fld).Name)) << "\"];\n";
+    }
+  }
+  OS << "}\n";
+}
+
+std::string pt::callGraphDot(const AnalysisResult &Result,
+                             const CallGraphDotOptions &Opts) {
+  std::ostringstream OS;
+  writeCallGraphDot(Result, OS, Opts);
+  return OS.str();
+}
+
+std::string pt::pointsToDot(const AnalysisResult &Result, MethodId Focus) {
+  std::ostringstream OS;
+  writePointsToDot(Result, Focus, OS);
+  return OS.str();
+}

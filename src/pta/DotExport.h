@@ -1,0 +1,53 @@
+//===- pta/DotExport.h - GraphViz rendering ---------------------*- C++ -*-===//
+//
+// Part of the hybridpt project (PLDI 2013 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders analysis results as GraphViz digraphs: the context-insensitive
+/// call graph (methods as nodes) and a points-to neighbourhood (variables
+/// and allocation sites around a focus method).  Output is plain DOT text
+/// suitable for `dot -Tsvg`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HYBRIDPT_PTA_DOTEXPORT_H
+#define HYBRIDPT_PTA_DOTEXPORT_H
+
+#include "support/Ids.h"
+
+#include <iosfwd>
+#include <string>
+
+namespace pt {
+
+class AnalysisResult;
+
+/// Options for call-graph rendering.
+struct CallGraphDotOptions {
+  /// Cluster methods by declaring class.
+  bool ClusterByClass = true;
+  /// Skip methods with more than this many in+out edges (hubs clutter);
+  /// 0 disables the filter.
+  size_t HubLimit = 0;
+};
+
+/// Writes the context-insensitive call graph of \p Result as DOT.
+void writeCallGraphDot(const AnalysisResult &Result, std::ostream &OS,
+                       const CallGraphDotOptions &Opts = {});
+
+/// Writes the points-to neighbourhood of \p Focus: its locals, the
+/// allocation sites they may point to (ellipses), and field edges between
+/// those objects.
+void writePointsToDot(const AnalysisResult &Result, MethodId Focus,
+                      std::ostream &OS);
+
+/// Convenience: render to a string.
+std::string callGraphDot(const AnalysisResult &Result,
+                         const CallGraphDotOptions &Opts = {});
+std::string pointsToDot(const AnalysisResult &Result, MethodId Focus);
+
+} // namespace pt
+
+#endif // HYBRIDPT_PTA_DOTEXPORT_H

@@ -1,0 +1,80 @@
+//===- pta/Explain.h - Precision-delta attribution --------------*- C++ -*-===//
+//
+// Part of the hybridpt project (PLDI 2013 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compares two analysis results of the *same program* under different
+/// context policies and attributes the precision differences: which cast
+/// sites changed verdict, which virtual calls became devirtualizable,
+/// which spurious objects disappeared from which variables.
+///
+/// The paper's future-work section observes that progress needs tools "to
+/// understand what programming patterns are best handled by hybrid
+/// contexts and how"; this module is that tool for this repo — it is how
+/// the workload generator's pattern mix was validated.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HYBRIDPT_PTA_EXPLAIN_H
+#define HYBRIDPT_PTA_EXPLAIN_H
+
+#include "support/Ids.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pt {
+
+class AnalysisResult;
+class Program;
+
+/// One cast site whose verdict improved, with the evidence the coarse
+/// analysis had and the refined one eliminated.
+struct CastFix {
+  uint32_t Site;
+  /// Heap sites the coarse analysis thought could reach the cast but the
+  /// refined one proves cannot (sorted).
+  std::vector<HeapId> RemovedOffenders;
+};
+
+/// One virtual call site that became devirtualizable (or deader).
+struct CallFix {
+  InvokeId Invo;
+  /// Spurious targets the refined analysis eliminated (sorted).
+  std::vector<MethodId> RemovedTargets;
+};
+
+/// The precision delta between two runs over one program.
+struct AnalysisDelta {
+  /// Casts may-fail under coarse, safe under refined.
+  std::vector<CastFix> CastsFixed;
+  /// Casts may-fail under both (the shared floor).
+  std::vector<uint32_t> CastsStillFailing;
+  /// Virtual sites whose target set strictly shrank.
+  std::vector<CallFix> CallsRefined;
+  /// Context-insensitive (var, heap) pairs removed by refinement.
+  size_t VarPointsToPairsRemoved = 0;
+  /// Context-insensitive call edges removed.
+  size_t CallEdgesRemoved = 0;
+  /// Methods no longer reachable.
+  size_t MethodsRemoved = 0;
+};
+
+/// Computes the delta.  Both results must come from the same \c Program;
+/// \p Refined is expected to be the more precise run (entries where the
+/// refined analysis is *coarser* are ignored — use a second call with the
+/// arguments swapped to see both directions of an incomparable pair).
+AnalysisDelta diffResults(const AnalysisResult &Coarse,
+                          const AnalysisResult &Refined);
+
+/// Renders the delta as a human-readable report, listing at most
+/// \p DetailLimit sites per section with their evidence.
+std::string formatDelta(const AnalysisDelta &Delta, const Program &Prog,
+                        size_t DetailLimit = 10);
+
+} // namespace pt
+
+#endif // HYBRIDPT_PTA_EXPLAIN_H

@@ -1,0 +1,125 @@
+//===- pta/FactWriter.cpp --------------------------------------------------------===//
+//
+// Part of the hybridpt project (PLDI 2013 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pta/FactWriter.h"
+
+#include "context/ContextTable.h"
+#include "ir/Program.h"
+#include "pta/AnalysisResult.h"
+
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+
+using namespace pt;
+
+namespace {
+
+std::string ctxText(const AnalysisResult &R, CtxId Ctx) {
+  return formatContext(R.policy().ctxTable(), Ctx, R.program());
+}
+
+std::string hctxText(const AnalysisResult &R, HCtxId HCtx) {
+  return formatContext(R.policy().hctxTable(), HCtx, R.program());
+}
+
+std::string objHeapText(const AnalysisResult &R, uint32_t Obj) {
+  return R.program().text(R.program().heap(R.objHeap(Obj)).Name);
+}
+
+std::string varText(const AnalysisResult &R, VarId V) {
+  const Program &P = R.program();
+  return P.qualifiedName(P.var(V).Owner) + "::" + P.text(P.var(V).Name);
+}
+
+} // namespace
+
+void pt::writeVarPointsTo(const AnalysisResult &R, std::ostream &OS) {
+  for (const auto &E : R.VarFacts)
+    for (uint32_t Obj : E.Objs)
+      OS << varText(R, E.Var) << '\t' << ctxText(R, E.Ctx) << '\t'
+         << objHeapText(R, Obj) << '\t' << hctxText(R, R.objHCtx(Obj))
+         << '\n';
+}
+
+void pt::writeCallGraph(const AnalysisResult &R, std::ostream &OS) {
+  const Program &P = R.program();
+  for (const CallGraphEdge &E : R.CallEdges)
+    OS << P.text(P.invoke(E.Invo).Name) << '\t' << ctxText(R, E.CallerCtx)
+       << '\t' << P.qualifiedName(E.Callee) << '\t'
+       << ctxText(R, E.CalleeCtx) << '\n';
+}
+
+void pt::writeFieldPointsTo(const AnalysisResult &R, std::ostream &OS) {
+  const Program &P = R.program();
+  for (const auto &E : R.FieldFacts)
+    for (uint32_t Obj : E.Objs)
+      OS << objHeapText(R, E.BaseObj) << '\t'
+         << hctxText(R, R.objHCtx(E.BaseObj)) << '\t'
+         << P.text(P.field(E.Fld).Name) << '\t' << objHeapText(R, Obj)
+         << '\t' << hctxText(R, R.objHCtx(Obj)) << '\n';
+}
+
+void pt::writeStaticFieldPointsTo(const AnalysisResult &R,
+                                  std::ostream &OS) {
+  const Program &P = R.program();
+  for (const auto &E : R.StaticFacts)
+    for (uint32_t Obj : E.Objs)
+      OS << P.text(P.type(P.field(E.Fld).Owner).Name) << "::"
+         << P.text(P.field(E.Fld).Name) << '\t' << objHeapText(R, Obj)
+         << '\t' << hctxText(R, R.objHCtx(Obj)) << '\n';
+}
+
+void pt::writeMethodThrows(const AnalysisResult &R, std::ostream &OS) {
+  const Program &P = R.program();
+  for (const auto &E : R.ThrowFacts)
+    for (uint32_t Obj : E.Objs)
+      OS << P.qualifiedName(E.Meth) << '\t' << ctxText(R, E.Ctx) << '\t'
+         << objHeapText(R, Obj) << '\t' << hctxText(R, R.objHCtx(Obj))
+         << '\n';
+}
+
+void pt::writeReachable(const AnalysisResult &R, std::ostream &OS) {
+  const Program &P = R.program();
+  for (const auto &[M, Ctx] : R.Reachable)
+    OS << P.qualifiedName(M) << '\t' << ctxText(R, Ctx) << '\n';
+}
+
+std::vector<std::string> pt::writeFacts(const AnalysisResult &Result,
+                                        std::string_view Directory,
+                                        std::string &Error) {
+  namespace fs = std::filesystem;
+  std::error_code EC;
+  fs::create_directories(fs::path(Directory), EC);
+  if (EC) {
+    Error = "cannot create directory '" + std::string(Directory) +
+            "': " + EC.message();
+    return {};
+  }
+
+  using WriterFn = void (*)(const AnalysisResult &, std::ostream &);
+  const std::pair<const char *, WriterFn> Files[] = {
+      {"VarPointsTo.facts", &writeVarPointsTo},
+      {"CallGraphEdge.facts", &writeCallGraph},
+      {"FieldPointsTo.facts", &writeFieldPointsTo},
+      {"StaticFieldPointsTo.facts", &writeStaticFieldPointsTo},
+      {"MethodThrows.facts", &writeMethodThrows},
+      {"Reachable.facts", &writeReachable},
+  };
+
+  std::vector<std::string> Written;
+  for (const auto &[Name, Fn] : Files) {
+    fs::path Path = fs::path(Directory) / Name;
+    std::ofstream OS(Path);
+    if (!OS) {
+      Error = "cannot open '" + Path.string() + "' for writing";
+      return {};
+    }
+    Fn(Result, OS);
+    Written.push_back(Path.string());
+  }
+  return Written;
+}

@@ -1,0 +1,55 @@
+//===- pta/FactWriter.h - Doop-style relation export ------------*- C++ -*-===//
+//
+// Part of the hybridpt project (PLDI 2013 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Serializes analysis results to delimited text files, one per relation,
+/// the way Doop materializes its output database.  Rows use human-readable
+/// entity names and rendered contexts, so downstream tooling (or a
+/// spreadsheet) can consume them without this library.
+///
+/// Files written into the target directory:
+///
+///   VarPointsTo.facts      var <TAB> ctx <TAB> heap <TAB> hctx
+///   CallGraphEdge.facts    invo <TAB> callerCtx <TAB> callee <TAB> ctx
+///   FieldPointsTo.facts    baseHeap <TAB> baseHCtx <TAB> field
+///                          <TAB> heap <TAB> hctx
+///   StaticFieldPointsTo.facts  field <TAB> heap <TAB> hctx
+///   MethodThrows.facts     method <TAB> ctx <TAB> heap <TAB> hctx
+///   Reachable.facts        method <TAB> ctx
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HYBRIDPT_PTA_FACTWRITER_H
+#define HYBRIDPT_PTA_FACTWRITER_H
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pt {
+
+class AnalysisResult;
+
+/// Writes every relation of \p Result into \p Directory (created if
+/// needed).  Returns the written file paths, or an empty vector with
+/// \p Error filled on failure.
+std::vector<std::string> writeFacts(const AnalysisResult &Result,
+                                    std::string_view Directory,
+                                    std::string &Error);
+
+/// Streams one relation in .facts format (testable without a filesystem).
+void writeVarPointsTo(const AnalysisResult &Result, std::ostream &OS);
+void writeCallGraph(const AnalysisResult &Result, std::ostream &OS);
+void writeFieldPointsTo(const AnalysisResult &Result, std::ostream &OS);
+void writeStaticFieldPointsTo(const AnalysisResult &Result,
+                              std::ostream &OS);
+void writeMethodThrows(const AnalysisResult &Result, std::ostream &OS);
+void writeReachable(const AnalysisResult &Result, std::ostream &OS);
+
+} // namespace pt
+
+#endif // HYBRIDPT_PTA_FACTWRITER_H

@@ -1,0 +1,107 @@
+//===- pta/Metrics.cpp ---------------------------------------------------------===//
+//
+// Part of the hybridpt project (PLDI 2013 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pta/Metrics.h"
+
+#include "ir/Program.h"
+#include "pta/AnalysisResult.h"
+#include "support/Hashing.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace pt;
+
+PrecisionMetrics pt::computeMetrics(const AnalysisResult &Result) {
+  const Program &Prog = Result.program();
+  PrecisionMetrics M;
+  M.Aborted = Result.Aborted;
+  M.SolveMs = Result.SolveMs;
+  M.CsVarPointsTo = Result.numCsVarPointsTo();
+  M.FieldPointsTo = Result.numFieldPointsTo();
+  M.StaticFieldPointsTo = Result.numStaticFieldPointsTo();
+  M.ThrowFacts = Result.numThrowFacts();
+  M.UncaughtExceptionSites = Result.uncaughtExceptions().size();
+  M.NumContexts = Result.policy().ctxTable().size();
+  M.NumHContexts = Result.policy().hctxTable().size();
+  M.NumObjects = Result.numObjects();
+
+  // Context-insensitive var-points-to projection: per variable, the set of
+  // heap sites.  AvgPointsTo averages over variables with non-empty sets.
+  std::unordered_map<uint32_t, std::unordered_set<uint32_t>> PerVar;
+  for (const auto &E : Result.VarFacts) {
+    auto &Set = PerVar[E.Var.index()];
+    for (uint32_t Obj : E.Objs)
+      Set.insert(Result.objHeap(Obj).index());
+  }
+  size_t TotalFacts = 0;
+  for (const auto &[Var, Set] : PerVar)
+    TotalFacts += Set.size();
+  M.AvgPointsTo =
+      PerVar.empty() ? 0.0
+                     : static_cast<double>(TotalFacts) /
+                           static_cast<double>(PerVar.size());
+
+  // Context-insensitive call graph: distinct (invo, callee) pairs, and the
+  // per-site target counts for the devirtualization client.
+  std::unordered_set<uint64_t> CiEdges;
+  for (const CallGraphEdge &E : Result.CallEdges)
+    CiEdges.insert(packPair(E.Invo.index(), E.Callee.index()));
+  M.CallGraphEdges = CiEdges.size();
+
+  std::unordered_map<uint32_t, std::unordered_set<uint32_t>> TargetsPerSite;
+  for (const CallGraphEdge &E : Result.CallEdges)
+    if (!Prog.invoke(E.Invo).IsStatic)
+      TargetsPerSite[E.Invo.index()].insert(E.Callee.index());
+
+  // Reachable methods (context-insensitive projection).
+  std::unordered_set<uint32_t> ReachableMethods;
+  for (const auto &[Method, Ctx] : Result.Reachable)
+    ReachableMethods.insert(Method.index());
+  M.ReachableMethods = ReachableMethods.size();
+
+  // Poly v-calls: reachable virtual sites whose target set has >= 2
+  // methods.  Sites in reachable methods with zero targets are dead code
+  // to the analysis and counted as reachable sites only.
+  for (uint32_t MethodIdx : ReachableMethods) {
+    const MethodInfo &Body = Prog.method(MethodId(MethodIdx));
+    for (InvokeId Inv : Body.Invokes) {
+      if (Prog.invoke(Inv).IsStatic)
+        continue;
+      ++M.ReachableVCalls;
+      auto It = TargetsPerSite.find(Inv.index());
+      if (It != TargetsPerSite.end() && It->second.size() >= 2)
+        ++M.PolyVCalls;
+    }
+  }
+
+  // May-fail casts over casts in reachable methods.  A cast may fail when
+  // the *source* variable may point to an object whose type is not a
+  // subtype of the cast target (Doop's PotentiallyFailingCast client).
+  std::unordered_map<uint32_t, std::unordered_set<uint32_t>> HeapsPerVar;
+  for (const auto &E : Result.VarFacts) {
+    auto &Set = HeapsPerVar[E.Var.index()];
+    for (uint32_t Obj : E.Objs)
+      Set.insert(Result.objHeap(Obj).index());
+  }
+  for (uint32_t MethodIdx : ReachableMethods) {
+    const MethodInfo &Body = Prog.method(MethodId(MethodIdx));
+    for (const CastInstr &C : Body.Casts) {
+      ++M.ReachableCasts;
+      auto It = HeapsPerVar.find(C.From.index());
+      if (It == HeapsPerVar.end())
+        continue;
+      for (uint32_t HeapIdx : It->second) {
+        if (!Prog.isSubtype(Prog.heap(HeapId(HeapIdx)).Type, C.Target)) {
+          ++M.MayFailCasts;
+          break;
+        }
+      }
+    }
+  }
+
+  return M;
+}

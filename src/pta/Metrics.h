@@ -1,0 +1,72 @@
+//===- pta/Metrics.h - Table 1 precision/performance metrics ---*- C++ -*-===//
+//
+// Part of the hybridpt project (PLDI 2013 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Computes the precision and performance metrics of the paper's Table 1
+/// from an \c AnalysisResult:
+///
+///  - average points-to set size over variables ("avg. objs per var"),
+///  - context-insensitive call-graph edges,
+///  - virtual call sites that cannot be devirtualized ("poly v-calls"),
+///  - casts that cannot be statically proven safe ("may-fail casts"),
+///  - context-sensitive var-points-to size (the paper's
+///    platform-independent internal complexity metric), and
+///  - supporting reference counts (reachable methods/v-calls/casts).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HYBRIDPT_PTA_METRICS_H
+#define HYBRIDPT_PTA_METRICS_H
+
+#include <cstddef>
+
+namespace pt {
+
+class AnalysisResult;
+
+/// One Table 1 cell group for a single (benchmark, analysis) pair.
+struct PrecisionMetrics {
+  /// Average size of the context-insensitive points-to set, over variables
+  /// that point to at least one object.
+  double AvgPointsTo = 0.0;
+  /// Distinct (invocation site, callee) pairs.
+  size_t CallGraphEdges = 0;
+  /// Methods reachable in at least one context.
+  size_t ReachableMethods = 0;
+  /// Reachable virtual call sites with two or more possible targets.
+  size_t PolyVCalls = 0;
+  /// Reachable virtual call sites (reference count in the table heading).
+  size_t ReachableVCalls = 0;
+  /// Reachable cast sites that may observe an incompatible object.
+  size_t MayFailCasts = 0;
+  /// Reachable cast sites (reference count in the table heading).
+  size_t ReachableCasts = 0;
+  /// Context-sensitive var-points-to facts ("sensitive var-points-to").
+  size_t CsVarPointsTo = 0;
+  /// Context-sensitive field-points-to facts.
+  size_t FieldPointsTo = 0;
+  /// Static (global) field facts.
+  size_t StaticFieldPointsTo = 0;
+  /// Method-throws facts (context-sensitive escaping exceptions).
+  size_t ThrowFacts = 0;
+  /// Distinct exception heap sites escaping main uncaught.
+  size_t UncaughtExceptionSites = 0;
+  /// Distinct method contexts, heap contexts, and (heap, hctx) objects.
+  size_t NumContexts = 0;
+  size_t NumHContexts = 0;
+  size_t NumObjects = 0;
+  /// Wall-clock solve time in milliseconds.
+  double SolveMs = 0.0;
+  /// True when the run aborted on a budget (paper's dash entries).
+  bool Aborted = false;
+};
+
+/// Computes all metrics for \p Result.
+PrecisionMetrics computeMetrics(const AnalysisResult &Result);
+
+} // namespace pt
+
+#endif // HYBRIDPT_PTA_METRICS_H

@@ -1,0 +1,391 @@
+//===- pta/Solver.cpp ---------------------------------------------------------===//
+//
+// Part of the hybridpt project (PLDI 2013 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pta/Solver.h"
+
+#include "context/Policy.h"
+#include "ir/Program.h"
+#include "support/Hashing.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace pt;
+
+size_t Solver::CallKeyHash::operator()(const CallKey &K) const {
+  return static_cast<size_t>(hashWords(K.Words, 4));
+}
+
+Solver::Solver(const Program &Prog, ContextPolicy &Policy, SolverOptions Opts)
+    : Prog(Prog), Policy(Policy), Opts(Opts), Budget(Opts.TimeBudgetMs) {
+  assert(Prog.isFinalized() && "solver needs a finalized program");
+}
+
+uint32_t Solver::varNode(VarId V, CtxId Ctx) {
+  uint64_t Key = packPair(V.index(), Ctx.index());
+  auto It = VarCtxIndex.find(Key);
+  if (It != VarCtxIndex.end())
+    return It->second;
+  uint32_t Idx = static_cast<uint32_t>(Nodes.size());
+  Nodes.emplace_back();
+  Descs.push_back({NodeKind::VarCtx, V.index(), Ctx.index()});
+  VarCtxIndex.emplace(Key, Idx);
+  return Idx;
+}
+
+uint32_t Solver::fieldNode(uint32_t Obj, FieldId Fld) {
+  uint64_t Key = packPair(Obj, Fld.index());
+  auto It = FieldSlotIndex.find(Key);
+  if (It != FieldSlotIndex.end())
+    return It->second;
+  uint32_t Idx = static_cast<uint32_t>(Nodes.size());
+  Nodes.emplace_back();
+  Descs.push_back({NodeKind::FieldSlot, Obj, Fld.index()});
+  FieldSlotIndex.emplace(Key, Idx);
+  return Idx;
+}
+
+uint32_t Solver::staticNode(FieldId Fld) {
+  auto It = StaticSlotIndex.find(Fld.index());
+  if (It != StaticSlotIndex.end())
+    return It->second;
+  uint32_t Idx = static_cast<uint32_t>(Nodes.size());
+  Nodes.emplace_back();
+  Descs.push_back({NodeKind::StaticSlot, Fld.index(), 0});
+  StaticSlotIndex.emplace(Fld.index(), Idx);
+  return Idx;
+}
+
+uint32_t Solver::throwNode(MethodId M, CtxId Ctx) {
+  uint64_t Key = packPair(M.index(), Ctx.index());
+  auto It = ThrowSlotIndex.find(Key);
+  if (It != ThrowSlotIndex.end())
+    return It->second;
+  uint32_t Idx = static_cast<uint32_t>(Nodes.size());
+  Nodes.emplace_back();
+  Descs.push_back({NodeKind::ThrowSlot, M.index(), Ctx.index()});
+  ThrowSlotIndex.emplace(Key, Idx);
+  return Idx;
+}
+
+uint32_t Solver::internObject(HeapId Heap, HCtxId HCtx) {
+  uint64_t Key = packPair(Heap.index(), HCtx.index());
+  auto It = ObjIndex.find(Key);
+  if (It != ObjIndex.end())
+    return It->second;
+  uint32_t Obj = static_cast<uint32_t>(ObjHeaps.size());
+  ObjHeaps.push_back(Heap);
+  ObjHCtxs.push_back(HCtx);
+  ObjIndex.emplace(Key, Obj);
+  return Obj;
+}
+
+void Solver::addFact(uint32_t NodeIdx, uint32_t Obj) {
+  if (Aborted)
+    return;
+  Node &N = Nodes[NodeIdx];
+  if (!N.Set.insert(Obj).second)
+    return;
+  ++FactCount;
+  if (Opts.MaxFacts != 0 && FactCount > Opts.MaxFacts)
+    Aborted = true;
+  N.Pending.push_back(Obj);
+  if (!N.Queued) {
+    N.Queued = true;
+    Worklist.push_back(NodeIdx);
+  }
+}
+
+void Solver::addEdge(uint32_t From, uint32_t To) {
+  if (From == To)
+    return;
+  if (!EdgeDedup.insert(packPair(From, To)).second)
+    return;
+  Nodes[From].Edges.push_back(To);
+  // Replay facts already present at the source.
+  // Note: iterate over a copy, since addFact may rehash the set of `From`
+  // itself through reentrant graph growth (To == some node whose processing
+  // feeds back).  addFact never touches From's Set directly here, but Nodes
+  // may reallocate; take the snapshot first.
+  std::vector<uint32_t> Snapshot(Nodes[From].Set.begin(),
+                                 Nodes[From].Set.end());
+  for (uint32_t Obj : Snapshot)
+    addFact(To, Obj);
+}
+
+void Solver::addCastEdge(uint32_t From, uint32_t To, TypeId Filter) {
+  Nodes[From].CastEdges.push_back({To, Filter});
+  std::vector<uint32_t> Snapshot(Nodes[From].Set.begin(),
+                                 Nodes[From].Set.end());
+  for (uint32_t Obj : Snapshot)
+    if (Prog.isSubtype(Prog.heap(ObjHeaps[Obj]).Type, Filter))
+      addFact(To, Obj);
+}
+
+void Solver::ensureReachable(MethodId M, CtxId Ctx) {
+  if (Aborted)
+    return;
+  if (!ReachableSet.insert(packPair(M.index(), Ctx.index())).second)
+    return;
+  ReachableList.push_back({M, Ctx});
+
+  const MethodInfo &Body = Prog.method(M);
+
+  // ALLOC: RECORD builds the heap context; seed the fact directly
+  // (Figure 2, third rule).
+  for (const AllocInstr &A : Body.Allocs) {
+    HCtxId HCtx = Policy.record(A.Heap, Ctx);
+    uint32_t Obj = internObject(A.Heap, HCtx);
+    addFact(varNode(A.Var, Ctx), Obj);
+  }
+
+  // MOVE: intra-procedural copy edges.
+  for (const MoveInstr &Mv : Body.Moves)
+    addEdge(varNode(Mv.From, Ctx), varNode(Mv.To, Ctx));
+
+  // Casts: copy edges filtered by the target type.
+  for (const CastInstr &C : Body.Casts)
+    addCastEdge(varNode(C.From, Ctx), varNode(C.To, Ctx), C.Target);
+
+  // LOAD / STORE: subscribe on the base variable.  Each object that ever
+  // reaches the base connects the field slot to the local variable.
+  for (const LoadInstr &L : Body.Loads) {
+    uint32_t Base = varNode(L.Base, Ctx);
+    uint32_t To = varNode(L.To, Ctx);
+    Nodes[Base].Loads.push_back({L.Fld, To});
+    std::vector<uint32_t> Snapshot(Nodes[Base].Set.begin(),
+                                   Nodes[Base].Set.end());
+    for (uint32_t Obj : Snapshot)
+      addEdge(fieldNode(Obj, L.Fld), To);
+  }
+  for (const StoreInstr &S : Body.Stores) {
+    uint32_t Base = varNode(S.Base, Ctx);
+    uint32_t From = varNode(S.From, Ctx);
+    Nodes[Base].Stores.push_back({S.Fld, From});
+    std::vector<uint32_t> Snapshot(Nodes[Base].Set.begin(),
+                                   Nodes[Base].Set.end());
+    for (uint32_t Obj : Snapshot)
+      addEdge(From, fieldNode(Obj, S.Fld));
+  }
+
+  // Static field accesses: global, context-free slots (Doop's model).
+  for (const SLoadInstr &L : Body.SLoads)
+    addEdge(staticNode(L.Fld), varNode(L.To, Ctx));
+  for (const SStoreInstr &S : Body.SStores)
+    addEdge(varNode(S.From, Ctx), staticNode(S.Fld));
+
+  // Throws: every object reaching the thrown variable is routed through
+  // this frame's handlers (or escapes).
+  for (const ThrowInstr &T : Body.Throws) {
+    uint32_t VNode = varNode(T.V, Ctx);
+    Nodes[VNode].ThrowSubs.push_back(packPair(M.index(), Ctx.index()));
+    std::vector<uint32_t> Snapshot(Nodes[VNode].Set.begin(),
+                                   Nodes[VNode].Set.end());
+    for (uint32_t Obj : Snapshot)
+      routeThrow(Obj, M, Ctx);
+  }
+
+  // Calls.
+  for (InvokeId Inv : Body.Invokes) {
+    const InvokeInfo &Call = Prog.invoke(Inv);
+    if (Call.IsStatic) {
+      // SCALL: MERGESTATIC gives the callee context outright
+      // (Figure 2, last rule).
+      CtxId CalleeCtx = Policy.mergeStatic(Inv, Ctx);
+      wireCall(Inv, Ctx, Call.Target, CalleeCtx);
+    } else {
+      // VCALL: subscribe on the receiver; dispatch per arriving object
+      // (Figure 2, second-to-last rule).
+      uint32_t Base = varNode(Call.Base, Ctx);
+      Nodes[Base].Dispatches.push_back({Inv, Ctx});
+      std::vector<uint32_t> Snapshot(Nodes[Base].Set.begin(),
+                                     Nodes[Base].Set.end());
+      for (uint32_t Obj : Snapshot)
+        dispatch({Inv, Ctx}, Obj);
+    }
+  }
+}
+
+void Solver::routeThrow(uint32_t Obj, MethodId M, CtxId Ctx) {
+  TypeId ObjType = Prog.heap(ObjHeaps[Obj]).Type;
+  const MethodInfo &Body = Prog.method(M);
+  bool Caught = false;
+  for (const HandlerInfo &H : Body.Handlers) {
+    if (Prog.isSubtype(ObjType, H.CatchType)) {
+      addFact(varNode(H.Var, Ctx), Obj);
+      Caught = true;
+    }
+  }
+  if (!Caught)
+    addFact(throwNode(M, Ctx), Obj);
+}
+
+void Solver::addThrowLink(uint32_t ThrowNodeIdx, MethodId CallerM,
+                          CtxId CallerCtx) {
+  uint64_t Link = packPair(CallerM.index(), CallerCtx.index());
+  uint64_t DedupKey =
+      mix64(Link) ^ (static_cast<uint64_t>(ThrowNodeIdx) << 1);
+  if (!ThrowLinkDedup.insert(DedupKey).second)
+    return;
+  Nodes[ThrowNodeIdx].ThrowLinks.push_back(Link);
+  std::vector<uint32_t> Snapshot(Nodes[ThrowNodeIdx].Set.begin(),
+                                 Nodes[ThrowNodeIdx].Set.end());
+  for (uint32_t Obj : Snapshot)
+    routeThrow(Obj, CallerM, CallerCtx);
+}
+
+void Solver::dispatch(const DispatchSub &Sub, uint32_t Obj) {
+  const InvokeInfo &Call = Prog.invoke(Sub.Invo);
+  HeapId Heap = ObjHeaps[Obj];
+  HCtxId HCtx = ObjHCtxs[Obj];
+  // LOOKUP(heapT, sig, toMeth).
+  MethodId Callee = Prog.lookup(Prog.heap(Heap).Type, Call.Sig);
+  if (!Callee.isValid())
+    return; // No receiver method: the concrete execution would throw.
+  CtxId CalleeCtx = Policy.merge(Heap, HCtx, Sub.Invo, Sub.CallerCtx);
+  // THISVAR binding: only this receiver object flows into `this` under the
+  // context derived from it.
+  const MethodInfo &CalleeInfo = Prog.method(Callee);
+  ensureReachable(Callee, CalleeCtx);
+  addFact(varNode(CalleeInfo.This, CalleeCtx), Obj);
+  wireCall(Sub.Invo, Sub.CallerCtx, Callee, CalleeCtx);
+}
+
+void Solver::wireCall(InvokeId Invo, CtxId CallerCtx, MethodId Callee,
+                      CtxId CalleeCtx) {
+  CallKey Key{{Invo.index(), CallerCtx.index(), Callee.index(),
+               CalleeCtx.index()}};
+  if (!CallEdgeSet.insert(Key).second)
+    return;
+  CallEdges.push_back({Invo, CallerCtx, Callee, CalleeCtx});
+
+  ensureReachable(Callee, CalleeCtx);
+
+  // INTERPROCASSIGN: actual -> formal edges (Figure 2, first rule).
+  const InvokeInfo &Call = Prog.invoke(Invo);
+  const MethodInfo &CalleeInfo = Prog.method(Callee);
+  size_t NumArgs = std::min(Call.Actuals.size(), CalleeInfo.Formals.size());
+  for (size_t I = 0; I < NumArgs; ++I)
+    addEdge(varNode(Call.Actuals[I], CallerCtx),
+            varNode(CalleeInfo.Formals[I], CalleeCtx));
+
+  // Return value: formal-return -> actual-return (Figure 2, second rule).
+  if (Call.RetTo.isValid() && CalleeInfo.Return.isValid())
+    addEdge(varNode(CalleeInfo.Return, CalleeCtx),
+            varNode(Call.RetTo, CallerCtx));
+
+  // Exception escalation: what escapes the callee is raised in the
+  // calling frame.
+  addThrowLink(throwNode(Callee, CalleeCtx), Call.InMethod, CallerCtx);
+}
+
+void Solver::processDelta(uint32_t NodeIdx) {
+  // Move the pending batch out; reentrant growth appends to a fresh vector.
+  std::vector<uint32_t> Delta = std::move(Nodes[NodeIdx].Pending);
+  Nodes[NodeIdx].Pending.clear();
+
+  // Subscriptions may grow while we iterate (body instantiation reached
+  // through dispatch can add loads on this very node), so use index loops
+  // and re-read the vectors from Nodes[NodeIdx] each step.  Subscriptions
+  // added mid-processing replay the full set themselves, which includes
+  // this delta; processing them again here is idempotent.
+  for (size_t DI = 0; DI < Delta.size(); ++DI) {
+    if (Aborted)
+      return;
+    uint32_t Obj = Delta[DI];
+
+    for (size_t I = 0; I < Nodes[NodeIdx].Dispatches.size(); ++I) {
+      DispatchSub Sub = Nodes[NodeIdx].Dispatches[I];
+      dispatch(Sub, Obj);
+    }
+    for (size_t I = 0; I < Nodes[NodeIdx].ThrowSubs.size(); ++I) {
+      uint64_t Frame = Nodes[NodeIdx].ThrowSubs[I];
+      routeThrow(Obj, MethodId(unpackHi(Frame)), CtxId(unpackLo(Frame)));
+    }
+    for (size_t I = 0; I < Nodes[NodeIdx].ThrowLinks.size(); ++I) {
+      uint64_t Frame = Nodes[NodeIdx].ThrowLinks[I];
+      routeThrow(Obj, MethodId(unpackHi(Frame)), CtxId(unpackLo(Frame)));
+    }
+    for (size_t I = 0; I < Nodes[NodeIdx].Loads.size(); ++I) {
+      LoadSub Sub = Nodes[NodeIdx].Loads[I];
+      addEdge(fieldNode(Obj, Sub.Fld), Sub.ToNode);
+    }
+    for (size_t I = 0; I < Nodes[NodeIdx].Stores.size(); ++I) {
+      StoreSub Sub = Nodes[NodeIdx].Stores[I];
+      addEdge(Sub.FromNode, fieldNode(Obj, Sub.Fld));
+    }
+    for (size_t I = 0; I < Nodes[NodeIdx].Edges.size(); ++I) {
+      uint32_t To = Nodes[NodeIdx].Edges[I];
+      addFact(To, Obj);
+    }
+    for (size_t I = 0; I < Nodes[NodeIdx].CastEdges.size(); ++I) {
+      CastEdge E = Nodes[NodeIdx].CastEdges[I];
+      if (Prog.isSubtype(Prog.heap(ObjHeaps[Obj]).Type, E.Filter))
+        addFact(E.ToNode, Obj);
+    }
+  }
+}
+
+void Solver::drainWorklist() {
+  uint32_t BudgetCheck = 0;
+  while (!Worklist.empty()) {
+    if (Aborted)
+      return;
+    if ((++BudgetCheck & 0x3ff) == 0 && Budget.expired()) {
+      Aborted = true;
+      return;
+    }
+    uint32_t NodeIdx = Worklist.front();
+    Worklist.pop_front();
+    Nodes[NodeIdx].Queued = false;
+    processDelta(NodeIdx);
+  }
+}
+
+AnalysisResult Solver::run() {
+  assert(!HasRun && "Solver::run may be called once");
+  HasRun = true;
+
+  Stopwatch Watch;
+  CtxId Initial = Policy.initialContext();
+  for (MethodId Entry : Prog.entryPoints())
+    ensureReachable(Entry, Initial);
+  drainWorklist();
+
+  AnalysisResult Result = harvest();
+  Result.SolveMs = Watch.elapsedMs();
+  return Result;
+}
+
+AnalysisResult Solver::harvest() {
+  AnalysisResult Result(Prog, Policy);
+  Result.Aborted = Aborted;
+  Result.ObjHeaps = std::move(ObjHeaps);
+  Result.ObjHCtxs = std::move(ObjHCtxs);
+  Result.CallEdges = std::move(CallEdges);
+  Result.Reachable = std::move(ReachableList);
+
+  for (size_t I = 0; I < Nodes.size(); ++I) {
+    Node &N = Nodes[I];
+    if (N.Set.empty())
+      continue;
+    std::vector<uint32_t> Objs(N.Set.begin(), N.Set.end());
+    std::sort(Objs.begin(), Objs.end());
+    const NodeDesc &D = Descs[I];
+    if (D.Kind == NodeKind::VarCtx) {
+      Result.VarFacts.push_back(
+          {VarId(D.A), CtxId(D.B), std::move(Objs)});
+    } else if (D.Kind == NodeKind::FieldSlot) {
+      Result.FieldFacts.push_back({D.A, FieldId(D.B), std::move(Objs)});
+    } else if (D.Kind == NodeKind::StaticSlot) {
+      Result.StaticFacts.push_back({FieldId(D.A), std::move(Objs)});
+    } else {
+      Result.ThrowFacts.push_back(
+          {MethodId(D.A), CtxId(D.B), std::move(Objs)});
+    }
+  }
+  return Result;
+}

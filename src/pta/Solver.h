@@ -1,0 +1,197 @@
+//===- pta/Solver.h - Specialized points-to solver --------------*- C++ -*-===//
+//
+// Part of the hybridpt project (PLDI 2013 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The hand-specialized fixpoint solver for the paper's nine analysis rules
+/// (Figure 2): subset-based, flow-insensitive, field-sensitive points-to
+/// analysis with on-the-fly call-graph construction, parameterized by a
+/// \c ContextPolicy.
+///
+/// Algorithm: difference propagation over a growing copy-edge graph.
+/// Nodes are interned (variable, context) pairs plus (object, field) slots;
+/// points-to facts are dense (heap, heap-context) object ids.  Analyzing a
+/// newly reachable (method, context) instantiates the method's instruction
+/// bag: allocations seed facts (via RECORD), moves/casts add edges, calls
+/// add inter-procedural edges (via MERGE / MERGESTATIC), and loads, stores
+/// and virtual calls subscribe to their base variable's node so that each
+/// newly observed receiver object extends the graph.  This is the standard
+/// explicit counterpart of semi-naive Datalog evaluation and computes
+/// exactly the model of the paper's rules (differentially tested against
+/// the Datalog transcription in src/ptaref).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HYBRIDPT_PTA_SOLVER_H
+#define HYBRIDPT_PTA_SOLVER_H
+
+#include "pta/AnalysisResult.h"
+#include "support/Ids.h"
+#include "support/Timer.h"
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace pt {
+
+class Program;
+class ContextPolicy;
+
+/// Resource budgets for one solver run.
+struct SolverOptions {
+  /// Wall-clock budget in milliseconds; 0 = unlimited.  Expired runs return
+  /// with \c AnalysisResult::Aborted set (the paper's dash entries).
+  uint64_t TimeBudgetMs = 0;
+  /// Maximum number of points-to facts; 0 = unlimited.
+  uint64_t MaxFacts = 0;
+};
+
+/// One-shot solver: construct, \c run(), discard.
+class Solver {
+public:
+  Solver(const Program &Prog, ContextPolicy &Policy, SolverOptions Opts = {});
+
+  /// Runs to fixpoint (or budget exhaustion) and returns the result
+  /// relations.  May be called once.
+  AnalysisResult run();
+
+private:
+  // --- Node space ---
+
+  enum class NodeKind : uint8_t {
+    VarCtx,
+    FieldSlot,
+    StaticSlot,
+    /// The set of exception objects escaping a (method, context) —
+    /// METHODTHROWS in the reference rules.
+    ThrowSlot,
+  };
+
+  struct LoadSub {
+    FieldId Fld;
+    uint32_t ToNode;
+  };
+  struct StoreSub {
+    FieldId Fld;
+    uint32_t FromNode;
+  };
+  struct DispatchSub {
+    InvokeId Invo;
+    CtxId CallerCtx;
+  };
+  struct CastEdge {
+    uint32_t ToNode;
+    TypeId Filter;
+  };
+
+  struct Node {
+    std::unordered_set<uint32_t> Set;
+    std::vector<uint32_t> Pending;
+    std::vector<uint32_t> Edges;
+    std::vector<CastEdge> CastEdges;
+    std::vector<LoadSub> Loads;
+    std::vector<StoreSub> Stores;
+    std::vector<DispatchSub> Dispatches;
+    /// On a thrown-var node: packed (method, ctx) pairs to route arriving
+    /// objects through (the raising frames).
+    std::vector<uint64_t> ThrowSubs;
+    /// On a ThrowSlot node: packed (callerMethod, callerCtx) pairs the
+    /// escaping objects escalate into.
+    std::vector<uint64_t> ThrowLinks;
+    bool Queued = false;
+  };
+
+  struct NodeDesc {
+    NodeKind Kind;
+    uint32_t A; ///< VarId index or dense object id.
+    uint32_t B; ///< CtxId index or FieldId index.
+  };
+
+  uint32_t varNode(VarId V, CtxId Ctx);
+  uint32_t fieldNode(uint32_t Obj, FieldId Fld);
+  uint32_t staticNode(FieldId Fld);
+  uint32_t throwNode(MethodId M, CtxId Ctx);
+  uint32_t internObject(HeapId Heap, HCtxId HCtx);
+
+  /// Delivers an exception object raised in or escalated into
+  /// (\p M, \p Ctx): binds matching handlers or escapes to the method's
+  /// throw slot.
+  void routeThrow(uint32_t Obj, MethodId M, CtxId Ctx);
+
+  /// Adds an escalation link callee-throw-slot -> caller frame, replaying
+  /// existing facts.
+  void addThrowLink(uint32_t ThrowNodeIdx, MethodId CallerM, CtxId CallerCtx);
+
+  // --- Fact and edge insertion (all idempotent) ---
+
+  void addFact(uint32_t NodeIdx, uint32_t Obj);
+  void addEdge(uint32_t From, uint32_t To);
+  void addCastEdge(uint32_t From, uint32_t To, TypeId Filter);
+
+  /// REACHABLE(M, Ctx): instantiates the method body on first sight.
+  void ensureReachable(MethodId M, CtxId Ctx);
+
+  /// Handles one receiver object arriving at a virtual call's base node.
+  void dispatch(const DispatchSub &Sub, uint32_t Obj);
+
+  /// Wires argument/return edges for a discovered call-graph edge.
+  void wireCall(InvokeId Invo, CtxId CallerCtx, MethodId Callee,
+                CtxId CalleeCtx);
+
+  void drainWorklist();
+  void processDelta(uint32_t NodeIdx);
+
+  AnalysisResult harvest();
+
+  const Program &Prog;
+  ContextPolicy &Policy;
+  SolverOptions Opts;
+  Deadline Budget;
+
+  std::vector<Node> Nodes;
+  std::vector<NodeDesc> Descs;
+  std::unordered_map<uint64_t, uint32_t> VarCtxIndex;
+  std::unordered_map<uint64_t, uint32_t> FieldSlotIndex;
+  std::unordered_map<uint32_t, uint32_t> StaticSlotIndex;
+  std::unordered_map<uint64_t, uint32_t> ThrowSlotIndex;
+  std::unordered_set<uint64_t> ThrowLinkDedup; ///< hash of (node, link)
+
+  std::vector<HeapId> ObjHeaps;
+  std::vector<HCtxId> ObjHCtxs;
+  std::unordered_map<uint64_t, uint32_t> ObjIndex;
+
+  std::unordered_set<uint64_t> ReachableSet; ///< packed (method, ctx)
+  std::vector<std::pair<MethodId, CtxId>> ReachableList;
+
+  struct CallKey {
+    uint32_t Words[4];
+    friend bool operator==(const CallKey &A, const CallKey &B) {
+      return A.Words[0] == B.Words[0] && A.Words[1] == B.Words[1] &&
+             A.Words[2] == B.Words[2] && A.Words[3] == B.Words[3];
+    }
+  };
+  struct CallKeyHash {
+    size_t operator()(const CallKey &K) const;
+  };
+
+  /// Call-graph dedup keyed on the full (invo, callerCtx, callee,
+  /// calleeCtx) tuple; the edge list is kept for the result.
+  std::unordered_set<CallKey, CallKeyHash> CallEdgeSet;
+  std::vector<CallGraphEdge> CallEdges;
+
+  std::unordered_set<uint64_t> EdgeDedup;
+
+  std::deque<uint32_t> Worklist;
+  uint64_t FactCount = 0;
+  bool Aborted = false;
+  bool HasRun = false;
+};
+
+} // namespace pt
+
+#endif // HYBRIDPT_PTA_SOLVER_H

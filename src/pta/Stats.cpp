@@ -1,0 +1,127 @@
+//===- pta/Stats.cpp ------------------------------------------------------------===//
+//
+// Part of the hybridpt project (PLDI 2013 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pta/Stats.h"
+
+#include "ir/Program.h"
+#include "pta/AnalysisResult.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace pt;
+
+namespace {
+
+/// Keeps the \p TopN largest (id, count) pairs, count-descending.
+template <typename IdT>
+std::vector<std::pair<IdT, size_t>>
+topN(const std::unordered_map<uint32_t, size_t> &Counts, size_t TopN) {
+  std::vector<std::pair<IdT, size_t>> All;
+  All.reserve(Counts.size());
+  for (const auto &[Id, Count] : Counts)
+    All.push_back({IdT(Id), Count});
+  std::sort(All.begin(), All.end(), [](const auto &A, const auto &B) {
+    if (A.second != B.second)
+      return A.second > B.second;
+    return A.first < B.first;
+  });
+  if (All.size() > TopN)
+    All.resize(TopN);
+  return All;
+}
+
+size_t log2Bucket(size_t Size) {
+  size_t Bucket = 0;
+  size_t Bound = 1;
+  while (Bound < Size) {
+    Bound <<= 1;
+    ++Bucket;
+  }
+  return Bucket;
+}
+
+} // namespace
+
+ContextStats pt::computeStats(const AnalysisResult &Result, size_t TopN) {
+  const Program &Prog = Result.program();
+  ContextStats Stats;
+
+  // Contexts per method.
+  std::unordered_map<uint32_t, size_t> CtxPerMethod;
+  for (const auto &[M, Ctx] : Result.Reachable)
+    ++CtxPerMethod[M.index()];
+  size_t Total = 0;
+  for (const auto &[M, N] : CtxPerMethod) {
+    Total += N;
+    Stats.MaxContextsPerMethod = std::max(Stats.MaxContextsPerMethod, N);
+  }
+  Stats.AvgContextsPerMethod =
+      CtxPerMethod.empty()
+          ? 0.0
+          : static_cast<double>(Total) /
+                static_cast<double>(CtxPerMethod.size());
+  Stats.TopMethodsByContexts = topN<MethodId>(CtxPerMethod, TopN);
+
+  // Projected per-variable set sizes.
+  std::unordered_map<uint32_t, std::unordered_set<uint32_t>> PerVar;
+  std::unordered_map<uint32_t, size_t> FactsPerMethod;
+  for (const auto &E : Result.VarFacts) {
+    auto &Set = PerVar[E.Var.index()];
+    for (uint32_t Obj : E.Objs)
+      Set.insert(Result.objHeap(Obj).index());
+    FactsPerMethod[Prog.var(E.Var).Owner.index()] += E.Objs.size();
+  }
+
+  std::vector<size_t> Sizes;
+  std::unordered_map<uint32_t, size_t> VarSizes;
+  for (const auto &[Var, Set] : PerVar) {
+    Sizes.push_back(Set.size());
+    VarSizes[Var] = Set.size();
+    size_t Bucket = log2Bucket(Set.size());
+    if (Stats.PointsToSizeHistogram.size() <= Bucket)
+      Stats.PointsToSizeHistogram.resize(Bucket + 1, 0);
+    ++Stats.PointsToSizeHistogram[Bucket];
+  }
+  if (!Sizes.empty()) {
+    std::nth_element(Sizes.begin(), Sizes.begin() + Sizes.size() / 2,
+                     Sizes.end());
+    Stats.MedianPointsToSize = Sizes[Sizes.size() / 2];
+  }
+  Stats.FattestVars = topN<VarId>(VarSizes, TopN);
+  Stats.TopMethodsByFacts = topN<MethodId>(FactsPerMethod, TopN);
+  return Stats;
+}
+
+std::string pt::formatStats(const ContextStats &Stats, const Program &Prog) {
+  std::ostringstream OS;
+  OS << "contexts per method: max " << Stats.MaxContextsPerMethod
+     << ", mean " << Stats.AvgContextsPerMethod << "\n";
+  OS << "median points-to set size: " << Stats.MedianPointsToSize << "\n";
+
+  OS << "points-to size histogram (log2 buckets):\n";
+  size_t Lo = 1;
+  for (size_t I = 0; I < Stats.PointsToSizeHistogram.size(); ++I) {
+    size_t Hi = size_t(1) << I;
+    OS << "  [" << Lo << (Hi == Lo ? "" : "-" + std::to_string(Hi))
+       << "]: " << Stats.PointsToSizeHistogram[I] << "\n";
+    Lo = Hi + 1;
+  }
+
+  OS << "hottest methods by contexts:\n";
+  for (const auto &[M, N] : Stats.TopMethodsByContexts)
+    OS << "  " << Prog.qualifiedName(M) << ": " << N << "\n";
+  OS << "hottest methods by facts:\n";
+  for (const auto &[M, N] : Stats.TopMethodsByFacts)
+    OS << "  " << Prog.qualifiedName(M) << ": " << N << "\n";
+  OS << "fattest variables:\n";
+  for (const auto &[V, N] : Stats.FattestVars)
+    OS << "  " << Prog.qualifiedName(Prog.var(V).Owner)
+       << "::" << Prog.text(Prog.var(V).Name) << ": " << N << "\n";
+  return OS.str();
+}

@@ -1,0 +1,61 @@
+//===- pta/Stats.h - Analysis introspection ----------------------*- C++ -*-===//
+//
+// Part of the hybridpt project (PLDI 2013 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Where do an analysis' contexts and facts go?  Computes the
+/// distributions behind the paper's cost discussion: contexts per method,
+/// the points-to-set size histogram (the paper notes "the median points-to
+/// set size is 1, for all analyses and benchmarks" while averages are
+/// dragged up by "a small number of library variables with enormous
+/// points-to sets"), and the fattest variables/fields/methods by facts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HYBRIDPT_PTA_STATS_H
+#define HYBRIDPT_PTA_STATS_H
+
+#include "support/Ids.h"
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pt {
+
+class AnalysisResult;
+class Program;
+
+/// Distribution snapshot of one analysis run.
+struct ContextStats {
+  /// Contexts per reachable method: max, mean, and the top offenders.
+  size_t MaxContextsPerMethod = 0;
+  double AvgContextsPerMethod = 0.0;
+  std::vector<std::pair<MethodId, size_t>> TopMethodsByContexts;
+
+  /// Context-insensitive points-to set size distribution over variables:
+  /// log2 buckets [1], [2], [3-4], [5-8], ... (index i covers sizes
+  /// (2^(i-1), 2^i]).
+  std::vector<size_t> PointsToSizeHistogram;
+  /// Median context-insensitive points-to set size (the paper: 1).
+  size_t MedianPointsToSize = 0;
+
+  /// Variables with the largest projected points-to sets.
+  std::vector<std::pair<VarId, size_t>> FattestVars;
+
+  /// Per-method share of the context-sensitive fact count.
+  std::vector<std::pair<MethodId, size_t>> TopMethodsByFacts;
+};
+
+/// Computes the distributions; top lists are capped at \p TopN entries.
+ContextStats computeStats(const AnalysisResult &Result, size_t TopN = 10);
+
+/// Human-readable rendering.
+std::string formatStats(const ContextStats &Stats, const Program &Prog);
+
+} // namespace pt
+
+#endif // HYBRIDPT_PTA_STATS_H

@@ -1,0 +1,88 @@
+//===- ptaref/ReferenceAnalysis.h - Figure 2 as Datalog ---------*- C++ -*-===//
+//
+// Part of the hybridpt project (PLDI 2013 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's analysis, transcribed rule-for-rule (Figure 2) onto the
+/// generic Datalog engine, with the context constructor functions RECORD /
+/// MERGE / MERGESTATIC supplied as external functors by a \c ContextPolicy.
+///
+/// This is the executable reference model: slower than the specialized
+/// solver in src/pta but directly auditable against the paper.  The
+/// differential tests require both to compute identical relations for
+/// every policy.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HYBRIDPT_PTAREF_REFERENCEANALYSIS_H
+#define HYBRIDPT_PTAREF_REFERENCEANALYSIS_H
+
+#include "datalog/Engine.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace pt {
+
+class Program;
+class ContextPolicy;
+
+/// Runs the Datalog transcription of the analysis over one program under
+/// one policy.
+class ReferenceAnalysis {
+public:
+  /// Borrows both arguments; they must outlive the analysis.
+  ReferenceAnalysis(const Program &Prog, ContextPolicy &Policy);
+
+  /// Runs to fixpoint.  Returns false when a budget aborted the run.
+  bool run(const dl::EngineOptions &Opts = {});
+
+  /// Engine statistics from the run.
+  const dl::EngineStats &stats() const { return Stats; }
+
+  // --- Raw relation sizes ---
+
+  size_t numVarPointsTo() const;
+  size_t numCallGraphEdges() const;
+  size_t numReachable() const;
+  size_t numFieldPointsTo() const;
+
+  // --- Canonical exports (same row format as AnalysisResult) ---
+
+  std::vector<std::vector<uint32_t>> exportVarPointsTo() const;
+  std::vector<std::vector<uint32_t>> exportCallGraph() const;
+  std::vector<std::vector<uint32_t>> exportFieldPointsTo() const;
+  std::vector<std::vector<uint32_t>> exportReachable() const;
+  std::vector<std::vector<uint32_t>> exportStaticFieldPointsTo() const;
+  std::vector<std::vector<uint32_t>> exportThrowPointsTo() const;
+
+private:
+  void loadFacts();
+  void buildRules();
+  void buildStaticFieldRules();
+  void buildExceptionRules();
+
+  const Program &Prog;
+  ContextPolicy &Policy;
+  dl::Engine Engine;
+  dl::EngineStats Stats;
+  bool HasRun = false;
+
+  // Input relations.
+  dl::Relation *Alloc, *Move, *Cast, *SubtypeOf, *Load, *Store;
+  dl::Relation *SLoad, *SStore, *VarMeth;
+  dl::Relation *Throw, *HandlerFor, *NoHandler, *InvokeIn;
+  dl::Relation *VCall, *SCall;
+  dl::Relation *FormalArg, *ActualArg, *FormalRet, *ActualRet;
+  dl::Relation *ThisVar, *HeapType, *Lookup;
+  // Output / intermediate relations.
+  dl::Relation *VarPointsTo, *CallGraph, *FldPointsTo, *InterProcAssign;
+  dl::Relation *StaticFldPointsTo, *ThrowPointsTo;
+  dl::Relation *Reachable, *VCallTarget, *SCallTarget;
+};
+
+} // namespace pt
+
+#endif // HYBRIDPT_PTAREF_REFERENCEANALYSIS_H

@@ -1,0 +1,65 @@
+//===- support/Hashing.h - Hash combinators -------------------------------===//
+//
+// Part of the hybridpt project (PLDI 2013 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small hash utilities used by interners and relation indices.
+///
+/// The engine hashes short fixed-width integer tuples billions of times, so
+/// the mixers here are cheap multiply/xor finalizers (splitmix64-style)
+/// rather than general-purpose byte hashers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HYBRIDPT_SUPPORT_HASHING_H
+#define HYBRIDPT_SUPPORT_HASHING_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace pt {
+
+/// Finalizing 64-bit mixer (the splitmix64 output function).  Good avalanche
+/// behaviour for sequential ids, which is exactly what dense interners feed
+/// into hash tables.
+inline uint64_t mix64(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ULL;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebULL;
+  return X ^ (X >> 31);
+}
+
+/// Combines an accumulated hash with one more 64-bit value.
+inline uint64_t hashCombine(uint64_t Seed, uint64_t Value) {
+  return mix64(Seed ^ (Value + 0x9e3779b97f4a7c15ULL + (Seed << 6) +
+                       (Seed >> 2)));
+}
+
+/// Hashes a short span of 32-bit words.
+inline uint64_t hashWords(const uint32_t *Data, size_t Count) {
+  uint64_t H = 0x51afd7ed558ccd4dULL ^ (Count * 0x9e3779b97f4a7c15ULL);
+  for (size_t I = 0; I < Count; ++I)
+    H = hashCombine(H, Data[I]);
+  return H;
+}
+
+/// Packs two 32-bit ids into one 64-bit key (high word first).
+inline uint64_t packPair(uint32_t Hi, uint32_t Lo) {
+  return (static_cast<uint64_t>(Hi) << 32) | Lo;
+}
+
+/// Unpacks the high word of \c packPair.
+inline uint32_t unpackHi(uint64_t Packed) {
+  return static_cast<uint32_t>(Packed >> 32);
+}
+
+/// Unpacks the low word of \c packPair.
+inline uint32_t unpackLo(uint64_t Packed) {
+  return static_cast<uint32_t>(Packed & 0xffffffffu);
+}
+
+} // namespace pt
+
+#endif // HYBRIDPT_SUPPORT_HASHING_H

@@ -1,0 +1,120 @@
+//===- support/Ids.h - Strongly typed dense identifiers ------------------===//
+//
+// Part of the hybridpt project: a reproduction of "Hybrid Context-Sensitivity
+// for Points-To Analysis" (Kastrinis & Smaragdakis, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Strongly typed wrappers around dense 32-bit indices.
+///
+/// Every entity the analysis talks about (variables, heap allocation sites,
+/// methods, fields, types, invocation sites, signatures, contexts, ...) is
+/// interned into a dense id space.  Using a distinct wrapper type per entity
+/// kind makes it a compile-time error to, e.g., index a method table with a
+/// variable id, which is the classic bug in this style of analysis code.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HYBRIDPT_SUPPORT_IDS_H
+#define HYBRIDPT_SUPPORT_IDS_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace pt {
+
+/// A strongly typed dense identifier.
+///
+/// \tparam Tag an empty struct that distinguishes id spaces at compile time.
+///
+/// The default-constructed value is invalid; use \c isValid() to test.  The
+/// underlying index is available via \c index() for table addressing.
+template <typename Tag> class Id {
+public:
+  using ValueType = uint32_t;
+
+  /// The reserved "no id" value.
+  static constexpr ValueType InvalidValue =
+      std::numeric_limits<ValueType>::max();
+
+  constexpr Id() : Value(InvalidValue) {}
+  constexpr explicit Id(ValueType V) : Value(V) {}
+
+  /// Builds an id from a size_t index, asserting that it fits.
+  static Id fromIndex(size_t Index) {
+    assert(Index < InvalidValue && "id space overflow");
+    return Id(static_cast<ValueType>(Index));
+  }
+
+  /// Returns the invalid sentinel id.
+  static constexpr Id invalid() { return Id(); }
+
+  /// True when this id refers to a real entity.
+  constexpr bool isValid() const { return Value != InvalidValue; }
+
+  /// The dense index of this id; only meaningful when valid.
+  constexpr ValueType index() const {
+    assert(isValid() && "indexing with invalid id");
+    return Value;
+  }
+
+  /// The raw value including the invalid sentinel, for serialization.
+  constexpr ValueType rawValue() const { return Value; }
+
+  friend constexpr bool operator==(Id A, Id B) { return A.Value == B.Value; }
+  friend constexpr bool operator!=(Id A, Id B) { return A.Value != B.Value; }
+  friend constexpr bool operator<(Id A, Id B) { return A.Value < B.Value; }
+
+private:
+  ValueType Value;
+};
+
+namespace detail {
+struct VarTag {};
+struct HeapTag {};
+struct MethodTag {};
+struct FieldTag {};
+struct TypeTag {};
+struct InvokeTag {};
+struct SignatureTag {};
+struct ContextTag {};
+struct HContextTag {};
+struct StringTag {};
+} // namespace detail
+
+/// A local program variable (paper domain V).
+using VarId = Id<detail::VarTag>;
+/// A heap abstraction, i.e. an allocation site (paper domain H).
+using HeapId = Id<detail::HeapTag>;
+/// A method definition (paper domain M).
+using MethodId = Id<detail::MethodTag>;
+/// An instance field (paper domain F).
+using FieldId = Id<detail::FieldTag>;
+/// A class type (paper domain T).
+using TypeId = Id<detail::TypeTag>;
+/// A method invocation site (paper domain I).
+using InvokeId = Id<detail::InvokeTag>;
+/// A method signature: name plus parameter/return types (paper domain S).
+using SigId = Id<detail::SignatureTag>;
+/// A calling context (paper domain C).
+using CtxId = Id<detail::ContextTag>;
+/// A heap context (paper domain HC).
+using HCtxId = Id<detail::HContextTag>;
+/// An interned string.
+using StrId = Id<detail::StringTag>;
+
+} // namespace pt
+
+namespace std {
+template <typename Tag> struct hash<pt::Id<Tag>> {
+  size_t operator()(pt::Id<Tag> V) const noexcept {
+    return std::hash<uint32_t>()(V.rawValue());
+  }
+};
+} // namespace std
+
+#endif // HYBRIDPT_SUPPORT_IDS_H

@@ -1,0 +1,94 @@
+//===- support/Rng.h - Deterministic pseudo-random numbers -----------------===//
+//
+// Part of the hybridpt project (PLDI 2013 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small deterministic PRNG (xoshiro256**) used by the synthetic workload
+/// generator and the property-test fuzzer.
+///
+/// Determinism matters: benchmark corpora must be bit-identical across runs
+/// and platforms so that paper-style tables are reproducible, which rules
+/// out std::mt19937's unspecified distribution implementations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HYBRIDPT_SUPPORT_RNG_H
+#define HYBRIDPT_SUPPORT_RNG_H
+
+#include "support/Hashing.h"
+
+#include <cassert>
+#include <cstdint>
+
+namespace pt {
+
+/// Deterministic xoshiro256** generator with portable integer helpers.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) {
+    // SplitMix64 seeding as recommended by the xoshiro authors.
+    uint64_t X = Seed;
+    for (auto &Word : State) {
+      X += 0x9e3779b97f4a7c15ULL;
+      Word = mix64(X);
+    }
+  }
+
+  /// Next raw 64-bit value.
+  uint64_t next() {
+    uint64_t Result = rotl(State[1] * 5, 7) * 9;
+    uint64_t T = State[1] << 17;
+    State[2] ^= State[0];
+    State[3] ^= State[1];
+    State[1] ^= State[2];
+    State[0] ^= State[3];
+    State[2] ^= T;
+    State[3] = rotl(State[3], 45);
+    return Result;
+  }
+
+  /// Uniform integer in [0, Bound).  \p Bound must be positive.
+  uint64_t below(uint64_t Bound) {
+    assert(Bound > 0 && "empty range");
+    // Lemire's multiply-shift rejection method: unbiased and fast.
+    uint64_t X = next();
+    __uint128_t M = static_cast<__uint128_t>(X) * Bound;
+    uint64_t L = static_cast<uint64_t>(M);
+    if (L < Bound) {
+      uint64_t Threshold = (0 - Bound) % Bound;
+      while (L < Threshold) {
+        X = next();
+        M = static_cast<__uint128_t>(X) * Bound;
+        L = static_cast<uint64_t>(M);
+      }
+    }
+    return static_cast<uint64_t>(M >> 64);
+  }
+
+  /// Uniform integer in [Lo, Hi] inclusive.
+  uint64_t range(uint64_t Lo, uint64_t Hi) {
+    assert(Lo <= Hi && "inverted range");
+    return Lo + below(Hi - Lo + 1);
+  }
+
+  /// Bernoulli draw: true with probability \p Percent / 100.
+  bool chancePercent(uint32_t Percent) { return below(100) < Percent; }
+
+  /// Uniform double in [0, 1).
+  double unit() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+private:
+  static uint64_t rotl(uint64_t X, int K) {
+    return (X << K) | (X >> (64 - K));
+  }
+
+  uint64_t State[4];
+};
+
+} // namespace pt
+
+#endif // HYBRIDPT_SUPPORT_RNG_H

@@ -1,0 +1,31 @@
+//===- support/StringPool.cpp ---------------------------------------------===//
+//
+// Part of the hybridpt project (PLDI 2013 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/StringPool.h"
+
+#include <cassert>
+
+using namespace pt;
+
+StrId StringPool::intern(std::string_view Text) {
+  auto It = Index.find(Text);
+  if (It != Index.end())
+    return It->second;
+  StrId Id = StrId::fromIndex(Strings.size());
+  Strings.emplace_back(Text);
+  Index.emplace(Strings.back(), Id);
+  return Id;
+}
+
+StrId StringPool::find(std::string_view Text) const {
+  auto It = Index.find(Text);
+  return It == Index.end() ? StrId::invalid() : It->second;
+}
+
+const std::string &StringPool::text(StrId Id) const {
+  assert(Id.isValid() && Id.index() < Strings.size() && "bad string id");
+  return Strings[Id.index()];
+}

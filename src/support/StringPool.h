@@ -1,0 +1,54 @@
+//===- support/StringPool.h - String interning ----------------------------===//
+//
+// Part of the hybridpt project (PLDI 2013 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interns strings into dense \c StrId values.
+///
+/// Entity names (variables, methods, types, ...) are stored once here and
+/// referenced by id everywhere else, so the hot analysis code never touches
+/// string data.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HYBRIDPT_SUPPORT_STRINGPOOL_H
+#define HYBRIDPT_SUPPORT_STRINGPOOL_H
+
+#include "support/Ids.h"
+
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace pt {
+
+/// An append-only pool of unique strings addressed by dense \c StrId.
+///
+/// Storage is a deque so element addresses are stable: the lookup index can
+/// hold string_views into the stored strings without re-hashing on growth.
+class StringPool {
+public:
+  /// Interns \p Text, returning the existing id if already present.
+  StrId intern(std::string_view Text);
+
+  /// Looks up \p Text without interning; returns an invalid id when absent.
+  StrId find(std::string_view Text) const;
+
+  /// Returns the text for \p Id.  The reference stays valid for the pool's
+  /// lifetime (strings are never removed).
+  const std::string &text(StrId Id) const;
+
+  /// Number of interned strings.
+  size_t size() const { return Strings.size(); }
+
+private:
+  std::deque<std::string> Strings;
+  std::unordered_map<std::string_view, StrId> Index;
+};
+
+} // namespace pt
+
+#endif // HYBRIDPT_SUPPORT_STRINGPOOL_H

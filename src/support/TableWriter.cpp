@@ -1,0 +1,106 @@
+//===- support/TableWriter.cpp ---------------------------------------------===//
+//
+// Part of the hybridpt project (PLDI 2013 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/TableWriter.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace pt;
+
+void TableWriter::setHeader(std::vector<std::string> Cells) {
+  Header = std::move(Cells);
+}
+
+void TableWriter::addRow(std::vector<std::string> Cells) {
+  Rows.push_back({std::move(Cells), /*IsSeparator=*/false});
+}
+
+void TableWriter::addSeparator() {
+  Rows.push_back({{}, /*IsSeparator=*/true});
+}
+
+size_t TableWriter::rowCount() const {
+  size_t N = 0;
+  for (const auto &R : Rows)
+    if (!R.IsSeparator)
+      ++N;
+  return N;
+}
+
+void TableWriter::print(std::ostream &OS) const {
+  // Compute column widths over header and all rows.
+  std::vector<size_t> Widths;
+  auto Grow = [&Widths](const std::vector<std::string> &Cells) {
+    if (Cells.size() > Widths.size())
+      Widths.resize(Cells.size(), 0);
+    for (size_t I = 0; I < Cells.size(); ++I)
+      Widths[I] = std::max(Widths[I], Cells[I].size());
+  };
+  Grow(Header);
+  for (const auto &R : Rows)
+    if (!R.IsSeparator)
+      Grow(R.Cells);
+
+  size_t TotalWidth = 0;
+  for (size_t W : Widths)
+    TotalWidth += W + 2;
+
+  auto PrintCells = [&](const std::vector<std::string> &Cells) {
+    for (size_t I = 0; I < Cells.size(); ++I) {
+      const std::string &Cell = Cells[I];
+      size_t Pad = Widths[I] > Cell.size() ? Widths[I] - Cell.size() : 0;
+      if (I == 0) {
+        OS << Cell << std::string(Pad, ' ');
+      } else {
+        OS << std::string(Pad, ' ') << Cell;
+      }
+      if (I + 1 != Cells.size())
+        OS << "  ";
+    }
+    OS << '\n';
+  };
+
+  if (!Header.empty()) {
+    PrintCells(Header);
+    OS << std::string(TotalWidth, '-') << '\n';
+  }
+  for (const auto &R : Rows) {
+    if (R.IsSeparator) {
+      OS << std::string(TotalWidth, '-') << '\n';
+      continue;
+    }
+    PrintCells(R.Cells);
+  }
+}
+
+void TableWriter::printCsv(std::ostream &OS) const {
+  auto PrintCells = [&OS](const std::vector<std::string> &Cells) {
+    for (size_t I = 0; I < Cells.size(); ++I) {
+      if (I)
+        OS << ',';
+      OS << Cells[I];
+    }
+    OS << '\n';
+  };
+  if (!Header.empty())
+    PrintCells(Header);
+  for (const auto &R : Rows)
+    if (!R.IsSeparator)
+      PrintCells(R.Cells);
+}
+
+std::string pt::formatFixed(double Value, int Decimals) {
+  char Buffer[64];
+  std::snprintf(Buffer, sizeof(Buffer), "%.*f", Decimals, Value);
+  return Buffer;
+}
+
+std::string pt::formatFixedOrDash(double Value, int Decimals) {
+  if (Value < 0)
+    return "-";
+  return formatFixed(Value, Decimals);
+}

@@ -1,0 +1,64 @@
+//===- support/TableWriter.h - Aligned console tables ----------------------===//
+//
+// Part of the hybridpt project (PLDI 2013 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Formats rows of string cells into aligned plain-text tables, plus a CSV
+/// emitter.  The bench harnesses use this to print paper-style Table 1 rows
+/// and the Figure 3 series.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HYBRIDPT_SUPPORT_TABLEWRITER_H
+#define HYBRIDPT_SUPPORT_TABLEWRITER_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pt {
+
+/// Accumulates rows of cells and renders them with per-column alignment.
+class TableWriter {
+public:
+  /// Sets the header row (rendered with a separator line under it).
+  void setHeader(std::vector<std::string> Cells);
+
+  /// Appends one data row; rows may have fewer cells than the header.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Appends a horizontal separator between row groups.
+  void addSeparator();
+
+  /// Renders the aligned table.  The first column is left-aligned, the rest
+  /// right-aligned (numeric convention).
+  void print(std::ostream &OS) const;
+
+  /// Renders the same content as CSV (no alignment, separator rows skipped).
+  void printCsv(std::ostream &OS) const;
+
+  /// Number of data rows added so far.
+  size_t rowCount() const;
+
+private:
+  struct Row {
+    std::vector<std::string> Cells;
+    bool IsSeparator = false;
+  };
+
+  std::vector<std::string> Header;
+  std::vector<Row> Rows;
+};
+
+/// Formats a double with \p Decimals fraction digits (fixed notation).
+std::string formatFixed(double Value, int Decimals);
+
+/// Formats a double either fixed or as "-" when negative (used for cells
+/// whose value is unavailable, mirroring the paper's dash entries).
+std::string formatFixedOrDash(double Value, int Decimals);
+
+} // namespace pt
+
+#endif // HYBRIDPT_SUPPORT_TABLEWRITER_H

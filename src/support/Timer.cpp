@@ -1,0 +1,14 @@
+//===- support/Timer.cpp ---------------------------------------------------===//
+//
+// Part of the hybridpt project (PLDI 2013 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Timer.h"
+
+using namespace pt;
+
+double Stopwatch::elapsedMs() const {
+  auto Delta = Clock::now() - Start;
+  return std::chrono::duration<double, std::milli>(Delta).count();
+}

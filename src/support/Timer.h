@@ -1,0 +1,63 @@
+//===- support/Timer.h - Wall-clock timing ---------------------------------===//
+//
+// Part of the hybridpt project (PLDI 2013 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal wall-clock stopwatch used by the benchmark harnesses to report
+/// the paper's "elapsed time" column.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HYBRIDPT_SUPPORT_TIMER_H
+#define HYBRIDPT_SUPPORT_TIMER_H
+
+#include <chrono>
+#include <cstdint>
+
+namespace pt {
+
+/// A restartable wall-clock stopwatch with millisecond reporting.
+class Stopwatch {
+public:
+  Stopwatch() { restart(); }
+
+  /// Resets the start point to now.
+  void restart() { Start = Clock::now(); }
+
+  /// Milliseconds elapsed since construction or the last \c restart.
+  double elapsedMs() const;
+
+  /// Seconds elapsed since construction or the last \c restart.
+  double elapsedSeconds() const { return elapsedMs() / 1000.0; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+/// A soft deadline: harness code polls \c expired() to abandon analyses that
+/// exceed their budget, mirroring the paper's 90-minute timeout dashes.
+class Deadline {
+public:
+  /// Creates a deadline \p BudgetMs milliseconds from now.  A budget of zero
+  /// means "no deadline".
+  explicit Deadline(uint64_t BudgetMs = 0) : BudgetMs(BudgetMs) {}
+
+  /// True when a budget was set and has been exhausted.
+  bool expired() const {
+    return BudgetMs != 0 && Watch.elapsedMs() >= static_cast<double>(BudgetMs);
+  }
+
+  /// True when no budget was configured.
+  bool unlimited() const { return BudgetMs == 0; }
+
+private:
+  Stopwatch Watch;
+  uint64_t BudgetMs;
+};
+
+} // namespace pt
+
+#endif // HYBRIDPT_SUPPORT_TIMER_H

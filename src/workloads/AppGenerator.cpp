@@ -1,0 +1,993 @@
+//===- workloads/AppGenerator.cpp ---------------------------------------------===//
+//
+// Part of the hybridpt project (PLDI 2013 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Corpus-shape notes (what drives which Table 1 column):
+//
+//  - blockHelperMergePair: two static helper calls with different payload
+//    families in one method.  Split by any call-site element at static
+//    calls (1call, SB-1obj, S-2obj+H, uniform hybrids); merged by pure
+//    object/type-sensitivity.  The central selective-hybrid driver.
+//  - driver routing (Drivers.driveJ(w, d) { w.stepJ(d); }): one virtual
+//    call site serving many receivers.  Object-sensitivity separates per
+//    receiver; call-site-sensitivity merges — the classic reason kCFA
+//    loses to object-sensitivity on OO code.  The static driver frame is
+//    additionally split per call site only by MERGESTATIC hybrids, which
+//    is what keeps per-worker payload subtypes apart end-to-end.
+//  - blockRouteMerge: two calls of a virtual pass-through on the *same*
+//    receiver with different families.  Only an invocation-site element
+//    in *virtual* contexts (the uniform hybrids, kCFA) splits these; the
+//    selective hybrids deliberately don't.  Kept rare: it is the paper's
+//    small U-over-S precision edge.
+//  - blockContainerRoundTrip / blockWrapUnwrap: allocation inside library
+//    code reached through the worker's virtual frame; heap contexts from
+//    receiver objects (the +H analyses) keep containers apart per worker.
+//  - blockUnsafeCast + partner calls: genuine may-fail floor.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/AppGenerator.h"
+
+#include "ir/Program.h"
+#include "ir/ProgramBuilder.h"
+#include "support/Rng.h"
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+using namespace pt;
+
+namespace {
+
+/// One data-class family: an abstract base plus concrete subtypes, sharing
+/// a payload field and the get/set/transform virtual protocol.
+struct Family {
+  TypeId Base;
+  FieldId Payload;
+  std::vector<TypeId> Subs;
+};
+
+/// One worker class: virtual step methods plus state/buffer/partner fields.
+struct Worker {
+  TypeId Type;
+  FieldId State;
+  FieldId Buffer;
+  FieldId Partner;
+  std::vector<MethodId> Steps;
+  /// Designated concrete subtype per step, within the step's global
+  /// family (see StepFamily): callers pass exactly this subtype, so the
+  /// formal downcast in the step body is dynamically safe.
+  std::vector<uint32_t> StepSub;
+  /// Virtual pass-through (route(x) = x), the uniform-hybrid edge.
+  MethodId Route;
+  /// Designated (family, sub) for this worker's container/box blocks.
+  /// Real container owners hold one element type; with this contract a
+  /// receiver-object heap context (2obj+H family) proves the read-back
+  /// casts, while weaker heap contexts merge containers across workers
+  /// and fail them.
+  uint32_t ContainerFamily = 0;
+  uint32_t ContainerSub = 0;
+};
+
+class Generator {
+public:
+  Generator(ProgramBuilder &B, const MiniLib &L, const WorkloadProfile &P)
+      : B(B), L(L), P(P), R(P.Seed) {}
+
+  GeneratedAppStats run();
+
+private:
+  void makeSigs();
+  void makeExceptions();
+  void makeGlobals();
+  void makeListenerLib();
+  void makeFamilies();
+  void makeHelpers();
+  void makeWorkers();
+  void makeObservers();
+  void makeDrivers();
+  void makePhases();
+  void emitWorkerBody(uint32_t K, uint32_t J);
+
+  // --- Pattern blocks (emitted into method M) ---
+
+  void blockHelperMergePair(MethodId M);
+  void blockRouteMerge(MethodId M, VarId Self);
+  void blockContainerRoundTrip(MethodId M);
+  void blockMapRoundTrip(MethodId M);
+  void blockTransformChain(MethodId M);
+  void blockWrapUnwrap(MethodId M);
+  void blockMirrorCast(MethodId M);
+  void blockLocalCast(MethodId M);
+  void blockGlobalRoundTrip(MethodId M);
+  void blockUnsafeCast(MethodId M);
+  void blockBuilder(MethodId M);
+
+  /// Emits one randomly chosen block into \p M.  \p Self is the receiver
+  /// for route-merge blocks (invalid in static methods).
+  void emitBlock(MethodId M, VarId Self);
+
+  // --- Small utilities ---
+
+  VarId fresh(MethodId M, const char *Stem) {
+    std::string Name = Stem;
+    Name += std::to_string(TmpCounter++);
+    return B.addLocal(M, Name);
+  }
+
+  std::pair<uint32_t, uint32_t> pickConcrete() {
+    uint32_t F = static_cast<uint32_t>(R.below(Families.size()));
+    uint32_t S = static_cast<uint32_t>(R.below(Families[F].Subs.size()));
+    return {F, S};
+  }
+
+  /// The payload for container-flavoured blocks: the enclosing worker's
+  /// designated pair inside worker bodies, random in static contexts.
+  std::pair<uint32_t, uint32_t> pickContainerPayload() {
+    if (CurrentWorker)
+      return {CurrentWorker->ContainerFamily, CurrentWorker->ContainerSub};
+    return pickConcrete();
+  }
+
+  VarId allocData(MethodId M, uint32_t F, uint32_t S) {
+    VarId V = fresh(M, "d");
+    B.addAlloc(M, V, Families[F].Subs[S]);
+    return V;
+  }
+
+  VarId callHelper(MethodId M, VarId Arg) {
+    VarId Out = fresh(M, "h");
+    MethodId H = Helpers[R.below(Helpers.size())];
+    B.addSCall(M, H, {Arg}, Out);
+    return Out;
+  }
+
+  /// Appends cast and/or dispatch consumers of \p V whose exact dynamic
+  /// type is (F, S).
+  void consume(MethodId M, VarId V, uint32_t F, uint32_t S);
+
+  ProgramBuilder &B;
+  const MiniLib &L;
+  const WorkloadProfile &P;
+  Rng R;
+
+  std::vector<Family> Families;
+  /// Exception hierarchy: ExcBase (abstract) plus concrete subclasses
+  /// with a `cause` payload and a get/0 accessor.
+  TypeId ExcBase;
+  FieldId ExcCause;
+  std::vector<TypeId> ExcSubs;
+  /// Globals::slotF static field per family (the singleton/registry
+  /// pattern; merges globally under *every* policy, like real static
+  /// state).
+  std::vector<FieldId> GlobalSlots;
+  std::vector<Worker> Workers;
+  std::vector<MethodId> Helpers;
+  std::vector<MethodId> Phases;
+  /// Drivers[J] = static driveJ(w, d) routing to stepJ.
+  std::vector<MethodId> Drivers;
+  TypeId WorkerBase;
+  SigId SigTransform0;
+  SigId SigClone0;
+  SigId SigRoute1;
+  SigId SigLink1;
+  SigId SigSpawn0;
+  SigId SigRegister1;
+  SigId SigBroadcast1;
+  SigId SigOn1;
+  SigId SigObserve0;
+  SigId SigSelf0;
+  SigId SigMirror0;
+  /// Observer substrate: Listener + Registry classes, spawnListener on the
+  /// worker base (single allocation site whose heap context derives from
+  /// the worker object — the 2obj+H cost multiplier).
+  TypeId ListenerCls;
+  TypeId RegistryCls;
+  TypeId ObservableCls;
+  FieldId ListenerGot;
+  FieldId ListenerOwner;
+  FieldId RegistryListeners;
+  /// Registry reference on the worker base, set by phases.
+  FieldId WorkerRegistry;
+  MethodId SpawnListener;
+  MethodId RegistryRegister;
+  MethodId RegistryBroadcast;
+  std::vector<SigId> StepSigs;
+  /// Global designated family per step index (partner calls can then stay
+  /// family-correct without knowing the receiver's class).
+  std::vector<uint32_t> StepFamily;
+  /// Non-null while emitting a worker-step body.
+  const Worker *CurrentWorker = nullptr;
+  int TmpCounter = 0;
+};
+
+void Generator::makeListenerLib() {
+  // class Listener { Object got; Worker owner;
+  //   on(x) { this.got = x; y1 = this.got; y2 = y1; y3 = y2;
+  //           g = y3.get(); t = y3.transform(); u = t.get(); } }
+  // The body is deliberately chatty: every local replicates the broadcast
+  // union once per listener *context*, so analyses whose heap context
+  // multiplies the listener population pay proportionally.
+  ListenerCls = B.addType("Listener", L.Object);
+  ListenerGot = B.addField(ListenerCls, "got");
+  ListenerOwner = B.addField(ListenerCls, "owner");
+  MethodId On = B.addMethod(ListenerCls, "on", 1, false);
+  {
+    B.addStore(On, B.thisVar(On), ListenerGot, B.formal(On, 0));
+    VarId Y1 = B.addLocal(On, "y1");
+    VarId Y2 = B.addLocal(On, "y2");
+    VarId Y3 = B.addLocal(On, "y3");
+    B.addLoad(On, Y1, B.thisVar(On), ListenerGot);
+    B.addMove(On, Y2, Y1);
+    B.addMove(On, Y3, Y2);
+    VarId G = B.addLocal(On, "g");
+    B.addVCall(On, Y3, L.SigGet0, {}, G);
+    VarId T = B.addLocal(On, "t");
+    B.addVCall(On, Y3, SigTransform0, {}, T);
+    VarId U = B.addLocal(On, "u");
+    B.addVCall(On, T, L.SigGet0, {}, U);
+    VarId Y4 = B.addLocal(On, "y4");
+    VarId Y5 = B.addLocal(On, "y5");
+    B.addMove(On, Y4, Y3);
+    B.addMove(On, Y5, Y4);
+    VarId G2 = B.addLocal(On, "g2");
+    B.addVCall(On, Y5, L.SigGet0, {}, G2);
+  }
+
+  // abstract class Observable { observe() { l = new Listener;
+  //                                            return l; } }
+  // Data families extend Observable: the listener allocation site is
+  // shared program-wide, but its heap context derives from the observed
+  // *data object*, so precise heaps mint one listener per data site.
+  ObservableCls = B.addType("Observable", L.Object, /*IsAbstract=*/true);
+  MethodId Obs = B.addMethod(ObservableCls, "observe", 0, false);
+  {
+    VarId Lv = B.addLocal(Obs, "l");
+    B.addAlloc(Obs, Lv, ListenerCls);
+    B.setReturn(Obs, Lv);
+  }
+
+  // self0() { return this; }  and  mirror() { m = this.self0();
+  //                                            return m; }
+  // The canonical object-sensitivity winner: self0's single internal call
+  // site inside mirror makes kCFA merge every mirrored receiver, while
+  // per-receiver contexts keep the identity exact.
+  MethodId Self0 = B.addMethod(ObservableCls, "self0", 0, false);
+  B.setReturn(Self0, B.thisVar(Self0));
+  MethodId Mirror = B.addMethod(ObservableCls, "mirror", 0, false);
+  {
+    VarId Mv = B.addLocal(Mirror, "m");
+    B.addVCall(Mirror, B.thisVar(Mirror), SigSelf0, {}, Mv);
+    B.setReturn(Mirror, Mv);
+  }
+
+  // class Registry { List listeners;
+  //   register(l)  { ls = this.listeners; ls.add(l); }
+  //   broadcast(x) { ls = this.listeners; it = ls.iterator();
+  //                  l = it.next(); l.on(x); } }
+  RegistryCls = B.addType("Registry", L.Object);
+  RegistryListeners = B.addField(RegistryCls, "listeners");
+  RegistryRegister = B.addMethod(RegistryCls, "register", 1, false);
+  {
+    VarId Ls = B.addLocal(RegistryRegister, "ls");
+    B.addLoad(RegistryRegister, Ls, B.thisVar(RegistryRegister),
+              RegistryListeners);
+    B.addVCall(RegistryRegister, Ls, L.SigAdd1,
+               {B.formal(RegistryRegister, 0)});
+  }
+  RegistryBroadcast = B.addMethod(RegistryCls, "broadcast", 1, false);
+  {
+    VarId Ls = B.addLocal(RegistryBroadcast, "ls");
+    VarId It = B.addLocal(RegistryBroadcast, "it");
+    VarId Lv = B.addLocal(RegistryBroadcast, "l");
+    B.addLoad(RegistryBroadcast, Ls, B.thisVar(RegistryBroadcast),
+              RegistryListeners);
+    B.addVCall(RegistryBroadcast, Ls, L.SigIterator0, {}, It);
+    B.addVCall(RegistryBroadcast, It, L.SigNext0, {}, Lv);
+    B.addVCall(RegistryBroadcast, Lv, SigOn1,
+               {B.formal(RegistryBroadcast, 0)});
+  }
+}
+
+void Generator::makeObservers() {
+  // Worker.spawnListener() { l = new Listener; l.owner = this; return l; }
+  // One allocation site on the abstract base: the listener population is
+  // a single abstract object under a context-insensitive heap, but one
+  // object *per worker instance* under receiver-derived heap contexts —
+  // every broadcast payload is then re-propagated per listener, the
+  // paper's 2obj+H cost profile.
+  SpawnListener = B.addMethod(WorkerBase, "spawnListener", 0, false);
+  {
+    VarId Lv = B.addLocal(SpawnListener, "l");
+    B.addAlloc(SpawnListener, Lv, ListenerCls);
+    B.addStore(SpawnListener, Lv, ListenerOwner, B.thisVar(SpawnListener));
+    B.setReturn(SpawnListener, Lv);
+  }
+}
+
+void Generator::makeSigs() {
+  SigTransform0 = B.getSig("transform", 0);
+  SigClone0 = B.getSig("clone0", 0);
+  SigRoute1 = B.getSig("route", 1);
+  SigLink1 = B.getSig("link", 1);
+  SigSpawn0 = B.getSig("spawnListener", 0);
+  SigRegister1 = B.getSig("register", 1);
+  SigBroadcast1 = B.getSig("broadcast", 1);
+  SigOn1 = B.getSig("on", 1);
+  SigObserve0 = B.getSig("observe", 0);
+  SigSelf0 = B.getSig("self0", 0);
+  SigMirror0 = B.getSig("mirror", 0);
+}
+
+void Generator::makeExceptions() {
+  ExcBase = B.addType("ExcBase", L.Object, /*IsAbstract=*/true);
+  ExcCause = B.addField(ExcBase, "cause");
+  uint32_t NumSubs = 2 + P.TypeFamilies / 3;
+  for (uint32_t E = 0; E < NumSubs; ++E) {
+    TypeId Sub = B.addType("Exc" + std::to_string(E), ExcBase);
+    ExcSubs.push_back(Sub);
+    // get() { r = this.cause; return r; }
+    MethodId Get = B.addMethod(Sub, "get", 0, false);
+    VarId R2 = B.addLocal(Get, "r");
+    B.addLoad(Get, R2, B.thisVar(Get), ExcCause);
+    B.setReturn(Get, R2);
+  }
+}
+
+void Generator::makeGlobals() {
+  TypeId GlobalsCls = B.addType("Globals", L.Object);
+  for (uint32_t F = 0; F < P.TypeFamilies; ++F)
+    GlobalSlots.push_back(
+        B.addStaticField(GlobalsCls, "slot" + std::to_string(F)));
+}
+
+void Generator::makeFamilies() {
+  for (uint32_t F = 0; F < P.TypeFamilies; ++F) {
+    Family Fam;
+    std::string BaseName = "Data" + std::to_string(F);
+    Fam.Base = B.addType(BaseName, ObservableCls, /*IsAbstract=*/true);
+    Fam.Payload = B.addField(Fam.Base, "payload");
+    for (uint32_t S = 0; S < P.SubtypesPerFamily; ++S) {
+      TypeId Sub = B.addType(BaseName + "S" + std::to_string(S), Fam.Base);
+      Fam.Subs.push_back(Sub);
+
+      // get() { r = this.payload; return r; }
+      MethodId Get = B.addMethod(Sub, "get", 0, false);
+      VarId GR = B.addLocal(Get, "r");
+      B.addLoad(Get, GR, B.thisVar(Get), Fam.Payload);
+      B.setReturn(Get, GR);
+
+      // set(v) { this.payload = v; }
+      MethodId Set = B.addMethod(Sub, "set", 1, false);
+      B.addStore(Set, B.thisVar(Set), Fam.Payload, B.formal(Set, 0));
+
+      // link(p) { this.set(p); }
+      // A virtual frame above set with a single internal call site: under
+      // kCFA, set's context collapses to that one site, so every linked
+      // payload pollutes every linked object — the receiver-merge that
+      // makes call-site-sensitivity "vastly imprecise" on OO code.
+      MethodId Link = B.addMethod(Sub, "link", 1, false);
+      B.addVCall(Link, B.thisVar(Link), L.SigSet1, {B.formal(Link, 0)});
+
+      // clone0() { c = new Sub; return c; }
+      // The allocation sits behind *two* virtual frames (transform ->
+      // clone0), at a single internal call site: only an object-derived
+      // heap context tells the clones of different source objects apart.
+      // Call-site heap contexts see one allocation-reaching site and
+      // merge everything — the reason 1call+H barely improves on 1call.
+      MethodId Cl = B.addMethod(Sub, "clone0", 0, false);
+      VarId C = B.addLocal(Cl, "c");
+      B.addAlloc(Cl, C, Sub);
+      B.setReturn(Cl, C);
+
+      // transform() { t = this.clone0(); v = this.payload;
+      //               t.payload = v; return t; }
+      MethodId Tr = B.addMethod(Sub, "transform", 0, false);
+      VarId T = B.addLocal(Tr, "t");
+      VarId V = B.addLocal(Tr, "v");
+      B.addVCall(Tr, B.thisVar(Tr), SigClone0, {}, T);
+      B.addLoad(Tr, V, B.thisVar(Tr), Fam.Payload);
+      B.addStore(Tr, T, Fam.Payload, V);
+      B.setReturn(Tr, T);
+    }
+    Families.push_back(std::move(Fam));
+  }
+}
+
+void Generator::makeHelpers() {
+  // Spread helpers over several holder classes so type-sensitivity's
+  // CA : H -> T map keeps a useful granularity (one class per few
+  // methods, as in real code).
+  std::vector<TypeId> HelperClasses;
+  uint32_t NumClasses = (P.HelperMethods + 3) / 4;
+  for (uint32_t C = 0; C < NumClasses; ++C)
+    HelperClasses.push_back(
+        B.addType("Helpers" + std::to_string(C), L.Object));
+
+  for (uint32_t H = 0; H < P.HelperMethods; ++H) {
+    TypeId Cls = HelperClasses[H / 4];
+    MethodId M = B.addMethod(Cls, "helper" + std::to_string(H), 1, true);
+    VarId Arg = B.formal(M, 0);
+    // Mostly shallow utilities: deep static chains would let any inner
+    // call site alias all outer callers, which single-element contexts
+    // (1call, SA-1obj) cannot recover from — the paper's corpus shows
+    // SA-1obj ~ 1obj precision, implying shallow static utility layers.
+    uint64_t Shape = R.below(100);
+    if (Shape < 65 || Helpers.empty()) {
+      if (Shape < 45) {
+        B.setReturn(M, Arg);
+      } else {
+        VarId Out = B.addLocal(M, "r");
+        B.addSCall(M, L.UtilIdentity, {Arg}, Out);
+        B.setReturn(M, Out);
+      }
+    } else if (Shape < 88) {
+      uint32_t Depth = 1 + static_cast<uint32_t>(
+                               R.below(P.HelperChainDepth ? P.HelperChainDepth
+                                                          : 1));
+      VarId Cur = Arg;
+      for (uint32_t D = 0; D < Depth; ++D) {
+        VarId Next = fresh(M, "c");
+        MethodId Callee = Helpers[R.below(Helpers.size())];
+        B.addSCall(M, Callee, {Cur}, Next);
+        Cur = Next;
+      }
+      B.setReturn(M, Cur);
+    } else if (Shape < 94) {
+      VarId Out = B.addLocal(M, "r");
+      B.addSCall(M, L.UtilIdentity2, {Arg}, Out);
+      B.setReturn(M, Out);
+    } else {
+      VarId Bx = B.addLocal(M, "b");
+      VarId Out = B.addLocal(M, "r");
+      B.addSCall(M, L.UtilWrap, {Arg}, Bx);
+      B.addSCall(M, L.UtilUnwrap, {Bx}, Out);
+      B.setReturn(M, Out);
+    }
+    Helpers.push_back(M);
+  }
+}
+
+void Generator::consume(MethodId M, VarId V, uint32_t F, uint32_t S) {
+  if (R.chancePercent(P.CastPercent)) {
+    VarId C = fresh(M, "c");
+    TypeId Target = R.chancePercent(50) ? Families[F].Subs[S]
+                                        : Families[F].Base;
+    B.addCast(M, C, V, Target);
+    VarId Out = fresh(M, "u");
+    B.addLoad(M, Out, C, Families[F].Payload);
+  }
+  if (R.chancePercent(P.DispatchPercent)) {
+    VarId Out = fresh(M, "g");
+    B.addVCall(M, V, L.SigGet0, {}, Out);
+  }
+}
+
+void Generator::blockHelperMergePair(MethodId M) {
+  auto [FA, SA] = pickConcrete();
+  auto [FB, SB] = pickConcrete();
+  if (Families.size() > 1) {
+    while (FB == FA) {
+      FB = static_cast<uint32_t>(R.below(Families.size()));
+      SB = static_cast<uint32_t>(R.below(Families[FB].Subs.size()));
+    }
+  }
+  VarId XA = allocData(M, FA, SA);
+  VarId XB = allocData(M, FB, SB);
+  MethodId H = Helpers[R.below(Helpers.size())];
+  VarId PA = fresh(M, "p");
+  VarId PB = fresh(M, "q");
+  B.addSCall(M, H, {XA}, PA);
+  B.addSCall(M, H, {XB}, PB);
+  consume(M, PA, FA, SA);
+  consume(M, PB, FB, SB);
+}
+
+void Generator::blockRouteMerge(MethodId M, VarId Self) {
+  // pa = this.route(xa); pb = this.route(xb): same receiver, two sites.
+  // Only invocation-site elements in *virtual* contexts split these.
+  assert(Self.isValid() && "route merge needs a receiver");
+  auto [FA, SA] = pickConcrete();
+  auto [FB, SB] = pickConcrete();
+  if (Families.size() > 1) {
+    while (FB == FA) {
+      FB = static_cast<uint32_t>(R.below(Families.size()));
+      SB = static_cast<uint32_t>(R.below(Families[FB].Subs.size()));
+    }
+  }
+  VarId XA = allocData(M, FA, SA);
+  VarId XB = allocData(M, FB, SB);
+  VarId PA = fresh(M, "p");
+  VarId PB = fresh(M, "q");
+  B.addVCall(M, Self, SigRoute1, {XA}, PA);
+  B.addVCall(M, Self, SigRoute1, {XB}, PB);
+  consume(M, PA, FA, SA);
+  consume(M, PB, FB, SB);
+}
+
+void Generator::blockContainerRoundTrip(MethodId M) {
+  auto [F, S] = pickContainerPayload();
+  VarId List = fresh(M, "l");
+  bool Linked = R.chancePercent(30);
+  if (R.chancePercent(P.FactoryContainerPercent)) {
+    // Mostly through the wrapper factory (call-site heap contexts see one
+    // allocation-reaching site there), sometimes the direct factory.
+    MethodId Factory =
+        R.chancePercent(75)
+            ? (Linked ? L.ListsFreshLinked : L.ListsFreshArray)
+            : (Linked ? L.ListsNewLinked : L.ListsNewArray);
+    B.addSCall(M, Factory, {}, List);
+  } else {
+    B.addAlloc(M, List, Linked ? L.LinkedList : L.ArrayList);
+  }
+  VarId V = allocData(M, F, S);
+  B.addVCall(M, List, L.SigAdd1, {V});
+  VarId Out = fresh(M, "e");
+  if (R.chancePercent(50)) {
+    B.addVCall(M, List, L.SigGet0, {}, Out);
+  } else {
+    VarId It = fresh(M, "it");
+    B.addVCall(M, List, L.SigIterator0, {}, It);
+    B.addVCall(M, It, L.SigNext0, {}, Out);
+  }
+  consume(M, Out, F, S);
+}
+
+void Generator::blockMapRoundTrip(MethodId M) {
+  auto [F, S] = pickContainerPayload();
+  VarId Map = fresh(M, "m");
+  B.addSCall(M, R.chancePercent(75) ? L.MapsFreshMap : L.MapsNewMap, {},
+             Map);
+  VarId Key = fresh(M, "k");
+  B.addSCall(M, L.UtilNewString, {}, Key);
+  VarId V = allocData(M, F, S);
+  B.addVCall(M, Map, L.SigPut2, {Key, V});
+  VarId Out = fresh(M, "w");
+  B.addVCall(M, Map, L.SigMapGet1, {Key}, Out);
+  consume(M, Out, F, S);
+}
+
+void Generator::blockTransformChain(MethodId M) {
+  // Carrier object with a payload, cloned through the virtual transform
+  // chain; the payload read back from the clone is cast-checked.  The
+  // clone allocation (in clone0) is shared by every carrier of the same
+  // subtype, so proving the cast needs the clone's heap context to carry
+  // the *source object* — 2obj+H and its hybrids do, nothing weaker does.
+  auto [F, S] = pickConcrete();
+  auto [PF, PS] = pickConcrete();
+  VarId V = allocData(M, F, S);
+  VarId Payload = allocData(M, PF, PS);
+  B.addVCall(M, V, SigLink1, {Payload});
+  VarId T1 = fresh(M, "t");
+  B.addVCall(M, V, SigTransform0, {}, T1);
+  VarId Q = fresh(M, "q");
+  B.addVCall(M, T1, L.SigGet0, {}, Q);
+  consume(M, Q, PF, PS);
+}
+
+void Generator::blockWrapUnwrap(MethodId M) {
+  auto [F, S] = pickContainerPayload();
+  VarId V = allocData(M, F, S);
+  VarId Bx = fresh(M, "b");
+  B.addSCall(M, L.UtilWrap, {V}, Bx);
+  VarId Out = fresh(M, "u");
+  B.addSCall(M, L.UtilUnwrap, {Bx}, Out);
+  consume(M, Out, F, S);
+}
+
+void Generator::blockMirrorCast(MethodId M) {
+  // v = new Sub; w = v.mirror(); c = (Sub) w — provable by every
+  // object-sensitive analysis, failed by kCFA (self0's shared site).
+  auto [F, S] = pickConcrete();
+  VarId V = allocData(M, F, S);
+  VarId W = fresh(M, "w");
+  B.addVCall(M, V, SigMirror0, {}, W);
+  VarId C = fresh(M, "c");
+  B.addCast(M, C, W, Families[F].Subs[S]);
+  if (R.chancePercent(P.DispatchPercent)) {
+    VarId G = fresh(M, "g");
+    B.addVCall(M, W, L.SigGet0, {}, G);
+  }
+}
+
+void Generator::blockLocalCast(MethodId M) {
+  // A cast every analysis proves (the large easy slice real corpora have).
+  auto [F, S] = pickConcrete();
+  VarId V = allocData(M, F, S);
+  VarId C = fresh(M, "c");
+  B.addCast(M, C, V, R.chancePercent(50) ? Families[F].Subs[S]
+                                         : Families[F].Base);
+  VarId U = fresh(M, "u");
+  B.addLoad(M, U, C, Families[F].Payload);
+}
+
+void Generator::blockUnsafeCast(MethodId M) {
+  uint32_t F = static_cast<uint32_t>(R.below(Families.size()));
+  const Family &Fam = Families[F];
+  if (Fam.Subs.size() < 2)
+    return;
+  uint32_t SA = 0, SB = 1 + static_cast<uint32_t>(R.below(Fam.Subs.size() - 1));
+  VarId XA = allocData(M, F, SA);
+  VarId XB = allocData(M, F, SB);
+  VarId Mix = fresh(M, "mix");
+  B.addMove(M, Mix, XA);
+  B.addMove(M, Mix, XB);
+  VarId C = fresh(M, "c");
+  B.addCast(M, C, Mix, Fam.Subs[SA]);
+}
+
+void Generator::blockGlobalRoundTrip(MethodId M) {
+  // Store into a per-family global slot, read it back, and cast to the
+  // family base: safe by the slot discipline, but the subtype information
+  // is gone for every analysis (static fields are context-free).
+  uint32_t F = static_cast<uint32_t>(R.below(Families.size()));
+  uint32_t S = static_cast<uint32_t>(R.below(Families[F].Subs.size()));
+  VarId V = allocData(M, F, S);
+  B.addSStore(M, GlobalSlots[F], V);
+  VarId W = fresh(M, "gv");
+  B.addSLoad(M, W, GlobalSlots[F]);
+  VarId C = fresh(M, "c");
+  B.addCast(M, C, W, Families[F].Base);
+  if (R.chancePercent(P.DispatchPercent)) {
+    VarId G = fresh(M, "g");
+    B.addVCall(M, W, L.SigGet0, {}, G);
+  }
+}
+
+void Generator::blockBuilder(MethodId M) {
+  VarId Sb = fresh(M, "sb");
+  B.addAlloc(M, Sb, L.StringBuilder);
+  VarId Str = fresh(M, "s");
+  B.addSCall(M, L.UtilNewString, {}, Str);
+  VarId Sb2 = fresh(M, "sb");
+  B.addVCall(M, Sb, L.SigAppend1, {Str}, Sb2);
+  VarId Out = fresh(M, "so");
+  B.addVCall(M, Sb2, L.SigBuild0, {}, Out);
+}
+
+void Generator::emitBlock(MethodId M, VarId Self) {
+  if (R.chancePercent(P.UnsafeCastPercent)) {
+    blockUnsafeCast(M);
+    return;
+  }
+  if (Self.isValid() && R.chancePercent(P.RouteMergePercent)) {
+    blockRouteMerge(M, Self);
+    return;
+  }
+  if (R.chancePercent(P.StaticMergePercent)) {
+    blockHelperMergePair(M);
+    return;
+  }
+  // Container round trips and transform chains get extra weight: they are
+  // the patterns where object-sensitive *heap* contexts pay off (the
+  // paper's 1obj-vs-2obj+H and kCFA-vs-object gaps).
+  switch (R.below(14)) {
+  case 0:
+  case 1:
+  case 2:
+    blockContainerRoundTrip(M);
+    break;
+  case 3:
+    blockMapRoundTrip(M);
+    break;
+  case 4:
+  case 5:
+  case 6:
+    blockTransformChain(M);
+    break;
+  case 7:
+    blockWrapUnwrap(M);
+    break;
+  case 8:
+  case 9:
+    blockMirrorCast(M);
+    break;
+  case 10:
+  case 11:
+    blockLocalCast(M);
+    break;
+  case 12:
+    blockGlobalRoundTrip(M);
+    break;
+  default:
+    blockBuilder(M);
+    break;
+  }
+}
+
+void Generator::makeWorkers() {
+  WorkerBase = B.addType("Worker", L.Object, /*IsAbstract=*/true);
+  WorkerRegistry = B.addField(WorkerBase, "registry");
+  for (uint32_t J = 0; J < P.MethodsPerWorker; ++J) {
+    StepSigs.push_back(B.getSig("step" + std::to_string(J), 1));
+    StepFamily.push_back(static_cast<uint32_t>(R.below(P.TypeFamilies)));
+  }
+
+  for (uint32_t K = 0; K < P.WorkerClasses; ++K) {
+    Worker W;
+    std::string Name = "Worker" + std::to_string(K);
+    W.Type = B.addType(Name, WorkerBase);
+    W.State = B.addField(W.Type, "state");
+    W.Buffer = B.addField(W.Type, "buffer");
+    W.Partner = B.addField(W.Type, "partner");
+    W.ContainerFamily = static_cast<uint32_t>(R.below(Families.size()));
+    W.ContainerSub = static_cast<uint32_t>(
+        R.below(Families[W.ContainerFamily].Subs.size()));
+    Workers.push_back(std::move(W));
+  }
+
+  // Declare steps and the route pass-through of every worker before any
+  // body (partner/driver calls may reference any of them).
+  for (uint32_t K = 0; K < P.WorkerClasses; ++K) {
+    Worker &W = Workers[K];
+    for (uint32_t J = 0; J < P.MethodsPerWorker; ++J) {
+      W.Steps.push_back(
+          B.addMethod(W.Type, "step" + std::to_string(J), 1, false));
+      uint32_t F = StepFamily[J];
+      W.StepSub.push_back(
+          static_cast<uint32_t>(R.below(Families[F].Subs.size())));
+    }
+    W.Route = B.addMethod(W.Type, "route", 1, false);
+    B.setReturn(W.Route, B.formal(W.Route, 0));
+  }
+
+  for (uint32_t K = 0; K < P.WorkerClasses; ++K)
+    for (uint32_t J = 0; J < P.MethodsPerWorker; ++J)
+      emitWorkerBody(K, J);
+}
+
+void Generator::emitWorkerBody(uint32_t K, uint32_t J) {
+  Worker &W = Workers[K];
+  CurrentWorker = &W;
+  MethodId M = W.Steps[J];
+  uint32_t F = StepFamily[J];
+  uint32_t S = W.StepSub[J];
+  VarId Arg = B.formal(M, 0);
+  VarId Self = B.thisVar(M);
+
+  // The designated-payload contract: step 0 accepts any subtype of its
+  // family (partner calls target it blindly); deeper steps receive their
+  // exact designated subtype, so the concrete downcast is dynamically
+  // safe — provable only under contexts that keep caller chains apart.
+  VarId CastArg = fresh(M, "a");
+  B.addCast(M, CastArg, Arg, J == 0 ? Families[F].Base : Families[F].Subs[S]);
+  B.addStore(M, Self, W.State, CastArg);
+
+  for (uint32_t Blk = 0; Blk < P.BlocksPerMethod; ++Blk)
+    emitBlock(M, Self);
+
+  // Buffer use: stash the argument in the worker's list.
+  if (R.chancePercent(40)) {
+    VarId Buf = fresh(M, "buf");
+    B.addLoad(M, Buf, Self, W.Buffer);
+    B.addVCall(M, Buf, L.SigAdd1, {Arg});
+  }
+
+  // Chain to the next step on this receiver with its designated payload.
+  if (J + 1 < P.MethodsPerWorker && R.chancePercent(50)) {
+    uint32_t NF = StepFamily[J + 1];
+    VarId Next = allocData(M, NF, W.StepSub[J + 1]);
+    B.addVCall(M, Self, StepSigs[J + 1], {Next});
+  }
+
+  // Exceptions: raise a concrete exception carrying a data payload; some
+  // step bodies also install their own base-type handler (swallowing own
+  // and callee throws), the rest escalate to the calling phase.
+  if (R.chancePercent(P.ThrowPercent)) {
+    uint32_t E = static_cast<uint32_t>(R.below(ExcSubs.size()));
+    VarId Ex = fresh(M, "ex");
+    B.addAlloc(M, Ex, ExcSubs[E]);
+    auto [CF, CS] = pickConcrete();
+    VarId Cause = allocData(M, CF, CS);
+    B.addStore(M, Ex, ExcCause, Cause);
+    B.addThrow(M, Ex);
+  }
+  if (R.chancePercent(P.ThrowPercent / 2)) {
+    VarId HV = B.addHandler(M, ExcBase, "caught");
+    VarId G = fresh(M, "cg");
+    B.addVCall(M, HV, L.SigGet0, {}, G);
+  }
+
+  // Subscribe a listener from this receiver (heap-context multiplier).
+  if (R.chancePercent(P.ObserverPercent / 2)) {
+    VarId Rg = fresh(M, "rg");
+    B.addLoad(M, Rg, Self, WorkerRegistry);
+    VarId Li = fresh(M, "li");
+    B.addVCall(M, Self, SigSpawn0, {}, Li);
+    B.addVCall(M, Rg, SigRegister1, {Li});
+  }
+
+  // Subscribe a listener derived from a data object: listener population
+  // then scales with data allocation sites under receiver-derived heap
+  // contexts (one listener total under context-insensitive heaps).
+  if (R.chancePercent(P.ObserverPercent / 2)) {
+    auto [OF, OS] = pickConcrete();
+    VarId Dv = allocData(M, OF, OS);
+    VarId Li = fresh(M, "li");
+    B.addVCall(M, Dv, SigObserve0, {}, Li);
+    VarId Rg = fresh(M, "rg");
+    B.addLoad(M, Rg, Self, WorkerRegistry);
+    B.addVCall(M, Rg, SigRegister1, {Li});
+  }
+
+  // Call the partner's family-safe step 0.
+  if (R.chancePercent(P.PartnerCallPercent)) {
+    VarId Pt = fresh(M, "pt");
+    B.addLoad(M, Pt, Self, W.Partner);
+    uint32_t PF = StepFamily[0];
+    VarId PArg = allocData(
+        M, PF, static_cast<uint32_t>(R.below(Families[PF].Subs.size())));
+    B.addVCall(M, Pt, StepSigs[0], {PArg});
+  }
+  CurrentWorker = nullptr;
+}
+
+void Generator::makeDrivers() {
+  // static Drivers.driveJ(w, d) { w.stepJ(d); }
+  // One virtual call site per step index, shared by every phase: the
+  // object-sensitivity showcase.
+  std::vector<TypeId> DriverClasses;
+  uint32_t NumClasses = (P.MethodsPerWorker + 3) / 4;
+  for (uint32_t C = 0; C < NumClasses; ++C)
+    DriverClasses.push_back(
+        B.addType("Drivers" + std::to_string(C), L.Object));
+  for (uint32_t J = 0; J < P.MethodsPerWorker; ++J) {
+    MethodId M = B.addMethod(DriverClasses[J / 4],
+                             "drive" + std::to_string(J), 2, true);
+    B.addVCall(M, B.formal(M, 0), StepSigs[J], {B.formal(M, 1)});
+    Drivers.push_back(M);
+  }
+}
+
+void Generator::makePhases() {
+  for (uint32_t Ph = 0; Ph < P.Phases; ++Ph) {
+    // One class per phase: keeps CA : H -> T informative for the
+    // type-sensitive analyses (real programs spread allocations over many
+    // classes).
+    TypeId PhaseCls = B.addType("Phase" + std::to_string(Ph), L.Object);
+    MethodId M = B.addMethod(PhaseCls, "run", 1, true);
+    VarId Reg = B.formal(M, 0);
+    Phases.push_back(M);
+
+    uint32_t KA = static_cast<uint32_t>(R.below(Workers.size()));
+    uint32_t KB = static_cast<uint32_t>(R.below(Workers.size()));
+    VarId WA = fresh(M, "wa");
+    VarId WB = fresh(M, "wb");
+    B.addAlloc(M, WA, Workers[KA].Type);
+    B.addAlloc(M, WB, Workers[KB].Type);
+    B.addStore(M, WA, Workers[KA].Partner, WB);
+    B.addStore(M, WB, Workers[KB].Partner, WA);
+    VarId BufA = fresh(M, "bl");
+    B.addSCall(M, L.ListsNewArray, {}, BufA);
+    B.addStore(M, WA, Workers[KA].Buffer, BufA);
+    VarId BufB = fresh(M, "bl");
+    B.addSCall(M, L.ListsNewLinked, {}, BufB);
+    B.addStore(M, WB, Workers[KB].Buffer, BufB);
+
+    // Observer wiring: listeners spawned from worker instances, payloads
+    // broadcast through the shared registry.  Workers keep a registry
+    // reference so their step bodies can subscribe too.
+    B.addStore(M, WA, WorkerRegistry, Reg);
+    B.addStore(M, WB, WorkerRegistry, Reg);
+    if (R.chancePercent(P.ObserverPercent)) {
+      VarId Li = fresh(M, "li");
+      B.addVCall(M, R.chancePercent(50) ? WA : WB, SigSpawn0, {}, Li);
+      B.addVCall(M, Reg, SigRegister1, {Li});
+    }
+    uint32_t Broadcasts =
+        (P.ObserverPercent >= 80 ? 2u : 1u);
+    for (uint32_t Bc = 0; Bc < Broadcasts; ++Bc) {
+      if (!R.chancePercent(P.ObserverPercent))
+        continue;
+      // Broadcast a transformed clone: one abstract object under a
+      // context-insensitive heap, one per source under receiver-derived
+      // heap contexts — the broadcast union then scales with precision
+      // and each listener context replicates it.
+      auto [BF, BS] = pickConcrete();
+      VarId D = allocData(M, BF, BS);
+      VarId T = fresh(M, "bt");
+      B.addVCall(M, D, SigTransform0, {}, T);
+      B.addVCall(M, Reg, SigBroadcast1, {T});
+    }
+
+    // Worker step calls with designated payloads: direct or through the
+    // shared static driver.
+    for (uint32_t C = 0; C < P.CallsPerPhase; ++C) {
+      bool UseA = R.chancePercent(50);
+      uint32_t K = UseA ? KA : KB;
+      VarId Recv = UseA ? WA : WB;
+      uint32_t J = static_cast<uint32_t>(R.below(P.MethodsPerWorker));
+      VarId Arg = allocData(M, StepFamily[J], Workers[K].StepSub[J]);
+      if (R.chancePercent(P.DriverPercent)) {
+        B.addSCall(M, Drivers[J], {Recv, Arg});
+      } else {
+        B.addVCall(M, Recv, StepSigs[J], {Arg});
+      }
+    }
+
+    // A merged-receiver dispatch: the poly-v-call baseline.
+    if (Workers[KA].Type != Workers[KB].Type && R.chancePercent(60)) {
+      VarId Mixed = fresh(M, "mw");
+      B.addMove(M, Mixed, WA);
+      B.addMove(M, Mixed, WB);
+      uint32_t J = static_cast<uint32_t>(R.below(P.MethodsPerWorker));
+      // Family-correct for both receivers; the subtype cast inside the
+      // step may legitimately fail for one of them when their designated
+      // subtypes differ — step 0 is the family-safe one.
+      VarId Arg = allocData(
+          M, StepFamily[0],
+          static_cast<uint32_t>(R.below(Families[StepFamily[0]].Subs.size())));
+      (void)J;
+      B.addVCall(M, Mixed, StepSigs[0], {Arg});
+    }
+
+    // Phase-level exception handling: catch whatever escapes the worker
+    // calls; which concrete exception classes reach here is call-graph
+    // precision at work.  Some phases cast the caught exception to a
+    // specific subclass.
+    if (R.chancePercent(60)) {
+      VarId HV = B.addHandler(M, ExcBase, "caught");
+      VarId G = fresh(M, "cg");
+      B.addVCall(M, HV, L.SigGet0, {}, G);
+      if (R.chancePercent(40)) {
+        VarId C = fresh(M, "ce");
+        B.addCast(M, C, HV,
+                  ExcSubs[R.below(ExcSubs.size())]);
+      }
+    }
+
+    // Phase-local blocks (static context: helper calls from here are
+    // static-inside-static chains).
+    uint32_t Extra = 1 + static_cast<uint32_t>(R.below(2));
+    for (uint32_t E = 0; E < Extra; ++E)
+      emitBlock(M, VarId::invalid());
+  }
+
+  // main: build the registry and invoke every phase with it.
+  TypeId AppCls = B.addType("App", L.Object);
+  MethodId Main = B.addMethod(AppCls, "main", 0, true);
+  VarId Reg = B.addLocal(Main, "reg");
+  B.addAlloc(Main, Reg, RegistryCls);
+  VarId Ll = B.addLocal(Main, "ll");
+  B.addAlloc(Main, Ll, L.LinkedList);
+  B.addStore(Main, Reg, RegistryListeners, Ll);
+  for (MethodId Ph : Phases)
+    B.addSCall(Main, Ph, {Reg});
+  B.addEntryPoint(Main);
+}
+
+GeneratedAppStats Generator::run() {
+  assert(P.TypeFamilies > 0 && P.SubtypesPerFamily > 0 &&
+         P.WorkerClasses > 0 && P.MethodsPerWorker > 0 &&
+         P.HelperMethods > 0 && P.Phases > 0 && "degenerate profile");
+  makeSigs();
+  makeListenerLib();
+  makeFamilies();
+  makeExceptions();
+  makeGlobals();
+  makeHelpers();
+  makeWorkers();
+  makeObservers();
+  makeDrivers();
+  makePhases();
+
+  GeneratedAppStats Stats;
+  const Program &Prog = B.current();
+  Stats.Types = Prog.numTypes();
+  Stats.Methods = Prog.numMethods();
+  Stats.Invokes = Prog.numInvokes();
+  Stats.Casts = Prog.numCastSites();
+  Stats.Allocs = Prog.numHeaps();
+  return Stats;
+}
+
+} // namespace
+
+GeneratedAppStats pt::generateApp(ProgramBuilder &B, const MiniLib &L,
+                                  const WorkloadProfile &Profile) {
+  Generator G(B, L, Profile);
+  return G.run();
+}

@@ -1,0 +1,122 @@
+//===- workloads/AppGenerator.h - Synthetic application generator -*- C++ -*-===//
+//
+// Part of the hybridpt project (PLDI 2013 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic generator of DaCapo-stand-in applications over the mini
+/// runtime library.
+///
+/// We cannot run the paper's corpus (Java bytecode + JDK); what the paper's
+/// evaluation actually measures, though, is how each context policy copes
+/// with a handful of recurring code shapes.  The generator emits those
+/// shapes at profile-controlled proportions:
+///
+///  - *static pass-through utilities* (identity/compose chains): the merge
+///    points that object-sensitive contexts cannot split and MERGESTATIC
+///    hybrids can (the paper's Section 3 motivation);
+///  - *wrapped allocations behind static factories*: heap-context stress;
+///  - *containers filled and drained through virtual methods*: the
+///    receiver-object chains where object-sensitivity shines over kCFA;
+///  - *casts back to the concrete type after such round trips*: dynamically
+///    safe, provable only by a sufficiently precise analysis (drives the
+///    may-fail-casts column);
+///  - *virtual dispatch on round-tripped values*: drives the poly-v-calls
+///    column;
+///  - a base rate of genuinely unsafe downcasts and genuinely polymorphic
+///    sites, so precision metrics have a floor as in real programs.
+///
+/// Everything is driven by a seeded PRNG: the same profile always produces
+/// the bit-identical program.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HYBRIDPT_WORKLOADS_APPGENERATOR_H
+#define HYBRIDPT_WORKLOADS_APPGENERATOR_H
+
+#include "support/Ids.h"
+#include "workloads/MiniLib.h"
+
+#include <cstdint>
+#include <string>
+
+namespace pt {
+
+class ProgramBuilder;
+
+/// Size and shape knobs for one synthetic application.
+struct WorkloadProfile {
+  std::string Name = "custom";
+  uint64_t Seed = 1;
+
+  /// Data-class families: one abstract base with \c SubtypesPerFamily
+  /// concrete subclasses each.
+  uint32_t TypeFamilies = 6;
+  uint32_t SubtypesPerFamily = 3;
+
+  /// Worker classes (virtual processing methods over data).
+  uint32_t WorkerClasses = 10;
+  uint32_t MethodsPerWorker = 4;
+
+  /// Generated static helper methods (pass-through / factory chains).
+  uint32_t HelperMethods = 8;
+  /// Maximum depth of helper-calls-helper chains.
+  uint32_t HelperChainDepth = 2;
+
+  /// Static phase methods invoked from main.
+  uint32_t Phases = 8;
+  /// Worker-method call sites per phase.
+  uint32_t CallsPerPhase = 5;
+  /// Pattern blocks per worker method body.
+  uint32_t BlocksPerMethod = 3;
+
+  /// Percentage of pattern blocks that go through static helpers (vs.
+  /// containers / direct virtual calls).
+  uint32_t StaticMergePercent = 12;
+  /// Percentage of round-trip blocks that end in a checked cast.
+  uint32_t CastPercent = 60;
+  /// Percentage of round-trip blocks that end in a virtual dispatch.
+  uint32_t DispatchPercent = 60;
+  /// Percentage of blocks using a shared-factory container (vs. a directly
+  /// allocated one).
+  uint32_t FactoryContainerPercent = 60;
+  /// Percentage of blocks that are genuinely unsafe downcasts.
+  uint32_t UnsafeCastPercent = 20;
+  /// Percentage of in-worker blocks that are same-receiver route merges —
+  /// the pattern only *uniform* hybrids (invocation sites in virtual
+  /// contexts) can split.  Keep small: it is the paper's small U-over-S
+  /// precision edge.
+  uint32_t RouteMergePercent = 6;
+  /// Percentage of phase step calls routed through the shared static
+  /// driver (one virtual call site for many receivers).
+  uint32_t DriverPercent = 55;
+  /// Percentage of worker-step bodies that call the partner's step 0.
+  uint32_t PartnerCallPercent = 30;
+  /// Percentage of worker-step bodies that raise an exception (half as
+  /// many install a local handler; uncaught ones escalate to phases).
+  uint32_t ThrowPercent = 20;
+  /// Percentage chance per phase of observer wiring (listener spawning
+  /// and registry broadcasts).  Listeners multiply under receiver-derived
+  /// heap contexts, which is what makes the 2obj+H family *pay* for its
+  /// precision — dial up for the paper's heavy benchmarks.
+  uint32_t ObserverPercent = 35;
+};
+
+/// Aggregate size of a generated application (for reports).
+struct GeneratedAppStats {
+  size_t Types = 0;
+  size_t Methods = 0;
+  size_t Invokes = 0;
+  size_t Casts = 0;
+  size_t Allocs = 0;
+};
+
+/// Generates one application into \p B (which must already contain the
+/// library \p L), registers main as an entry point, and returns size stats.
+GeneratedAppStats generateApp(ProgramBuilder &B, const MiniLib &L,
+                              const WorkloadProfile &Profile);
+
+} // namespace pt
+
+#endif // HYBRIDPT_WORKLOADS_APPGENERATOR_H

@@ -1,0 +1,40 @@
+//===- workloads/Fuzzer.h - Random program generator ------------*- C++ -*-===//
+//
+// Part of the hybridpt project (PLDI 2013 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generates small *arbitrary* (not realistic) programs for property-based
+/// and differential testing: random hierarchies, random instruction soups,
+/// dead code, unresolvable virtual calls, self-recursion — everything a
+/// solver must survive.  All outputs pass Program::validate.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HYBRIDPT_WORKLOADS_FUZZER_H
+#define HYBRIDPT_WORKLOADS_FUZZER_H
+
+#include <cstdint>
+#include <memory>
+
+namespace pt {
+
+class Program;
+
+/// Size knobs for fuzzed programs.
+struct FuzzOptions {
+  uint32_t Types = 8;
+  uint32_t Fields = 6;
+  uint32_t Methods = 14;
+  uint32_t MaxInstrPerMethod = 10;
+  uint32_t MaxLocals = 6;
+};
+
+/// Builds a random valid program from \p Seed.
+std::unique_ptr<Program> fuzzProgram(uint64_t Seed,
+                                     const FuzzOptions &Opts = {});
+
+} // namespace pt
+
+#endif // HYBRIDPT_WORKLOADS_FUZZER_H

@@ -1,0 +1,327 @@
+//===- workloads/MiniLib.cpp ----------------------------------------------------===//
+//
+// Part of the hybridpt project (PLDI 2013 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/MiniLib.h"
+
+#include "ir/ProgramBuilder.h"
+
+using namespace pt;
+
+MiniLib pt::buildMiniLib(ProgramBuilder &B) {
+  MiniLib L;
+
+  // --- Types ---
+  L.Object = B.addType("Object");
+  L.String = B.addType("String", L.Object);
+  L.Box = B.addType("Box", L.Object);
+  L.Pair = B.addType("Pair", L.Object);
+  L.Iterator = B.addType("Iterator", L.Object, /*IsAbstract=*/true);
+  L.ArrayIterator = B.addType("ArrayIterator", L.Iterator);
+  L.ListIterator = B.addType("ListIterator", L.Iterator);
+  L.List = B.addType("List", L.Object, /*IsAbstract=*/true);
+  L.ArrayList = B.addType("ArrayList", L.List);
+  L.LinkedList = B.addType("LinkedList", L.List);
+  L.Node = B.addType("Node", L.Object);
+  L.Map = B.addType("Map", L.Object, /*IsAbstract=*/true);
+  L.HashMap = B.addType("HashMap", L.Map);
+  L.StringBuilder = B.addType("StringBuilder", L.Object);
+  L.Lists = B.addType("Lists", L.Object);
+  L.Maps = B.addType("Maps", L.Object);
+  L.Util = B.addType("Util", L.Object);
+
+  // --- Fields ---
+  L.BoxValue = B.addField(L.Box, "value");
+  L.PairFirst = B.addField(L.Pair, "first");
+  L.PairSecond = B.addField(L.Pair, "second");
+  L.ArrayData = B.addField(L.ArrayList, "data");
+  L.ArrayItOwner = B.addField(L.ArrayIterator, "owner");
+  L.ListItNode = B.addField(L.ListIterator, "node");
+  L.NodeElem = B.addField(L.Node, "elem");
+  L.NodeNext = B.addField(L.Node, "next");
+  L.LinkedHead = B.addField(L.LinkedList, "head");
+  L.MapVals = B.addField(L.HashMap, "vals");
+  L.MapKeys = B.addField(L.HashMap, "keys");
+  L.BuilderBuf = B.addField(L.StringBuilder, "buf");
+
+  // --- Signatures ---
+  L.SigGet0 = B.getSig("get", 0);
+  L.SigSet1 = B.getSig("set", 1);
+  L.SigAdd1 = B.getSig("add", 1);
+  L.SigIterator0 = B.getSig("iterator", 0);
+  L.SigNext0 = B.getSig("next", 0);
+  L.SigPut2 = B.getSig("put", 2);
+  L.SigMapGet1 = B.getSig("lookup", 1);
+  L.SigValues0 = B.getSig("values", 0);
+  L.SigFirst0 = B.getSig("first", 0);
+  L.SigSecond0 = B.getSig("second", 0);
+  L.SigAppend1 = B.getSig("append", 1);
+  L.SigBuild0 = B.getSig("build", 0);
+
+  // --- Box ---
+  // Box.get() { r = this.value; return r; }
+  L.BoxGet = B.addMethod(L.Box, "get", 0, false);
+  {
+    VarId R = B.addLocal(L.BoxGet, "r");
+    B.addLoad(L.BoxGet, R, B.thisVar(L.BoxGet), L.BoxValue);
+    B.setReturn(L.BoxGet, R);
+  }
+  // Box.set(v) { this.value = v; }
+  L.BoxSet = B.addMethod(L.Box, "set", 1, false);
+  B.addStore(L.BoxSet, B.thisVar(L.BoxSet), L.BoxValue,
+             B.formal(L.BoxSet, 0));
+  // static Box.of(v) { b = new Box; b.set(v); return b; }
+  // Note the virtual call inside a static method: exercises MERGE after
+  // MERGESTATIC.
+  L.BoxOf = B.addMethod(L.Box, "of", 1, true);
+  {
+    VarId Bx = B.addLocal(L.BoxOf, "b");
+    B.addAlloc(L.BoxOf, Bx, L.Box);
+    B.addVCall(L.BoxOf, Bx, L.SigSet1, {B.formal(L.BoxOf, 0)});
+    B.setReturn(L.BoxOf, Bx);
+  }
+
+  // --- Pair ---
+  L.PairGetFirst = B.addMethod(L.Pair, "first", 0, false);
+  {
+    VarId R = B.addLocal(L.PairGetFirst, "r");
+    B.addLoad(L.PairGetFirst, R, B.thisVar(L.PairGetFirst), L.PairFirst);
+    B.setReturn(L.PairGetFirst, R);
+  }
+  L.PairGetSecond = B.addMethod(L.Pair, "second", 0, false);
+  {
+    VarId R = B.addLocal(L.PairGetSecond, "r");
+    B.addLoad(L.PairGetSecond, R, B.thisVar(L.PairGetSecond), L.PairSecond);
+    B.setReturn(L.PairGetSecond, R);
+  }
+  // static Pair.of(a, b) { p = new Pair; p.first = a; p.second = b; }
+  L.PairOf = B.addMethod(L.Pair, "of", 2, true);
+  {
+    VarId P = B.addLocal(L.PairOf, "p");
+    B.addAlloc(L.PairOf, P, L.Pair);
+    B.addStore(L.PairOf, P, L.PairFirst, B.formal(L.PairOf, 0));
+    B.addStore(L.PairOf, P, L.PairSecond, B.formal(L.PairOf, 1));
+    B.setReturn(L.PairOf, P);
+  }
+
+  // --- ArrayList ---
+  // add(e) { this.data = e; }   (collapsed-array storage)
+  L.ArrayListAdd = B.addMethod(L.ArrayList, "add", 1, false);
+  B.addStore(L.ArrayListAdd, B.thisVar(L.ArrayListAdd), L.ArrayData,
+             B.formal(L.ArrayListAdd, 0));
+  // get() { r = this.data; return r; }
+  L.ArrayListGet = B.addMethod(L.ArrayList, "get", 0, false);
+  {
+    VarId R = B.addLocal(L.ArrayListGet, "r");
+    B.addLoad(L.ArrayListGet, R, B.thisVar(L.ArrayListGet), L.ArrayData);
+    B.setReturn(L.ArrayListGet, R);
+  }
+  // iterator() { it = new ArrayIterator; it.owner = this; return it; }
+  L.ArrayListIterator = B.addMethod(L.ArrayList, "iterator", 0, false);
+  {
+    VarId It = B.addLocal(L.ArrayListIterator, "it");
+    B.addAlloc(L.ArrayListIterator, It, L.ArrayIterator);
+    B.addStore(L.ArrayListIterator, It, L.ArrayItOwner,
+               B.thisVar(L.ArrayListIterator));
+    B.setReturn(L.ArrayListIterator, It);
+  }
+  // ArrayIterator.next() { l = this.owner; r = l.data; return r; }
+  L.ArrayIteratorNext = B.addMethod(L.ArrayIterator, "next", 0, false);
+  {
+    VarId Lv = B.addLocal(L.ArrayIteratorNext, "l");
+    VarId R = B.addLocal(L.ArrayIteratorNext, "r");
+    B.addLoad(L.ArrayIteratorNext, Lv, B.thisVar(L.ArrayIteratorNext),
+              L.ArrayItOwner);
+    B.addLoad(L.ArrayIteratorNext, R, Lv, L.ArrayData);
+    B.setReturn(L.ArrayIteratorNext, R);
+  }
+
+  // --- LinkedList ---
+  // add(e) { n = new Node; n.elem = e; n.next = this.head; this.head = n; }
+  L.LinkedListAdd = B.addMethod(L.LinkedList, "add", 1, false);
+  {
+    VarId N = B.addLocal(L.LinkedListAdd, "n");
+    VarId H = B.addLocal(L.LinkedListAdd, "h");
+    B.addAlloc(L.LinkedListAdd, N, L.Node);
+    B.addStore(L.LinkedListAdd, N, L.NodeElem, B.formal(L.LinkedListAdd, 0));
+    B.addLoad(L.LinkedListAdd, H, B.thisVar(L.LinkedListAdd), L.LinkedHead);
+    B.addStore(L.LinkedListAdd, N, L.NodeNext, H);
+    B.addStore(L.LinkedListAdd, B.thisVar(L.LinkedListAdd), L.LinkedHead, N);
+  }
+  // get() { n = this.head; m = n.next; n = m; r = n.elem; return r; }
+  // The n = m move makes traversal depth irrelevant (flow-insensitive).
+  L.LinkedListGet = B.addMethod(L.LinkedList, "get", 0, false);
+  {
+    VarId N = B.addLocal(L.LinkedListGet, "n");
+    VarId M = B.addLocal(L.LinkedListGet, "m");
+    VarId R = B.addLocal(L.LinkedListGet, "r");
+    B.addLoad(L.LinkedListGet, N, B.thisVar(L.LinkedListGet), L.LinkedHead);
+    B.addLoad(L.LinkedListGet, M, N, L.NodeNext);
+    B.addMove(L.LinkedListGet, N, M);
+    B.addLoad(L.LinkedListGet, R, N, L.NodeElem);
+    B.setReturn(L.LinkedListGet, R);
+  }
+  // iterator() { it = new ListIterator; it.node = this.head; return it; }
+  L.LinkedListIterator = B.addMethod(L.LinkedList, "iterator", 0, false);
+  {
+    VarId It = B.addLocal(L.LinkedListIterator, "it");
+    VarId H = B.addLocal(L.LinkedListIterator, "h");
+    B.addAlloc(L.LinkedListIterator, It, L.ListIterator);
+    B.addLoad(L.LinkedListIterator, H, B.thisVar(L.LinkedListIterator),
+              L.LinkedHead);
+    B.addStore(L.LinkedListIterator, It, L.ListItNode, H);
+    B.setReturn(L.LinkedListIterator, It);
+  }
+  // ListIterator.next() { n = this.node; m = n.next; this.node = m;
+  //                       r = n.elem; return r; }
+  L.ListIteratorNext = B.addMethod(L.ListIterator, "next", 0, false);
+  {
+    VarId N = B.addLocal(L.ListIteratorNext, "n");
+    VarId M = B.addLocal(L.ListIteratorNext, "m");
+    VarId R = B.addLocal(L.ListIteratorNext, "r");
+    B.addLoad(L.ListIteratorNext, N, B.thisVar(L.ListIteratorNext),
+              L.ListItNode);
+    B.addLoad(L.ListIteratorNext, M, N, L.NodeNext);
+    B.addStore(L.ListIteratorNext, B.thisVar(L.ListIteratorNext),
+               L.ListItNode, M);
+    B.addLoad(L.ListIteratorNext, R, N, L.NodeElem);
+    B.setReturn(L.ListIteratorNext, R);
+  }
+
+  // --- HashMap ---
+  // put(k, v) { this.keys = k; this.vals = v; }
+  L.HashMapPut = B.addMethod(L.HashMap, "put", 2, false);
+  {
+    B.addStore(L.HashMapPut, B.thisVar(L.HashMapPut), L.MapKeys,
+               B.formal(L.HashMapPut, 0));
+    B.addStore(L.HashMapPut, B.thisVar(L.HashMapPut), L.MapVals,
+               B.formal(L.HashMapPut, 1));
+  }
+  // lookup(k) { r = this.vals; return r; }
+  L.HashMapGet = B.addMethod(L.HashMap, "lookup", 1, false);
+  {
+    VarId R = B.addLocal(L.HashMapGet, "r");
+    B.addLoad(L.HashMapGet, R, B.thisVar(L.HashMapGet), L.MapVals);
+    B.setReturn(L.HashMapGet, R);
+  }
+  // values() { l = new ArrayList; v = this.vals; l.add(v); return l; }
+  L.HashMapValues = B.addMethod(L.HashMap, "values", 0, false);
+  {
+    VarId Lv = B.addLocal(L.HashMapValues, "l");
+    VarId V = B.addLocal(L.HashMapValues, "v");
+    B.addAlloc(L.HashMapValues, Lv, L.ArrayList);
+    B.addLoad(L.HashMapValues, V, B.thisVar(L.HashMapValues), L.MapVals);
+    B.addVCall(L.HashMapValues, Lv, L.SigAdd1, {V});
+    B.setReturn(L.HashMapValues, Lv);
+  }
+
+  // --- StringBuilder ---
+  // append(s) { this.buf = s; return this; }
+  L.BuilderAppend = B.addMethod(L.StringBuilder, "append", 1, false);
+  {
+    B.addStore(L.BuilderAppend, B.thisVar(L.BuilderAppend), L.BuilderBuf,
+               B.formal(L.BuilderAppend, 0));
+    B.setReturn(L.BuilderAppend, B.thisVar(L.BuilderAppend));
+  }
+  // build() { s = new String; return s; }
+  L.BuilderBuild = B.addMethod(L.StringBuilder, "build", 0, false);
+  {
+    VarId S = B.addLocal(L.BuilderBuild, "s");
+    B.addAlloc(L.BuilderBuild, S, L.String);
+    B.setReturn(L.BuilderBuild, S);
+  }
+
+  // --- Static factories (Lists / Maps) ---
+  // These single allocation sites shared by *all* clients are the classic
+  // heap-context stress: under a context-insensitive heap every list in
+  // the program is one abstract object.
+  L.ListsNewArray = B.addMethod(L.Lists, "newArrayList", 0, true);
+  {
+    VarId Lv = B.addLocal(L.ListsNewArray, "l");
+    B.addAlloc(L.ListsNewArray, Lv, L.ArrayList);
+    B.setReturn(L.ListsNewArray, Lv);
+  }
+  L.ListsNewLinked = B.addMethod(L.Lists, "newLinkedList", 0, true);
+  {
+    VarId Lv = B.addLocal(L.ListsNewLinked, "l");
+    B.addAlloc(L.ListsNewLinked, Lv, L.LinkedList);
+    B.setReturn(L.ListsNewLinked, Lv);
+  }
+  // static Lists.copy(src, dst) { it = src.iterator(); e = it.next();
+  //                               dst.add(e); }
+  L.ListsCopy = B.addMethod(L.Lists, "copy", 2, true);
+  {
+    VarId It = B.addLocal(L.ListsCopy, "it");
+    VarId E = B.addLocal(L.ListsCopy, "e");
+    B.addVCall(L.ListsCopy, B.formal(L.ListsCopy, 0), L.SigIterator0, {},
+               It);
+    B.addVCall(L.ListsCopy, It, L.SigNext0, {}, E);
+    B.addVCall(L.ListsCopy, B.formal(L.ListsCopy, 1), L.SigAdd1, {E});
+  }
+  L.MapsNewMap = B.addMethod(L.Maps, "newHashMap", 0, true);
+  {
+    VarId M = B.addLocal(L.MapsNewMap, "m");
+    B.addAlloc(L.MapsNewMap, M, L.HashMap);
+    B.setReturn(L.MapsNewMap, M);
+  }
+  // Wrapper factories: freshX() { l = newX(); return l; }
+  L.ListsFreshArray = B.addMethod(L.Lists, "freshArrayList", 0, true);
+  {
+    VarId Lv = B.addLocal(L.ListsFreshArray, "l");
+    B.addSCall(L.ListsFreshArray, L.ListsNewArray, {}, Lv);
+    B.setReturn(L.ListsFreshArray, Lv);
+  }
+  L.ListsFreshLinked = B.addMethod(L.Lists, "freshLinkedList", 0, true);
+  {
+    VarId Lv = B.addLocal(L.ListsFreshLinked, "l");
+    B.addSCall(L.ListsFreshLinked, L.ListsNewLinked, {}, Lv);
+    B.setReturn(L.ListsFreshLinked, Lv);
+  }
+  L.MapsFreshMap = B.addMethod(L.Maps, "freshHashMap", 0, true);
+  {
+    VarId M = B.addLocal(L.MapsFreshMap, "m");
+    B.addSCall(L.MapsFreshMap, L.MapsNewMap, {}, M);
+    B.setReturn(L.MapsFreshMap, M);
+  }
+
+  // --- Static pass-through utilities (Util) ---
+  // The shapes behind the paper's MERGESTATIC motivation: no allocation of
+  // their own, so object-sensitive contexts cannot tell call sites apart.
+  L.UtilIdentity = B.addMethod(L.Util, "identity", 1, true);
+  B.setReturn(L.UtilIdentity, B.formal(L.UtilIdentity, 0));
+  // identity2(x) { r = identity(x); return r; }  — a static chain.
+  L.UtilIdentity2 = B.addMethod(L.Util, "identity2", 1, true);
+  {
+    VarId R = B.addLocal(L.UtilIdentity2, "r");
+    B.addSCall(L.UtilIdentity2, L.UtilIdentity, {B.formal(L.UtilIdentity2, 0)},
+               R);
+    B.setReturn(L.UtilIdentity2, R);
+  }
+  // wrap(x) { b = Box.of(x); return b; } — static factory chain.
+  L.UtilWrap = B.addMethod(L.Util, "wrap", 1, true);
+  {
+    VarId R = B.addLocal(L.UtilWrap, "r");
+    B.addSCall(L.UtilWrap, L.BoxOf, {B.formal(L.UtilWrap, 0)}, R);
+    B.setReturn(L.UtilWrap, R);
+  }
+  // unwrap(o) { b = (Box) o; r = b.get(); return r; }
+  L.UtilUnwrap = B.addMethod(L.Util, "unwrap", 1, true);
+  {
+    VarId Bx = B.addLocal(L.UtilUnwrap, "b");
+    VarId R = B.addLocal(L.UtilUnwrap, "r");
+    B.addCast(L.UtilUnwrap, Bx, B.formal(L.UtilUnwrap, 0), L.Box);
+    B.addVCall(L.UtilUnwrap, Bx, L.SigGet0, {}, R);
+    B.setReturn(L.UtilUnwrap, R);
+  }
+  // newString() { s = new String; return s; }
+  L.UtilNewString = B.addMethod(L.Util, "newString", 0, true);
+  {
+    VarId S = B.addLocal(L.UtilNewString, "s");
+    B.addAlloc(L.UtilNewString, S, L.String);
+    B.setReturn(L.UtilNewString, S);
+  }
+
+  return L;
+}

@@ -1,0 +1,115 @@
+//===- workloads/MiniLib.h - Mini runtime library ---------------*- C++ -*-===//
+//
+// Part of the hybridpt project (PLDI 2013 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A hand-written, JDK-flavoured runtime library in the analysis IR.
+///
+/// The paper analyzes DaCapo programs *together with the JDK*; most of the
+/// interesting context-sensitivity phenomena arise in library code shared
+/// by all application classes: collections whose element fields conflate
+/// every client under weak contexts, iterators, boxes, pairs, string
+/// builders, and static factory/utility methods that object-sensitivity
+/// cannot distinguish (the paper's motivation for MERGESTATIC).  This
+/// module provides exactly those shapes.  Handles to every declared entity
+/// are returned so the synthetic application generator can link against
+/// the library.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HYBRIDPT_WORKLOADS_MINILIB_H
+#define HYBRIDPT_WORKLOADS_MINILIB_H
+
+#include "support/Ids.h"
+
+namespace pt {
+
+class ProgramBuilder;
+
+/// Handles to every entity the mini runtime library declares.
+struct MiniLib {
+  // Types.
+  TypeId Object;        ///< Hierarchy root.
+  TypeId String;        ///< Opaque string payload.
+  TypeId Box;           ///< One-slot mutable cell.
+  TypeId Pair;          ///< Two-slot immutable-ish cell.
+  TypeId Iterator;      ///< Abstract iterator.
+  TypeId ArrayIterator; ///< Iterator over ArrayList.
+  TypeId ListIterator;  ///< Iterator over LinkedList.
+  TypeId List;          ///< Abstract list.
+  TypeId ArrayList;     ///< Collapsed-array list implementation.
+  TypeId LinkedList;    ///< Node-chain list implementation.
+  TypeId Node;          ///< LinkedList node.
+  TypeId Map;           ///< Abstract map.
+  TypeId HashMap;       ///< Collapsed-bucket map implementation.
+  TypeId StringBuilder; ///< Append-and-build string accumulator.
+  TypeId Lists;         ///< Static factory/utility holder for lists.
+  TypeId Maps;          ///< Static factory holder for maps.
+  TypeId Util;          ///< Static pass-through utilities.
+
+  // Fields.
+  FieldId BoxValue;
+  FieldId PairFirst;
+  FieldId PairSecond;
+  FieldId ArrayData;    ///< ArrayList element storage (collapsed array).
+  FieldId ArrayItOwner; ///< ArrayIterator -> its list.
+  FieldId ListItNode;   ///< ListIterator -> current node.
+  FieldId NodeElem;
+  FieldId NodeNext;
+  FieldId LinkedHead;
+  FieldId MapVals;      ///< HashMap value storage (collapsed buckets).
+  FieldId MapKeys;      ///< HashMap key storage.
+  FieldId BuilderBuf;
+
+  // Dispatch signatures shared with application code.
+  SigId SigGet0;      ///< get/0
+  SigId SigSet1;      ///< set/1
+  SigId SigAdd1;      ///< add/1
+  SigId SigIterator0; ///< iterator/0
+  SigId SigNext0;     ///< next/0
+  SigId SigPut2;      ///< put/2
+  SigId SigMapGet1;   ///< lookup/1
+  SigId SigValues0;   ///< values/0
+  SigId SigFirst0;    ///< first/0
+  SigId SigSecond0;   ///< second/0
+  SigId SigAppend1;   ///< append/1
+  SigId SigBuild0;    ///< build/0
+
+  // Methods (instance).
+  MethodId BoxGet, BoxSet;
+  MethodId PairGetFirst, PairGetSecond;
+  MethodId ArrayListAdd, ArrayListGet, ArrayListIterator;
+  MethodId LinkedListAdd, LinkedListGet, LinkedListIterator;
+  MethodId ArrayIteratorNext, ListIteratorNext;
+  MethodId HashMapPut, HashMapGet, HashMapValues;
+  MethodId BuilderAppend, BuilderBuild;
+
+  // Methods (static factories and utilities).
+  MethodId BoxOf;        ///< static Box.of(v)
+  MethodId PairOf;       ///< static Pair.of(a, b)
+  MethodId ListsNewArray;///< static Lists.newArrayList()
+  MethodId ListsNewLinked; ///< static Lists.newLinkedList()
+  MethodId ListsCopy;    ///< static Lists.copy(src, dst)
+  MethodId MapsNewMap;   ///< static Maps.newHashMap()
+  /// Wrapper factories: one extra static frame above the allocation, so a
+  /// call-site-sensitive heap context sees a single allocation-reaching
+  /// site and gains nothing (the reason 1call+H barely beats 1call in the
+  /// paper: library allocations sit inside constructors/factories).
+  MethodId ListsFreshArray;  ///< static Lists.freshArrayList()
+  MethodId ListsFreshLinked; ///< static Lists.freshLinkedList()
+  MethodId MapsFreshMap;     ///< static Maps.freshHashMap()
+  MethodId UtilIdentity; ///< static Util.identity(x) = x
+  MethodId UtilIdentity2;///< static Util.identity2(x) = identity(x)
+  MethodId UtilWrap;     ///< static Util.wrap(x) = new Box holding x
+  MethodId UtilUnwrap;   ///< static Util.unwrap(b) = ((Box) b).get()
+  MethodId UtilNewString;///< static Util.newString()
+};
+
+/// Declares the library into \p B and returns the handles.
+MiniLib buildMiniLib(ProgramBuilder &B);
+
+} // namespace pt
+
+#endif // HYBRIDPT_WORKLOADS_MINILIB_H

@@ -1,0 +1,189 @@
+//===- workloads/Profiles.cpp --------------------------------------------------===//
+//
+// Part of the hybridpt project (PLDI 2013 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Profiles.h"
+
+#include "ir/Program.h"
+#include "ir/ProgramBuilder.h"
+
+#include <cassert>
+
+using namespace pt;
+
+const std::vector<std::string> &pt::benchmarkNames() {
+  static const std::vector<std::string> Names = {
+      "antlr", "bloat",   "chart",    "eclipse", "hsqldb",
+      "jython", "luindex", "lusearch", "pmd",     "xalan"};
+  return Names;
+}
+
+bool pt::isBenchmarkName(std::string_view Name) {
+  for (const std::string &N : benchmarkNames())
+    if (N == Name)
+      return true;
+  return false;
+}
+
+WorkloadProfile pt::benchmarkProfile(std::string_view Name) {
+  WorkloadProfile P;
+  P.Name = std::string(Name);
+
+  if (Name == "antlr") {
+    P.ObserverPercent = 40;
+    // Mid-sized, cast-heavy (a parser generator: lots of tree downcasts).
+    P.Seed = 101;
+    P.TypeFamilies = 7;
+    P.SubtypesPerFamily = 3;
+    P.WorkerClasses = 101;
+    P.MethodsPerWorker = 5;
+    P.HelperMethods = 14;
+    P.Phases = 58;
+    P.CallsPerPhase = 6;
+    P.BlocksPerMethod = 3;
+    P.CastPercent = 75;
+    P.StaticMergePercent = 13;
+  } else if (Name == "bloat") {
+    P.ObserverPercent = 100;
+    // The heavy benchmark: biggest worker fleet, most dispatch, deepest
+    // helper chains — 2obj+H-family analyses should strain here.
+    P.Seed = 102;
+    P.TypeFamilies = 9;
+    P.SubtypesPerFamily = 4;
+    P.WorkerClasses = 229;
+    P.MethodsPerWorker = 6;
+    P.HelperMethods = 22;
+    P.HelperChainDepth = 3;
+    P.Phases = 130;
+    P.CallsPerPhase = 8;
+    P.BlocksPerMethod = 4;
+    P.StaticMergePercent = 13;
+    P.DispatchPercent = 75;
+  } else if (Name == "chart") {
+    P.ObserverPercent = 95;
+    // Large and rendering-pipeline-like: many worker classes, strong
+    // polymorphism, container-heavy.
+    P.Seed = 103;
+    P.TypeFamilies = 10;
+    P.SubtypesPerFamily = 4;
+    P.WorkerClasses = 182;
+    P.MethodsPerWorker = 5;
+    P.HelperMethods = 18;
+    P.Phases = 101;
+    P.CallsPerPhase = 7;
+    P.BlocksPerMethod = 3;
+    P.FactoryContainerPercent = 65;
+    P.DispatchPercent = 80;
+  } else if (Name == "eclipse") {
+    P.ObserverPercent = 70;
+    // Mid-sized plugin-framework shape: moderate everything.
+    P.Seed = 104;
+    P.TypeFamilies = 8;
+    P.SubtypesPerFamily = 3;
+    P.WorkerClasses = 117;
+    P.MethodsPerWorker = 4;
+    P.HelperMethods = 16;
+    P.Phases = 67;
+    P.CallsPerPhase = 5;
+    P.BlocksPerMethod = 3;
+  } else if (Name == "hsqldb") {
+    P.ObserverPercent = 60;
+    // Static-call heavy (a SQL engine full of static utility layers).
+    P.Seed = 105;
+    P.TypeFamilies = 7;
+    P.SubtypesPerFamily = 3;
+    P.WorkerClasses = 109;
+    P.MethodsPerWorker = 5;
+    P.HelperMethods = 26;
+    P.HelperChainDepth = 3;
+    P.Phases = 67;
+    P.CallsPerPhase = 6;
+    P.BlocksPerMethod = 3;
+    P.StaticMergePercent = 18;
+  } else if (Name == "jython") {
+    P.ObserverPercent = 55;
+    // Deep static chains + boxes (an interpreter boxing everything).
+    P.Seed = 106;
+    P.TypeFamilies = 8;
+    P.SubtypesPerFamily = 3;
+    P.WorkerClasses = 117;
+    P.MethodsPerWorker = 5;
+    P.HelperMethods = 24;
+    P.HelperChainDepth = 4;
+    P.Phases = 67;
+    P.CallsPerPhase = 6;
+    P.BlocksPerMethod = 3;
+    P.StaticMergePercent = 15;
+  } else if (Name == "luindex") {
+    P.ObserverPercent = 20;
+    // Small and quick.
+    P.Seed = 107;
+    P.TypeFamilies = 5;
+    P.SubtypesPerFamily = 3;
+    P.WorkerClasses = 40;
+    P.MethodsPerWorker = 4;
+    P.HelperMethods = 10;
+    P.Phases = 20;
+    P.CallsPerPhase = 5;
+    P.BlocksPerMethod = 3;
+  } else if (Name == "lusearch") {
+    P.ObserverPercent = 25;
+    // Small sibling of luindex with more dispatch.
+    P.Seed = 108;
+    P.TypeFamilies = 5;
+    P.SubtypesPerFamily = 3;
+    P.WorkerClasses = 45;
+    P.MethodsPerWorker = 4;
+    P.HelperMethods = 10;
+    P.Phases = 22;
+    P.CallsPerPhase = 5;
+    P.BlocksPerMethod = 3;
+    P.DispatchPercent = 75;
+  } else if (Name == "pmd") {
+    P.ObserverPercent = 45;
+    // Mid-sized AST-visitor shape: cast-heavy, moderate helpers.
+    P.Seed = 109;
+    P.TypeFamilies = 9;
+    P.SubtypesPerFamily = 3;
+    P.WorkerClasses = 109;
+    P.MethodsPerWorker = 4;
+    P.HelperMethods = 14;
+    P.Phases = 58;
+    P.CallsPerPhase = 6;
+    P.BlocksPerMethod = 3;
+    P.CastPercent = 80;
+  } else if (Name == "xalan") {
+    P.ObserverPercent = 90;
+    // Mid-large transformation pipeline: containers + helpers.
+    P.Seed = 110;
+    P.TypeFamilies = 9;
+    P.SubtypesPerFamily = 4;
+    P.WorkerClasses = 155;
+    P.MethodsPerWorker = 5;
+    P.HelperMethods = 18;
+    P.Phases = 94;
+    P.CallsPerPhase = 6;
+    P.BlocksPerMethod = 3;
+    P.StaticMergePercent = 13;
+    P.FactoryContainerPercent = 65;
+  } else {
+    assert(false && "unknown benchmark name");
+  }
+  return P;
+}
+
+Benchmark pt::buildBenchmark(const WorkloadProfile &Profile) {
+  Benchmark Result;
+  Result.Name = Profile.Name;
+  ProgramBuilder B;
+  Result.Lib = buildMiniLib(B);
+  Result.Stats = generateApp(B, Result.Lib, Profile);
+  Result.Prog = B.build();
+  return Result;
+}
+
+Benchmark pt::buildBenchmark(std::string_view Name) {
+  return buildBenchmark(benchmarkProfile(Name));
+}

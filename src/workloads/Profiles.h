@@ -1,0 +1,61 @@
+//===- workloads/Profiles.h - Named benchmark profiles ----------*- C++ -*-===//
+//
+// Part of the hybridpt project (PLDI 2013 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The ten DaCapo-stand-in benchmark profiles used by the Table 1 /
+/// Figure 3 harnesses, named after the paper's benchmarks.
+///
+/// Each profile tunes the generator toward the qualitative character the
+/// paper reports for that benchmark: e.g. `bloat` is the heavy one (largest
+/// context blow-ups, 2obj+H slow), `chart` is large and dispatch-heavy,
+/// `luindex`/`lusearch` are the small quick ones, `jython` exercises deep
+/// static helper chains.  Absolute sizes are laptop-scale; the *relative*
+/// behaviour across analyses is the reproduction target.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HYBRIDPT_WORKLOADS_PROFILES_H
+#define HYBRIDPT_WORKLOADS_PROFILES_H
+
+#include "workloads/AppGenerator.h"
+#include "workloads/MiniLib.h"
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pt {
+
+class Program;
+
+/// A fully built benchmark: the program plus its generation metadata.
+struct Benchmark {
+  std::string Name;
+  std::unique_ptr<Program> Prog;
+  GeneratedAppStats Stats;
+  MiniLib Lib;
+};
+
+/// Names of the ten stand-in benchmarks, in the paper's Table 1 order.
+const std::vector<std::string> &benchmarkNames();
+
+/// The profile for \p Name; asserts on unknown names (check with
+/// \c isBenchmarkName first for user input).
+WorkloadProfile benchmarkProfile(std::string_view Name);
+
+/// True when \p Name is one of \c benchmarkNames().
+bool isBenchmarkName(std::string_view Name);
+
+/// Builds the named benchmark (library + generated application).
+Benchmark buildBenchmark(std::string_view Name);
+
+/// Builds a benchmark from an explicit profile (for tests and ablations).
+Benchmark buildBenchmark(const WorkloadProfile &Profile);
+
+} // namespace pt
+
+#endif // HYBRIDPT_WORKLOADS_PROFILES_H

@@ -1,0 +1,98 @@
+//===- tests/golden_test.cpp - Pinned end-to-end results ------------------===//
+//
+// Part of the hybridpt project (PLDI 2013 reproduction).
+//
+// Locks the exact metric values of one benchmark under every policy.
+// Generation is seeded and the solver is deterministic, so any change to
+// these numbers means a semantic change to the generator, a policy, or
+// the solver — which must be a conscious decision (regenerate the table
+// below by running every policy over `luindex` and updating the rows).
+//
+//===----------------------------------------------------------------------===//
+
+#include "context/PolicyRegistry.h"
+#include "ir/Program.h"
+#include "pta/AnalysisResult.h"
+#include "pta/Metrics.h"
+#include "pta/Solver.h"
+#include "workloads/Profiles.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace {
+
+using namespace pt;
+
+struct GoldenRow {
+  size_t CsVarPointsTo;
+  size_t CallGraphEdges;
+  size_t PolyVCalls;
+  size_t MayFailCasts;
+  size_t ReachableMethods;
+  size_t FieldPointsTo;
+};
+
+const std::map<std::string, GoldenRow> &goldenLuindex() {
+  static const std::map<std::string, GoldenRow> Rows = {
+      {"insens", {17006, 2110, 174, 213, 241, 2915}},
+      {"1call", {19353, 1767, 128, 152, 241, 779}},
+      {"1call+H", {21029, 1614, 117, 145, 241, 1759}},
+      {"1obj", {13502, 1534, 148, 182, 241, 1376}},
+      {"U-1obj", {16797, 1431, 103, 122, 241, 639}},
+      {"SA-1obj", {9015, 1500, 116, 133, 241, 639}},
+      {"SB-1obj", {8987, 1454, 116, 133, 241, 639}},
+      {"2obj+H", {10621, 1279, 108, 143, 241, 1650}},
+      {"U-2obj+H", {10731, 1183, 63, 83, 241, 913}},
+      {"S-2obj+H", {7646, 1199, 69, 87, 241, 913}},
+      {"2type+H", {10513, 1301, 122, 157, 241, 1624}},
+      {"U-2type+H", {10797, 1205, 77, 97, 241, 882}},
+      {"S-2type+H", {7573, 1221, 83, 101, 241, 887}},
+      {"U-2obj+HI", {17379, 1278, 92, 115, 241, 1204}},
+      {"U-2obj+H-swapped", {16797, 1431, 103, 122, 241, 639}},
+      {"D-2obj+H", {7646, 1199, 69, 87, 241, 913}},
+      {"3obj+2H", {8922, 1201, 100, 135, 241, 1689}},
+      {"2call+H", {22877, 1291, 87, 108, 241, 1336}},
+  };
+  return Rows;
+}
+
+class GoldenLuindex : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(GoldenLuindex, MetricsMatchPinnedValues) {
+  static Benchmark Bench = buildBenchmark("luindex");
+  const std::string &Name = GetParam();
+  const GoldenRow &Want = goldenLuindex().at(Name);
+
+  auto Policy = createPolicy(Name, *Bench.Prog);
+  ASSERT_NE(Policy, nullptr);
+  Solver S(*Bench.Prog, *Policy);
+  PrecisionMetrics M = computeMetrics(S.run());
+
+  EXPECT_EQ(M.CsVarPointsTo, Want.CsVarPointsTo);
+  EXPECT_EQ(M.CallGraphEdges, Want.CallGraphEdges);
+  EXPECT_EQ(M.PolyVCalls, Want.PolyVCalls);
+  EXPECT_EQ(M.MayFailCasts, Want.MayFailCasts);
+  EXPECT_EQ(M.ReachableMethods, Want.ReachableMethods);
+  EXPECT_EQ(M.FieldPointsTo, Want.FieldPointsTo);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, GoldenLuindex, ::testing::ValuesIn(allPolicyNames()),
+    [](const ::testing::TestParamInfo<std::string> &Info) {
+      std::string Name = Info.param;
+      for (char &C : Name)
+        if (C == '-' || C == '+')
+          C = '_';
+      return Name;
+    });
+
+TEST(Golden, CoversEveryRegisteredPolicy) {
+  for (const std::string &Name : allPolicyNames())
+    EXPECT_TRUE(goldenLuindex().count(Name))
+        << "no golden row for new policy '" << Name
+        << "' — extend tests/golden_test.cpp";
+}
+
+} // namespace

@@ -1,0 +1,177 @@
+//===- tests/soundness_test.cpp - Concrete execution containment ----------===//
+//
+// Part of the hybridpt project (PLDI 2013 reproduction).
+//
+// The third validation leg (after unit tests and the solver/Datalog
+// differential): everything a randomized *concrete execution* observes
+// must be contained in every analysis' result.  A violation would be a
+// genuine soundness bug in the rules, a policy, or the solver.
+//
+//===----------------------------------------------------------------------===//
+
+#include "context/PolicyRegistry.h"
+#include "interp/Interpreter.h"
+#include "ir/Program.h"
+#include "ir/ProgramBuilder.h"
+#include "pta/AnalysisResult.h"
+#include "pta/Clients.h"
+#include "pta/Solver.h"
+#include "support/Hashing.h"
+#include "workloads/Fuzzer.h"
+#include "workloads/Profiles.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace {
+
+using namespace pt;
+
+/// Checks containment of \p Obs in the result of \p PolicyName over
+/// \p Prog.
+void expectContained(const Program &Prog, const ConcreteObservations &Obs,
+                     const std::string &PolicyName) {
+  auto Policy = createPolicy(PolicyName, Prog);
+  ASSERT_NE(Policy, nullptr);
+  Solver S(Prog, *Policy);
+  AnalysisResult R = S.run();
+  ASSERT_FALSE(R.Aborted);
+
+  // Projections from the analysis.
+  std::set<std::pair<uint32_t, uint32_t>> AbsVpt;
+  for (const auto &E : R.VarFacts)
+    for (uint32_t Obj : E.Objs)
+      AbsVpt.insert({E.Var.index(), R.objHeap(Obj).index()});
+  std::set<std::pair<uint32_t, uint32_t>> AbsEdges;
+  for (const CallGraphEdge &E : R.CallEdges)
+    AbsEdges.insert({E.Invo.index(), E.Callee.index()});
+  std::set<uint32_t> AbsReach;
+  for (const auto &[M, Ctx] : R.Reachable)
+    AbsReach.insert(M.index());
+  std::set<std::pair<uint32_t, uint32_t>> AbsStatics;
+  for (const auto &E : R.StaticFacts)
+    for (uint32_t Obj : E.Objs)
+      AbsStatics.insert({E.Fld.index(), R.objHeap(Obj).index()});
+
+  for (const auto &P : Obs.VarPointsTo)
+    EXPECT_TRUE(AbsVpt.count(P))
+        << PolicyName << " misses concrete var-points-to: "
+        << Prog.text(Prog.var(VarId(P.first)).Name) << " -> "
+        << Prog.text(Prog.heap(HeapId(P.second)).Name);
+  for (const auto &P : Obs.CallEdges)
+    EXPECT_TRUE(AbsEdges.count(P))
+        << PolicyName << " misses concrete call edge to "
+        << Prog.qualifiedName(MethodId(P.second));
+  for (uint32_t M : Obs.ReachableMethods)
+    EXPECT_TRUE(AbsReach.count(M))
+        << PolicyName << " misses concretely reached "
+        << Prog.qualifiedName(MethodId(M));
+  for (const auto &P : Obs.StaticFieldPointsTo)
+    EXPECT_TRUE(AbsStatics.count(P))
+        << PolicyName << " misses concrete static-field fact";
+  // A concretely failing cast must be flagged may-fail.
+  for (uint32_t Site : Obs.FailedCasts)
+    EXPECT_TRUE(R.mayFailCast(Site))
+        << PolicyName << " claims safety of a cast that concretely failed";
+}
+
+TEST(Soundness, InterpreterIsDeterministicPerSeed) {
+  auto P = fuzzProgram(5);
+  InterpOptions Opts;
+  Opts.Seed = 77;
+  ConcreteObservations A = interpret(*P, Opts);
+  ConcreteObservations B = interpret(*P, Opts);
+  EXPECT_EQ(A.VarPointsTo, B.VarPointsTo);
+  EXPECT_EQ(A.CallEdges, B.CallEdges);
+  EXPECT_EQ(A.Steps, B.Steps);
+}
+
+TEST(Soundness, InterpreterObservesBasicFacts) {
+  ProgramBuilder B;
+  TypeId Object = B.addType("Object");
+  TypeId A = B.addType("A", Object);
+  FieldId F = B.addField(A, "f");
+  MethodId Main = B.addMethod(Object, "main", 0, true);
+  VarId X = B.addLocal(Main, "x");
+  VarId Y = B.addLocal(Main, "y");
+  VarId Z = B.addLocal(Main, "z");
+  HeapId H = B.addAlloc(Main, X, A);
+  B.addStore(Main, X, F, X);
+  B.addLoad(Main, Y, X, F);
+  B.addMove(Main, Z, Y);
+  B.addEntryPoint(Main);
+  auto P = B.build();
+
+  InterpOptions Opts;
+  Opts.PassesPerFrame = 4; // enough passes for store -> load -> move
+  ConcreteObservations Obs = interpret(*P, Opts);
+  EXPECT_TRUE(Obs.VarPointsTo.count({X.index(), H.index()}));
+  EXPECT_TRUE(Obs.VarPointsTo.count({Y.index(), H.index()}));
+  EXPECT_TRUE(Obs.VarPointsTo.count({Z.index(), H.index()}));
+}
+
+TEST(Soundness, ConcreteCastFailureIsObserved) {
+  ProgramBuilder B;
+  TypeId Object = B.addType("Object");
+  TypeId A = B.addType("A", Object);
+  TypeId D = B.addType("D", Object);
+  MethodId Main = B.addMethod(Object, "main", 0, true);
+  VarId X = B.addLocal(Main, "x");
+  VarId Y = B.addLocal(Main, "y");
+  B.addAlloc(Main, X, D);
+  uint32_t Site = B.addCast(Main, Y, X, A);
+  B.addEntryPoint(Main);
+  auto P = B.build();
+
+  ConcreteObservations Obs = interpret(*P);
+  EXPECT_TRUE(Obs.FailedCasts.count(Site));
+  EXPECT_FALSE(Obs.VarPointsTo.count({Y.index(), 0}));
+  // And every analysis flags it.
+  for (const std::string &Name : allPolicyNames())
+    expectContained(*P, Obs, Name);
+}
+
+class SoundnessFuzz
+    : public ::testing::TestWithParam<std::tuple<uint64_t, std::string>> {};
+
+TEST_P(SoundnessFuzz, ConcreteRunsAreContained) {
+  auto [Seed, PolicyName] = GetParam();
+  auto P = fuzzProgram(Seed);
+  InterpOptions Opts;
+  Opts.Seed = Seed * 31 + 7;
+  Opts.PassesPerFrame = 3;
+  ConcreteObservations Obs = interpret(*P, Opts);
+  ASSERT_GT(Obs.Steps, 0u);
+  expectContained(*P, Obs, PolicyName);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SoundnessFuzz,
+    ::testing::Combine(::testing::Range<uint64_t>(1, 11),
+                       ::testing::ValuesIn(allPolicyNames())),
+    [](const ::testing::TestParamInfo<SoundnessFuzz::ParamType> &Info) {
+      std::string Name = "seed" + std::to_string(std::get<0>(Info.param)) +
+                         "_" + std::get<1>(Info.param);
+      for (char &C : Name)
+        if (C == '-' || C == '+')
+          C = '_';
+      return Name;
+    });
+
+TEST(Soundness, GeneratedBenchmarkContained) {
+  Benchmark Bench = buildBenchmark("luindex");
+  InterpOptions Opts;
+  Opts.Seed = 2024;
+  Opts.PassesPerFrame = 2;
+  Opts.MaxSteps = 500000;
+  ConcreteObservations Obs = interpret(*Bench.Prog, Opts);
+  ASSERT_GT(Obs.VarPointsTo.size(), 100u);
+  for (const std::string &Name :
+       {std::string("insens"), std::string("1call+H"),
+        std::string("SB-1obj"), std::string("S-2obj+H"),
+        std::string("U-2type+H"), std::string("3obj+2H")})
+    expectContained(*Bench.Prog, Obs, Name);
+}
+
+} // namespace

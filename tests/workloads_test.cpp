@@ -1,0 +1,270 @@
+//===- tests/workloads_test.cpp - Workload generator tests ----------------===//
+//
+// Part of the hybridpt project (PLDI 2013 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "context/PolicyRegistry.h"
+#include "ir/Program.h"
+#include "ir/ProgramBuilder.h"
+#include "pta/AnalysisResult.h"
+#include "pta/Metrics.h"
+#include "pta/Solver.h"
+#include "workloads/AppGenerator.h"
+#include "workloads/Fuzzer.h"
+#include "workloads/MiniLib.h"
+#include "workloads/Profiles.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace pt;
+
+TEST(MiniLib, BuildsAndValidates) {
+  ProgramBuilder B;
+  MiniLib L = buildMiniLib(B);
+  // Library alone has no entry point; add a trivial main to finalize.
+  MethodId Main = B.addMethod(L.Util, "main", 0, true);
+  B.addEntryPoint(Main);
+  auto P = B.build();
+  std::vector<std::string> Errors;
+  EXPECT_TRUE(P->validate(Errors)) << (Errors.empty() ? "" : Errors[0]);
+  EXPECT_GT(P->numMethods(), 25u);
+  EXPECT_GT(P->numTypes(), 15u);
+}
+
+TEST(MiniLib, DispatchProtocolsResolve) {
+  ProgramBuilder B;
+  MiniLib L = buildMiniLib(B);
+  MethodId Main = B.addMethod(L.Util, "main", 0, true);
+  B.addEntryPoint(Main);
+  auto P = B.build();
+  // Both list implementations answer the abstract protocol.
+  EXPECT_EQ(P->lookup(L.ArrayList, L.SigAdd1), L.ArrayListAdd);
+  EXPECT_EQ(P->lookup(L.LinkedList, L.SigAdd1), L.LinkedListAdd);
+  EXPECT_EQ(P->lookup(L.ArrayList, L.SigIterator0), L.ArrayListIterator);
+  EXPECT_EQ(P->lookup(L.ArrayIterator, L.SigNext0), L.ArrayIteratorNext);
+  EXPECT_EQ(P->lookup(L.ListIterator, L.SigNext0), L.ListIteratorNext);
+  EXPECT_EQ(P->lookup(L.HashMap, L.SigPut2), L.HashMapPut);
+  // Box and ArrayList share the get/0 signature but dispatch separately.
+  EXPECT_EQ(P->lookup(L.Box, L.SigGet0), L.BoxGet);
+  EXPECT_EQ(P->lookup(L.ArrayList, L.SigGet0), L.ArrayListGet);
+}
+
+TEST(MiniLib, ListRoundTripIsPrecisePerList) {
+  // Two lists from the same factory: a context-insensitive heap merges
+  // them; 2obj+H keeps them apart when created by different receivers.
+  // Built directly here to double-check the library shapes do what the
+  // generator relies on.
+  ProgramBuilder B;
+  MiniLib L = buildMiniLib(B);
+  TypeId TA = B.addType("ElemA", L.Object);
+  TypeId TB = B.addType("ElemB", L.Object);
+
+  // class Owner { run() { l = Lists.newArrayList(); l.add(new E);
+  //               r = l.get(); } }  x2 owners with different payloads.
+  SigId SigRun = B.getSig("run", 0);
+  TypeId Owner1 = B.addType("Owner1", L.Object);
+  MethodId Run1 = B.addMethod(Owner1, "run", 0, false);
+  VarId L1 = B.addLocal(Run1, "l");
+  VarId E1 = B.addLocal(Run1, "e");
+  VarId R1 = B.addLocal(Run1, "r");
+  B.addSCall(Run1, L.ListsNewArray, {}, L1);
+  B.addAlloc(Run1, E1, TA);
+  B.addVCall(Run1, L1, L.SigAdd1, {E1});
+  B.addVCall(Run1, L1, L.SigGet0, {}, R1);
+
+  TypeId Owner2 = B.addType("Owner2", L.Object);
+  MethodId Run2 = B.addMethod(Owner2, "run", 0, false);
+  VarId L2 = B.addLocal(Run2, "l");
+  VarId E2 = B.addLocal(Run2, "e");
+  VarId R2 = B.addLocal(Run2, "r");
+  B.addSCall(Run2, L.ListsNewArray, {}, L2);
+  B.addAlloc(Run2, E2, TB);
+  B.addVCall(Run2, L2, L.SigAdd1, {E2});
+  B.addVCall(Run2, L2, L.SigGet0, {}, R2);
+
+  MethodId Main = B.addMethod(L.Util, "main", 0, true);
+  VarId O1 = B.addLocal(Main, "o1");
+  VarId O2 = B.addLocal(Main, "o2");
+  B.addAlloc(Main, O1, Owner1);
+  B.addAlloc(Main, O2, Owner2);
+  B.addVCall(Main, O1, SigRun, {});
+  B.addVCall(Main, O2, SigRun, {});
+  B.addEntryPoint(Main);
+  auto P = B.build();
+
+  // 1obj: the two lists are one abstract object; r sees both payloads.
+  {
+    auto Policy = createPolicy("1obj", *P);
+    Solver S(*P, *Policy);
+    AnalysisResult R = S.run();
+    EXPECT_EQ(R.pointsTo(R1).size(), 2u);
+  }
+  // 2obj+H: heap context = creating receiver; lists separate.
+  {
+    auto Policy = createPolicy("2obj+H", *P);
+    Solver S(*P, *Policy);
+    AnalysisResult R = S.run();
+    EXPECT_EQ(R.pointsTo(R1).size(), 1u);
+    EXPECT_EQ(R.pointsTo(R2).size(), 1u);
+  }
+}
+
+TEST(MiniLib, StaticHelperMergeSplitBySelectiveHybrid) {
+  // The paper's core claim, demonstrated on library shapes alone:
+  // Util.identity called from two sites in one virtual method merges under
+  // 1obj, splits under SB-1obj.
+  ProgramBuilder B;
+  MiniLib L = buildMiniLib(B);
+  TypeId TA = B.addType("PayA", L.Object);
+  TypeId TB = B.addType("PayB", L.Object);
+  TypeId Owner = B.addType("Owner", L.Object);
+  SigId SigRun = B.getSig("run", 0);
+  MethodId Run = B.addMethod(Owner, "run", 0, false);
+  VarId XA = B.addLocal(Run, "xa");
+  VarId XB = B.addLocal(Run, "xb");
+  VarId PA = B.addLocal(Run, "pa");
+  VarId PB = B.addLocal(Run, "pb");
+  B.addAlloc(Run, XA, TA);
+  B.addAlloc(Run, XB, TB);
+  B.addSCall(Run, L.UtilIdentity, {XA}, PA);
+  B.addSCall(Run, L.UtilIdentity, {XB}, PB);
+
+  MethodId Main = B.addMethod(L.Util, "main", 0, true);
+  VarId O = B.addLocal(Main, "o");
+  B.addAlloc(Main, O, Owner);
+  B.addVCall(Main, O, SigRun, {});
+  B.addEntryPoint(Main);
+  auto P = B.build();
+
+  {
+    auto Policy = createPolicy("1obj", *P);
+    Solver S(*P, *Policy);
+    AnalysisResult R = S.run();
+    EXPECT_EQ(R.pointsTo(PA).size(), 2u); // merged
+  }
+  {
+    auto Policy = createPolicy("SB-1obj", *P);
+    Solver S(*P, *Policy);
+    AnalysisResult R = S.run();
+    EXPECT_EQ(R.pointsTo(PA).size(), 1u); // split by invocation site
+    EXPECT_EQ(R.pointsTo(PB).size(), 1u);
+  }
+  {
+    auto Policy = createPolicy("S-2obj+H", *P);
+    Solver S(*P, *Policy);
+    AnalysisResult R = S.run();
+    EXPECT_EQ(R.pointsTo(PA).size(), 1u);
+  }
+  {
+    auto Policy = createPolicy("2obj+H", *P);
+    Solver S(*P, *Policy);
+    AnalysisResult R = S.run();
+    EXPECT_EQ(R.pointsTo(PA).size(), 2u); // object contexts can't split
+  }
+}
+
+TEST(Profiles, AllNamesBuildValidPrograms) {
+  for (const std::string &Name : benchmarkNames()) {
+    Benchmark Bench = buildBenchmark(Name);
+    ASSERT_NE(Bench.Prog, nullptr) << Name;
+    std::vector<std::string> Errors;
+    EXPECT_TRUE(Bench.Prog->validate(Errors))
+        << Name << ": " << (Errors.empty() ? "" : Errors[0]);
+    EXPECT_GT(Bench.Stats.Methods, 50u) << Name;
+    EXPECT_GT(Bench.Stats.Casts, 10u) << Name;
+    EXPECT_EQ(Bench.Prog->entryPoints().size(), 1u) << Name;
+  }
+}
+
+TEST(Profiles, GenerationIsDeterministic) {
+  Benchmark A = buildBenchmark("antlr");
+  Benchmark B2 = buildBenchmark("antlr");
+  EXPECT_EQ(A.Prog->numMethods(), B2.Prog->numMethods());
+  EXPECT_EQ(A.Prog->numInvokes(), B2.Prog->numInvokes());
+  EXPECT_EQ(A.Prog->numHeaps(), B2.Prog->numHeaps());
+  EXPECT_EQ(A.Prog->numCastSites(), B2.Prog->numCastSites());
+  // Deep check: every invocation site matches kind and owner.
+  for (size_t I = 0; I < A.Prog->numInvokes(); ++I) {
+    const InvokeInfo &IA = A.Prog->invoke(InvokeId::fromIndex(I));
+    const InvokeInfo &IB = B2.Prog->invoke(InvokeId::fromIndex(I));
+    ASSERT_EQ(IA.IsStatic, IB.IsStatic);
+    ASSERT_EQ(IA.InMethod, IB.InMethod);
+  }
+}
+
+TEST(Profiles, ProfilesDiffer) {
+  Benchmark Small = buildBenchmark("luindex");
+  Benchmark Big = buildBenchmark("bloat");
+  EXPECT_LT(Small.Stats.Methods, Big.Stats.Methods);
+  EXPECT_LT(Small.Stats.Invokes, Big.Stats.Invokes);
+}
+
+TEST(Profiles, NameLookupHelpers) {
+  EXPECT_TRUE(isBenchmarkName("antlr"));
+  EXPECT_FALSE(isBenchmarkName("dacapo"));
+  EXPECT_EQ(benchmarkNames().size(), 10u);
+}
+
+TEST(Fuzzer, ProgramsValidate) {
+  for (uint64_t Seed = 1; Seed <= 30; ++Seed) {
+    auto P = fuzzProgram(Seed);
+    std::vector<std::string> Errors;
+    EXPECT_TRUE(P->validate(Errors))
+        << "seed " << Seed << ": " << (Errors.empty() ? "" : Errors[0]);
+  }
+}
+
+TEST(Fuzzer, DeterministicPerSeed) {
+  auto A = fuzzProgram(42);
+  auto B2 = fuzzProgram(42);
+  EXPECT_EQ(A->numMethods(), B2->numMethods());
+  EXPECT_EQ(A->numInstructions(), B2->numInstructions());
+  auto C = fuzzProgram(43);
+  // Different seeds almost surely differ in some size dimension.
+  EXPECT_TRUE(A->numInstructions() != C->numInstructions() ||
+              A->numMethods() != C->numMethods() ||
+              A->numHeaps() != C->numHeaps());
+}
+
+TEST(Fuzzer, AllPoliciesTerminateOnFuzzedPrograms) {
+  for (uint64_t Seed = 1; Seed <= 10; ++Seed) {
+    auto P = fuzzProgram(Seed);
+    for (const std::string &Name : allPolicyNames()) {
+      auto Policy = createPolicy(Name, *P);
+      Solver S(*P, *Policy);
+      AnalysisResult R = S.run();
+      EXPECT_FALSE(R.Aborted) << Name << " seed " << Seed;
+    }
+  }
+}
+
+TEST(Workloads, GeneratedAppSolvesUnderEveryPaperPolicy) {
+  WorkloadProfile Tiny;
+  Tiny.Name = "tiny";
+  Tiny.Seed = 7;
+  Tiny.TypeFamilies = 3;
+  Tiny.SubtypesPerFamily = 2;
+  Tiny.WorkerClasses = 4;
+  Tiny.MethodsPerWorker = 2;
+  Tiny.HelperMethods = 4;
+  Tiny.Phases = 3;
+  Tiny.CallsPerPhase = 3;
+  Tiny.BlocksPerMethod = 2;
+  Benchmark Bench = buildBenchmark(Tiny);
+
+  for (const std::string &Name : paperPolicyNames()) {
+    auto Policy = createPolicy(Name, *Bench.Prog);
+    Solver S(*Bench.Prog, *Policy);
+    AnalysisResult R = S.run();
+    EXPECT_FALSE(R.Aborted) << Name;
+    PrecisionMetrics M = computeMetrics(R);
+    EXPECT_GT(M.ReachableMethods, 10u) << Name;
+    EXPECT_GT(M.CsVarPointsTo, 100u) << Name;
+    EXPECT_GT(M.ReachableCasts, 0u) << Name;
+  }
+}
+
+} // namespace

@@ -1,0 +1,314 @@
+//===- tools/hybridpt.cpp - Command-line driver ----------------------------===//
+//
+// Part of the hybridpt project (PLDI 2013 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The command-line front door: analyze a PTIR file (or a built-in
+/// benchmark) under any policy and emit metrics, client reports, or raw
+/// relations.
+///
+///   hybridpt --list-policies
+///   hybridpt --list-benchmarks
+///   hybridpt [options] <file.ptir | benchmark-name>
+///
+/// Options:
+///   --policy NAME      analysis to run (default S-2obj+H)
+///   --metrics          print the Table 1 metric block (default action)
+///   --devirt           print the devirtualization report
+///   --casts            print the cast-safety report
+///   --dump-vpt PATH    print what Class::method/arity::var points to
+///   --dump-facts DIR   write all relations as Doop-style .facts files
+///   --stats            context/points-to distribution report
+///   --dot-callgraph F  write the call graph as GraphViz DOT to file F
+///   --dot-pointsto M   print method M's points-to neighbourhood as DOT
+///   --compare NAME     also run NAME and print the precision delta
+///   --budget MS        per-run time budget (0 = unlimited)
+///   --csv              machine-readable metric output
+///
+//===----------------------------------------------------------------------===//
+
+#include "context/PolicyRegistry.h"
+#include "ir/Program.h"
+#include "irtext/TextFormat.h"
+#include "pta/AnalysisResult.h"
+#include "pta/Clients.h"
+#include "pta/Explain.h"
+#include "pta/DotExport.h"
+#include "pta/FactWriter.h"
+#include "pta/Stats.h"
+#include "pta/Metrics.h"
+#include "pta/Solver.h"
+#include "support/TableWriter.h"
+#include "workloads/Profiles.h"
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+using namespace pt;
+
+namespace {
+
+struct CliOptions {
+  std::string Policy = "S-2obj+H";
+  std::string Compare;
+  std::string Input;
+  std::string FactsDir;
+  std::string CallGraphDotPath;
+  std::string PointsToDotFocus;
+  std::vector<std::string> DumpVars;
+  uint64_t BudgetMs = 0;
+  bool Metrics = false;
+  bool Stats = false;
+  bool Devirt = false;
+  bool Casts = false;
+  bool Csv = false;
+};
+
+int usage(const char *Argv0) {
+  std::cerr
+      << "usage: " << Argv0
+      << " [--policy NAME] [--metrics] [--devirt] [--casts]\n"
+         "       [--dump-vpt Class::method/arity::var] [--compare NAME]\n"
+         "       [--budget MS] [--csv] <file.ptir | benchmark-name>\n"
+         "       " << Argv0 << " --list-policies | --list-benchmarks\n";
+  return 1;
+}
+
+AnalysisResult analyze(const Program &P, ContextPolicy &Policy,
+                       uint64_t BudgetMs) {
+  SolverOptions Opts;
+  Opts.TimeBudgetMs = BudgetMs;
+  Solver S(P, Policy, Opts);
+  return S.run();
+}
+
+void printMetrics(const PrecisionMetrics &M, const std::string &Policy,
+                  bool Csv) {
+  if (Csv) {
+    std::cout << "policy,avg_objs_per_var,cg_edges,poly_vcalls,"
+                 "may_fail_casts,reachable_methods,time_s,cs_vpt\n"
+              << Policy << ',' << formatFixed(M.AvgPointsTo, 2) << ','
+              << M.CallGraphEdges << ',' << M.PolyVCalls << ','
+              << M.MayFailCasts << ',' << M.ReachableMethods << ','
+              << formatFixed(M.SolveMs / 1000.0, 3) << ','
+              << M.CsVarPointsTo << "\n";
+    return;
+  }
+  std::cout << "analysis:                " << Policy
+            << (M.Aborted ? "  (ABORTED: budget expired)" : "") << "\n"
+            << "avg objs per var:        " << formatFixed(M.AvgPointsTo, 2)
+            << "\n"
+            << "call-graph edges:        " << M.CallGraphEdges << "\n"
+            << "poly v-calls:            " << M.PolyVCalls << " of "
+            << M.ReachableVCalls << "\n"
+            << "may-fail casts:          " << M.MayFailCasts << " of "
+            << M.ReachableCasts << "\n"
+            << "reachable methods:       " << M.ReachableMethods << "\n"
+            << "elapsed time:            "
+            << formatFixed(M.SolveMs / 1000.0, 3) << " s\n"
+            << "sensitive var-points-to: " << M.CsVarPointsTo << "\n"
+            << "field points-to:         " << M.FieldPointsTo << " (+ "
+            << M.StaticFieldPointsTo << " static)\n"
+            << "contexts / heap ctxs:    " << M.NumContexts << " / "
+            << M.NumHContexts << "\n"
+            << "method-throws facts:     " << M.ThrowFacts << " ("
+            << M.UncaughtExceptionSites << " sites escape main)\n";
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  CliOptions Opts;
+  for (int I = 1; I < argc; ++I) {
+    std::string_view Arg = argv[I];
+    auto Value = [&]() -> const char * {
+      if (I + 1 >= argc) {
+        std::cerr << Arg << " needs a value\n";
+        exit(1);
+      }
+      return argv[++I];
+    };
+    if (Arg == "--list-policies") {
+      for (const std::string &N : allPolicyNames())
+        std::cout << N << "\n";
+      return 0;
+    }
+    if (Arg == "--list-benchmarks") {
+      for (const std::string &N : benchmarkNames())
+        std::cout << N << "\n";
+      return 0;
+    }
+    if (Arg == "--policy")
+      Opts.Policy = Value();
+    else if (Arg == "--compare")
+      Opts.Compare = Value();
+    else if (Arg == "--dump-vpt")
+      Opts.DumpVars.push_back(Value());
+    else if (Arg == "--dump-facts")
+      Opts.FactsDir = Value();
+    else if (Arg == "--dot-callgraph")
+      Opts.CallGraphDotPath = Value();
+    else if (Arg == "--dot-pointsto")
+      Opts.PointsToDotFocus = Value();
+    else if (Arg == "--budget")
+      Opts.BudgetMs = std::strtoull(Value(), nullptr, 10);
+    else if (Arg == "--metrics")
+      Opts.Metrics = true;
+    else if (Arg == "--stats")
+      Opts.Stats = true;
+    else if (Arg == "--devirt")
+      Opts.Devirt = true;
+    else if (Arg == "--casts")
+      Opts.Casts = true;
+    else if (Arg == "--csv")
+      Opts.Csv = true;
+    else if (Arg.size() >= 2 && Arg.substr(0, 2) == "--")
+      return usage(argv[0]);
+    else if (Opts.Input.empty())
+      Opts.Input = Arg;
+    else
+      return usage(argv[0]);
+  }
+  if (Opts.Input.empty())
+    return usage(argv[0]);
+  if (!Opts.Metrics && !Opts.Devirt && !Opts.Casts && !Opts.Stats &&
+      Opts.DumpVars.empty() && Opts.Compare.empty() &&
+      Opts.FactsDir.empty() && Opts.CallGraphDotPath.empty() &&
+      Opts.PointsToDotFocus.empty())
+    Opts.Metrics = true;
+
+  // Load the program.
+  Benchmark Bench;
+  std::unique_ptr<Program> Owned;
+  const Program *P = nullptr;
+  if (isBenchmarkName(Opts.Input)) {
+    Bench = buildBenchmark(Opts.Input);
+    P = Bench.Prog.get();
+  } else {
+    std::ifstream In(Opts.Input);
+    if (!In) {
+      std::cerr << "cannot open '" << Opts.Input << "'\n";
+      return 1;
+    }
+    std::stringstream Buffer;
+    Buffer << In.rdbuf();
+    ParseResult Parsed = parseProgram(Buffer.str());
+    if (!Parsed.ok()) {
+      for (const std::string &E : Parsed.Errors)
+        std::cerr << "parse error: " << E << "\n";
+      return 1;
+    }
+    Owned = std::move(Parsed.Prog);
+    P = Owned.get();
+  }
+
+  auto Policy = createPolicy(Opts.Policy, *P);
+  if (!Policy) {
+    std::cerr << "unknown policy '" << Opts.Policy
+              << "' (see --list-policies)\n";
+    return 1;
+  }
+  AnalysisResult R = analyze(*P, *Policy, Opts.BudgetMs);
+
+  if (Opts.Metrics)
+    printMetrics(computeMetrics(R), Opts.Policy, Opts.Csv);
+
+  if (Opts.Stats)
+    std::cout << "\n" << formatStats(computeStats(R), *P);
+
+  if (Opts.Devirt) {
+    auto Sites = devirtualizeCalls(R);
+    size_t Mono = 0, Poly = 0, Dead = 0;
+    for (const DevirtSite &S : Sites) {
+      Mono += S.Verdict == DevirtVerdict::Monomorphic;
+      Poly += S.Verdict == DevirtVerdict::Polymorphic;
+      Dead += S.Verdict == DevirtVerdict::Dead;
+    }
+    std::cout << "\ndevirtualization: " << Mono << " mono, " << Poly
+              << " poly, " << Dead << " dead\n";
+    for (const DevirtSite &S : Sites) {
+      if (S.Verdict != DevirtVerdict::Polymorphic)
+        continue;
+      const InvokeInfo &Call = P->invoke(S.Invo);
+      std::cout << "  poly " << P->text(Call.Name) << " in "
+                << P->qualifiedName(Call.InMethod) << " ("
+                << S.Targets.size() << " targets)\n";
+    }
+  }
+
+  if (Opts.Casts) {
+    auto Checks = checkCasts(R);
+    size_t Fail = 0;
+    for (const CastCheck &C : Checks)
+      Fail += C.Verdict == CastVerdict::MayFail;
+    std::cout << "\ncasts: " << Fail << " may fail of " << Checks.size()
+              << "\n";
+    for (const CastCheck &C : Checks) {
+      if (C.Verdict != CastVerdict::MayFail)
+        continue;
+      const CastSite &Site = P->castSite(C.Site);
+      std::cout << "  (" << P->text(P->type(Site.Target).Name) << ") in "
+                << P->qualifiedName(Site.InMethod) << "\n";
+    }
+  }
+
+  for (const std::string &Path : Opts.DumpVars) {
+    VarId V = findVarByPath(*P, Path);
+    if (!V.isValid()) {
+      std::cerr << "no variable '" << Path << "'\n";
+      continue;
+    }
+    std::cout << "\n" << Path << " points to:\n";
+    for (HeapId H : R.pointsTo(V))
+      std::cout << "  " << P->text(P->heap(H).Name) << " : "
+                << P->text(P->type(P->heap(H).Type).Name) << "\n";
+  }
+
+  if (!Opts.FactsDir.empty()) {
+    std::string Error;
+    auto Files = writeFacts(R, Opts.FactsDir, Error);
+    if (Files.empty()) {
+      std::cerr << Error << "\n";
+      return 1;
+    }
+    std::cout << "\nwrote " << Files.size() << " relation files to "
+              << Opts.FactsDir << "\n";
+  }
+
+  if (!Opts.CallGraphDotPath.empty()) {
+    std::ofstream OS(Opts.CallGraphDotPath);
+    if (!OS) {
+      std::cerr << "cannot write '" << Opts.CallGraphDotPath << "'\n";
+      return 1;
+    }
+    writeCallGraphDot(R, OS);
+    std::cout << "\nwrote call graph to " << Opts.CallGraphDotPath
+              << "\n";
+  }
+
+  if (!Opts.PointsToDotFocus.empty()) {
+    MethodId Focus = findMethodByPath(*P, Opts.PointsToDotFocus);
+    if (!Focus.isValid()) {
+      std::cerr << "no method '" << Opts.PointsToDotFocus << "'\n";
+      return 1;
+    }
+    writePointsToDot(R, Focus, std::cout);
+  }
+
+  if (!Opts.Compare.empty()) {
+    auto OtherPolicy = createPolicy(Opts.Compare, *P);
+    if (!OtherPolicy) {
+      std::cerr << "unknown policy '" << Opts.Compare << "'\n";
+      return 1;
+    }
+    AnalysisResult Other = analyze(*P, *OtherPolicy, Opts.BudgetMs);
+    std::cout << "\n--- delta " << Opts.Policy << " -> " << Opts.Compare
+              << " ---\n"
+              << formatDelta(diffResults(R, Other), *P);
+  }
+  return 0;
+}
