@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_context_choice.dir/BenchUtil.cpp.o"
+  "CMakeFiles/ablation_context_choice.dir/BenchUtil.cpp.o.d"
+  "CMakeFiles/ablation_context_choice.dir/ablation_context_choice.cpp.o"
+  "CMakeFiles/ablation_context_choice.dir/ablation_context_choice.cpp.o.d"
+  "ablation_context_choice"
+  "ablation_context_choice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_context_choice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

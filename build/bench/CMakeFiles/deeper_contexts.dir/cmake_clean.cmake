@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deeper_contexts.dir/BenchUtil.cpp.o"
+  "CMakeFiles/deeper_contexts.dir/BenchUtil.cpp.o.d"
+  "CMakeFiles/deeper_contexts.dir/deeper_contexts.cpp.o"
+  "CMakeFiles/deeper_contexts.dir/deeper_contexts.cpp.o.d"
+  "deeper_contexts"
+  "deeper_contexts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deeper_contexts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

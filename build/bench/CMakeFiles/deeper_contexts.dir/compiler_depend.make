@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for deeper_contexts.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_scatter.dir/BenchUtil.cpp.o"
+  "CMakeFiles/fig3_scatter.dir/BenchUtil.cpp.o.d"
+  "CMakeFiles/fig3_scatter.dir/fig3_scatter.cpp.o"
+  "CMakeFiles/fig3_scatter.dir/fig3_scatter.cpp.o.d"
+  "fig3_scatter"
+  "fig3_scatter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_scatter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/headline_ratios.dir/BenchUtil.cpp.o"
+  "CMakeFiles/headline_ratios.dir/BenchUtil.cpp.o.d"
+  "CMakeFiles/headline_ratios.dir/headline_ratios.cpp.o"
+  "CMakeFiles/headline_ratios.dir/headline_ratios.cpp.o.d"
+  "headline_ratios"
+  "headline_ratios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/headline_ratios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

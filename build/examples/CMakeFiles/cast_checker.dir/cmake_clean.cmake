@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cast_checker.dir/cast_checker.cpp.o"
+  "CMakeFiles/cast_checker.dir/cast_checker.cpp.o.d"
+  "cast_checker"
+  "cast_checker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cast_checker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/context_diff.dir/context_diff.cpp.o"
+  "CMakeFiles/context_diff.dir/context_diff.cpp.o.d"
+  "context_diff"
+  "context_diff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/context_diff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

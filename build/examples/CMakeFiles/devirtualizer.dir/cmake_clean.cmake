@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/devirtualizer.dir/devirtualizer.cpp.o"
+  "CMakeFiles/devirtualizer.dir/devirtualizer.cpp.o.d"
+  "devirtualizer"
+  "devirtualizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/devirtualizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

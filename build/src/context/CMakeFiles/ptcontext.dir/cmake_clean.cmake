@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptcontext.dir/Policy.cpp.o"
+  "CMakeFiles/ptcontext.dir/Policy.cpp.o.d"
+  "CMakeFiles/ptcontext.dir/PolicyRegistry.cpp.o"
+  "CMakeFiles/ptcontext.dir/PolicyRegistry.cpp.o.d"
+  "libptcontext.a"
+  "libptcontext.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptcontext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

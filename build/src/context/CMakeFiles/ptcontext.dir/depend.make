@@ -1,0 +1,2 @@
+# Empty dependencies file for ptcontext.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptdl.dir/Engine.cpp.o"
+  "CMakeFiles/ptdl.dir/Engine.cpp.o.d"
+  "CMakeFiles/ptdl.dir/Relation.cpp.o"
+  "CMakeFiles/ptdl.dir/Relation.cpp.o.d"
+  "libptdl.a"
+  "libptdl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptdl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

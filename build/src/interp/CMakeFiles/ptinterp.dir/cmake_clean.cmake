@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptinterp.dir/Interpreter.cpp.o"
+  "CMakeFiles/ptinterp.dir/Interpreter.cpp.o.d"
+  "libptinterp.a"
+  "libptinterp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptinterp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

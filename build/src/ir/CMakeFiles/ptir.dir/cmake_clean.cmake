@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptir.dir/Program.cpp.o"
+  "CMakeFiles/ptir.dir/Program.cpp.o.d"
+  "CMakeFiles/ptir.dir/ProgramBuilder.cpp.o"
+  "CMakeFiles/ptir.dir/ProgramBuilder.cpp.o.d"
+  "libptir.a"
+  "libptir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptirtext.dir/Parser.cpp.o"
+  "CMakeFiles/ptirtext.dir/Parser.cpp.o.d"
+  "CMakeFiles/ptirtext.dir/Printer.cpp.o"
+  "CMakeFiles/ptirtext.dir/Printer.cpp.o.d"
+  "libptirtext.a"
+  "libptirtext.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptirtext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

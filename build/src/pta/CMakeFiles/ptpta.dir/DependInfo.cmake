@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pta/AnalysisResult.cpp" "src/pta/CMakeFiles/ptpta.dir/AnalysisResult.cpp.o" "gcc" "src/pta/CMakeFiles/ptpta.dir/AnalysisResult.cpp.o.d"
+  "/root/repo/src/pta/Clients.cpp" "src/pta/CMakeFiles/ptpta.dir/Clients.cpp.o" "gcc" "src/pta/CMakeFiles/ptpta.dir/Clients.cpp.o.d"
+  "/root/repo/src/pta/DotExport.cpp" "src/pta/CMakeFiles/ptpta.dir/DotExport.cpp.o" "gcc" "src/pta/CMakeFiles/ptpta.dir/DotExport.cpp.o.d"
+  "/root/repo/src/pta/Explain.cpp" "src/pta/CMakeFiles/ptpta.dir/Explain.cpp.o" "gcc" "src/pta/CMakeFiles/ptpta.dir/Explain.cpp.o.d"
+  "/root/repo/src/pta/FactWriter.cpp" "src/pta/CMakeFiles/ptpta.dir/FactWriter.cpp.o" "gcc" "src/pta/CMakeFiles/ptpta.dir/FactWriter.cpp.o.d"
+  "/root/repo/src/pta/Metrics.cpp" "src/pta/CMakeFiles/ptpta.dir/Metrics.cpp.o" "gcc" "src/pta/CMakeFiles/ptpta.dir/Metrics.cpp.o.d"
+  "/root/repo/src/pta/Solver.cpp" "src/pta/CMakeFiles/ptpta.dir/Solver.cpp.o" "gcc" "src/pta/CMakeFiles/ptpta.dir/Solver.cpp.o.d"
+  "/root/repo/src/pta/Stats.cpp" "src/pta/CMakeFiles/ptpta.dir/Stats.cpp.o" "gcc" "src/pta/CMakeFiles/ptpta.dir/Stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/context/CMakeFiles/ptcontext.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/ptir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ptsupport.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptpta.dir/AnalysisResult.cpp.o"
+  "CMakeFiles/ptpta.dir/AnalysisResult.cpp.o.d"
+  "CMakeFiles/ptpta.dir/Clients.cpp.o"
+  "CMakeFiles/ptpta.dir/Clients.cpp.o.d"
+  "CMakeFiles/ptpta.dir/DotExport.cpp.o"
+  "CMakeFiles/ptpta.dir/DotExport.cpp.o.d"
+  "CMakeFiles/ptpta.dir/Explain.cpp.o"
+  "CMakeFiles/ptpta.dir/Explain.cpp.o.d"
+  "CMakeFiles/ptpta.dir/FactWriter.cpp.o"
+  "CMakeFiles/ptpta.dir/FactWriter.cpp.o.d"
+  "CMakeFiles/ptpta.dir/Metrics.cpp.o"
+  "CMakeFiles/ptpta.dir/Metrics.cpp.o.d"
+  "CMakeFiles/ptpta.dir/Solver.cpp.o"
+  "CMakeFiles/ptpta.dir/Solver.cpp.o.d"
+  "CMakeFiles/ptpta.dir/Stats.cpp.o"
+  "CMakeFiles/ptpta.dir/Stats.cpp.o.d"
+  "libptpta.a"
+  "libptpta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptpta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptptaref.dir/ReferenceAnalysis.cpp.o"
+  "CMakeFiles/ptptaref.dir/ReferenceAnalysis.cpp.o.d"
+  "libptptaref.a"
+  "libptptaref.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptptaref.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

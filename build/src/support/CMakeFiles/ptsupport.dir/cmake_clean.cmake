@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptsupport.dir/StringPool.cpp.o"
+  "CMakeFiles/ptsupport.dir/StringPool.cpp.o.d"
+  "CMakeFiles/ptsupport.dir/TableWriter.cpp.o"
+  "CMakeFiles/ptsupport.dir/TableWriter.cpp.o.d"
+  "CMakeFiles/ptsupport.dir/Timer.cpp.o"
+  "CMakeFiles/ptsupport.dir/Timer.cpp.o.d"
+  "libptsupport.a"
+  "libptsupport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptsupport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

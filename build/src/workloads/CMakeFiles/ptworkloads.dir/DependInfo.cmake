@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/AppGenerator.cpp" "src/workloads/CMakeFiles/ptworkloads.dir/AppGenerator.cpp.o" "gcc" "src/workloads/CMakeFiles/ptworkloads.dir/AppGenerator.cpp.o.d"
+  "/root/repo/src/workloads/Fuzzer.cpp" "src/workloads/CMakeFiles/ptworkloads.dir/Fuzzer.cpp.o" "gcc" "src/workloads/CMakeFiles/ptworkloads.dir/Fuzzer.cpp.o.d"
+  "/root/repo/src/workloads/MiniLib.cpp" "src/workloads/CMakeFiles/ptworkloads.dir/MiniLib.cpp.o" "gcc" "src/workloads/CMakeFiles/ptworkloads.dir/MiniLib.cpp.o.d"
+  "/root/repo/src/workloads/Profiles.cpp" "src/workloads/CMakeFiles/ptworkloads.dir/Profiles.cpp.o" "gcc" "src/workloads/CMakeFiles/ptworkloads.dir/Profiles.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/ptir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ptsupport.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptworkloads.dir/AppGenerator.cpp.o"
+  "CMakeFiles/ptworkloads.dir/AppGenerator.cpp.o.d"
+  "CMakeFiles/ptworkloads.dir/Fuzzer.cpp.o"
+  "CMakeFiles/ptworkloads.dir/Fuzzer.cpp.o.d"
+  "CMakeFiles/ptworkloads.dir/MiniLib.cpp.o"
+  "CMakeFiles/ptworkloads.dir/MiniLib.cpp.o.d"
+  "CMakeFiles/ptworkloads.dir/Profiles.cpp.o"
+  "CMakeFiles/ptworkloads.dir/Profiles.cpp.o.d"
+  "libptworkloads.a"
+  "libptworkloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptworkloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/clients_metrics_test.cpp" "tests/CMakeFiles/clients_metrics_test.dir/clients_metrics_test.cpp.o" "gcc" "tests/CMakeFiles/clients_metrics_test.dir/clients_metrics_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pta/CMakeFiles/ptpta.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/ptworkloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/context/CMakeFiles/ptcontext.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/ptir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ptsupport.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clients_metrics_test.dir/clients_metrics_test.cpp.o"
+  "CMakeFiles/clients_metrics_test.dir/clients_metrics_test.cpp.o.d"
+  "clients_metrics_test"
+  "clients_metrics_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clients_metrics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

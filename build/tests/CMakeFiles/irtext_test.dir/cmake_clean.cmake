@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irtext_test.dir/irtext_test.cpp.o"
+  "CMakeFiles/irtext_test.dir/irtext_test.cpp.o.d"
+  "irtext_test"
+  "irtext_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irtext_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(support_test "/root/repo/build/tests/support_test")
+set_tests_properties(support_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;10;pt_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(ir_test "/root/repo/build/tests/ir_test")
+set_tests_properties(ir_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;11;pt_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(context_test "/root/repo/build/tests/context_test")
+set_tests_properties(context_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;12;pt_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(solver_basic_test "/root/repo/build/tests/solver_basic_test")
+set_tests_properties(solver_basic_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;13;pt_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(workloads_test "/root/repo/build/tests/workloads_test")
+set_tests_properties(workloads_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;14;pt_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(datalog_test "/root/repo/build/tests/datalog_test")
+set_tests_properties(datalog_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;15;pt_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(differential_test "/root/repo/build/tests/differential_test")
+set_tests_properties(differential_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;16;pt_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(irtext_test "/root/repo/build/tests/irtext_test")
+set_tests_properties(irtext_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;17;pt_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(property_test "/root/repo/build/tests/property_test")
+set_tests_properties(property_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;18;pt_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(clients_metrics_test "/root/repo/build/tests/clients_metrics_test")
+set_tests_properties(clients_metrics_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;19;pt_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(exceptions_test "/root/repo/build/tests/exceptions_test")
+set_tests_properties(exceptions_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;20;pt_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(soundness_test "/root/repo/build/tests/soundness_test")
+set_tests_properties(soundness_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;21;pt_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(golden_test "/root/repo/build/tests/golden_test")
+set_tests_properties(golden_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;22;pt_add_test;/root/repo/tests/CMakeLists.txt;0;")

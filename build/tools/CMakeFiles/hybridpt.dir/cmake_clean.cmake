@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybridpt.dir/hybridpt.cpp.o"
+  "CMakeFiles/hybridpt.dir/hybridpt.cpp.o.d"
+  "hybridpt"
+  "hybridpt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybridpt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
