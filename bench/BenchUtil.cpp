@@ -6,15 +6,12 @@
 
 #include "BenchUtil.h"
 
-#include "context/PolicyRegistry.h"
 #include "ir/Program.h"
-#include "pta/AnalysisResult.h"
-#include "pta/Solver.h"
+#include "pta/VariantRunner.h"
 #include "support/TableWriter.h"
 
-#include <algorithm>
 #include <cstdlib>
-#include <vector>
+#include <fstream>
 
 using namespace pt;
 
@@ -27,27 +24,80 @@ CellOptions CellOptions::fromEnv() {
     if (Opts.Runs == 0)
       Opts.Runs = 1;
   }
+  if (const char *Threads = std::getenv("HYBRIDPT_THREADS"))
+    Opts.Threads = static_cast<unsigned>(std::strtoul(Threads, nullptr, 10));
   return Opts;
+}
+
+static MatrixOptions toMatrixOptions(const CellOptions &Opts,
+                                     unsigned Threads) {
+  MatrixOptions M;
+  M.Solver.TimeBudgetMs = Opts.BudgetMs;
+  M.Threads = Threads;
+  M.Runs = Opts.Runs;
+  return M;
 }
 
 PrecisionMetrics pt::runCell(const Program &Prog, std::string_view PolicyName,
                              const CellOptions &Opts) {
-  std::vector<double> Times;
-  PrecisionMetrics Last;
-  for (uint32_t RunIdx = 0; RunIdx < Opts.Runs; ++RunIdx) {
-    auto Policy = createPolicy(PolicyName, Prog);
-    SolverOptions SOpts;
-    SOpts.TimeBudgetMs = Opts.BudgetMs;
-    Solver S(Prog, *Policy, SOpts);
-    AnalysisResult R = S.run();
-    Last = computeMetrics(R);
-    Times.push_back(Last.SolveMs);
-    if (Last.Aborted)
-      break; // A timeout will time out again; report the dash.
+  std::vector<std::string> One = {std::string(PolicyName)};
+  return runVariantMatrix(Prog, One, toMatrixOptions(Opts, 1)).front();
+}
+
+std::vector<PrecisionMetrics>
+pt::runCells(const Program &Prog, const std::vector<std::string> &Policies,
+             const CellOptions &Opts) {
+  return runVariantMatrix(Prog, Policies,
+                          toMatrixOptions(Opts, Opts.Threads));
+}
+
+BenchRecord pt::makeBenchRecord(const std::string &Benchmark,
+                                const std::string &Policy,
+                                const PrecisionMetrics &M) {
+  BenchRecord R;
+  R.Benchmark = Benchmark;
+  R.Policy = Policy;
+  R.TimeMs = M.SolveMs;
+  R.CsVarPointsTo = M.CsVarPointsTo;
+  R.CallGraphEdges = M.CallGraphEdges;
+  R.PeakNodes = M.PeakNodes;
+  R.ReachableMethods = M.ReachableMethods;
+  R.Aborted = M.Aborted;
+  return R;
+}
+
+bool pt::writeBenchJson(const std::string &Path, const std::string &Harness,
+                        const CellOptions &Opts,
+                        const std::vector<BenchRecord> &Records,
+                        std::string &Error) {
+  std::ofstream OS(Path);
+  if (!OS) {
+    Error = "cannot write '" + Path + "'";
+    return false;
   }
-  std::sort(Times.begin(), Times.end());
-  Last.SolveMs = Times[Times.size() / 2];
-  return Last;
+  OS << "{\n"
+     << "  \"harness\": \"" << Harness << "\",\n"
+     << "  \"budget_ms\": " << Opts.BudgetMs << ",\n"
+     << "  \"runs\": " << Opts.Runs << ",\n"
+     << "  \"threads\": " << Opts.Threads << ",\n"
+     << "  \"cells\": [\n";
+  for (size_t I = 0; I < Records.size(); ++I) {
+    const BenchRecord &R = Records[I];
+    OS << "    {\"benchmark\": \"" << R.Benchmark << "\", \"policy\": \""
+       << R.Policy << "\", \"time_ms\": " << formatFixed(R.TimeMs, 3)
+       << ", \"cs_vpt_facts\": " << R.CsVarPointsTo
+       << ", \"cg_edges\": " << R.CallGraphEdges
+       << ", \"peak_nodes\": " << R.PeakNodes
+       << ", \"reachable_methods\": " << R.ReachableMethods
+       << ", \"aborted\": " << (R.Aborted ? "true" : "false") << "}"
+       << (I + 1 < Records.size() ? "," : "") << "\n";
+  }
+  OS << "  ]\n}\n";
+  if (!OS) {
+    Error = "short write to '" + Path + "'";
+    return false;
+  }
+  return true;
 }
 
 std::string pt::formatFactCount(size_t Facts) {

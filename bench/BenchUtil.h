@@ -6,8 +6,11 @@
 ///
 /// \file
 /// Helpers shared by the table/figure harnesses: run one (benchmark,
-/// policy) cell under a budget, with optional repetition taking medians as
-/// the paper does ("all numbers shown are medians of three runs").
+/// policy) cell — or a whole policy matrix concurrently — under a budget,
+/// with optional repetition taking medians as the paper does ("all numbers
+/// shown are medians of three runs"), and emit machine-readable
+/// BENCH_*.json records so the performance trajectory is tracked across
+/// PRs (tools/check_bench_regression.py diffs two such files).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -19,6 +22,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace pt {
 
@@ -26,10 +30,12 @@ class Program;
 
 /// Configuration for cell runs, overridable via environment variables:
 /// HYBRIDPT_BUDGET_MS (per-cell time budget, 0 = unlimited),
-/// HYBRIDPT_RUNS (repetitions per cell; median time reported).
+/// HYBRIDPT_RUNS (repetitions per cell; median time reported),
+/// HYBRIDPT_THREADS (worker threads for matrix runs; 0 = hardware).
 struct CellOptions {
   uint64_t BudgetMs = 120000;
   uint32_t Runs = 1;
+  unsigned Threads = 1;
 
   /// Reads the environment overrides.
   static CellOptions fromEnv();
@@ -40,6 +46,38 @@ struct CellOptions {
 /// dash convention via \c PrecisionMetrics::Aborted.
 PrecisionMetrics runCell(const Program &Prog, std::string_view PolicyName,
                          const CellOptions &Opts);
+
+/// Runs every policy in \p Policies over \p Prog, fanning the cells out
+/// over \c Opts.Threads workers, and returns metrics in policy order.
+std::vector<PrecisionMetrics>
+runCells(const Program &Prog, const std::vector<std::string> &Policies,
+         const CellOptions &Opts);
+
+/// One row of a BENCH_*.json file.
+struct BenchRecord {
+  std::string Benchmark;
+  std::string Policy;
+  double TimeMs = 0.0;
+  size_t CsVarPointsTo = 0;
+  size_t CallGraphEdges = 0;
+  size_t PeakNodes = 0;
+  size_t ReachableMethods = 0;
+  bool Aborted = false;
+};
+
+/// Fills one record from a finished cell.
+BenchRecord makeBenchRecord(const std::string &Benchmark,
+                            const std::string &Policy,
+                            const PrecisionMetrics &M);
+
+/// Writes \p Records as pretty-printed JSON to \p Path.  The top level
+/// carries the harness configuration so regression diffs can refuse to
+/// compare apples to oranges.  Returns false (and sets \p Error) on I/O
+/// failure.
+bool writeBenchJson(const std::string &Path, const std::string &Harness,
+                    const CellOptions &Opts,
+                    const std::vector<BenchRecord> &Records,
+                    std::string &Error);
 
 /// Formats a fact count the way the paper's Table 1 does ("sensitive
 /// var-points-to (M)"): millions with one decimal when large, thousands

@@ -18,10 +18,18 @@
 #include "ir/Program.h"
 #include "pta/AnalysisResult.h"
 #include "pta/Solver.h"
+#include "pta/VariantRunner.h"
+#include "support/FlatMap.h"
+#include "support/ObjectSet.h"
 #include "support/Rng.h"
+#include "support/ThreadPool.h"
 #include "workloads/Profiles.h"
 
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <unordered_map>
+#include <unordered_set>
 
 namespace {
 
@@ -117,6 +125,85 @@ void BM_DatalogTransitiveClosure(benchmark::State &State) {
 }
 BENCHMARK(BM_DatalogTransitiveClosure);
 
+// --- Hot-path data structures: the specialized containers vs. the
+// --- std::unordered_* they replaced.
+
+void BM_ObjectSetInsert(benchmark::State &State) {
+  // Mixed small/large sets, mimicking per-node points-to set population.
+  Rng R(11);
+  std::vector<uint32_t> Vals;
+  for (int I = 0; I < 4096; ++I)
+    Vals.push_back(static_cast<uint32_t>(R.below(1 << 16)));
+  for (auto _ : State) {
+    ObjectSet Big;
+    for (uint32_t V : Vals)
+      benchmark::DoNotOptimize(Big.insert(V));
+    ObjectSet Small[64];
+    for (int S = 0; S < 64; ++S)
+      for (int I = 0; I < 8; ++I)
+        benchmark::DoNotOptimize(Small[S].insert(Vals[S * 8 + I]));
+  }
+  State.SetItemsProcessed(State.iterations() * (4096 + 64 * 8));
+}
+BENCHMARK(BM_ObjectSetInsert);
+
+void BM_UnorderedSetInsert(benchmark::State &State) {
+  // The baseline this PR retired from Solver::Node::Set.
+  Rng R(11);
+  std::vector<uint32_t> Vals;
+  for (int I = 0; I < 4096; ++I)
+    Vals.push_back(static_cast<uint32_t>(R.below(1 << 16)));
+  for (auto _ : State) {
+    std::unordered_set<uint32_t> Big;
+    for (uint32_t V : Vals)
+      benchmark::DoNotOptimize(Big.insert(V).second);
+    std::unordered_set<uint32_t> Small[64];
+    for (int S = 0; S < 64; ++S)
+      for (int I = 0; I < 8; ++I)
+        benchmark::DoNotOptimize(Small[S].insert(Vals[S * 8 + I]).second);
+  }
+  State.SetItemsProcessed(State.iterations() * (4096 + 64 * 8));
+}
+BENCHMARK(BM_UnorderedSetInsert);
+
+void BM_FlatMapIntern(benchmark::State &State) {
+  // Interning workload: mostly hits, occasional misses (fresh nodes).
+  Rng R(23);
+  std::vector<uint64_t> Keys;
+  for (int I = 0; I < 1 << 15; ++I)
+    Keys.push_back(R.below(1 << 13)); // ~4x re-intern rate
+  for (auto _ : State) {
+    FlatMap<uint32_t> Map;
+    uint32_t Next = 0;
+    for (uint64_t K : Keys) {
+      auto [Slot, Inserted] = Map.tryEmplace(K, Next);
+      Next += Inserted;
+      benchmark::DoNotOptimize(*Slot);
+    }
+  }
+  State.SetItemsProcessed(State.iterations() * (1 << 15));
+}
+BENCHMARK(BM_FlatMapIntern);
+
+void BM_UnorderedMapIntern(benchmark::State &State) {
+  // The baseline this PR retired from the solver's intern tables.
+  Rng R(23);
+  std::vector<uint64_t> Keys;
+  for (int I = 0; I < 1 << 15; ++I)
+    Keys.push_back(R.below(1 << 13));
+  for (auto _ : State) {
+    std::unordered_map<uint64_t, uint32_t> Map;
+    uint32_t Next = 0;
+    for (uint64_t K : Keys) {
+      auto [It, Inserted] = Map.try_emplace(K, Next);
+      Next += Inserted;
+      benchmark::DoNotOptimize(It->second);
+    }
+  }
+  State.SetItemsProcessed(State.iterations() * (1 << 15));
+}
+BENCHMARK(BM_UnorderedMapIntern);
+
 void BM_SolveLuindex(benchmark::State &State, const char *Policy) {
   Benchmark Bench = buildBenchmark("luindex");
   for (auto _ : State) {
@@ -133,6 +220,51 @@ BENCHMARK_CAPTURE(BM_SolveLuindex, twoobjh, "2obj+H");
 BENCHMARK_CAPTURE(BM_SolveLuindex, s2objh, "S-2obj+H");
 BENCHMARK_CAPTURE(BM_SolveLuindex, u2objh, "U-2obj+H");
 
+/// The full Table 1 policy matrix on one benchmark, fanned out over
+/// State.range(0) worker threads (see --threads below).
+void BM_VariantMatrix(benchmark::State &State) {
+  Benchmark Bench = buildBenchmark("luindex");
+  MatrixOptions Opts;
+  Opts.Threads = static_cast<unsigned>(State.range(0));
+  for (auto _ : State) {
+    auto Cells = runVariantMatrix(*Bench.Prog, table1PolicyNames(), Opts);
+    benchmark::DoNotOptimize(Cells.data());
+  }
+  State.SetItemsProcessed(State.iterations() *
+                          table1PolicyNames().size());
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+// Custom main: accept `--threads N` (repeatable) to pick the worker
+// counts for BM_VariantMatrix; defaults to 1 and the hardware thread
+// count.  Remaining arguments go to google-benchmark as usual.
+int main(int argc, char **argv) {
+  std::vector<int64_t> ThreadCounts;
+  std::vector<char *> Args;
+  Args.push_back(argv[0]);
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--threads") == 0 && I + 1 < argc)
+      ThreadCounts.push_back(std::strtol(argv[++I], nullptr, 10));
+    else
+      Args.push_back(argv[I]);
+  }
+  if (ThreadCounts.empty()) {
+    ThreadCounts.push_back(1);
+    unsigned HW = pt::ThreadPool::hardwareThreads();
+    if (HW > 1)
+      ThreadCounts.push_back(HW);
+  }
+  benchmark::internal::Benchmark *Matrix =
+      benchmark::RegisterBenchmark("BM_VariantMatrix", BM_VariantMatrix);
+  for (int64_t N : ThreadCounts)
+    Matrix->Arg(N);
+
+  int NewArgc = static_cast<int>(Args.size());
+  benchmark::Initialize(&NewArgc, Args.data());
+  if (benchmark::ReportUnrecognizedArguments(NewArgc, Args.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

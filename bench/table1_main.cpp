@@ -15,7 +15,11 @@
 /// Dash entries mean the per-cell budget expired (paper: 90-minute
 /// timeout; here HYBRIDPT_BUDGET_MS, default 120s).  Pass benchmark names
 /// as arguments to restrict the run; pass --csv for machine-readable
-/// output.
+/// output; pass --threads N to fan the independent cells of each
+/// benchmark out over N workers (0 = hardware concurrency).  Every run
+/// also records its cells to BENCH_table1.json (override with --json
+/// PATH) so tools/check_bench_regression.py can track the perf
+/// trajectory across commits.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -35,24 +39,29 @@ using namespace pt;
 
 int main(int argc, char **argv) {
   bool Csv = false;
+  std::string JsonPath = "BENCH_table1.json";
   std::vector<std::string> Selected;
+  CellOptions Opts = CellOptions::fromEnv();
   for (int I = 1; I < argc; ++I) {
     if (std::strcmp(argv[I], "--csv") == 0) {
       Csv = true;
+    } else if (std::strcmp(argv[I], "--threads") == 0 && I + 1 < argc) {
+      Opts.Threads = static_cast<unsigned>(std::strtoul(argv[++I], nullptr, 10));
+    } else if (std::strcmp(argv[I], "--json") == 0 && I + 1 < argc) {
+      JsonPath = argv[++I];
     } else if (isBenchmarkName(argv[I])) {
       Selected.push_back(argv[I]);
     } else {
       std::cerr << "unknown benchmark '" << argv[I] << "'; known:";
       for (const std::string &N : benchmarkNames())
         std::cerr << ' ' << N;
-      std::cerr << '\n';
+      std::cerr << "\n(options: --csv, --threads N, --json PATH)\n";
       return 1;
     }
   }
   if (Selected.empty())
     Selected = benchmarkNames();
 
-  CellOptions Opts = CellOptions::fromEnv();
   const std::vector<std::string> &Policies = table1PolicyNames();
 
   std::cout << "Table 1: precision and performance metrics for all "
@@ -66,16 +75,18 @@ int main(int argc, char **argv) {
                     "may_fail_casts", "reachable_casts", "time_s",
                     "cs_vpt_facts", "reachable_methods"});
 
+  std::vector<BenchRecord> Records;
   for (const std::string &Name : Selected) {
     Benchmark Bench = buildBenchmark(Name);
 
-    std::vector<PrecisionMetrics> Cells;
-    Cells.reserve(Policies.size());
-    for (const std::string &Policy : Policies) {
-      Cells.push_back(runCell(*Bench.Prog, Policy, Opts));
-      const PrecisionMetrics &M = Cells.back();
+    // All cells of one benchmark are independent solver runs; fan them
+    // out over the worker pool.
+    std::vector<PrecisionMetrics> Cells = runCells(*Bench.Prog, Policies, Opts);
+    for (size_t PI = 0; PI < Policies.size(); ++PI) {
+      const PrecisionMetrics &M = Cells[PI];
+      Records.push_back(makeBenchRecord(Name, Policies[PI], M));
       CsvOut.addRow(
-          {Name, Policy,
+          {Name, Policies[PI],
            M.Aborted ? "-" : formatFixed(M.AvgPointsTo, 2),
            M.Aborted ? "-" : std::to_string(M.CallGraphEdges),
            M.Aborted ? "-" : std::to_string(M.PolyVCalls),
@@ -140,5 +151,16 @@ int main(int argc, char **argv) {
 
   if (Csv)
     CsvOut.printCsv(std::cout);
+
+  std::string Error;
+  if (!JsonPath.empty() && JsonPath != "-") {
+    if (!writeBenchJson(JsonPath, "table1_main", Opts, Records, Error)) {
+      std::cerr << Error << "\n";
+      return 1;
+    }
+    if (!Csv)
+      std::cout << "wrote " << Records.size() << " cells to " << JsonPath
+                << "\n";
+  }
   return 0;
 }

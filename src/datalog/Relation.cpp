@@ -16,27 +16,48 @@ bool Relation::equalRows(const Value *A, const Value *B) const {
 }
 
 bool Relation::contains(const Value *Row) const {
-  uint64_t H = hashRow(Row);
-  auto [It, End] = Dedup.equal_range(H);
-  size_t Settled = settledRows();
-  for (; It != End; ++It) {
-    size_t Idx = It->second;
-    const Value *Existing = Idx < Settled
-                                ? row(Idx)
-                                : &Pending[(Idx - Settled) * Arity];
-    if (equalRows(Existing, Row))
+  const uint32_t *Head = DedupHead.find(hashRow(Row));
+  for (uint32_t I = Head ? *Head : NoRow; I != NoRow; I = DedupNext[I])
+    if (equalRows(rowStorage(I), Row))
       return true;
-  }
   return false;
 }
 
 bool Relation::insert(const Value *Row) {
-  if (contains(Row))
-    return false;
-  size_t Idx = settledRows() + pendingRows();
+  uint64_t H = hashRow(Row);
+  uint32_t NewIdx = static_cast<uint32_t>(size());
+  auto [Head, Fresh] = DedupHead.tryEmplace(H, NewIdx);
+  uint32_t ChainNext = NoRow;
+  if (!Fresh) {
+    // Hash seen before: walk the chain for an exact duplicate, then
+    // prepend the new row.
+    for (uint32_t I = *Head; I != NoRow; I = DedupNext[I])
+      if (equalRows(rowStorage(I), Row))
+        return false;
+    ChainNext = *Head;
+    *Head = NewIdx;
+  }
   Pending.insert(Pending.end(), Row, Row + Arity);
-  Dedup.emplace(hashRow(Row), Idx);
+  DedupNext.push_back(ChainNext);
   return true;
+}
+
+void Relation::linkRow(ColumnIndex &Index, uint64_t H, uint32_t RowIdx) {
+  assert(RowIdx < Index.Next.size() && "index chain storage too small");
+  auto [Head, Fresh] = Index.Head.tryEmplace(H, RowIdx);
+  if (!Fresh) {
+    Index.Next[RowIdx] = *Head;
+    *Head = RowIdx;
+  }
+}
+
+uint32_t Relation::extractKey(const Value *Row, uint32_t Mask,
+                              Value *Key) const {
+  uint32_t N = 0;
+  for (uint32_t C = 0; C < Arity; ++C)
+    if (Mask & (1u << C))
+      Key[N++] = Row[C];
+  return N;
 }
 
 size_t Relation::promote() {
@@ -49,13 +70,11 @@ size_t Relation::promote() {
 
   // Extend existing column indices over the new rows.
   for (auto &[Mask, Index] : Indices) {
+    Index.Next.resize(settledRows(), NoRow);
     for (size_t I = DeltaBegin; I < settledRows(); ++I) {
       Value Key[32];
-      uint32_t N = 0;
-      for (uint32_t C = 0; C < Arity; ++C)
-        if (Mask & (1u << C))
-          Key[N++] = row(I)[C];
-      Index.emplace(hashWords(Key, N), I);
+      uint32_t N = extractKey(row(I), Mask, Key);
+      linkRow(Index, hashWords(Key, N), static_cast<uint32_t>(I));
     }
   }
   return Promoted;
@@ -83,18 +102,17 @@ bool Relation::matches(const Value *Row, uint32_t ColMask,
   return true;
 }
 
-const Relation::IndexMap &Relation::indexFor(uint32_t ColMask) const {
-  auto It = Indices.find(ColMask);
-  if (It != Indices.end())
-    return It->second;
-  IndexMap &Index = Indices[ColMask];
+const Relation::ColumnIndex &Relation::indexFor(uint32_t ColMask) const {
+  for (const auto &[Mask, Index] : Indices)
+    if (Mask == ColMask)
+      return Index;
+  Indices.emplace_back(ColMask, ColumnIndex{});
+  ColumnIndex &Index = Indices.back().second;
+  Index.Next.resize(settledRows(), NoRow);
   for (size_t I = 0; I < settledRows(); ++I) {
     Value Key[32];
-    uint32_t N = 0;
-    for (uint32_t C = 0; C < Arity; ++C)
-      if (ColMask & (1u << C))
-        Key[N++] = row(I)[C];
-    Index.emplace(hashWords(Key, N), I);
+    uint32_t N = extractKey(row(I), ColMask, Key);
+    linkRow(Index, hashWords(Key, N), static_cast<uint32_t>(I));
   }
   return Index;
 }

@@ -15,17 +15,22 @@
 /// in a separate pending area and are promoted to the new delta when the
 /// round ends — the engine drives this via \c promote().
 ///
+/// Dedup and the column indices are flat robin-hood tables (\c FlatMap)
+/// from a 64-bit tuple/key hash to the head of an intrusive chain of row
+/// indices: no per-entry heap nodes, exact under hash collisions, and
+/// built/extended with O(1) prepends.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef HYBRIDPT_DATALOG_RELATION_H
 #define HYBRIDPT_DATALOG_RELATION_H
 
+#include "support/FlatMap.h"
 #include "support/Hashing.h"
 
 #include <cassert>
 #include <cstdint>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 namespace pt::dl {
@@ -103,11 +108,11 @@ public:
         Fn(row(I));
       return;
     }
-    const IndexMap &Index = indexFor(ColMask);
+    const ColumnIndex &Index = indexFor(ColMask);
     uint64_t H = hashKey(ColMask, Key);
-    auto [It, ItEnd] = Index.equal_range(H);
-    for (; It != ItEnd; ++It) {
-      size_t RowIdx = It->second;
+    const uint32_t *Head = Index.Head.find(H);
+    for (uint32_t RowIdx = Head ? *Head : NoRow; RowIdx != NoRow;
+         RowIdx = Index.Next[RowIdx]) {
       if (RowIdx < Begin || RowIdx >= End)
         continue;
       const Value *R2 = row(RowIdx);
@@ -117,7 +122,15 @@ public:
   }
 
 private:
-  using IndexMap = std::unordered_multimap<uint64_t, size_t>;
+  static constexpr uint32_t NoRow = UINT32_MAX;
+
+  /// Hash-headed intrusive chain over settled rows: \c Head maps a key
+  /// hash to the most recent row with that hash, \c Next links rows
+  /// sharing a hash (newest first).
+  struct ColumnIndex {
+    FlatMap<uint32_t> Head;
+    std::vector<uint32_t> Next;
+  };
 
   uint64_t hashRow(const Value *Row) const {
     return hashWords(Row, Arity);
@@ -126,9 +139,22 @@ private:
   bool matches(const Value *Row, uint32_t ColMask, const Value *Key) const;
   bool equalRows(const Value *A, const Value *B) const;
 
+  /// Row \p Idx in global addressing: settled rows first, then pending.
+  const Value *rowStorage(size_t Idx) const {
+    size_t Settled = settledRows();
+    return Idx < Settled ? row(Idx) : &Pending[(Idx - Settled) * Arity];
+  }
+
+  /// Appends row \p RowIdx (with key hash \p H) to \p Index.
+  static void linkRow(ColumnIndex &Index, uint64_t H, uint32_t RowIdx);
+
+  /// Extracts the key of \p Row selected by \p Mask into \p Key; returns
+  /// the number of key columns.
+  uint32_t extractKey(const Value *Row, uint32_t Mask, Value *Key) const;
+
   /// Returns (building on demand) the index for \p ColMask over all
   /// settled rows.  Indices are kept current by promote().
-  const IndexMap &indexFor(uint32_t ColMask) const;
+  const ColumnIndex &indexFor(uint32_t ColMask) const;
 
   std::string Name;
   uint32_t Arity;
@@ -137,12 +163,15 @@ private:
   std::vector<Value> Pending; ///< Derived this round, not yet visible.
   size_t DeltaBegin = 0;      ///< First row index of the current delta.
 
-  /// Dedup over settled + pending rows: hash -> row index.  Pending rows
-  /// are addressed as settledRows() + pendingIdx.
-  std::unordered_multimap<uint64_t, size_t> Dedup;
+  /// Dedup over settled + pending rows: tuple hash -> newest row index,
+  /// chained through \c DedupNext (one entry per row, global addressing).
+  FlatMap<uint32_t> DedupHead;
+  std::vector<uint32_t> DedupNext;
 
   /// Lazily built column indices over settled rows, updated on promote.
-  mutable std::unordered_map<uint32_t, IndexMap> Indices;
+  /// Masks fit in 32 bits (arity <= 32); the handful of live masks makes
+  /// a tiny FlatMap-keyed registry overkill, so a small vector of pairs.
+  mutable std::vector<std::pair<uint32_t, ColumnIndex>> Indices;
 };
 
 } // namespace pt::dl

@@ -98,6 +98,10 @@ public:
   /// Wall-clock solve time, filled by the solver.
   double SolveMs = 0.0;
 
+  /// Peak solver node count (interned (var, ctx) pairs plus field, static
+  /// and throw slots); 0 when produced by a non-node-based engine.
+  size_t SolverNodes = 0;
+
   // --- Queries ---
 
   const Program &program() const { return *Prog; }

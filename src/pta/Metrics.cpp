@@ -20,6 +20,7 @@ PrecisionMetrics pt::computeMetrics(const AnalysisResult &Result) {
   PrecisionMetrics M;
   M.Aborted = Result.Aborted;
   M.SolveMs = Result.SolveMs;
+  M.PeakNodes = Result.SolverNodes;
   M.CsVarPointsTo = Result.numCsVarPointsTo();
   M.FieldPointsTo = Result.numFieldPointsTo();
   M.StaticFieldPointsTo = Result.numStaticFieldPointsTo();

@@ -60,6 +60,8 @@ struct PrecisionMetrics {
   size_t NumObjects = 0;
   /// Wall-clock solve time in milliseconds.
   double SolveMs = 0.0;
+  /// Peak solver node count (graph size proxy for memory).
+  size_t PeakNodes = 0;
   /// True when the run aborted on a budget (paper's dash entries).
   bool Aborted = false;
 };

@@ -15,10 +15,6 @@
 
 using namespace pt;
 
-size_t Solver::CallKeyHash::operator()(const CallKey &K) const {
-  return static_cast<size_t>(hashWords(K.Words, 4));
-}
-
 Solver::Solver(const Program &Prog, ContextPolicy &Policy, SolverOptions Opts)
     : Prog(Prog), Policy(Policy), Opts(Opts), Budget(Opts.TimeBudgetMs) {
   assert(Prog.isFinalized() && "solver needs a finalized program");
@@ -26,73 +22,71 @@ Solver::Solver(const Program &Prog, ContextPolicy &Policy, SolverOptions Opts)
 
 uint32_t Solver::varNode(VarId V, CtxId Ctx) {
   uint64_t Key = packPair(V.index(), Ctx.index());
-  auto It = VarCtxIndex.find(Key);
-  if (It != VarCtxIndex.end())
-    return It->second;
   uint32_t Idx = static_cast<uint32_t>(Nodes.size());
+  auto [Slot, Inserted] = VarCtxIndex.tryEmplace(Key, Idx);
+  if (!Inserted)
+    return *Slot;
   Nodes.emplace_back();
   Descs.push_back({NodeKind::VarCtx, V.index(), Ctx.index()});
-  VarCtxIndex.emplace(Key, Idx);
   return Idx;
 }
 
 uint32_t Solver::fieldNode(uint32_t Obj, FieldId Fld) {
   uint64_t Key = packPair(Obj, Fld.index());
-  auto It = FieldSlotIndex.find(Key);
-  if (It != FieldSlotIndex.end())
-    return It->second;
   uint32_t Idx = static_cast<uint32_t>(Nodes.size());
+  auto [Slot, Inserted] = FieldSlotIndex.tryEmplace(Key, Idx);
+  if (!Inserted)
+    return *Slot;
   Nodes.emplace_back();
   Descs.push_back({NodeKind::FieldSlot, Obj, Fld.index()});
-  FieldSlotIndex.emplace(Key, Idx);
   return Idx;
 }
 
 uint32_t Solver::staticNode(FieldId Fld) {
-  auto It = StaticSlotIndex.find(Fld.index());
-  if (It != StaticSlotIndex.end())
-    return It->second;
   uint32_t Idx = static_cast<uint32_t>(Nodes.size());
+  auto [Slot, Inserted] = StaticSlotIndex.tryEmplace(Fld.index(), Idx);
+  if (!Inserted)
+    return *Slot;
   Nodes.emplace_back();
   Descs.push_back({NodeKind::StaticSlot, Fld.index(), 0});
-  StaticSlotIndex.emplace(Fld.index(), Idx);
   return Idx;
 }
 
 uint32_t Solver::throwNode(MethodId M, CtxId Ctx) {
   uint64_t Key = packPair(M.index(), Ctx.index());
-  auto It = ThrowSlotIndex.find(Key);
-  if (It != ThrowSlotIndex.end())
-    return It->second;
   uint32_t Idx = static_cast<uint32_t>(Nodes.size());
+  auto [Slot, Inserted] = ThrowSlotIndex.tryEmplace(Key, Idx);
+  if (!Inserted)
+    return *Slot;
   Nodes.emplace_back();
   Descs.push_back({NodeKind::ThrowSlot, M.index(), Ctx.index()});
-  ThrowSlotIndex.emplace(Key, Idx);
   return Idx;
 }
 
 uint32_t Solver::internObject(HeapId Heap, HCtxId HCtx) {
   uint64_t Key = packPair(Heap.index(), HCtx.index());
-  auto It = ObjIndex.find(Key);
-  if (It != ObjIndex.end())
-    return It->second;
   uint32_t Obj = static_cast<uint32_t>(ObjHeaps.size());
+  auto [Slot, Inserted] = ObjIndex.tryEmplace(Key, Obj);
+  if (!Inserted)
+    return *Slot;
   ObjHeaps.push_back(Heap);
   ObjHCtxs.push_back(HCtx);
-  ObjIndex.emplace(Key, Obj);
   return Obj;
 }
 
 void Solver::addFact(uint32_t NodeIdx, uint32_t Obj) {
   if (Aborted)
     return;
+  // Fact budget: refuse to queue more work once the budget is spent (the
+  // old check ran after queueing, letting one extra wave through).
+  if (Opts.MaxFacts != 0 && FactCount >= Opts.MaxFacts) {
+    Aborted = true;
+    return;
+  }
   Node &N = Nodes[NodeIdx];
-  if (!N.Set.insert(Obj).second)
+  if (!N.Set.insert(Obj))
     return;
   ++FactCount;
-  if (Opts.MaxFacts != 0 && FactCount > Opts.MaxFacts)
-    Aborted = true;
-  N.Pending.push_back(Obj);
   if (!N.Queued) {
     N.Queued = true;
     Worklist.push_back(NodeIdx);
@@ -102,33 +96,32 @@ void Solver::addFact(uint32_t NodeIdx, uint32_t Obj) {
 void Solver::addEdge(uint32_t From, uint32_t To) {
   if (From == To)
     return;
-  if (!EdgeDedup.insert(packPair(From, To)).second)
+  if (!EdgeDedup.insert(packPair(From, To)))
     return;
   Nodes[From].Edges.push_back(To);
-  // Replay facts already present at the source.
-  // Note: iterate over a copy, since addFact may rehash the set of `From`
-  // itself through reentrant graph growth (To == some node whose processing
-  // feeds back).  addFact never touches From's Set directly here, but Nodes
-  // may reallocate; take the snapshot first.
-  std::vector<uint32_t> Snapshot(Nodes[From].Set.begin(),
-                                 Nodes[From].Set.end());
-  for (uint32_t Obj : Snapshot)
-    addFact(To, Obj);
+  // Replay facts already present at the source.  ObjectSet positions are
+  // stable under insertion, so walk by index instead of copying the set;
+  // re-read the node each step since Nodes may reallocate through
+  // reentrant graph growth.
+  uint32_t Count = Nodes[From].Set.size();
+  for (uint32_t I = 0; I < Count; ++I)
+    addFact(To, Nodes[From].Set.at(I));
 }
 
 void Solver::addCastEdge(uint32_t From, uint32_t To, TypeId Filter) {
   Nodes[From].CastEdges.push_back({To, Filter});
-  std::vector<uint32_t> Snapshot(Nodes[From].Set.begin(),
-                                 Nodes[From].Set.end());
-  for (uint32_t Obj : Snapshot)
+  uint32_t Count = Nodes[From].Set.size();
+  for (uint32_t I = 0; I < Count; ++I) {
+    uint32_t Obj = Nodes[From].Set.at(I);
     if (Prog.isSubtype(Prog.heap(ObjHeaps[Obj]).Type, Filter))
       addFact(To, Obj);
+  }
 }
 
 void Solver::ensureReachable(MethodId M, CtxId Ctx) {
   if (Aborted)
     return;
-  if (!ReachableSet.insert(packPair(M.index(), Ctx.index())).second)
+  if (!ReachableSet.insert(packPair(M.index(), Ctx.index())))
     return;
   ReachableList.push_back({M, Ctx});
 
@@ -151,24 +144,29 @@ void Solver::ensureReachable(MethodId M, CtxId Ctx) {
     addCastEdge(varNode(C.From, Ctx), varNode(C.To, Ctx), C.Target);
 
   // LOAD / STORE: subscribe on the base variable.  Each object that ever
-  // reaches the base connects the field slot to the local variable.
+  // reaches the base connects the field slot to the local variable.  The
+  // replay loops below capture the set size up front: facts arriving
+  // mid-replay stay in the node's pending suffix and reach the new
+  // subscription through the worklist.
   for (const LoadInstr &L : Body.Loads) {
     uint32_t Base = varNode(L.Base, Ctx);
     uint32_t To = varNode(L.To, Ctx);
     Nodes[Base].Loads.push_back({L.Fld, To});
-    std::vector<uint32_t> Snapshot(Nodes[Base].Set.begin(),
-                                   Nodes[Base].Set.end());
-    for (uint32_t Obj : Snapshot)
+    uint32_t Count = Nodes[Base].Set.size();
+    for (uint32_t I = 0; I < Count; ++I) {
+      uint32_t Obj = Nodes[Base].Set.at(I);
       addEdge(fieldNode(Obj, L.Fld), To);
+    }
   }
   for (const StoreInstr &S : Body.Stores) {
     uint32_t Base = varNode(S.Base, Ctx);
     uint32_t From = varNode(S.From, Ctx);
     Nodes[Base].Stores.push_back({S.Fld, From});
-    std::vector<uint32_t> Snapshot(Nodes[Base].Set.begin(),
-                                   Nodes[Base].Set.end());
-    for (uint32_t Obj : Snapshot)
+    uint32_t Count = Nodes[Base].Set.size();
+    for (uint32_t I = 0; I < Count; ++I) {
+      uint32_t Obj = Nodes[Base].Set.at(I);
       addEdge(From, fieldNode(Obj, S.Fld));
+    }
   }
 
   // Static field accesses: global, context-free slots (Doop's model).
@@ -182,10 +180,9 @@ void Solver::ensureReachable(MethodId M, CtxId Ctx) {
   for (const ThrowInstr &T : Body.Throws) {
     uint32_t VNode = varNode(T.V, Ctx);
     Nodes[VNode].ThrowSubs.push_back(packPair(M.index(), Ctx.index()));
-    std::vector<uint32_t> Snapshot(Nodes[VNode].Set.begin(),
-                                   Nodes[VNode].Set.end());
-    for (uint32_t Obj : Snapshot)
-      routeThrow(Obj, M, Ctx);
+    uint32_t Count = Nodes[VNode].Set.size();
+    for (uint32_t I = 0; I < Count; ++I)
+      routeThrow(Nodes[VNode].Set.at(I), M, Ctx);
   }
 
   // Calls.
@@ -201,15 +198,16 @@ void Solver::ensureReachable(MethodId M, CtxId Ctx) {
       // (Figure 2, second-to-last rule).
       uint32_t Base = varNode(Call.Base, Ctx);
       Nodes[Base].Dispatches.push_back({Inv, Ctx});
-      std::vector<uint32_t> Snapshot(Nodes[Base].Set.begin(),
-                                     Nodes[Base].Set.end());
-      for (uint32_t Obj : Snapshot)
-        dispatch({Inv, Ctx}, Obj);
+      uint32_t Count = Nodes[Base].Set.size();
+      for (uint32_t I = 0; I < Count; ++I)
+        dispatch({Inv, Ctx}, Nodes[Base].Set.at(I));
     }
   }
 }
 
 void Solver::routeThrow(uint32_t Obj, MethodId M, CtxId Ctx) {
+  if (checkBudget())
+    return;
   TypeId ObjType = Prog.heap(ObjHeaps[Obj]).Type;
   const MethodInfo &Body = Prog.method(M);
   bool Caught = false;
@@ -228,16 +226,17 @@ void Solver::addThrowLink(uint32_t ThrowNodeIdx, MethodId CallerM,
   uint64_t Link = packPair(CallerM.index(), CallerCtx.index());
   uint64_t DedupKey =
       mix64(Link) ^ (static_cast<uint64_t>(ThrowNodeIdx) << 1);
-  if (!ThrowLinkDedup.insert(DedupKey).second)
+  if (!ThrowLinkDedup.insert(DedupKey))
     return;
   Nodes[ThrowNodeIdx].ThrowLinks.push_back(Link);
-  std::vector<uint32_t> Snapshot(Nodes[ThrowNodeIdx].Set.begin(),
-                                 Nodes[ThrowNodeIdx].Set.end());
-  for (uint32_t Obj : Snapshot)
-    routeThrow(Obj, CallerM, CallerCtx);
+  uint32_t Count = Nodes[ThrowNodeIdx].Set.size();
+  for (uint32_t I = 0; I < Count; ++I)
+    routeThrow(Nodes[ThrowNodeIdx].Set.at(I), CallerM, CallerCtx);
 }
 
 void Solver::dispatch(const DispatchSub &Sub, uint32_t Obj) {
+  if (checkBudget())
+    return;
   const InvokeInfo &Call = Prog.invoke(Sub.Invo);
   HeapId Heap = ObjHeaps[Obj];
   HCtxId HCtx = ObjHCtxs[Obj];
@@ -254,13 +253,32 @@ void Solver::dispatch(const DispatchSub &Sub, uint32_t Obj) {
   wireCall(Sub.Invo, Sub.CallerCtx, Callee, CalleeCtx);
 }
 
+bool Solver::insertCallEdge(const CallGraphEdge &E) {
+  uint32_t Words[4] = {E.Invo.index(), E.CallerCtx.index(),
+                       E.Callee.index(), E.CalleeCtx.index()};
+  uint64_t H = hashWords(Words, 4);
+  uint32_t NewIdx = static_cast<uint32_t>(CallEdges.size());
+  auto [Head, Fresh] = CallEdgeHead.tryEmplace(H, NewIdx);
+  uint32_t ChainNext = UINT32_MAX;
+  if (!Fresh) {
+    for (uint32_t I = *Head; I != UINT32_MAX; I = CallEdgeNext[I]) {
+      const CallGraphEdge &X = CallEdges[I];
+      if (X.Invo == E.Invo && X.CallerCtx == E.CallerCtx &&
+          X.Callee == E.Callee && X.CalleeCtx == E.CalleeCtx)
+        return false;
+    }
+    ChainNext = *Head;
+    *Head = NewIdx;
+  }
+  CallEdges.push_back(E);
+  CallEdgeNext.push_back(ChainNext);
+  return true;
+}
+
 void Solver::wireCall(InvokeId Invo, CtxId CallerCtx, MethodId Callee,
                       CtxId CalleeCtx) {
-  CallKey Key{{Invo.index(), CallerCtx.index(), Callee.index(),
-               CalleeCtx.index()}};
-  if (!CallEdgeSet.insert(Key).second)
+  if (!insertCallEdge({Invo, CallerCtx, Callee, CalleeCtx}))
     return;
-  CallEdges.push_back({Invo, CallerCtx, Callee, CalleeCtx});
 
   ensureReachable(Callee, CalleeCtx);
 
@@ -283,19 +301,24 @@ void Solver::wireCall(InvokeId Invo, CtxId CallerCtx, MethodId Callee,
 }
 
 void Solver::processDelta(uint32_t NodeIdx) {
-  // Move the pending batch out; reentrant growth appends to a fresh vector.
-  std::vector<uint32_t> Delta = std::move(Nodes[NodeIdx].Pending);
-  Nodes[NodeIdx].Pending.clear();
-
+  // The pending delta is the set suffix [Scanned, size()): positions are
+  // stable, so no batch is moved out — reentrant growth just extends the
+  // suffix and the loop picks it up.
+  //
   // Subscriptions may grow while we iterate (body instantiation reached
   // through dispatch can add loads on this very node), so use index loops
   // and re-read the vectors from Nodes[NodeIdx] each step.  Subscriptions
   // added mid-processing replay the full set themselves, which includes
   // this delta; processing them again here is idempotent.
-  for (size_t DI = 0; DI < Delta.size(); ++DI) {
+  while (true) {
     if (Aborted)
       return;
-    uint32_t Obj = Delta[DI];
+    {
+      Node &N = Nodes[NodeIdx];
+      if (N.Scanned >= N.Set.size())
+        break;
+    }
+    uint32_t Obj = Nodes[NodeIdx].Set.at(Nodes[NodeIdx].Scanned++);
 
     for (size_t I = 0; I < Nodes[NodeIdx].Dispatches.size(); ++I) {
       DispatchSub Sub = Nodes[NodeIdx].Dispatches[I];
@@ -330,14 +353,9 @@ void Solver::processDelta(uint32_t NodeIdx) {
 }
 
 void Solver::drainWorklist() {
-  uint32_t BudgetCheck = 0;
   while (!Worklist.empty()) {
-    if (Aborted)
+    if (Aborted || checkBudget())
       return;
-    if ((++BudgetCheck & 0x3ff) == 0 && Budget.expired()) {
-      Aborted = true;
-      return;
-    }
     uint32_t NodeIdx = Worklist.front();
     Worklist.pop_front();
     Nodes[NodeIdx].Queued = false;
@@ -363,6 +381,7 @@ AnalysisResult Solver::run() {
 AnalysisResult Solver::harvest() {
   AnalysisResult Result(Prog, Policy);
   Result.Aborted = Aborted;
+  Result.SolverNodes = Nodes.size();
   Result.ObjHeaps = std::move(ObjHeaps);
   Result.ObjHCtxs = std::move(ObjHCtxs);
   Result.CallEdges = std::move(CallEdges);
@@ -372,7 +391,9 @@ AnalysisResult Solver::harvest() {
     Node &N = Nodes[I];
     if (N.Set.empty())
       continue;
-    std::vector<uint32_t> Objs(N.Set.begin(), N.Set.end());
+    std::vector<uint32_t> Objs;
+    Objs.reserve(N.Set.size());
+    N.Set.forEach([&Objs](uint32_t Obj) { Objs.push_back(Obj); });
     std::sort(Objs.begin(), Objs.end());
     const NodeDesc &D = Descs[I];
     if (D.Kind == NodeKind::VarCtx) {

@@ -22,19 +22,25 @@
 /// exactly the model of the paper's rules (differentially tested against
 /// the Datalog transcription in src/ptaref).
 ///
+/// Data structures are specialized for the hot paths: per-node points-to
+/// sets are hybrid inline-vector/bitmap \c ObjectSet (append-only, so
+/// replay walks by position instead of copying a snapshot, and the
+/// difference-propagation delta is just a cursor), and every intern table
+/// and dedup set is a flat robin-hood \c FlatMap / \c FlatSet.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef HYBRIDPT_PTA_SOLVER_H
 #define HYBRIDPT_PTA_SOLVER_H
 
 #include "pta/AnalysisResult.h"
+#include "support/FlatMap.h"
 #include "support/Ids.h"
+#include "support/ObjectSet.h"
 #include "support/Timer.h"
 
 #include <cstdint>
 #include <deque>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 namespace pt {
@@ -90,8 +96,11 @@ private:
   };
 
   struct Node {
-    std::unordered_set<uint32_t> Set;
-    std::vector<uint32_t> Pending;
+    /// The points-to set.  Append-only insertion order makes positions
+    /// stable, so the pending delta is just the suffix [Scanned, size()).
+    ObjectSet Set;
+    /// Facts [0, Scanned) have been propagated to all subscriptions.
+    uint32_t Scanned = 0;
     std::vector<uint32_t> Edges;
     std::vector<CastEdge> CastEdges;
     std::vector<LoadSub> Loads;
@@ -143,6 +152,18 @@ private:
   void wireCall(InvokeId Invo, CtxId CallerCtx, MethodId Callee,
                 CtxId CalleeCtx);
 
+  /// Appends \p E to the call graph unless present; exact tuple dedup via
+  /// a hash-headed chain over \c CallEdges (no separate key copies).
+  bool insertCallEdge(const CallGraphEdge &E);
+
+  /// Amortized deadline poll used from the inner dispatch/routeThrow/delta
+  /// loops; sets \c Aborted once the wall-clock budget expires.
+  bool checkBudget() {
+    if (!Aborted && (++BudgetTick & 0x3ff) == 0 && Budget.expired())
+      Aborted = true;
+    return Aborted;
+  }
+
   void drainWorklist();
   void processDelta(uint32_t NodeIdx);
 
@@ -155,39 +176,30 @@ private:
 
   std::vector<Node> Nodes;
   std::vector<NodeDesc> Descs;
-  std::unordered_map<uint64_t, uint32_t> VarCtxIndex;
-  std::unordered_map<uint64_t, uint32_t> FieldSlotIndex;
-  std::unordered_map<uint32_t, uint32_t> StaticSlotIndex;
-  std::unordered_map<uint64_t, uint32_t> ThrowSlotIndex;
-  std::unordered_set<uint64_t> ThrowLinkDedup; ///< hash of (node, link)
+  FlatMap<uint32_t> VarCtxIndex;    ///< packPair(var, ctx) -> node
+  FlatMap<uint32_t> FieldSlotIndex; ///< packPair(obj, fld) -> node
+  FlatMap<uint32_t> StaticSlotIndex; ///< fld -> node
+  FlatMap<uint32_t> ThrowSlotIndex; ///< packPair(method, ctx) -> node
+  FlatSet ThrowLinkDedup;           ///< hash of (node, link)
 
   std::vector<HeapId> ObjHeaps;
   std::vector<HCtxId> ObjHCtxs;
-  std::unordered_map<uint64_t, uint32_t> ObjIndex;
+  FlatMap<uint32_t> ObjIndex; ///< packPair(heap, hctx) -> dense object
 
-  std::unordered_set<uint64_t> ReachableSet; ///< packed (method, ctx)
+  FlatSet ReachableSet; ///< packed (method, ctx)
   std::vector<std::pair<MethodId, CtxId>> ReachableList;
 
-  struct CallKey {
-    uint32_t Words[4];
-    friend bool operator==(const CallKey &A, const CallKey &B) {
-      return A.Words[0] == B.Words[0] && A.Words[1] == B.Words[1] &&
-             A.Words[2] == B.Words[2] && A.Words[3] == B.Words[3];
-    }
-  };
-  struct CallKeyHash {
-    size_t operator()(const CallKey &K) const;
-  };
-
-  /// Call-graph dedup keyed on the full (invo, callerCtx, callee,
-  /// calleeCtx) tuple; the edge list is kept for the result.
-  std::unordered_set<CallKey, CallKeyHash> CallEdgeSet;
+  /// Call-graph dedup: tuple hash -> head index into \c CallEdges, with
+  /// per-edge chain links for exactness under hash collisions.
+  FlatMap<uint32_t> CallEdgeHead;
+  std::vector<uint32_t> CallEdgeNext;
   std::vector<CallGraphEdge> CallEdges;
 
-  std::unordered_set<uint64_t> EdgeDedup;
+  FlatSet EdgeDedup; ///< packPair(from, to)
 
   std::deque<uint32_t> Worklist;
   uint64_t FactCount = 0;
+  uint32_t BudgetTick = 0;
   bool Aborted = false;
   bool HasRun = false;
 };

@@ -1,0 +1,55 @@
+//===- pta/VariantRunner.cpp ---------------------------------------------------===//
+//
+// Part of the hybridpt project (PLDI 2013 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pta/VariantRunner.h"
+
+#include "context/PolicyRegistry.h"
+#include "ir/Program.h"
+#include "pta/AnalysisResult.h"
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+
+using namespace pt;
+
+namespace {
+
+/// One (program, policy) cell: repeated runs, median time.
+PrecisionMetrics runOneCell(const Program &Prog, const std::string &Policy,
+                            const SolverOptions &SOpts, uint32_t Runs) {
+  std::vector<double> Times;
+  PrecisionMetrics Last;
+  for (uint32_t RunIdx = 0; RunIdx < Runs; ++RunIdx) {
+    auto Pol = createPolicy(Policy, Prog);
+    if (!Pol) {
+      Last.Aborted = true;
+      return Last;
+    }
+    Solver S(Prog, *Pol, SOpts);
+    AnalysisResult R = S.run();
+    Last = computeMetrics(R);
+    Times.push_back(Last.SolveMs);
+    if (Last.Aborted)
+      break; // A timeout will time out again; report the dash.
+  }
+  std::sort(Times.begin(), Times.end());
+  Last.SolveMs = Times[Times.size() / 2];
+  return Last;
+}
+
+} // namespace
+
+std::vector<PrecisionMetrics>
+pt::runVariantMatrix(const Program &Prog,
+                     const std::vector<std::string> &Policies,
+                     const MatrixOptions &Opts) {
+  std::vector<PrecisionMetrics> Cells(Policies.size());
+  uint32_t Runs = Opts.Runs == 0 ? 1 : Opts.Runs;
+  parallelFor(Policies.size(), Opts.Threads, [&](size_t I) {
+    Cells[I] = runOneCell(Prog, Policies[I], Opts.Solver, Runs);
+  });
+  return Cells;
+}

@@ -1,0 +1,52 @@
+//===- pta/VariantRunner.h - Parallel analysis-variant matrix ---*- C++ -*-===//
+//
+// Part of the hybridpt project (PLDI 2013 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs a set of context policies over one program concurrently.  The
+/// analysis-variant matrix (Table 1 / Fig. 3) is embarrassingly parallel:
+/// each cell is an independent \c Solver over an immutable \c Program, so
+/// the runner simply fans the cells out over a \c ThreadPool with per-run
+/// time/fact budgets and collects the metrics in policy order.
+///
+/// Results are bit-identical regardless of thread count (asserted by the
+/// determinism test): solvers share nothing but the read-only program.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HYBRIDPT_PTA_VARIANTRUNNER_H
+#define HYBRIDPT_PTA_VARIANTRUNNER_H
+
+#include "pta/Metrics.h"
+#include "pta/Solver.h"
+
+#include <string>
+#include <vector>
+
+namespace pt {
+
+class Program;
+
+/// Configuration for one matrix run.
+struct MatrixOptions {
+  /// Per-run budgets (time and fact caps apply to every cell).
+  SolverOptions Solver;
+  /// Worker threads; 0 = one per hardware thread.
+  unsigned Threads = 1;
+  /// Repetitions per cell; the reported SolveMs is the median (the paper's
+  /// "medians of three runs").  Aborted cells are not repeated.
+  uint32_t Runs = 1;
+};
+
+/// Runs every policy in \p Policies over \p Prog (concurrently when
+/// \c Threads > 1) and returns the metrics in the same order.  Unknown
+/// policy names yield a default-constructed, aborted cell.
+std::vector<PrecisionMetrics>
+runVariantMatrix(const Program &Prog, const std::vector<std::string> &Policies,
+                 const MatrixOptions &Opts);
+
+} // namespace pt
+
+#endif // HYBRIDPT_PTA_VARIANTRUNNER_H

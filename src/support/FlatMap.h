@@ -1,0 +1,191 @@
+//===- support/FlatMap.h - Open-addressing u64 -> small-value map -*- C++ -*-===//
+//
+// Part of the hybridpt project (PLDI 2013 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The intern-table workhorse: a robin-hood open-addressing hash map from
+/// 64-bit keys (usually two packed 32-bit ids) to small trivially copyable
+/// values.  The solver and the Datalog relations perform hundreds of
+/// millions of lookups on tables like this, so the design goals are a
+/// single flat allocation pair, one cache miss per hit, and no per-entry
+/// heap nodes — everything std::unordered_map cannot offer.
+///
+/// No erase is provided (the analyses only ever grow), which keeps probing
+/// tombstone-free: a one-byte probe-distance array doubles as the
+/// empty/occupied metadata, and robin-hood displacement bounds the variance
+/// of probe lengths so misses terminate after a couple of slots even at
+/// high load.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HYBRIDPT_SUPPORT_FLATMAP_H
+#define HYBRIDPT_SUPPORT_FLATMAP_H
+
+#include "support/Hashing.h"
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace pt {
+
+/// Robin-hood hash map: uint64_t keys, small trivially-copyable values,
+/// insert-only.  Pointers returned by \c find / \c tryEmplace are valid
+/// until the next mutating call.
+template <typename ValueT> class FlatMap {
+public:
+  FlatMap() = default;
+
+  size_t size() const { return Count; }
+  bool empty() const { return Count == 0; }
+
+  /// Pre-sizes the table for \p N entries without rehashing later.
+  void reserve(size_t N) {
+    size_t Need = capacityFor(N);
+    if (Need > Slots.size())
+      rehash(Need);
+  }
+
+  void clear() {
+    Slots.clear();
+    Meta.clear();
+    Count = 0;
+    Mask = 0;
+  }
+
+  /// Returns a pointer to the value for \p Key, or nullptr when absent.
+  ValueT *find(uint64_t Key) {
+    return const_cast<ValueT *>(
+        static_cast<const FlatMap *>(this)->find(Key));
+  }
+  const ValueT *find(uint64_t Key) const {
+    if (Count == 0)
+      return nullptr;
+    size_t Idx = mix64(Key) & Mask;
+    uint8_t Dist = 1;
+    while (true) {
+      uint8_t M = Meta[Idx];
+      if (M < Dist)
+        return nullptr; // An owner this poor would have been displaced.
+      if (Slots[Idx].Key == Key)
+        return &Slots[Idx].Val;
+      Idx = (Idx + 1) & Mask;
+      ++Dist;
+    }
+  }
+
+  /// Inserts (\p Key, \p Value) unless the key is present.  Returns the
+  /// value slot and whether an insert happened.
+  std::pair<ValueT *, bool> tryEmplace(uint64_t Key, ValueT Value) {
+    if (Slots.empty() || (Count + 1) * 8 >= Slots.size() * 7)
+      rehash(capacityFor(Count + 1));
+    size_t Idx = mix64(Key) & Mask;
+    uint8_t Dist = 1;
+    // Probe: existing key, first empty slot, or a richer resident to evict.
+    while (true) {
+      uint8_t M = Meta[Idx];
+      if (M == 0 || M < Dist)
+        break;
+      if (Slots[Idx].Key == Key)
+        return {&Slots[Idx].Val, false};
+      Idx = (Idx + 1) & Mask;
+      ++Dist;
+    }
+    ++Count;
+    // Displacement phase: place the new entry, bubbling poorer residents
+    // down the probe chain (classic robin hood).
+    uint64_t CK = Key;
+    ValueT CV = Value;
+    uint8_t CD = Dist;
+    ValueT *Home = nullptr;
+    while (true) {
+      if (Meta[Idx] == 0) {
+        Slots[Idx].Key = CK;
+        Slots[Idx].Val = CV;
+        Meta[Idx] = CD;
+        if (!Home)
+          Home = &Slots[Idx].Val;
+        return {Home, true};
+      }
+      if (Meta[Idx] < CD) {
+        std::swap(CK, Slots[Idx].Key);
+        std::swap(CV, Slots[Idx].Val);
+        std::swap(CD, Meta[Idx]);
+        if (!Home)
+          Home = &Slots[Idx].Val;
+      }
+      Idx = (Idx + 1) & Mask;
+      ++CD;
+      if (CD == 0xff) {
+        // Pathological probe chain (not reachable at our load factor with
+        // a mixed hash, but must stay correct): rehash everything placed
+        // so far plus the carried entry, then re-resolve the original key.
+        rehash(Slots.size() * 2, &CK, &CV);
+        return {find(Key), true};
+      }
+    }
+  }
+
+  /// Applies \p Fn(key, value) to every entry, in unspecified order.
+  template <typename Callback> void forEach(Callback &&Fn) const {
+    for (size_t I = 0; I < Slots.size(); ++I)
+      if (Meta[I] != 0)
+        Fn(Slots[I].Key, Slots[I].Val);
+  }
+
+private:
+  struct Slot {
+    uint64_t Key;
+    ValueT Val;
+  };
+
+  /// Smallest power-of-two capacity holding \p N entries under 7/8 load.
+  static size_t capacityFor(size_t N) {
+    size_t Cap = 16;
+    while (N * 8 >= Cap * 7)
+      Cap <<= 1;
+    return Cap;
+  }
+
+  void rehash(size_t NewCap, uint64_t *ExtraKey = nullptr,
+              ValueT *ExtraVal = nullptr) {
+    std::vector<Slot> OldSlots = std::move(Slots);
+    std::vector<uint8_t> OldMeta = std::move(Meta);
+    Slots.assign(NewCap, Slot{});
+    Meta.assign(NewCap, 0);
+    Mask = NewCap - 1;
+    Count = 0;
+    for (size_t I = 0; I < OldSlots.size(); ++I)
+      if (OldMeta[I] != 0)
+        tryEmplace(OldSlots[I].Key, OldSlots[I].Val);
+    if (ExtraKey)
+      tryEmplace(*ExtraKey, *ExtraVal);
+  }
+
+  std::vector<Slot> Slots;
+  std::vector<uint8_t> Meta; ///< 0 = empty, else probe distance + 1.
+  size_t Count = 0;
+  size_t Mask = 0;
+};
+
+/// Insert-only set of 64-bit keys on the same flat robin-hood core; used
+/// for edge/reachability dedup where only membership matters.
+class FlatSet {
+public:
+  /// Inserts \p Key; returns true when it was not already present.
+  bool insert(uint64_t Key) { return Map.tryEmplace(Key, 0).second; }
+  bool contains(uint64_t Key) const { return Map.find(Key) != nullptr; }
+  size_t size() const { return Map.size(); }
+  bool empty() const { return Map.empty(); }
+  void reserve(size_t N) { Map.reserve(N); }
+  void clear() { Map.clear(); }
+
+private:
+  FlatMap<uint8_t> Map;
+};
+
+} // namespace pt
+
+#endif // HYBRIDPT_SUPPORT_FLATMAP_H

@@ -1,0 +1,130 @@
+//===- support/ThreadPool.h - Fixed-size worker pool -----------*- C++ -*-===//
+//
+// Part of the hybridpt project (PLDI 2013 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal fixed-size thread pool for the embarrassingly parallel parts
+/// of the evaluation: the analysis-variant matrix runs one independent
+/// \c Solver per (benchmark, policy) cell, so the harnesses simply submit
+/// each cell as a job and wait.  No futures, no work stealing — a mutex, a
+/// queue, and a drained-condition is all the workload needs, and keeping
+/// it dependency-free means every tool and test can link it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HYBRIDPT_SUPPORT_THREADPOOL_H
+#define HYBRIDPT_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pt {
+
+/// Fixed-size pool executing submitted jobs FIFO.  Destruction waits for
+/// all submitted work to finish.
+class ThreadPool {
+public:
+  /// Spawns \p Threads workers; 0 means one per hardware thread.
+  explicit ThreadPool(unsigned Threads) {
+    if (Threads == 0)
+      Threads = hardwareThreads();
+    Workers.reserve(Threads);
+    for (unsigned I = 0; I < Threads; ++I)
+      Workers.emplace_back([this] { workerLoop(); });
+  }
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  ~ThreadPool() {
+    wait();
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      Stopping = true;
+    }
+    JobReady.notify_all();
+    for (std::thread &W : Workers)
+      W.join();
+  }
+
+  /// Enqueues \p Job for execution on some worker.
+  void submit(std::function<void()> Job) {
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      Jobs.push_back(std::move(Job));
+    }
+    JobReady.notify_one();
+  }
+
+  /// Blocks until every submitted job has completed.
+  void wait() {
+    std::unique_lock<std::mutex> Lock(Mu);
+    Drained.wait(Lock, [this] { return Jobs.empty() && Running == 0; });
+  }
+
+  unsigned threadCount() const {
+    return static_cast<unsigned>(Workers.size());
+  }
+
+  /// Hardware concurrency with a floor of one.
+  static unsigned hardwareThreads() {
+    unsigned N = std::thread::hardware_concurrency();
+    return N == 0 ? 1 : N;
+  }
+
+private:
+  void workerLoop() {
+    while (true) {
+      std::function<void()> Job;
+      {
+        std::unique_lock<std::mutex> Lock(Mu);
+        JobReady.wait(Lock, [this] { return Stopping || !Jobs.empty(); });
+        if (Jobs.empty())
+          return; // Stopping, queue drained.
+        Job = std::move(Jobs.front());
+        Jobs.pop_front();
+        ++Running;
+      }
+      Job();
+      {
+        std::lock_guard<std::mutex> Lock(Mu);
+        --Running;
+        if (Jobs.empty() && Running == 0)
+          Drained.notify_all();
+      }
+    }
+  }
+
+  std::mutex Mu;
+  std::condition_variable JobReady;
+  std::condition_variable Drained;
+  std::deque<std::function<void()>> Jobs;
+  std::vector<std::thread> Workers;
+  unsigned Running = 0;
+  bool Stopping = false;
+};
+
+/// Runs \p Fn(i) for every i in [0, N) across \p Threads workers and waits
+/// for completion.  With one thread the calls happen inline, in order.
+template <typename Callback>
+void parallelFor(size_t N, unsigned Threads, Callback &&Fn) {
+  if (Threads == 1 || N <= 1) {
+    for (size_t I = 0; I < N; ++I)
+      Fn(I);
+    return;
+  }
+  ThreadPool Pool(Threads);
+  for (size_t I = 0; I < N; ++I)
+    Pool.submit([&Fn, I] { Fn(I); });
+  Pool.wait();
+}
+
+} // namespace pt
+
+#endif // HYBRIDPT_SUPPORT_THREADPOOL_H

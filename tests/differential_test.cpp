@@ -15,6 +15,7 @@
 #include "ir/ProgramBuilder.h"
 #include "pta/AnalysisResult.h"
 #include "pta/Solver.h"
+#include "pta/VariantRunner.h"
 #include "ptaref/ReferenceAnalysis.h"
 #include "workloads/AppGenerator.h"
 #include "workloads/Fuzzer.h"
@@ -188,5 +189,69 @@ INSTANTIATE_TEST_SUITE_P(
           C = '_';
       return Name;
     });
+
+/// Asserts every deterministic metric matches between two runs of the same
+/// cell (SolveMs is wall-clock and legitimately varies).
+void expectSameMetrics(const PrecisionMetrics &A, const PrecisionMetrics &B,
+                       const std::string &Label) {
+  EXPECT_EQ(A.Aborted, B.Aborted) << Label;
+  EXPECT_DOUBLE_EQ(A.AvgPointsTo, B.AvgPointsTo) << Label;
+  EXPECT_EQ(A.CallGraphEdges, B.CallGraphEdges) << Label;
+  EXPECT_EQ(A.ReachableMethods, B.ReachableMethods) << Label;
+  EXPECT_EQ(A.PolyVCalls, B.PolyVCalls) << Label;
+  EXPECT_EQ(A.ReachableVCalls, B.ReachableVCalls) << Label;
+  EXPECT_EQ(A.MayFailCasts, B.MayFailCasts) << Label;
+  EXPECT_EQ(A.ReachableCasts, B.ReachableCasts) << Label;
+  EXPECT_EQ(A.CsVarPointsTo, B.CsVarPointsTo) << Label;
+  EXPECT_EQ(A.FieldPointsTo, B.FieldPointsTo) << Label;
+  EXPECT_EQ(A.StaticFieldPointsTo, B.StaticFieldPointsTo) << Label;
+  EXPECT_EQ(A.ThrowFacts, B.ThrowFacts) << Label;
+  EXPECT_EQ(A.UncaughtExceptionSites, B.UncaughtExceptionSites) << Label;
+  EXPECT_EQ(A.NumContexts, B.NumContexts) << Label;
+  EXPECT_EQ(A.NumHContexts, B.NumHContexts) << Label;
+  EXPECT_EQ(A.NumObjects, B.NumObjects) << Label;
+  EXPECT_EQ(A.PeakNodes, B.PeakNodes) << Label;
+}
+
+TEST(Differential, VariantRunnerDeterministicAcrossThreadCounts) {
+  // The parallel variant runner shares one immutable Program across
+  // worker threads; every cell is an independent Solver, so the metrics
+  // must be bit-identical whether the matrix runs on one thread or four,
+  // and identical again on a repeat run.
+  WorkloadProfile Tiny;
+  Tiny.Name = "determinism";
+  Tiny.Seed = 7;
+  Tiny.TypeFamilies = 3;
+  Tiny.SubtypesPerFamily = 2;
+  Tiny.WorkerClasses = 3;
+  Tiny.MethodsPerWorker = 2;
+  Tiny.HelperMethods = 4;
+  Tiny.Phases = 3;
+  Tiny.CallsPerPhase = 3;
+  Tiny.BlocksPerMethod = 2;
+  Benchmark Bench = buildBenchmark(Tiny);
+
+  const std::vector<std::string> Policies = {"1obj", "U-2obj+H"};
+
+  MatrixOptions Seq;
+  Seq.Threads = 1;
+  MatrixOptions Par;
+  Par.Threads = 4;
+
+  auto Seq1 = runVariantMatrix(*Bench.Prog, Policies, Seq);
+  auto Seq2 = runVariantMatrix(*Bench.Prog, Policies, Seq);
+  auto Par1 = runVariantMatrix(*Bench.Prog, Policies, Par);
+  auto Par2 = runVariantMatrix(*Bench.Prog, Policies, Par);
+  ASSERT_EQ(Seq1.size(), Policies.size());
+  ASSERT_EQ(Par1.size(), Policies.size());
+
+  for (size_t I = 0; I < Policies.size(); ++I) {
+    ASSERT_FALSE(Seq1[I].Aborted) << Policies[I];
+    EXPECT_GT(Seq1[I].CsVarPointsTo, 0u) << Policies[I];
+    expectSameMetrics(Seq1[I], Seq2[I], Policies[I] + ": 1T vs 1T repeat");
+    expectSameMetrics(Seq1[I], Par1[I], Policies[I] + ": 1T vs 4T");
+    expectSameMetrics(Par1[I], Par2[I], Policies[I] + ": 4T vs 4T repeat");
+  }
+}
 
 } // namespace

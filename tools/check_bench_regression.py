@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json files and fail on performance regressions.
+
+Usage:
+    tools/check_bench_regression.py BASELINE.json CANDIDATE.json \
+        [--threshold PCT] [--min-ms MS]
+
+Both files are produced by the bench harnesses (see docs/PERF.md).  Cells
+are matched by (benchmark, policy).  The check fails (exit 1) when any
+matched cell is more than --threshold percent slower in the candidate, or
+when a cell that completed in the baseline aborted in the candidate.
+Cells faster than --min-ms in the baseline are reported but never fail
+the check: their timings are noise-dominated.
+
+Fact counts (cs_vpt_facts, cg_edges) are compared exactly — the analyses
+are deterministic, so any drift is a correctness change, not noise — but
+only warn, since an intentional precision change lands together with its
+new baseline.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"error: cannot read {path}: {e}")
+    cells = data.get("cells")
+    if not isinstance(cells, list):
+        sys.exit(f"error: {path}: no 'cells' array")
+    return data, {(c["benchmark"], c["policy"]): c for c in cells}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("candidate")
+    ap.add_argument("--threshold", type=float, default=20.0,
+                    help="max allowed slowdown in percent (default: 20)")
+    ap.add_argument("--min-ms", type=float, default=50.0,
+                    help="ignore cells faster than this in the baseline "
+                         "(default: 50)")
+    args = ap.parse_args()
+
+    base_top, base = load(args.baseline)
+    cand_top, cand = load(args.candidate)
+
+    for key in ("budget_ms", "runs", "threads"):
+        if base_top.get(key) != cand_top.get(key):
+            print(f"warning: harness config differs: {key} = "
+                  f"{base_top.get(key)} vs {cand_top.get(key)}")
+
+    regressions = []
+    warnings = []
+    compared = 0
+    base_total = cand_total = 0.0
+
+    for key in sorted(base):
+        if key not in cand:
+            warnings.append(f"cell {key} missing from candidate")
+            continue
+        b, c = base[key], cand[key]
+        name = f"{key[0]}/{key[1]}"
+
+        if b.get("aborted"):
+            if not c.get("aborted"):
+                print(f"improved: {name}: aborted -> completed")
+            continue
+        if c.get("aborted"):
+            regressions.append(f"{name}: completed in baseline "
+                               f"({b['time_ms']:.0f} ms) but aborted now")
+            continue
+
+        for fact in ("cs_vpt_facts", "cg_edges", "reachable_methods"):
+            if b.get(fact) != c.get(fact):
+                warnings.append(f"{name}: {fact} changed "
+                                f"{b.get(fact)} -> {c.get(fact)} "
+                                f"(precision/correctness drift?)")
+
+        bt, ct = float(b["time_ms"]), float(c["time_ms"])
+        compared += 1
+        base_total += bt
+        cand_total += ct
+        if bt < args.min_ms:
+            continue
+        delta_pct = (ct - bt) / bt * 100.0
+        if delta_pct > args.threshold:
+            regressions.append(
+                f"{name}: {bt:.1f} ms -> {ct:.1f} ms (+{delta_pct:.1f}%)")
+
+    for w in warnings:
+        print(f"warning: {w}")
+
+    if compared:
+        ratio = base_total / cand_total if cand_total > 0 else float("inf")
+        print(f"compared {compared} cells: total {base_total:.0f} ms -> "
+              f"{cand_total:.0f} ms (speedup {ratio:.2f}x)")
+
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} cell(s) regressed more than "
+              f"{args.threshold:.0f}%:")
+        for r in regressions:
+            print(f"  {r}")
+        return 1
+    print(f"OK: no cell regressed more than {args.threshold:.0f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,6 +25,9 @@
 ///   --dot-pointsto M   print method M's points-to neighbourhood as DOT
 ///   --compare NAME     also run NAME and print the precision delta
 ///   --budget MS        per-run time budget (0 = unlimited)
+///   --max-facts N      per-run fact budget (0 = unlimited)
+///   --matrix           run the full Table 1 policy matrix instead of one
+///   --threads N        workers for --matrix (0 = hardware concurrency)
 ///   --csv              machine-readable metric output
 ///
 //===----------------------------------------------------------------------===//
@@ -40,6 +43,7 @@
 #include "pta/Stats.h"
 #include "pta/Metrics.h"
 #include "pta/Solver.h"
+#include "pta/VariantRunner.h"
 #include "support/TableWriter.h"
 #include "workloads/Profiles.h"
 
@@ -61,6 +65,9 @@ struct CliOptions {
   std::string PointsToDotFocus;
   std::vector<std::string> DumpVars;
   uint64_t BudgetMs = 0;
+  uint64_t MaxFacts = 0;
+  unsigned Threads = 1;
+  bool Matrix = false;
   bool Metrics = false;
   bool Stats = false;
   bool Devirt = false;
@@ -73,17 +80,51 @@ int usage(const char *Argv0) {
       << "usage: " << Argv0
       << " [--policy NAME] [--metrics] [--devirt] [--casts]\n"
          "       [--dump-vpt Class::method/arity::var] [--compare NAME]\n"
-         "       [--budget MS] [--csv] <file.ptir | benchmark-name>\n"
+         "       [--budget MS] [--max-facts N] [--matrix] [--threads N]\n"
+         "       [--csv] <file.ptir | benchmark-name>\n"
          "       " << Argv0 << " --list-policies | --list-benchmarks\n";
   return 1;
 }
 
 AnalysisResult analyze(const Program &P, ContextPolicy &Policy,
-                       uint64_t BudgetMs) {
+                       const CliOptions &Cli) {
   SolverOptions Opts;
-  Opts.TimeBudgetMs = BudgetMs;
+  Opts.TimeBudgetMs = Cli.BudgetMs;
+  Opts.MaxFacts = Cli.MaxFacts;
   Solver S(P, Policy, Opts);
   return S.run();
+}
+
+/// --matrix: all Table 1 policies, fanned out over the worker pool.
+int runMatrix(const Program &P, const CliOptions &Cli) {
+  const std::vector<std::string> &Policies = table1PolicyNames();
+  MatrixOptions MOpts;
+  MOpts.Solver.TimeBudgetMs = Cli.BudgetMs;
+  MOpts.Solver.MaxFacts = Cli.MaxFacts;
+  MOpts.Threads = Cli.Threads;
+  std::vector<PrecisionMetrics> Cells = runVariantMatrix(P, Policies, MOpts);
+
+  TableWriter T;
+  T.setHeader({"analysis", "avg_objs_per_var", "cg_edges", "poly_vcalls",
+               "may_fail_casts", "reachable_methods", "time_s",
+               "cs_vpt_facts", "peak_nodes"});
+  for (size_t I = 0; I < Policies.size(); ++I) {
+    const PrecisionMetrics &M = Cells[I];
+    T.addRow({Policies[I],
+              M.Aborted ? "-" : formatFixed(M.AvgPointsTo, 2),
+              M.Aborted ? "-" : std::to_string(M.CallGraphEdges),
+              M.Aborted ? "-" : std::to_string(M.PolyVCalls),
+              M.Aborted ? "-" : std::to_string(M.MayFailCasts),
+              M.Aborted ? "-" : std::to_string(M.ReachableMethods),
+              M.Aborted ? "-" : formatFixed(M.SolveMs / 1000.0, 3),
+              M.Aborted ? "-" : std::to_string(M.CsVarPointsTo),
+              std::to_string(M.PeakNodes)});
+  }
+  if (Cli.Csv)
+    T.printCsv(std::cout);
+  else
+    T.print(std::cout);
+  return 0;
 }
 
 void printMetrics(const PrecisionMetrics &M, const std::string &Policy,
@@ -156,6 +197,12 @@ int main(int argc, char **argv) {
       Opts.PointsToDotFocus = Value();
     else if (Arg == "--budget")
       Opts.BudgetMs = std::strtoull(Value(), nullptr, 10);
+    else if (Arg == "--max-facts")
+      Opts.MaxFacts = std::strtoull(Value(), nullptr, 10);
+    else if (Arg == "--threads")
+      Opts.Threads = static_cast<unsigned>(std::strtoul(Value(), nullptr, 10));
+    else if (Arg == "--matrix")
+      Opts.Matrix = true;
     else if (Arg == "--metrics")
       Opts.Metrics = true;
     else if (Arg == "--stats")
@@ -176,7 +223,7 @@ int main(int argc, char **argv) {
   if (Opts.Input.empty())
     return usage(argv[0]);
   if (!Opts.Metrics && !Opts.Devirt && !Opts.Casts && !Opts.Stats &&
-      Opts.DumpVars.empty() && Opts.Compare.empty() &&
+      !Opts.Matrix && Opts.DumpVars.empty() && Opts.Compare.empty() &&
       Opts.FactsDir.empty() && Opts.CallGraphDotPath.empty() &&
       Opts.PointsToDotFocus.empty())
     Opts.Metrics = true;
@@ -206,13 +253,16 @@ int main(int argc, char **argv) {
     P = Owned.get();
   }
 
+  if (Opts.Matrix)
+    return runMatrix(*P, Opts);
+
   auto Policy = createPolicy(Opts.Policy, *P);
   if (!Policy) {
     std::cerr << "unknown policy '" << Opts.Policy
               << "' (see --list-policies)\n";
     return 1;
   }
-  AnalysisResult R = analyze(*P, *Policy, Opts.BudgetMs);
+  AnalysisResult R = analyze(*P, *Policy, Opts);
 
   if (Opts.Metrics)
     printMetrics(computeMetrics(R), Opts.Policy, Opts.Csv);
@@ -305,7 +355,7 @@ int main(int argc, char **argv) {
       std::cerr << "unknown policy '" << Opts.Compare << "'\n";
       return 1;
     }
-    AnalysisResult Other = analyze(*P, *OtherPolicy, Opts.BudgetMs);
+    AnalysisResult Other = analyze(*P, *OtherPolicy, Opts);
     std::cout << "\n--- delta " << Opts.Policy << " -> " << Opts.Compare
               << " ---\n"
               << formatDelta(diffResults(R, Other), *P);
