@@ -33,8 +33,10 @@ static MatrixOptions toMatrixOptions(const CellOptions &Opts,
                                      unsigned Threads) {
   MatrixOptions M;
   M.Solver.TimeBudgetMs = Opts.BudgetMs;
+  M.Solver.Trace = Opts.Trace;
   M.Threads = Threads;
   M.Runs = Opts.Runs;
+  M.TraceLabelPrefix = Opts.TraceLabelPrefix;
   return M;
 }
 
@@ -60,9 +62,10 @@ BenchRecord pt::makeBenchRecord(const std::string &Benchmark,
   R.TimeMs = M.SolveMs;
   R.CsVarPointsTo = M.CsVarPointsTo;
   R.CallGraphEdges = M.CallGraphEdges;
-  R.PeakNodes = M.PeakNodes;
+  R.PeakBytes = M.PeakBytes;
   R.ReachableMethods = M.ReachableMethods;
   R.Aborted = M.Aborted;
+  R.Counters = M.Counters;
   return R;
 }
 
@@ -87,10 +90,22 @@ bool pt::writeBenchJson(const std::string &Path, const std::string &Harness,
        << R.Policy << "\", \"time_ms\": " << formatFixed(R.TimeMs, 3)
        << ", \"cs_vpt_facts\": " << R.CsVarPointsTo
        << ", \"cg_edges\": " << R.CallGraphEdges
-       << ", \"peak_nodes\": " << R.PeakNodes
+       << ", \"peak_bytes\": " << R.PeakBytes
        << ", \"reachable_methods\": " << R.ReachableMethods
-       << ", \"aborted\": " << (R.Aborted ? "true" : "false") << "}"
-       << (I + 1 < Records.size() ? "," : "") << "\n";
+       << ", \"aborted\": " << (R.Aborted ? "true" : "false");
+    if (telemetry::SolverCounters::enabled()) {
+      OS << ", \"counters\": {";
+      bool FirstCounter = true;
+      telemetry::forEachCounter(R.Counters,
+                                [&](const char *Name, uint64_t V) {
+                                  if (!FirstCounter)
+                                    OS << ", ";
+                                  FirstCounter = false;
+                                  OS << "\"" << Name << "\": " << V;
+                                });
+      OS << "}";
+    }
+    OS << "}" << (I + 1 < Records.size() ? "," : "") << "\n";
   }
   OS << "  ]\n}\n";
   if (!OS) {

@@ -28,6 +28,10 @@ namespace pt {
 
 class Program;
 
+namespace trace {
+class TraceRecorder;
+}
+
 /// Configuration for cell runs, overridable via environment variables:
 /// HYBRIDPT_BUDGET_MS (per-cell time budget, 0 = unlimited),
 /// HYBRIDPT_RUNS (repetitions per cell; median time reported),
@@ -36,6 +40,12 @@ struct CellOptions {
   uint64_t BudgetMs = 120000;
   uint32_t Runs = 1;
   unsigned Threads = 1;
+  /// Observability sink shared by all cells (spans + heartbeats);
+  /// nullptr = no tracing.  Not env-controlled — harnesses wire it from
+  /// their --trace-out/--progress flags.
+  trace::TraceRecorder *Trace = nullptr;
+  /// Cell label prefix, typically "<benchmark>/".
+  std::string TraceLabelPrefix;
 
   /// Reads the environment overrides.
   static CellOptions fromEnv();
@@ -60,9 +70,13 @@ struct BenchRecord {
   double TimeMs = 0.0;
   size_t CsVarPointsTo = 0;
   size_t CallGraphEdges = 0;
-  size_t PeakNodes = 0;
+  /// Real container-byte accounting (replaces the old peak_nodes proxy).
+  size_t PeakBytes = 0;
   size_t ReachableMethods = 0;
   bool Aborted = false;
+  /// Aggregate solver counters; serialized only when the build carries
+  /// telemetry (SolverCounters::enabled()).
+  telemetry::SolverCounters Counters;
 };
 
 /// Fills one record from a finished cell.

@@ -18,6 +18,7 @@
 #include "ir/Program.h"
 #include "pta/AnalysisResult.h"
 #include "pta/Solver.h"
+#include "pta/Trace.h"
 #include "pta/VariantRunner.h"
 #include "support/FlatMap.h"
 #include "support/ObjectSet.h"
@@ -28,6 +29,8 @@
 #include <benchmark/benchmark.h>
 
 #include <cstring>
+#include <iostream>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -220,12 +223,19 @@ BENCHMARK_CAPTURE(BM_SolveLuindex, twoobjh, "2obj+H");
 BENCHMARK_CAPTURE(BM_SolveLuindex, s2objh, "S-2obj+H");
 BENCHMARK_CAPTURE(BM_SolveLuindex, u2objh, "U-2obj+H");
 
+/// Optional observability sink for BM_VariantMatrix (--trace-out FILE):
+/// benchmark iterations stream spans/heartbeats while running, which is
+/// also a live overhead measurement of the trace path itself.
+trace::TraceRecorder *MatrixTrace = nullptr;
+
 /// The full Table 1 policy matrix on one benchmark, fanned out over
 /// State.range(0) worker threads (see --threads below).
 void BM_VariantMatrix(benchmark::State &State) {
   Benchmark Bench = buildBenchmark("luindex");
   MatrixOptions Opts;
   Opts.Threads = static_cast<unsigned>(State.range(0));
+  Opts.Solver.Trace = MatrixTrace;
+  Opts.TraceLabelPrefix = "luindex/";
   for (auto _ : State) {
     auto Cells = runVariantMatrix(*Bench.Prog, table1PolicyNames(), Opts);
     benchmark::DoNotOptimize(Cells.data());
@@ -237,17 +247,30 @@ void BM_VariantMatrix(benchmark::State &State) {
 } // namespace
 
 // Custom main: accept `--threads N` (repeatable) to pick the worker
-// counts for BM_VariantMatrix; defaults to 1 and the hardware thread
-// count.  Remaining arguments go to google-benchmark as usual.
+// counts for BM_VariantMatrix, and `--trace-out FILE` to stream JSONL
+// telemetry from the matrix runs.  Remaining arguments go to
+// google-benchmark as usual.
 int main(int argc, char **argv) {
   std::vector<int64_t> ThreadCounts;
   std::vector<char *> Args;
+  std::string TraceOut;
   Args.push_back(argv[0]);
   for (int I = 1; I < argc; ++I) {
     if (std::strcmp(argv[I], "--threads") == 0 && I + 1 < argc)
       ThreadCounts.push_back(std::strtol(argv[++I], nullptr, 10));
+    else if (std::strcmp(argv[I], "--trace-out") == 0 && I + 1 < argc)
+      TraceOut = argv[++I];
     else
       Args.push_back(argv[I]);
+  }
+  pt::trace::TraceRecorder Recorder;
+  if (!TraceOut.empty()) {
+    std::string Error;
+    if (!Recorder.openJsonl(TraceOut, Error)) {
+      std::cerr << Error << "\n";
+      return 1;
+    }
+    MatrixTrace = &Recorder;
   }
   if (ThreadCounts.empty()) {
     ThreadCounts.push_back(1);

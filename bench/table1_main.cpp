@@ -27,11 +27,13 @@
 
 #include "context/PolicyRegistry.h"
 #include "ir/Program.h"
+#include "pta/Trace.h"
 #include "support/TableWriter.h"
 #include "workloads/Profiles.h"
 
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -39,28 +41,55 @@ using namespace pt;
 
 int main(int argc, char **argv) {
   bool Csv = false;
+  bool Progress = false;
   std::string JsonPath = "BENCH_table1.json";
+  std::string TraceOut;
+  std::string ChromeTraceOut;
   std::vector<std::string> Selected;
   CellOptions Opts = CellOptions::fromEnv();
   for (int I = 1; I < argc; ++I) {
     if (std::strcmp(argv[I], "--csv") == 0) {
       Csv = true;
+    } else if (std::strcmp(argv[I], "--progress") == 0) {
+      Progress = true;
     } else if (std::strcmp(argv[I], "--threads") == 0 && I + 1 < argc) {
       Opts.Threads = static_cast<unsigned>(std::strtoul(argv[++I], nullptr, 10));
     } else if (std::strcmp(argv[I], "--json") == 0 && I + 1 < argc) {
       JsonPath = argv[++I];
+    } else if (std::strcmp(argv[I], "--trace-out") == 0 && I + 1 < argc) {
+      TraceOut = argv[++I];
+    } else if (std::strcmp(argv[I], "--chrome-trace") == 0 && I + 1 < argc) {
+      ChromeTraceOut = argv[++I];
     } else if (isBenchmarkName(argv[I])) {
       Selected.push_back(argv[I]);
     } else {
       std::cerr << "unknown benchmark '" << argv[I] << "'; known:";
       for (const std::string &N : benchmarkNames())
         std::cerr << ' ' << N;
-      std::cerr << "\n(options: --csv, --threads N, --json PATH)\n";
+      std::cerr << "\n(options: --csv, --threads N, --json PATH, "
+                   "--trace-out FILE, --chrome-trace FILE, --progress)\n";
       return 1;
     }
   }
   if (Selected.empty())
     Selected = benchmarkNames();
+
+  // Observability: one recorder across all benchmarks, so the matrix
+  // renders as a single flame view of cells over worker threads.
+  std::unique_ptr<trace::TraceRecorder> Rec;
+  if (!TraceOut.empty() || !ChromeTraceOut.empty() || Progress) {
+    Rec = std::make_unique<trace::TraceRecorder>();
+    if (!TraceOut.empty()) {
+      std::string Error;
+      if (!Rec->openJsonl(TraceOut, Error)) {
+        std::cerr << Error << "\n";
+        return 1;
+      }
+    }
+    if (Progress)
+      Rec->enableProgress(std::cerr);
+    Opts.Trace = Rec.get();
+  }
 
   const std::vector<std::string> &Policies = table1PolicyNames();
 
@@ -77,10 +106,16 @@ int main(int argc, char **argv) {
 
   std::vector<BenchRecord> Records;
   for (const std::string &Name : Selected) {
+    std::unique_ptr<trace::TraceRecorder::Span> FactGenSpan;
+    if (Rec)
+      FactGenSpan = std::make_unique<trace::TraceRecorder::Span>(
+          Rec.get(), Name + "/fact-gen", "phase");
     Benchmark Bench = buildBenchmark(Name);
+    FactGenSpan.reset();
 
     // All cells of one benchmark are independent solver runs; fan them
     // out over the worker pool.
+    Opts.TraceLabelPrefix = Name + "/";
     std::vector<PrecisionMetrics> Cells = runCells(*Bench.Prog, Policies, Opts);
     for (size_t PI = 0; PI < Policies.size(); ++PI) {
       const PrecisionMetrics &M = Cells[PI];
@@ -162,5 +197,8 @@ int main(int argc, char **argv) {
       std::cout << "wrote " << Records.size() << " cells to " << JsonPath
                 << "\n";
   }
+  if (Rec && !ChromeTraceOut.empty() &&
+      !Rec->writeChromeTrace(ChromeTraceOut, Error))
+    std::cerr << "chrome trace: " << Error << "\n";
   return 0;
 }

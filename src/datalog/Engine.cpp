@@ -167,27 +167,43 @@ EngineStats Engine::run(const EngineOptions &Opts) {
   Budget B(Opts);
   ActiveBudget = &B;
   EngineStats Stats;
+  Stats.RuleProfile.resize(Rules.size());
+  for (size_t I = 0; I < Rules.size(); ++I)
+    Stats.RuleProfile[I].Name = Rules[I].Name;
+  Stats.RelationProfile.resize(Relations.size());
+  for (size_t I = 0; I < Relations.size(); ++I)
+    Stats.RelationProfile[I].Name = Relations[I]->name();
 
-  // Promote initial facts into the first delta.
-  for (auto &Rel : Relations)
-    Rel->promote();
+  // Promote initial facts into the first delta; record the seed deltas as
+  // round 0 of each relation's profile.
+  for (size_t I = 0; I < Relations.size(); ++I)
+    Stats.RelationProfile[I].DeltaPerRound.push_back(
+        Relations[I]->promote());
 
   bool Changed = true;
   while (Changed && !B.Aborted) {
     Changed = false;
     ++Stats.Rounds;
-    for (const Rule &R : Rules) {
+    for (size_t RuleIdx = 0; RuleIdx < Rules.size(); ++RuleIdx) {
+      const Rule &R = Rules[RuleIdx];
+      RuleStats &RS = Stats.RuleProfile[RuleIdx];
       if (R.Body.empty()) {
         // Fact rules (no body) only fire in the first round.
         if (Stats.Rounds == 1) {
           std::vector<Value> Env(R.NumVars, 0);
           std::vector<bool> Bound(R.NumVars, false);
-          B.note(fireHead(R, Env, Bound));
+          size_t New = fireHead(R, Env, Bound);
+          ++RS.Evals;
+          RS.Derived += New;
+          B.note(New);
         }
         continue;
       }
       for (size_t DeltaIdx = 0; DeltaIdx < R.Body.size(); ++DeltaIdx) {
-        B.note(evalRuleVersion(R, DeltaIdx));
+        size_t New = evalRuleVersion(R, DeltaIdx);
+        ++RS.Evals;
+        RS.Derived += New;
+        B.note(New);
         if (B.Aborted || B.Deadline.expired())
           break;
       }
@@ -196,14 +212,19 @@ EngineStats Engine::run(const EngineOptions &Opts) {
       if (B.Aborted)
         break;
     }
-    for (auto &Rel : Relations)
-      if (Rel->promote() > 0)
+    for (size_t I = 0; I < Relations.size(); ++I) {
+      size_t Promoted = Relations[I]->promote();
+      Stats.RelationProfile[I].DeltaPerRound.push_back(Promoted);
+      if (Promoted > 0)
         Changed = true;
+    }
   }
 
   ActiveBudget = nullptr;
   Stats.DerivedTuples = B.Derived;
   Stats.Aborted = B.Aborted;
   Stats.SolveMs = Watch.elapsedMs();
+  for (size_t I = 0; I < Relations.size(); ++I)
+    Stats.RelationProfile[I].FinalRows = Relations[I]->size();
   return Stats;
 }

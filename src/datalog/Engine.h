@@ -41,12 +41,33 @@ struct EngineOptions {
   uint64_t MaxTuples = 0;
 };
 
-/// Evaluation statistics.
+/// Per-rule evaluation profile (one entry per \c addRule call, in order).
+struct RuleStats {
+  std::string Name;     ///< Rule::Name (may be empty).
+  size_t Evals = 0;     ///< Delta-version evaluations performed.
+  size_t Derived = 0;   ///< New head tuples this rule produced.
+};
+
+/// Per-relation growth profile.
+struct RelationStats {
+  std::string Name;
+  size_t FinalRows = 0;
+  /// Rows promoted into the delta at the end of each round (index 0 is the
+  /// initial-fact promotion) — the shape of the semi-naive convergence.
+  std::vector<size_t> DeltaPerRound;
+};
+
+/// Evaluation statistics.  The per-rule and per-relation profiles are
+/// always collected: the engine works in round granularity, so the
+/// bookkeeping is amortized over whole delta scans and costs nothing
+/// measurable.
 struct EngineStats {
   size_t Rounds = 0;
   size_t DerivedTuples = 0;
   bool Aborted = false;
   double SolveMs = 0.0;
+  std::vector<RuleStats> RuleProfile;
+  std::vector<RelationStats> RelationProfile;
 };
 
 /// Owns relations and rules; runs the fixpoint.

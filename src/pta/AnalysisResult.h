@@ -19,6 +19,7 @@
 
 #include "context/Policy.h"
 #include "support/Ids.h"
+#include "support/Telemetry.h"
 
 #include <cstdint>
 #include <utility>
@@ -101,6 +102,15 @@ public:
   /// Peak solver node count (interned (var, ctx) pairs plus field, static
   /// and throw slots); 0 when produced by a non-node-based engine.
   size_t SolverNodes = 0;
+
+  /// Bytes held by the solver's persistent containers at harvest time
+  /// (points-to sets, intern tables, dedup sets, call graph).  The solver
+  /// only grows, so this is also the peak; 0 for non-node-based engines.
+  size_t PeakBytes = 0;
+
+  /// Rule-fire and infrastructure counters for the run; all-zero when the
+  /// build disables HYBRIDPT_TELEMETRY or the engine does not count.
+  telemetry::SolverCounters Counters;
 
   // --- Queries ---
 

@@ -21,6 +21,8 @@ PrecisionMetrics pt::computeMetrics(const AnalysisResult &Result) {
   M.Aborted = Result.Aborted;
   M.SolveMs = Result.SolveMs;
   M.PeakNodes = Result.SolverNodes;
+  M.PeakBytes = Result.PeakBytes;
+  M.Counters = Result.Counters;
   M.CsVarPointsTo = Result.numCsVarPointsTo();
   M.FieldPointsTo = Result.numFieldPointsTo();
   M.StaticFieldPointsTo = Result.numStaticFieldPointsTo();

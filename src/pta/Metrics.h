@@ -21,6 +21,8 @@
 #ifndef HYBRIDPT_PTA_METRICS_H
 #define HYBRIDPT_PTA_METRICS_H
 
+#include "support/Telemetry.h"
+
 #include <cstddef>
 
 namespace pt {
@@ -60,8 +62,14 @@ struct PrecisionMetrics {
   size_t NumObjects = 0;
   /// Wall-clock solve time in milliseconds.
   double SolveMs = 0.0;
-  /// Peak solver node count (graph size proxy for memory).
+  /// Peak solver node count (graph size).
   size_t PeakNodes = 0;
+  /// Peak bytes held by the solver's persistent containers — real memory
+  /// accounting (ObjectSet + intern/dedup tables), not a node-count proxy.
+  size_t PeakBytes = 0;
+  /// Rule-fire and infrastructure counters (all-zero without
+  /// HYBRIDPT_TELEMETRY).
+  telemetry::SolverCounters Counters;
   /// True when the run aborted on a budget (paper's dash entries).
   bool Aborted = false;
 };

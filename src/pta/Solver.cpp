@@ -8,6 +8,7 @@
 
 #include "context/Policy.h"
 #include "ir/Program.h"
+#include "pta/Trace.h"
 #include "support/Hashing.h"
 
 #include <algorithm>
@@ -26,6 +27,7 @@ uint32_t Solver::varNode(VarId V, CtxId Ctx) {
   auto [Slot, Inserted] = VarCtxIndex.tryEmplace(Key, Idx);
   if (!Inserted)
     return *Slot;
+  PT_COUNT(Counters.NodesCreated);
   Nodes.emplace_back();
   Descs.push_back({NodeKind::VarCtx, V.index(), Ctx.index()});
   return Idx;
@@ -37,6 +39,7 @@ uint32_t Solver::fieldNode(uint32_t Obj, FieldId Fld) {
   auto [Slot, Inserted] = FieldSlotIndex.tryEmplace(Key, Idx);
   if (!Inserted)
     return *Slot;
+  PT_COUNT(Counters.NodesCreated);
   Nodes.emplace_back();
   Descs.push_back({NodeKind::FieldSlot, Obj, Fld.index()});
   return Idx;
@@ -47,6 +50,7 @@ uint32_t Solver::staticNode(FieldId Fld) {
   auto [Slot, Inserted] = StaticSlotIndex.tryEmplace(Fld.index(), Idx);
   if (!Inserted)
     return *Slot;
+  PT_COUNT(Counters.NodesCreated);
   Nodes.emplace_back();
   Descs.push_back({NodeKind::StaticSlot, Fld.index(), 0});
   return Idx;
@@ -58,6 +62,7 @@ uint32_t Solver::throwNode(MethodId M, CtxId Ctx) {
   auto [Slot, Inserted] = ThrowSlotIndex.tryEmplace(Key, Idx);
   if (!Inserted)
     return *Slot;
+  PT_COUNT(Counters.NodesCreated);
   Nodes.emplace_back();
   Descs.push_back({NodeKind::ThrowSlot, M.index(), Ctx.index()});
   return Idx;
@@ -69,6 +74,7 @@ uint32_t Solver::internObject(HeapId Heap, HCtxId HCtx) {
   auto [Slot, Inserted] = ObjIndex.tryEmplace(Key, Obj);
   if (!Inserted)
     return *Slot;
+  PT_COUNT(Counters.ObjectsInterned);
   ObjHeaps.push_back(Heap);
   ObjHCtxs.push_back(HCtx);
   return Obj;
@@ -84,8 +90,11 @@ void Solver::addFact(uint32_t NodeIdx, uint32_t Obj) {
     return;
   }
   Node &N = Nodes[NodeIdx];
-  if (!N.Set.insert(Obj))
+  if (!N.Set.insert(Obj)) {
+    PT_COUNT(Counters.FactDedupHits);
     return;
+  }
+  PT_COUNT(Counters.FactsInserted);
   ++FactCount;
   if (!N.Queued) {
     N.Queued = true;
@@ -96,23 +105,30 @@ void Solver::addFact(uint32_t NodeIdx, uint32_t Obj) {
 void Solver::addEdge(uint32_t From, uint32_t To) {
   if (From == To)
     return;
-  if (!EdgeDedup.insert(packPair(From, To)))
+  if (!EdgeDedup.insert(packPair(From, To))) {
+    PT_COUNT(Counters.EdgeDedupHits);
     return;
+  }
+  PT_COUNT(Counters.EdgesAdded);
   Nodes[From].Edges.push_back(To);
   // Replay facts already present at the source.  ObjectSet positions are
   // stable under insertion, so walk by index instead of copying the set;
   // re-read the node each step since Nodes may reallocate through
   // reentrant graph growth.
   uint32_t Count = Nodes[From].Set.size();
+  PT_COUNT_ADD(Counters.FactsReplayed, Count);
   for (uint32_t I = 0; I < Count; ++I)
     addFact(To, Nodes[From].Set.at(I));
 }
 
 void Solver::addCastEdge(uint32_t From, uint32_t To, TypeId Filter) {
+  PT_COUNT(Counters.EdgesAdded);
   Nodes[From].CastEdges.push_back({To, Filter});
   uint32_t Count = Nodes[From].Set.size();
+  PT_COUNT_ADD(Counters.FactsReplayed, Count);
   for (uint32_t I = 0; I < Count; ++I) {
     uint32_t Obj = Nodes[From].Set.at(I);
+    PT_COUNT(Counters.RuleCast);
     if (Prog.isSubtype(Prog.heap(ObjHeaps[Obj]).Type, Filter))
       addFact(To, Obj);
   }
@@ -123,6 +139,7 @@ void Solver::ensureReachable(MethodId M, CtxId Ctx) {
     return;
   if (!ReachableSet.insert(packPair(M.index(), Ctx.index())))
     return;
+  PT_COUNT(Counters.MethodsInstantiated);
   ReachableList.push_back({M, Ctx});
 
   const MethodInfo &Body = Prog.method(M);
@@ -130,14 +147,17 @@ void Solver::ensureReachable(MethodId M, CtxId Ctx) {
   // ALLOC: RECORD builds the heap context; seed the fact directly
   // (Figure 2, third rule).
   for (const AllocInstr &A : Body.Allocs) {
+    PT_COUNT(Counters.RuleAlloc);
     HCtxId HCtx = Policy.record(A.Heap, Ctx);
     uint32_t Obj = internObject(A.Heap, HCtx);
     addFact(varNode(A.Var, Ctx), Obj);
   }
 
   // MOVE: intra-procedural copy edges.
-  for (const MoveInstr &Mv : Body.Moves)
+  for (const MoveInstr &Mv : Body.Moves) {
+    PT_COUNT(Counters.RuleMove);
     addEdge(varNode(Mv.From, Ctx), varNode(Mv.To, Ctx));
+  }
 
   // Casts: copy edges filtered by the target type.
   for (const CastInstr &C : Body.Casts)
@@ -155,6 +175,7 @@ void Solver::ensureReachable(MethodId M, CtxId Ctx) {
     uint32_t Count = Nodes[Base].Set.size();
     for (uint32_t I = 0; I < Count; ++I) {
       uint32_t Obj = Nodes[Base].Set.at(I);
+      PT_COUNT(Counters.RuleLoad);
       addEdge(fieldNode(Obj, L.Fld), To);
     }
   }
@@ -165,15 +186,20 @@ void Solver::ensureReachable(MethodId M, CtxId Ctx) {
     uint32_t Count = Nodes[Base].Set.size();
     for (uint32_t I = 0; I < Count; ++I) {
       uint32_t Obj = Nodes[Base].Set.at(I);
+      PT_COUNT(Counters.RuleStore);
       addEdge(From, fieldNode(Obj, S.Fld));
     }
   }
 
   // Static field accesses: global, context-free slots (Doop's model).
-  for (const SLoadInstr &L : Body.SLoads)
+  for (const SLoadInstr &L : Body.SLoads) {
+    PT_COUNT(Counters.RuleStaticLoad);
     addEdge(staticNode(L.Fld), varNode(L.To, Ctx));
-  for (const SStoreInstr &S : Body.SStores)
+  }
+  for (const SStoreInstr &S : Body.SStores) {
+    PT_COUNT(Counters.RuleStaticStore);
     addEdge(varNode(S.From, Ctx), staticNode(S.Fld));
+  }
 
   // Throws: every object reaching the thrown variable is routed through
   // this frame's handlers (or escapes).
@@ -191,6 +217,7 @@ void Solver::ensureReachable(MethodId M, CtxId Ctx) {
     if (Call.IsStatic) {
       // SCALL: MERGESTATIC gives the callee context outright
       // (Figure 2, last rule).
+      PT_COUNT(Counters.RuleSCall);
       CtxId CalleeCtx = Policy.mergeStatic(Inv, Ctx);
       wireCall(Inv, Ctx, Call.Target, CalleeCtx);
     } else {
@@ -208,6 +235,7 @@ void Solver::ensureReachable(MethodId M, CtxId Ctx) {
 void Solver::routeThrow(uint32_t Obj, MethodId M, CtxId Ctx) {
   if (checkBudget())
     return;
+  PT_COUNT(Counters.RuleThrow);
   TypeId ObjType = Prog.heap(ObjHeaps[Obj]).Type;
   const MethodInfo &Body = Prog.method(M);
   bool Caught = false;
@@ -237,6 +265,7 @@ void Solver::addThrowLink(uint32_t ThrowNodeIdx, MethodId CallerM,
 void Solver::dispatch(const DispatchSub &Sub, uint32_t Obj) {
   if (checkBudget())
     return;
+  PT_COUNT(Counters.RuleVCall);
   const InvokeInfo &Call = Prog.invoke(Sub.Invo);
   HeapId Heap = ObjHeaps[Obj];
   HCtxId HCtx = ObjHCtxs[Obj];
@@ -270,6 +299,7 @@ bool Solver::insertCallEdge(const CallGraphEdge &E) {
     ChainNext = *Head;
     *Head = NewIdx;
   }
+  PT_COUNT(Counters.CallEdgesInserted);
   CallEdges.push_back(E);
   CallEdgeNext.push_back(ChainNext);
   return true;
@@ -334,10 +364,12 @@ void Solver::processDelta(uint32_t NodeIdx) {
     }
     for (size_t I = 0; I < Nodes[NodeIdx].Loads.size(); ++I) {
       LoadSub Sub = Nodes[NodeIdx].Loads[I];
+      PT_COUNT(Counters.RuleLoad);
       addEdge(fieldNode(Obj, Sub.Fld), Sub.ToNode);
     }
     for (size_t I = 0; I < Nodes[NodeIdx].Stores.size(); ++I) {
       StoreSub Sub = Nodes[NodeIdx].Stores[I];
+      PT_COUNT(Counters.RuleStore);
       addEdge(Sub.FromNode, fieldNode(Obj, Sub.Fld));
     }
     for (size_t I = 0; I < Nodes[NodeIdx].Edges.size(); ++I) {
@@ -346,6 +378,7 @@ void Solver::processDelta(uint32_t NodeIdx) {
     }
     for (size_t I = 0; I < Nodes[NodeIdx].CastEdges.size(); ++I) {
       CastEdge E = Nodes[NodeIdx].CastEdges[I];
+      PT_COUNT(Counters.RuleCast);
       if (Prog.isSubtype(Prog.heap(ObjHeaps[Obj]).Type, E.Filter))
         addFact(E.ToNode, Obj);
     }
@@ -358,6 +391,8 @@ void Solver::drainWorklist() {
       return;
     uint32_t NodeIdx = Worklist.front();
     Worklist.pop_front();
+    PT_COUNT(Counters.WorklistSteps);
+    pollHeartbeat();
     Nodes[NodeIdx].Queued = false;
     processDelta(NodeIdx);
   }
@@ -373,15 +408,69 @@ AnalysisResult Solver::run() {
     ensureReachable(Entry, Initial);
   drainWorklist();
 
+  // One closing heartbeat regardless of cadence, so every traced run —
+  // including aborted ones — leaves a last-known-state record behind
+  // (the --explain-abort source).
+  if (Opts.Trace)
+    emitHeartbeat(/*Final=*/true);
+
   AnalysisResult Result = harvest();
   Result.SolveMs = Watch.elapsedMs();
   return Result;
+}
+
+size_t Solver::memoryBytes() const {
+  size_t Bytes = Nodes.capacity() * sizeof(Node) +
+                 Descs.capacity() * sizeof(NodeDesc);
+  for (const Node &N : Nodes) {
+    Bytes += N.Set.memoryBytes();
+    Bytes += N.Edges.capacity() * sizeof(uint32_t);
+    Bytes += N.CastEdges.capacity() * sizeof(CastEdge);
+    Bytes += N.Loads.capacity() * sizeof(LoadSub);
+    Bytes += N.Stores.capacity() * sizeof(StoreSub);
+    Bytes += N.Dispatches.capacity() * sizeof(DispatchSub);
+    Bytes += N.ThrowSubs.capacity() * sizeof(uint64_t);
+    Bytes += N.ThrowLinks.capacity() * sizeof(uint64_t);
+  }
+  Bytes += VarCtxIndex.memoryBytes() + FieldSlotIndex.memoryBytes() +
+           StaticSlotIndex.memoryBytes() + ThrowSlotIndex.memoryBytes() +
+           ThrowLinkDedup.memoryBytes() + ObjIndex.memoryBytes() +
+           ReachableSet.memoryBytes() + CallEdgeHead.memoryBytes() +
+           EdgeDedup.memoryBytes();
+  Bytes += ObjHeaps.capacity() * sizeof(HeapId) +
+           ObjHCtxs.capacity() * sizeof(HCtxId);
+  Bytes += ReachableList.capacity() * sizeof(std::pair<MethodId, CtxId>);
+  Bytes += CallEdges.capacity() * sizeof(CallGraphEdge) +
+           CallEdgeNext.capacity() * sizeof(uint32_t);
+  return Bytes;
+}
+
+void Solver::emitHeartbeat(bool Final) {
+  trace::Heartbeat HB;
+  HB.Label = Opts.TraceLabel;
+  HB.Step = Counters.WorklistSteps;
+  HB.WorklistDepth = Worklist.size();
+  HB.Nodes = Nodes.size();
+  HB.Facts = FactCount;
+  HB.Objects = ObjHeaps.size();
+  HB.MemoryBytes = memoryBytes();
+  HB.Final = Final;
+  HB.Totals = Counters;
+  HB.Deltas = Counters.since(LastBeat);
+  LastBeat = Counters;
+  StepsSinceBeat = 0;
+  BeatWatch.restart();
+  Opts.Trace->heartbeat(std::move(HB));
 }
 
 AnalysisResult Solver::harvest() {
   AnalysisResult Result(Prog, Policy);
   Result.Aborted = Aborted;
   Result.SolverNodes = Nodes.size();
+  // Everything measured is append-only, so final == peak; computed before
+  // the moves below empty the containers.
+  Result.PeakBytes = memoryBytes();
+  Result.Counters = Counters;
   Result.ObjHeaps = std::move(ObjHeaps);
   Result.ObjHCtxs = std::move(ObjHCtxs);
   Result.CallEdges = std::move(CallEdges);

@@ -37,10 +37,12 @@
 #include "support/FlatMap.h"
 #include "support/Ids.h"
 #include "support/ObjectSet.h"
+#include "support/Telemetry.h"
 #include "support/Timer.h"
 
 #include <cstdint>
 #include <deque>
+#include <string>
 #include <vector>
 
 namespace pt {
@@ -48,13 +50,26 @@ namespace pt {
 class Program;
 class ContextPolicy;
 
-/// Resource budgets for one solver run.
+namespace trace {
+class TraceRecorder;
+}
+
+/// Resource budgets and observability hooks for one solver run.
 struct SolverOptions {
   /// Wall-clock budget in milliseconds; 0 = unlimited.  Expired runs return
   /// with \c AnalysisResult::Aborted set (the paper's dash entries).
   uint64_t TimeBudgetMs = 0;
   /// Maximum number of points-to facts; 0 = unlimited.
   uint64_t MaxFacts = 0;
+  /// Heartbeat/trace sink; nullptr disables all sampling.
+  trace::TraceRecorder *Trace = nullptr;
+  /// Label stamped on this run's heartbeats, e.g. "luindex/2obj+H".
+  std::string TraceLabel;
+  /// Emit a heartbeat every this many worklist steps (0 = never by steps).
+  uint64_t HeartbeatSteps = 65536;
+  /// ...or whenever this many milliseconds passed since the last one
+  /// (polled every 1024 steps; 0 = never by time).
+  uint64_t HeartbeatMs = 250;
 };
 
 /// One-shot solver: construct, \c run(), discard.
@@ -167,6 +182,30 @@ private:
   void drainWorklist();
   void processDelta(uint32_t NodeIdx);
 
+  /// Bytes held by all persistent solver containers (sets, intern tables,
+  /// dedup structures, call graph).  Everything measured only grows, so
+  /// sampling at any point is a monotone lower bound and the harvest-time
+  /// value is the peak.  The transient worklist is deliberately excluded:
+  /// its depth depends on sampling moment, and PeakBytes must be
+  /// deterministic across runs and thread counts.
+  size_t memoryBytes() const;
+
+  /// Records a heartbeat on \c Opts.Trace (caller checks it is non-null).
+  void emitHeartbeat(bool Final);
+
+  /// Amortized heartbeat poll, called once per worklist step.
+  void pollHeartbeat() {
+    if (!Opts.Trace)
+      return;
+    ++StepsSinceBeat;
+    bool Due =
+        Opts.HeartbeatSteps != 0 && StepsSinceBeat >= Opts.HeartbeatSteps;
+    if (!Due && Opts.HeartbeatMs != 0 && (StepsSinceBeat & 0x3ff) == 0)
+      Due = BeatWatch.elapsedMs() >= static_cast<double>(Opts.HeartbeatMs);
+    if (Due)
+      emitHeartbeat(false);
+  }
+
   AnalysisResult harvest();
 
   const Program &Prog;
@@ -202,6 +241,13 @@ private:
   uint32_t BudgetTick = 0;
   bool Aborted = false;
   bool HasRun = false;
+
+  /// Per-solver telemetry — never shared, so runs are bit-identical at any
+  /// thread count.  All-zero when HYBRIDPT_TELEMETRY is off.
+  telemetry::SolverCounters Counters;
+  telemetry::SolverCounters LastBeat; ///< Snapshot at the last heartbeat.
+  uint64_t StepsSinceBeat = 0;
+  Stopwatch BeatWatch;
 };
 
 } // namespace pt

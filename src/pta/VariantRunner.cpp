@@ -9,6 +9,7 @@
 #include "context/PolicyRegistry.h"
 #include "ir/Program.h"
 #include "pta/AnalysisResult.h"
+#include "pta/Trace.h"
 #include "support/ThreadPool.h"
 
 #include <algorithm>
@@ -17,9 +18,17 @@ using namespace pt;
 
 namespace {
 
-/// One (program, policy) cell: repeated runs, median time.
+/// One (program, policy) cell: repeated runs, median time.  When a trace
+/// sink is configured, the cell appears as one span on its worker thread's
+/// timeline with solve/metrics sub-spans per repetition, and its final
+/// counters are recorded under the cell label.
 PrecisionMetrics runOneCell(const Program &Prog, const std::string &Policy,
-                            const SolverOptions &SOpts, uint32_t Runs) {
+                            const SolverOptions &SOpts, uint32_t Runs,
+                            const std::string &LabelPrefix) {
+  SolverOptions CellOpts = SOpts;
+  CellOpts.TraceLabel = LabelPrefix + Policy;
+  trace::TraceRecorder::Span CellSpan(CellOpts.Trace, CellOpts.TraceLabel,
+                                      "cell");
   std::vector<double> Times;
   PrecisionMetrics Last;
   for (uint32_t RunIdx = 0; RunIdx < Runs; ++RunIdx) {
@@ -28,15 +37,24 @@ PrecisionMetrics runOneCell(const Program &Prog, const std::string &Policy,
       Last.Aborted = true;
       return Last;
     }
-    Solver S(Prog, *Pol, SOpts);
-    AnalysisResult R = S.run();
-    Last = computeMetrics(R);
+    Solver S(Prog, *Pol, CellOpts);
+    AnalysisResult R = [&] {
+      trace::TraceRecorder::Span SolveSpan(CellOpts.Trace, "solve", "phase");
+      return S.run();
+    }();
+    {
+      trace::TraceRecorder::Span MetricsSpan(CellOpts.Trace, "metrics",
+                                             "phase");
+      Last = computeMetrics(R);
+    }
     Times.push_back(Last.SolveMs);
     if (Last.Aborted)
       break; // A timeout will time out again; report the dash.
   }
   std::sort(Times.begin(), Times.end());
   Last.SolveMs = Times[Times.size() / 2];
+  if (CellOpts.Trace)
+    CellOpts.Trace->counters(CellOpts.TraceLabel, Last.Counters);
   return Last;
 }
 
@@ -49,7 +67,8 @@ pt::runVariantMatrix(const Program &Prog,
   std::vector<PrecisionMetrics> Cells(Policies.size());
   uint32_t Runs = Opts.Runs == 0 ? 1 : Opts.Runs;
   parallelFor(Policies.size(), Opts.Threads, [&](size_t I) {
-    Cells[I] = runOneCell(Prog, Policies[I], Opts.Solver, Runs);
+    Cells[I] = runOneCell(Prog, Policies[I], Opts.Solver, Runs,
+                          Opts.TraceLabelPrefix);
   });
   return Cells;
 }

@@ -31,13 +31,18 @@ class Program;
 
 /// Configuration for one matrix run.
 struct MatrixOptions {
-  /// Per-run budgets (time and fact caps apply to every cell).
+  /// Per-run budgets (time and fact caps apply to every cell).  Its
+  /// \c Trace sink, when set, receives one span per cell plus
+  /// solve/metrics phase spans and the cells' heartbeats.
   SolverOptions Solver;
   /// Worker threads; 0 = one per hardware thread.
   unsigned Threads = 1;
   /// Repetitions per cell; the reported SolveMs is the median (the paper's
   /// "medians of three runs").  Aborted cells are not repeated.
   uint32_t Runs = 1;
+  /// Prefix for cell trace labels, typically "<benchmark>/"; the policy
+  /// name is appended per cell.
+  std::string TraceLabelPrefix;
 };
 
 /// Runs every policy in \p Policies over \p Prog (concurrently when

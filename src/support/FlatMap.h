@@ -135,6 +135,12 @@ public:
         Fn(Slots[I].Key, Slots[I].Val);
   }
 
+  /// Heap bytes held by the table storage (diagnostics).
+  size_t memoryBytes() const {
+    return Slots.capacity() * sizeof(Slot) +
+           Meta.capacity() * sizeof(uint8_t);
+  }
+
 private:
   struct Slot {
     uint64_t Key;
@@ -181,6 +187,9 @@ public:
   bool empty() const { return Map.empty(); }
   void reserve(size_t N) { Map.reserve(N); }
   void clear() { Map.clear(); }
+
+  /// Heap bytes held by the underlying table (diagnostics).
+  size_t memoryBytes() const { return Map.memoryBytes(); }
 
 private:
   FlatMap<uint8_t> Map;

@@ -1,0 +1,36 @@
+//===- support/Telemetry.cpp -----------------------------------------------===//
+//
+// Part of the hybridpt project (PLDI 2013 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Telemetry.h"
+
+#include <algorithm>
+
+namespace pt::telemetry {
+
+std::vector<std::pair<const char *, uint64_t>>
+topRuleCounters(const SolverCounters &C, size_t K) {
+  std::vector<std::pair<const char *, uint64_t>> Rules = {
+      {"rule_alloc", C.RuleAlloc},
+      {"rule_move", C.RuleMove},
+      {"rule_cast", C.RuleCast},
+      {"rule_load", C.RuleLoad},
+      {"rule_store", C.RuleStore},
+      {"rule_static_load", C.RuleStaticLoad},
+      {"rule_static_store", C.RuleStaticStore},
+      {"rule_vcall", C.RuleVCall},
+      {"rule_scall", C.RuleSCall},
+      {"rule_throw", C.RuleThrow},
+  };
+  std::stable_sort(Rules.begin(), Rules.end(),
+                   [](const auto &A, const auto &B) {
+                     return A.second > B.second;
+                   });
+  if (Rules.size() > K)
+    Rules.resize(K);
+  return Rules;
+}
+
+} // namespace pt::telemetry

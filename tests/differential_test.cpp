@@ -211,6 +211,10 @@ void expectSameMetrics(const PrecisionMetrics &A, const PrecisionMetrics &B,
   EXPECT_EQ(A.NumHContexts, B.NumHContexts) << Label;
   EXPECT_EQ(A.NumObjects, B.NumObjects) << Label;
   EXPECT_EQ(A.PeakNodes, B.PeakNodes) << Label;
+  EXPECT_EQ(A.PeakBytes, B.PeakBytes) << Label;
+  // Telemetry counters are per-solver state: bit-identical across thread
+  // counts and repeats (all-zero == all-zero when telemetry is off).
+  EXPECT_TRUE(A.Counters == B.Counters) << Label;
 }
 
 TEST(Differential, VariantRunnerDeterministicAcrossThreadCounts) {

@@ -1,0 +1,216 @@
+#!/usr/bin/env python3
+"""End-to-end schema check for the observability surface.
+
+Runs the hybridpt driver with --trace-out/--chrome-trace/--progress on a
+small workload, then validates:
+
+  * every JSONL line parses and matches the record schema in
+    docs/OBSERVABILITY.md (meta, span, heartbeat, counters);
+  * heartbeat totals are monotone per label and the final heartbeat's
+    fact counter ties out (telemetry builds);
+  * the Chrome trace loads as JSON and its begin/end events are
+    well-nested per thread;
+  * tools/trace_summary.py digests the trace and exits cleanly.
+
+Registered with ctest from tests/CMakeLists.txt; stdlib only.
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+import tempfile
+import os
+
+FAILURES = []
+
+
+def check(cond, msg):
+    if not cond:
+        FAILURES.append(msg)
+    return cond
+
+
+def is_num(v):
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def is_uint(v):
+    return isinstance(v, int) and not isinstance(v, bool) and v >= 0
+
+
+def check_counter_obj(obj, where):
+    if not check(isinstance(obj, dict), f"{where}: not an object"):
+        return
+    for key, val in obj.items():
+        check(isinstance(key, str), f"{where}: non-string counter key")
+        check(is_uint(val), f"{where}: counter {key} not a non-negative int")
+
+
+def validate_jsonl(path):
+    with open(path) as f:
+        lines = [ln for ln in f.read().splitlines() if ln.strip()]
+    check(len(lines) >= 3, f"jsonl: only {len(lines)} records")
+
+    records = []
+    for i, line in enumerate(lines, 1):
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError as e:
+            check(False, f"jsonl:{i}: bad JSON: {e}")
+            continue
+        check(isinstance(rec, dict), f"jsonl:{i}: not an object")
+        records.append((i, rec))
+
+    meta = records[0][1] if records else {}
+    check(meta.get("type") == "meta", "jsonl: first record is not meta")
+    check(meta.get("version") == 1, "meta: version != 1")
+    check(isinstance(meta.get("telemetry"), bool), "meta: telemetry not bool")
+    check(meta.get("time_unit") == "ms", "meta: time_unit != ms")
+    telemetry_on = bool(meta.get("telemetry"))
+
+    last_total = {}  # label -> (lineno, totals dict)
+    finals = {}      # label -> final heartbeat record
+    n_spans = n_beats = 0
+    for i, rec in records[1:]:
+        kind = rec.get("type")
+        where = f"jsonl:{i} ({kind})"
+        if kind == "span":
+            n_spans += 1
+            check(isinstance(rec.get("name"), str), f"{where}: no name")
+            check(isinstance(rec.get("cat"), str), f"{where}: no cat")
+            check(is_uint(rec.get("tid")), f"{where}: bad tid")
+            for key in ("t_start_ms", "t_end_ms", "dur_ms"):
+                check(is_num(rec.get(key)), f"{where}: {key} not numeric")
+            if all(is_num(rec.get(k))
+                   for k in ("t_start_ms", "t_end_ms", "dur_ms")):
+                span = rec["t_end_ms"] - rec["t_start_ms"]
+                # All three fields round to 3 decimals independently, so
+                # they can disagree by up to one unit in the last place.
+                check(abs(span - rec["dur_ms"]) <= 2e-3,
+                      f"{where}: dur_ms inconsistent")
+                check(rec["dur_ms"] >= 0, f"{where}: negative duration")
+        elif kind == "heartbeat":
+            n_beats += 1
+            label = rec.get("label")
+            check(isinstance(label, str), f"{where}: no label")
+            for key in ("step", "worklist", "nodes", "facts", "objects",
+                        "memory_bytes"):
+                check(is_uint(rec.get(key)), f"{where}: bad {key}")
+            check(is_num(rec.get("t_ms")), f"{where}: bad t_ms")
+            check(isinstance(rec.get("final"), bool), f"{where}: bad final")
+            check_counter_obj(rec.get("delta"), f"{where}: delta")
+            check_counter_obj(rec.get("total"), f"{where}: total")
+            total = rec.get("total")
+            if isinstance(total, dict) and isinstance(label, str):
+                prev = last_total.get(label)
+                if prev is not None:
+                    pline, ptotal = prev
+                    for key, val in ptotal.items():
+                        check(total.get(key, 0) >= val,
+                              f"{where}: total {key} decreased "
+                              f"since line {pline}")
+                last_total[label] = (i, total)
+            if rec.get("final") is True:
+                finals[label] = rec
+        elif kind == "counters":
+            check(isinstance(rec.get("label"), str), f"{where}: no label")
+            check_counter_obj(rec.get("counters"), f"{where}: counters")
+        else:
+            check(False, f"{where}: unknown record type {kind!r}")
+
+    check(n_spans >= 1, "jsonl: no span records")
+    check(n_beats >= 1, "jsonl: no heartbeat records")
+    check(len(finals) >= 1, "jsonl: no final heartbeat")
+    for label, rec in finals.items():
+        total = rec.get("total", {})
+        if telemetry_on:
+            check(total.get("facts_inserted") == rec.get("facts"),
+                  f"final heartbeat {label}: facts_inserted "
+                  f"{total.get('facts_inserted')} != facts {rec.get('facts')}")
+            check(total.get("worklist_steps") == rec.get("step"),
+                  f"final heartbeat {label}: worklist_steps != step")
+        else:
+            check(all(v == 0 for v in total.values()),
+                  f"final heartbeat {label}: nonzero counters "
+                  f"with telemetry off")
+    return telemetry_on
+
+
+def validate_chrome(path):
+    with open(path) as f:
+        doc = json.load(f)  # raises -> test error, which is what we want
+    check(isinstance(doc, dict), "chrome: top level not an object")
+    events = doc.get("traceEvents")
+    if not check(isinstance(events, list) and events,
+                 "chrome: no traceEvents"):
+        return
+    stacks = {}  # tid -> [names]
+    for idx, ev in enumerate(events):
+        where = f"chrome event #{idx}"
+        check(isinstance(ev.get("name"), str), f"{where}: no name")
+        check(ev.get("ph") in ("B", "E", "C"), f"{where}: bad ph")
+        check(ev.get("pid") == 1, f"{where}: bad pid")
+        check(is_uint(ev.get("tid")), f"{where}: bad tid")
+        check(is_num(ev.get("ts")) and ev.get("ts") >= 0,
+              f"{where}: bad ts")
+        stack = stacks.setdefault(ev.get("tid"), [])
+        if ev.get("ph") == "B":
+            stack.append(ev.get("name"))
+        elif ev.get("ph") == "E":
+            if check(bool(stack), f"{where}: E without matching B"):
+                top = stack.pop()
+                check(top == ev.get("name"),
+                      f"{where}: E '{ev.get('name')}' closes B '{top}'")
+        else:
+            check(isinstance(ev.get("args"), dict),
+                  f"{where}: C event without args")
+    for tid, stack in stacks.items():
+        check(not stack, f"chrome: tid {tid} has unclosed spans {stack}")
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--hybridpt", required=True)
+    ap.add_argument("--summary", required=True,
+                    help="path to tools/trace_summary.py")
+    args = ap.parse_args()
+
+    with tempfile.TemporaryDirectory(prefix="hybridpt_trace_") as tmp:
+        jsonl = os.path.join(tmp, "trace.jsonl")
+        chrome = os.path.join(tmp, "trace.json")
+        cmd = [args.hybridpt, "--policy", "1obj", "--trace-out", jsonl,
+               "--chrome-trace", chrome, "--progress",
+               "--heartbeat-steps", "200", "luindex"]
+        proc = subprocess.run(cmd, capture_output=True, text=True,
+                              timeout=300)
+        check(proc.returncode == 0,
+              f"hybridpt exited {proc.returncode}: {proc.stderr[-500:]}")
+        check("[hb]" in proc.stderr, "--progress printed no heartbeat lines")
+
+        if proc.returncode == 0:
+            validate_jsonl(jsonl)
+            validate_chrome(chrome)
+
+            summ = subprocess.run([sys.executable, args.summary, jsonl],
+                                  capture_output=True, text=True,
+                                  timeout=60)
+            check(summ.returncode == 0,
+                  f"trace_summary exited {summ.returncode}: "
+                  f"{summ.stderr[-500:]}")
+            check("spans by total time" in summ.stdout,
+                  "trace_summary printed no span ranking")
+            check("final heartbeat" in summ.stdout,
+                  "trace_summary printed no heartbeat section")
+
+    if FAILURES:
+        print(f"FAIL: {len(FAILURES)} check(s):")
+        for f in FAILURES:
+            print(f"  {f}")
+        return 1
+    print("OK: trace schema, chrome nesting, and summary tool all pass")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

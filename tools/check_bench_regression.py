@@ -16,6 +16,13 @@ Fact counts (cs_vpt_facts, cg_edges) are compared exactly — the analyses
 are deterministic, so any drift is a correctness change, not noise — but
 only warn, since an intentional precision change lands together with its
 new baseline.
+
+Schema drift across PRs is tolerated: cells present in only one file and
+fields present in only one cell (e.g. the telemetry "counters" object or
+peak_bytes, which older baselines lack) are reported as warnings, never
+as errors.  Counter values themselves are diffed warn-only too — they are
+deterministic, so unexplained drift deserves a look, but they measure
+solver-internal work, not user-visible results.
 """
 
 import argparse
@@ -32,7 +39,15 @@ def load(path):
     cells = data.get("cells")
     if not isinstance(cells, list):
         sys.exit(f"error: {path}: no 'cells' array")
-    return data, {(c["benchmark"], c["policy"]): c for c in cells}
+    keyed = {}
+    for i, c in enumerate(cells):
+        bench, policy = c.get("benchmark"), c.get("policy")
+        if bench is None or policy is None:
+            print(f"warning: {path}: cell #{i} lacks benchmark/policy "
+                  f"keys, skipped")
+            continue
+        keyed[(bench, policy)] = c
+    return data, keyed
 
 
 def main():
@@ -59,6 +74,10 @@ def main():
     compared = 0
     base_total = cand_total = 0.0
 
+    for key in sorted(cand):
+        if key not in base:
+            warnings.append(f"cell {key} new in candidate (no baseline)")
+
     for key in sorted(base):
         if key not in cand:
             warnings.append(f"cell {key} missing from candidate")
@@ -71,8 +90,9 @@ def main():
                 print(f"improved: {name}: aborted -> completed")
             continue
         if c.get("aborted"):
+            bt = b.get("time_ms", 0.0)
             regressions.append(f"{name}: completed in baseline "
-                               f"({b['time_ms']:.0f} ms) but aborted now")
+                               f"({float(bt):.0f} ms) but aborted now")
             continue
 
         for fact in ("cs_vpt_facts", "cg_edges", "reachable_methods"):
@@ -81,6 +101,28 @@ def main():
                                 f"{b.get(fact)} -> {c.get(fact)} "
                                 f"(precision/correctness drift?)")
 
+        # Fields on one side only (schema drift across PRs): warn-only.
+        for field in sorted((set(b) ^ set(c)) - {"counters"}):
+            side = "baseline" if field in b else "candidate"
+            warnings.append(f"{name}: field '{field}' only in {side}")
+
+        # Telemetry counters: deterministic but solver-internal; any
+        # drift is worth a glance, never a failure.
+        bc, cc = b.get("counters"), c.get("counters")
+        if isinstance(bc, dict) and isinstance(cc, dict):
+            for counter in sorted(set(bc) | set(cc)):
+                if bc.get(counter) != cc.get(counter):
+                    warnings.append(
+                        f"{name}: counter {counter} changed "
+                        f"{bc.get(counter)} -> {cc.get(counter)}")
+        elif (bc is None) != (cc is None):
+            side = "baseline" if bc is not None else "candidate"
+            warnings.append(f"{name}: counters only in {side} "
+                            f"(telemetry toggled?)")
+
+        if "time_ms" not in b or "time_ms" not in c:
+            warnings.append(f"{name}: no time_ms on both sides, skipped")
+            continue
         bt, ct = float(b["time_ms"]), float(c["time_ms"])
         compared += 1
         base_total += bt

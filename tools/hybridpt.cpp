@@ -30,6 +30,15 @@
 ///   --threads N        workers for --matrix (0 = hardware concurrency)
 ///   --csv              machine-readable metric output
 ///
+/// Observability (docs/OBSERVABILITY.md):
+///   --trace-out FILE     stream JSONL telemetry (spans + heartbeats)
+///   --chrome-trace FILE  write a Chrome trace-event timeline on exit
+///   --progress           mirror heartbeats to stderr while solving
+///   --explain-abort      on budget expiry, print the last heartbeat and
+///                        the hottest rule counters to stderr
+///   --heartbeat-steps N  heartbeat every N worklist steps (default 65536)
+///   --heartbeat-ms MS    ...or every MS milliseconds (default 250)
+///
 //===----------------------------------------------------------------------===//
 
 #include "context/PolicyRegistry.h"
@@ -43,6 +52,7 @@
 #include "pta/Stats.h"
 #include "pta/Metrics.h"
 #include "pta/Solver.h"
+#include "pta/Trace.h"
 #include "pta/VariantRunner.h"
 #include "support/TableWriter.h"
 #include "workloads/Profiles.h"
@@ -73,6 +83,17 @@ struct CliOptions {
   bool Devirt = false;
   bool Casts = false;
   bool Csv = false;
+  std::string TraceOut;
+  std::string ChromeTraceOut;
+  bool Progress = false;
+  bool ExplainAbort = false;
+  uint64_t HeartbeatSteps = 65536;
+  uint64_t HeartbeatMs = 250;
+
+  bool wantsTrace() const {
+    return !TraceOut.empty() || !ChromeTraceOut.empty() || Progress ||
+           ExplainAbort;
+  }
 };
 
 int usage(const char *Argv0) {
@@ -81,33 +102,77 @@ int usage(const char *Argv0) {
       << " [--policy NAME] [--metrics] [--devirt] [--casts]\n"
          "       [--dump-vpt Class::method/arity::var] [--compare NAME]\n"
          "       [--budget MS] [--max-facts N] [--matrix] [--threads N]\n"
-         "       [--csv] <file.ptir | benchmark-name>\n"
+         "       [--csv] [--trace-out FILE] [--chrome-trace FILE]\n"
+         "       [--progress] [--explain-abort] [--heartbeat-steps N]\n"
+         "       [--heartbeat-ms MS] <file.ptir | benchmark-name>\n"
          "       " << Argv0 << " --list-policies | --list-benchmarks\n";
   return 1;
 }
 
+/// --explain-abort: last-known solver state for one label, from the
+/// heartbeat trail (useful exactly when the normal metrics are dashes).
+void explainAbort(trace::TraceRecorder &Rec, const std::string &Label) {
+  trace::Heartbeat HB;
+  if (!Rec.lastHeartbeat(Label, HB)) {
+    std::cerr << "[abort] " << Label
+              << ": no heartbeat recorded (run was too short or telemetry "
+                 "is compiled out)\n";
+    return;
+  }
+  std::cerr << "[abort] " << Label << ": last heartbeat at t="
+            << formatFixed(HB.TMs / 1000.0, 3) << "s step=" << HB.Step
+            << " worklist=" << HB.WorklistDepth << " nodes=" << HB.Nodes
+            << " facts=" << HB.Facts << " mem="
+            << formatFixed(static_cast<double>(HB.MemoryBytes) / 1e6, 1)
+            << "MB\n";
+  std::cerr << "[abort] " << Label << ": hottest rules:";
+  for (const auto &[Name, Fires] : telemetry::topRuleCounters(HB.Totals, 3))
+    std::cerr << " " << Name << "=" << Fires;
+  std::cerr << "\n";
+}
+
+/// Writes the Chrome trace on the way out, when requested.
+void finishTrace(trace::TraceRecorder *Rec, const CliOptions &Cli) {
+  if (!Rec || Cli.ChromeTraceOut.empty())
+    return;
+  std::string Error;
+  if (!Rec->writeChromeTrace(Cli.ChromeTraceOut, Error))
+    std::cerr << "chrome trace: " << Error << "\n";
+}
+
 AnalysisResult analyze(const Program &P, ContextPolicy &Policy,
-                       const CliOptions &Cli) {
+                       const CliOptions &Cli, trace::TraceRecorder *Rec,
+                       const std::string &Label) {
   SolverOptions Opts;
   Opts.TimeBudgetMs = Cli.BudgetMs;
   Opts.MaxFacts = Cli.MaxFacts;
+  Opts.Trace = Rec;
+  Opts.TraceLabel = Label;
+  Opts.HeartbeatSteps = Cli.HeartbeatSteps;
+  Opts.HeartbeatMs = Cli.HeartbeatMs;
+  trace::TraceRecorder::Span SolveSpan(Rec, Label, "cell");
   Solver S(P, Policy, Opts);
   return S.run();
 }
 
 /// --matrix: all Table 1 policies, fanned out over the worker pool.
-int runMatrix(const Program &P, const CliOptions &Cli) {
+int runMatrix(const Program &P, const CliOptions &Cli,
+              trace::TraceRecorder *Rec) {
   const std::vector<std::string> &Policies = table1PolicyNames();
   MatrixOptions MOpts;
   MOpts.Solver.TimeBudgetMs = Cli.BudgetMs;
   MOpts.Solver.MaxFacts = Cli.MaxFacts;
+  MOpts.Solver.Trace = Rec;
+  MOpts.Solver.HeartbeatSteps = Cli.HeartbeatSteps;
+  MOpts.Solver.HeartbeatMs = Cli.HeartbeatMs;
   MOpts.Threads = Cli.Threads;
+  MOpts.TraceLabelPrefix = Cli.Input + "/";
   std::vector<PrecisionMetrics> Cells = runVariantMatrix(P, Policies, MOpts);
 
   TableWriter T;
   T.setHeader({"analysis", "avg_objs_per_var", "cg_edges", "poly_vcalls",
                "may_fail_casts", "reachable_methods", "time_s",
-               "cs_vpt_facts", "peak_nodes"});
+               "cs_vpt_facts", "peak_bytes"});
   for (size_t I = 0; I < Policies.size(); ++I) {
     const PrecisionMetrics &M = Cells[I];
     T.addRow({Policies[I],
@@ -118,12 +183,15 @@ int runMatrix(const Program &P, const CliOptions &Cli) {
               M.Aborted ? "-" : std::to_string(M.ReachableMethods),
               M.Aborted ? "-" : formatFixed(M.SolveMs / 1000.0, 3),
               M.Aborted ? "-" : std::to_string(M.CsVarPointsTo),
-              std::to_string(M.PeakNodes)});
+              std::to_string(M.PeakBytes)});
+    if (M.Aborted && Cli.ExplainAbort && Rec)
+      explainAbort(*Rec, MOpts.TraceLabelPrefix + Policies[I]);
   }
   if (Cli.Csv)
     T.printCsv(std::cout);
   else
     T.print(std::cout);
+  finishTrace(Rec, Cli);
   return 0;
 }
 
@@ -213,6 +281,18 @@ int main(int argc, char **argv) {
       Opts.Casts = true;
     else if (Arg == "--csv")
       Opts.Csv = true;
+    else if (Arg == "--trace-out")
+      Opts.TraceOut = Value();
+    else if (Arg == "--chrome-trace")
+      Opts.ChromeTraceOut = Value();
+    else if (Arg == "--progress")
+      Opts.Progress = true;
+    else if (Arg == "--explain-abort")
+      Opts.ExplainAbort = true;
+    else if (Arg == "--heartbeat-steps")
+      Opts.HeartbeatSteps = std::strtoull(Value(), nullptr, 10);
+    else if (Arg == "--heartbeat-ms")
+      Opts.HeartbeatMs = std::strtoull(Value(), nullptr, 10);
     else if (Arg.size() >= 2 && Arg.substr(0, 2) == "--")
       return usage(argv[0]);
     else if (Opts.Input.empty())
@@ -228,33 +308,51 @@ int main(int argc, char **argv) {
       Opts.PointsToDotFocus.empty())
     Opts.Metrics = true;
 
+  // Observability sink: one recorder for the whole invocation.
+  std::unique_ptr<trace::TraceRecorder> Rec;
+  if (Opts.wantsTrace()) {
+    Rec = std::make_unique<trace::TraceRecorder>();
+    if (!Opts.TraceOut.empty()) {
+      std::string Error;
+      if (!Rec->openJsonl(Opts.TraceOut, Error)) {
+        std::cerr << Error << "\n";
+        return 1;
+      }
+    }
+    if (Opts.Progress)
+      Rec->enableProgress(std::cerr);
+  }
+
   // Load the program.
   Benchmark Bench;
   std::unique_ptr<Program> Owned;
   const Program *P = nullptr;
-  if (isBenchmarkName(Opts.Input)) {
-    Bench = buildBenchmark(Opts.Input);
-    P = Bench.Prog.get();
-  } else {
-    std::ifstream In(Opts.Input);
-    if (!In) {
-      std::cerr << "cannot open '" << Opts.Input << "'\n";
-      return 1;
+  {
+    trace::TraceRecorder::Span ParseSpan(Rec.get(), "parse", "phase");
+    if (isBenchmarkName(Opts.Input)) {
+      Bench = buildBenchmark(Opts.Input);
+      P = Bench.Prog.get();
+    } else {
+      std::ifstream In(Opts.Input);
+      if (!In) {
+        std::cerr << "cannot open '" << Opts.Input << "'\n";
+        return 1;
+      }
+      std::stringstream Buffer;
+      Buffer << In.rdbuf();
+      ParseResult Parsed = parseProgram(Buffer.str());
+      if (!Parsed.ok()) {
+        for (const std::string &E : Parsed.Errors)
+          std::cerr << "parse error: " << E << "\n";
+        return 1;
+      }
+      Owned = std::move(Parsed.Prog);
+      P = Owned.get();
     }
-    std::stringstream Buffer;
-    Buffer << In.rdbuf();
-    ParseResult Parsed = parseProgram(Buffer.str());
-    if (!Parsed.ok()) {
-      for (const std::string &E : Parsed.Errors)
-        std::cerr << "parse error: " << E << "\n";
-      return 1;
-    }
-    Owned = std::move(Parsed.Prog);
-    P = Owned.get();
   }
 
   if (Opts.Matrix)
-    return runMatrix(*P, Opts);
+    return runMatrix(*P, Opts, Rec.get());
 
   auto Policy = createPolicy(Opts.Policy, *P);
   if (!Policy) {
@@ -262,7 +360,10 @@ int main(int argc, char **argv) {
               << "' (see --list-policies)\n";
     return 1;
   }
-  AnalysisResult R = analyze(*P, *Policy, Opts);
+  const std::string CellLabel = Opts.Input + "/" + Opts.Policy;
+  AnalysisResult R = analyze(*P, *Policy, Opts, Rec.get(), CellLabel);
+  if (R.Aborted && Opts.ExplainAbort && Rec)
+    explainAbort(*Rec, CellLabel);
 
   if (Opts.Metrics)
     printMetrics(computeMetrics(R), Opts.Policy, Opts.Csv);
@@ -355,10 +456,12 @@ int main(int argc, char **argv) {
       std::cerr << "unknown policy '" << Opts.Compare << "'\n";
       return 1;
     }
-    AnalysisResult Other = analyze(*P, *OtherPolicy, Opts);
+    AnalysisResult Other = analyze(*P, *OtherPolicy, Opts, Rec.get(),
+                                   Opts.Input + "/" + Opts.Compare);
     std::cout << "\n--- delta " << Opts.Policy << " -> " << Opts.Compare
               << " ---\n"
               << formatDelta(diffResults(R, Other), *P);
   }
+  finishTrace(Rec.get(), Opts);
   return 0;
 }

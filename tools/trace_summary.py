@@ -1,0 +1,181 @@
+#!/usr/bin/env python3
+"""Summarize a hybridpt JSONL trace: top phases by time, top rules by fires.
+
+Usage:
+    tools/trace_summary.py TRACE.jsonl [--top K]
+
+The input is the file written by `--trace-out` (see docs/OBSERVABILITY.md
+for the record schema).  Three summaries are printed:
+
+  * top-K spans, aggregated by span name across threads (total wall time,
+    call count) — the "where did the time go" view;
+  * top-K rule counters, summed over the final totals of each label —
+    the "which Figure-2 rules did the work" view;
+  * per-label final heartbeat state (facts, nodes, memory) when
+    heartbeats are present.
+
+Only the Python standard library is used.  Unknown record types are
+ignored so the tool keeps working as the schema grows.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+RULE_PREFIX = "rule_"
+
+
+def load_records(path):
+    records = []
+    try:
+        with open(path) as f:
+            for lineno, line in enumerate(f, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    rec = json.loads(line)
+                except json.JSONDecodeError as e:
+                    print(f"warning: {path}:{lineno}: bad JSON ({e}), "
+                          f"skipped", file=sys.stderr)
+                    continue
+                if isinstance(rec, dict):
+                    records.append(rec)
+    except OSError as e:
+        sys.exit(f"error: cannot read {path}: {e}")
+    return records
+
+
+def fmt_ms(ms):
+    if ms >= 1000.0:
+        return f"{ms / 1000.0:.2f} s"
+    return f"{ms:.2f} ms"
+
+
+def fmt_count(n):
+    if n >= 10**9:
+        return f"{n / 1e9:.2f}G"
+    if n >= 10**6:
+        return f"{n / 1e6:.2f}M"
+    if n >= 10**4:
+        return f"{n / 1e3:.1f}K"
+    return str(n)
+
+
+def fmt_bytes(n):
+    if n >= 1 << 30:
+        return f"{n / (1 << 30):.2f} GiB"
+    if n >= 1 << 20:
+        return f"{n / (1 << 20):.2f} MiB"
+    if n >= 1 << 10:
+        return f"{n / (1 << 10):.1f} KiB"
+    return f"{n} B"
+
+
+def summarize_spans(records, top):
+    agg = {}  # name -> [total_ms, count, cat]
+    for rec in records:
+        if rec.get("type") != "span":
+            continue
+        name = rec.get("name", "?")
+        dur = float(rec.get("dur_ms", 0.0))
+        entry = agg.setdefault(name, [0.0, 0, rec.get("cat", "")])
+        entry[0] += dur
+        entry[1] += 1
+    if not agg:
+        print("no span records")
+        return
+    ranked = sorted(agg.items(), key=lambda kv: -kv[1][0])[:top]
+    width = max(len(n) for n, _ in ranked)
+    print(f"top {len(ranked)} spans by total time:")
+    for name, (total, count, cat) in ranked:
+        avg = total / count if count else 0.0
+        print(f"  {name:<{width}}  {fmt_ms(total):>10}  "
+              f"x{count}  avg {fmt_ms(avg)}  [{cat}]")
+
+
+def final_totals_per_label(records):
+    """Last seen totals per label: counters records win over heartbeats
+    with the same label; later records win over earlier ones."""
+    totals = {}
+    for rec in records:
+        kind = rec.get("type")
+        if kind == "counters":
+            counters = rec.get("counters")
+        elif kind == "heartbeat":
+            counters = rec.get("total")
+        else:
+            continue
+        if isinstance(counters, dict):
+            totals[rec.get("label", "")] = counters
+    return totals
+
+
+def summarize_rules(records, top):
+    totals = final_totals_per_label(records)
+    summed = {}
+    for counters in totals.values():
+        for key, val in counters.items():
+            if key.startswith(RULE_PREFIX) and isinstance(val, (int, float)):
+                summed[key] = summed.get(key, 0) + int(val)
+    if not summed:
+        print("no rule counters (telemetry off or no counter records)")
+        return
+    ranked = sorted(summed.items(), key=lambda kv: -kv[1])[:top]
+    width = max(len(n) for n, _ in ranked)
+    grand = sum(summed.values())
+    print(f"top {len(ranked)} rules by fires "
+          f"(total {fmt_count(grand)} across {len(totals)} label(s)):")
+    for name, fires in ranked:
+        pct = 100.0 * fires / grand if grand else 0.0
+        print(f"  {name:<{width}}  {fmt_count(fires):>8}  ({pct:.1f}%)")
+
+
+def summarize_heartbeats(records):
+    last = {}
+    for rec in records:
+        if rec.get("type") == "heartbeat":
+            last[rec.get("label", "")] = rec
+    if not last:
+        return
+    print(f"final heartbeat per label ({len(last)}):")
+    for label in sorted(last):
+        hb = last[label]
+        print(f"  {label or '(unlabeled)'}: "
+              f"steps={fmt_count(int(hb.get('step', 0)))} "
+              f"facts={fmt_count(int(hb.get('facts', 0)))} "
+              f"nodes={fmt_count(int(hb.get('nodes', 0)))} "
+              f"mem={fmt_bytes(int(hb.get('memory_bytes', 0)))}")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("trace", help="JSONL trace from --trace-out")
+    ap.add_argument("--top", type=int, default=10,
+                    help="entries per ranking (default: 10)")
+    args = ap.parse_args()
+
+    records = load_records(args.trace)
+    meta = next((r for r in records if r.get("type") == "meta"), None)
+    if meta is None:
+        print("warning: no meta record (file truncated or not a trace?)",
+              file=sys.stderr)
+    else:
+        print(f"trace: version={meta.get('version')} "
+              f"telemetry={meta.get('telemetry')} "
+              f"({len(records)} records)")
+
+    summarize_spans(records, args.top)
+    print()
+    summarize_rules(records, args.top)
+    print()
+    summarize_heartbeats(records)
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        os._exit(0)  # reader closed early (e.g. piped into head)
