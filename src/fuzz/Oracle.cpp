@@ -1,0 +1,243 @@
+//===- fuzz/Oracle.cpp ---------------------------------------------------------===//
+//
+// Part of the hybridpt project (PLDI 2013 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Oracle.h"
+
+#include "context/PolicyRegistry.h"
+#include "interp/Interpreter.h"
+#include "ir/Program.h"
+#include "pta/AnalysisResult.h"
+#include "pta/Solver.h"
+#include "ptaref/ReferenceAnalysis.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+using namespace pt;
+using namespace pt::fuzz;
+
+const std::vector<std::pair<std::string, std::string>> &
+pt::fuzz::precisionOrderPairs() {
+  // Each pair was derived from the constructor definitions in
+  // context/Policies.h: dropping context/heap-context elements maps the
+  // finer policy's RECORD/MERGE/MERGESTATIC onto the coarser's.
+  static const std::vector<std::pair<std::string, std::string>> Pairs = {
+      {"1call+H", "1call"},         {"2call+H", "1call+H"},
+      {"U-1obj", "1obj"},           {"SB-1obj", "1obj"},
+      {"2obj+H", "1obj"},           {"2obj+H", "2type+H"},
+      {"U-2obj+H", "2obj+H"},       {"S-2obj+H", "2obj+H"},
+      {"U-2type+H", "2type+H"},     {"S-2type+H", "2type+H"},
+      {"3obj+2H", "2obj+H"},
+  };
+  return Pairs;
+}
+
+namespace {
+
+CiProjection projectConcrete(const ConcreteObservations &Obs) {
+  CiProjection P;
+  P.VarPointsTo = Obs.VarPointsTo;
+  P.CallEdges = Obs.CallEdges;
+  P.ReachableMethods = Obs.ReachableMethods;
+  P.StaticFieldPointsTo = Obs.StaticFieldPointsTo;
+  P.FieldPointsTo = Obs.FieldPointsTo;
+  P.MayFailCasts = Obs.FailedCasts;
+  return P;
+}
+
+CiProjection projectReference(const ReferenceAnalysis &Ref,
+                              const Program &Prog) {
+  CiProjection P;
+  P.VarPointsTo = Ref.ciVarPointsTo();
+  P.CallEdges = Ref.ciCallEdges();
+  P.ReachableMethods = Ref.ciReachable();
+  P.StaticFieldPointsTo = Ref.ciStaticFieldPointsTo();
+  P.FieldPointsTo = Ref.ciFieldPointsTo();
+  // The may-fail-casts client, recomputed over the reference's var facts.
+  for (uint32_t Site = 0; Site < Prog.numCastSites(); ++Site) {
+    const CastSite &CS = Prog.castSite(Site);
+    for (const auto &[Var, Heap] : P.VarPointsTo) {
+      if (Var != CS.From.index())
+        continue;
+      if (!Prog.isSubtype(Prog.heap(HeapId(Heap)).Type, CS.Target)) {
+        P.MayFailCasts.insert(Site);
+        break;
+      }
+    }
+  }
+  return P;
+}
+
+/// Renders one canonical export row for a mismatch message.
+std::string renderRow(const std::vector<uint32_t> &Row) {
+  std::ostringstream OS;
+  OS << "(";
+  for (size_t I = 0; I < Row.size(); ++I)
+    OS << (I ? " " : "") << Row[I];
+  OS << ")";
+  return OS.str();
+}
+
+/// Exact export comparison (both directions), as in the differential test
+/// suite but reporting rather than asserting.
+void diffExports(const char *Relation,
+                 const std::vector<std::vector<uint32_t>> &Solver,
+                 const std::vector<std::vector<uint32_t>> &Ref,
+                 const std::string &Policy, size_t MaxExamples,
+                 std::vector<CiViolation> &Out) {
+  if (Solver == Ref)
+    return;
+  std::vector<std::vector<uint32_t>> OnlySolver, OnlyRef;
+  std::set_difference(Solver.begin(), Solver.end(), Ref.begin(), Ref.end(),
+                      std::back_inserter(OnlySolver));
+  std::set_difference(Ref.begin(), Ref.end(), Solver.begin(), Solver.end(),
+                      std::back_inserter(OnlyRef));
+  std::ostringstream OS;
+  OS << Relation << ": solver/" << Policy << " vs ref/" << Policy
+     << " exports differ: " << OnlySolver.size() << " rows solver-only, "
+     << OnlyRef.size() << " rows ref-only;";
+  for (size_t I = 0; I < OnlySolver.size() && I < MaxExamples; ++I)
+    OS << " solver-only " << renderRow(OnlySolver[I]);
+  for (size_t I = 0; I < OnlyRef.size() && I < MaxExamples; ++I)
+    OS << " ref-only " << renderRow(OnlyRef[I]);
+  Out.push_back({Relation, OS.str()});
+}
+
+} // namespace
+
+OracleReport pt::fuzz::checkProgram(const Program &Prog,
+                                    const OracleOptions &Opts) {
+  OracleReport Report;
+  const std::vector<std::string> &Policies =
+      Opts.Policies.empty() ? paperPolicyNames() : Opts.Policies;
+
+  // --- Concrete runs (soundness oracle's ground truth) ---
+  ConcreteObservations Merged;
+  for (uint32_t Run = 0; Run < Opts.InterpRuns; ++Run) {
+    InterpOptions IOpts;
+    IOpts.Seed = Opts.InterpSeed + Run;
+    ConcreteObservations Obs = interpret(Prog, IOpts);
+    Merged.VarPointsTo.insert(Obs.VarPointsTo.begin(), Obs.VarPointsTo.end());
+    Merged.CallEdges.insert(Obs.CallEdges.begin(), Obs.CallEdges.end());
+    Merged.ReachableMethods.insert(Obs.ReachableMethods.begin(),
+                                   Obs.ReachableMethods.end());
+    Merged.FailedCasts.insert(Obs.FailedCasts.begin(), Obs.FailedCasts.end());
+    Merged.StaticFieldPointsTo.insert(Obs.StaticFieldPointsTo.begin(),
+                                      Obs.StaticFieldPointsTo.end());
+    Merged.FieldPointsTo.insert(Obs.FieldPointsTo.begin(),
+                                Obs.FieldPointsTo.end());
+  }
+  CiProjection Concrete = projectConcrete(Merged);
+  Report.ConcreteFacts = Concrete.totalFacts();
+
+  // --- Solver runs, one per policy ---
+  std::map<std::string, CiProjection> Projections;
+  std::set<std::string> Involved;
+  // Wraps diffContainment so every failed check records which solver
+  // policies were implicated (labels like "interp" are not policies).
+  auto Check = [&](const CiProjection &Fine, const CiProjection &Coarse,
+                   const std::string &FineLabel, const std::string &CoarseLabel,
+                   std::initializer_list<std::string> ImplicatedPolicies) {
+    size_t Before = Report.Violations.size();
+    diffContainment(Fine, Coarse, Prog, FineLabel, CoarseLabel,
+                    Report.Violations, Opts.MaxViolationsPerCheck);
+    if (Report.Violations.size() > Before)
+      Involved.insert(ImplicatedPolicies.begin(), ImplicatedPolicies.end());
+  };
+  for (const std::string &Name : Policies) {
+    auto Policy = createPolicy(Name, Prog);
+    if (!Policy) {
+      Report.Violations.push_back(
+          {"Setup", "unknown policy name '" + Name + "'"});
+      continue;
+    }
+    SolverOptions SOpts;
+    SOpts.TimeBudgetMs = Opts.SolverTimeBudgetMs;
+    Solver S(Prog, *Policy, SOpts);
+    AnalysisResult R = S.run();
+    if (R.Aborted) {
+      Report.AbortedPolicies.push_back(Name);
+      continue; // Budget-truncated results under-approximate; skip checks.
+    }
+    CiProjection Proj = ciProject(R);
+
+    // Soundness: concrete ⊆ abstract, relation by relation.
+    Check(Concrete, Proj, "interp", Name, {Name});
+
+    if (Opts.FullReferenceDiff) {
+      auto RefPolicy = createPolicy(Name, Prog);
+      ReferenceAnalysis Ref(Prog, *RefPolicy);
+      if (Ref.run()) {
+        size_t Before = Report.Violations.size();
+        diffExports("VarPointsTo", R.exportVarPointsTo(),
+                    Ref.exportVarPointsTo(), Name,
+                    Opts.MaxViolationsPerCheck, Report.Violations);
+        diffExports("CallGraph", R.exportCallGraph(), Ref.exportCallGraph(),
+                    Name, Opts.MaxViolationsPerCheck, Report.Violations);
+        diffExports("FldPointsTo", R.exportFieldPointsTo(),
+                    Ref.exportFieldPointsTo(), Name,
+                    Opts.MaxViolationsPerCheck, Report.Violations);
+        diffExports("Reachable", R.exportReachable(), Ref.exportReachable(),
+                    Name, Opts.MaxViolationsPerCheck, Report.Violations);
+        diffExports("StaticFldPointsTo", R.exportStaticFieldPointsTo(),
+                    Ref.exportStaticFieldPointsTo(), Name,
+                    Opts.MaxViolationsPerCheck, Report.Violations);
+        diffExports("MethodThrows", R.exportThrowPointsTo(),
+                    Ref.exportThrowPointsTo(), Name,
+                    Opts.MaxViolationsPerCheck, Report.Violations);
+        if (Report.Violations.size() > Before)
+          Involved.insert(Name);
+      }
+    }
+
+    Projections.emplace(Name, std::move(Proj));
+  }
+
+  // --- Reference cross-check (context-insensitive leg) ---
+  if (Opts.CheckReference) {
+    auto InsensPolicy = createPolicy("insens", Prog);
+    ReferenceAnalysis Ref(Prog, *InsensPolicy);
+    if (Ref.run()) {
+      CiProjection RefProj = projectReference(Ref, Prog);
+      // Concrete containment holds against the reference too — catches
+      // reference-model bugs even when both engines agree.
+      Check(Concrete, RefProj, "interp", "ref:insens", {"insens"});
+      auto It = Projections.find("insens");
+      if (It != Projections.end()) {
+        // Exact equality under insens: containment both ways.
+        Check(It->second, RefProj, "insens", "ref:insens", {"insens"});
+        Check(RefProj, It->second, "ref:insens", "insens", {"insens"});
+      }
+      // Every policy refines context-insensitivity, so each projection
+      // must be contained in the independent engine's coarsest result.
+      for (const auto &[Name, Proj] : Projections)
+        if (Name != "insens")
+          Check(Proj, RefProj, Name, "ref:insens", {Name});
+    }
+  }
+
+  // --- Precision-ordering invariants between refining pairs ---
+  if (Opts.CheckOrdering) {
+    for (const auto &[Fine, Coarse] : precisionOrderPairs()) {
+      auto FIt = Projections.find(Fine);
+      auto CIt = Projections.find(Coarse);
+      if (FIt == Projections.end() || CIt == Projections.end())
+        continue;
+      Check(FIt->second, CIt->second, Fine, Coarse, {Fine, Coarse});
+    }
+    // Everything refines insens.
+    auto InsIt = Projections.find("insens");
+    if (InsIt != Projections.end())
+      for (const auto &[Name, Proj] : Projections)
+        if (Name != "insens")
+          Check(Proj, InsIt->second, Name, "insens", {Name, "insens"});
+  }
+
+  Report.InvolvedPolicies.assign(Involved.begin(), Involved.end());
+  return Report;
+}

@@ -1,0 +1,104 @@
+//===- fuzz/Oracle.h - Differential correctness oracles ---------*- C++ -*-===//
+//
+// Part of the hybridpt project (PLDI 2013 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The two oracles of the differential correctness harness, applied to one
+/// program (docs/CORRECTNESS.md):
+///
+/// 1. **Soundness**: execute the program concretely in the interpreter and
+///    require every observed (var, allocation-site) binding, call edge,
+///    reached method, static-field binding, field binding, and failed cast
+///    to be contained in the solver's result for *every* requested policy —
+///    the abstract semantics over-approximates any concrete run.
+///
+/// 2. **Equivalence / ordering**: cross-check the solver against the
+///    independent Datalog reference model (exact equality of the
+///    context-insensitive projection under `insens`; containment of every
+///    policy's projection in the reference's, since every policy refines
+///    context-insensitivity), and check the paper's precision-ordering
+///    invariants between refining policy pairs (e.g. U-2obj+H ⊆ 2obj+H):
+///    a refined policy reporting a fact — or a may-fail cast — the coarser
+///    one lacks is a violation signal.
+///
+/// All checks reduce to \c pt::diffContainment over \c CiProjection
+/// values; any violation is a solver (or reference, or interpreter) bug.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HYBRIDPT_FUZZ_ORACLE_H
+#define HYBRIDPT_FUZZ_ORACLE_H
+
+#include "pta/Projection.h"
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pt {
+
+class Program;
+
+namespace fuzz {
+
+/// Which checks to run over one program.
+struct OracleOptions {
+  /// Policies to solve under; empty = the thirteen paper analyses
+  /// (Table 1 plus insens).
+  std::vector<std::string> Policies;
+  /// Interpreter base seed; runs use Seed, Seed+1, ... per repetition.
+  uint64_t InterpSeed = 1;
+  /// Concrete executions whose observations are unioned (different seeds
+  /// explore different instruction orders).
+  uint32_t InterpRuns = 2;
+  /// Per-policy solver wall-clock budget; 0 = unlimited.  Aborted runs are
+  /// under-approximations, so their containment checks are skipped.
+  uint64_t SolverTimeBudgetMs = 0;
+  /// Cross-check against the Datalog reference model (insens projection
+  /// equality plus per-policy containment in it).
+  bool CheckReference = true;
+  /// Additionally require exact context-sensitive export equality between
+  /// solver and reference for every policy (expensive; the driver samples
+  /// this every Nth program).
+  bool FullReferenceDiff = false;
+  /// Check the precision-ordering invariants between refining pairs.
+  bool CheckOrdering = true;
+  /// Example cap per relation per failed check.
+  size_t MaxViolationsPerCheck = 5;
+};
+
+/// Outcome of all checks on one program.
+struct OracleReport {
+  /// Every violation found, with human-readable details naming the two
+  /// sides ("interp", a policy name, or "ref:<policy>").
+  std::vector<CiViolation> Violations;
+  /// Policies whose solver run aborted on budget (their checks skipped).
+  std::vector<std::string> AbortedPolicies;
+  /// Policy names implicated in at least one violation (sorted, unique) —
+  /// the minimizer re-checks only these to keep probes cheap.
+  std::vector<std::string> InvolvedPolicies;
+  /// Total concrete facts observed by the interpreter (coverage signal).
+  size_t ConcreteFacts = 0;
+
+  bool ok() const { return Violations.empty(); }
+};
+
+/// Runs all configured oracles over \p Prog.
+OracleReport checkProgram(const Program &Prog, const OracleOptions &Opts = {});
+
+/// The precision-ordering pairs (finer, coarser) asserted by the
+/// equivalence oracle: each finer policy's context maps factor through the
+/// coarser's (RECORD / MERGE / MERGESTATIC commute with the projection),
+/// so the finer fixpoint's CI projection must be contained in the
+/// coarser's.  SA-1obj is deliberately absent — the paper notes it is not
+/// comparable to 1obj — and D-2obj+H's data-driven context shape admits no
+/// static factoring.
+const std::vector<std::pair<std::string, std::string>> &precisionOrderPairs();
+
+} // namespace fuzz
+} // namespace pt
+
+#endif // HYBRIDPT_FUZZ_ORACLE_H

@@ -48,8 +48,11 @@ private:
   }
 
   void observeVar(VarId V, int32_t Obj) {
-    if (Obj != Null)
-      Obs.VarPointsTo.insert({V.index(), Objects[Obj].Site.index()});
+    if (Obj == Null)
+      return;
+    Obs.VarPointsTo.insert({V.index(), Objects[Obj].Site.index()});
+    if (Opts.OnVarBinding)
+      Opts.OnVarBinding(V.index(), Objects[Obj].Site.index());
   }
 
   void assign(std::unordered_map<uint32_t, int32_t> &Env, VarId V,
@@ -169,7 +172,12 @@ private:
           int32_t Base = lookupEnv(Env, S.Base);
           if (Base == Null)
             break;
-          Objects[Base].Fields[S.Fld.index()] = lookupEnv(Env, S.From);
+          int32_t V = lookupEnv(Env, S.From);
+          Objects[Base].Fields[S.Fld.index()] = V;
+          if (V != Null)
+            Obs.FieldPointsTo.emplace(Objects[Base].Site.index(),
+                                      S.Fld.index(),
+                                      Objects[V].Site.index());
           break;
         }
         case Kind::SLoadI: {

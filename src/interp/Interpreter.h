@@ -28,7 +28,9 @@
 #include "support/Ids.h"
 
 #include <cstdint>
+#include <functional>
 #include <set>
+#include <tuple>
 #include <utility>
 
 namespace pt {
@@ -45,6 +47,11 @@ struct InterpOptions {
   uint32_t MaxDepth = 24;
   /// Total instruction budget across the run.
   uint64_t MaxSteps = 200000;
+  /// Optional sink invoked on every concrete (variable, allocation-site)
+  /// binding as it happens, duplicates included — the soundness oracle's
+  /// observation hook.  The aggregated set lands in
+  /// \c ConcreteObservations::VarPointsTo either way.
+  std::function<void(uint32_t Var, uint32_t Heap)> OnVarBinding;
 };
 
 /// Everything a run observed, as analysis-comparable projections.
@@ -60,6 +67,10 @@ struct ConcreteObservations {
   std::set<uint32_t> FailedCasts;
   /// (static field, allocation site) pairs.
   std::set<std::pair<uint32_t, uint32_t>> StaticFieldPointsTo;
+  /// (base allocation site, field, allocation site) triples: an object
+  /// born at the base site held, in that field, an object born at the
+  /// value site.
+  std::set<std::tuple<uint32_t, uint32_t, uint32_t>> FieldPointsTo;
   /// Total instructions executed.
   uint64_t Steps = 0;
 };

@@ -596,6 +596,11 @@ void Parser::parseBody(MethodId M, size_t TokenBegin) {
       if (Var.Text.empty())
         continue;
       B.setReturn(M, varFor(M, Var.Text));
+    } else if (Op.Text == "var") {
+      Token Var = NeedToken("variable");
+      if (Var.Text.empty())
+        continue;
+      varFor(M, Var.Text);
     } else {
       error(Op, "unknown instruction '" + std::string(Op.Text) + "'");
     }

@@ -113,6 +113,54 @@ std::string pt::printProgram(const Program &Prog) {
       OS << "method " << sigText(Prog, MInfo.Sig) << " {\n";
       VarNamer Namer(Prog, M);
 
+      // Locals no instruction mentions are only expressible as explicit
+      // `var` declarations; emit them first so the count survives reparse.
+      std::unordered_set<uint32_t> Referenced;
+      auto Ref = [&](VarId V) {
+        if (V.isValid())
+          Referenced.insert(V.index());
+      };
+      Ref(MInfo.This);
+      for (VarId F : MInfo.Formals)
+        Ref(F);
+      for (const AllocInstr &A : MInfo.Allocs)
+        Ref(A.Var);
+      for (const MoveInstr &Mv : MInfo.Moves) {
+        Ref(Mv.To);
+        Ref(Mv.From);
+      }
+      for (const CastInstr &C : MInfo.Casts) {
+        Ref(C.To);
+        Ref(C.From);
+      }
+      for (const LoadInstr &L : MInfo.Loads) {
+        Ref(L.To);
+        Ref(L.Base);
+      }
+      for (const StoreInstr &S : MInfo.Stores) {
+        Ref(S.Base);
+        Ref(S.From);
+      }
+      for (const SLoadInstr &L : MInfo.SLoads)
+        Ref(L.To);
+      for (const SStoreInstr &S : MInfo.SStores)
+        Ref(S.From);
+      for (InvokeId Inv : MInfo.Invokes) {
+        const InvokeInfo &Call = Prog.invoke(Inv);
+        Ref(Call.RetTo);
+        Ref(Call.Base);
+        for (VarId A : Call.Actuals)
+          Ref(A);
+      }
+      for (const ThrowInstr &T : MInfo.Throws)
+        Ref(T.V);
+      for (const HandlerInfo &H : MInfo.Handlers)
+        Ref(H.Var);
+      Ref(MInfo.Return);
+      for (VarId V : MInfo.Locals)
+        if (!Referenced.count(V.index()))
+          OS << "    var " << Namer.name(V) << "\n";
+
       for (const AllocInstr &A : MInfo.Allocs)
         OS << "    new " << Namer.name(A.Var) << ' '
            << Prog.text(Prog.type(Prog.heap(A.Heap).Type).Name) << "\n";

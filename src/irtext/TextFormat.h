@@ -29,12 +29,15 @@
 ///             | "throw" VAR
 ///             | "catch" TYPE VAR
 ///             | "return" VAR
+///             | "var" VAR
 ///   entry    := "entry" OWNER::NAME/ARITY
 ///
 /// Formals are implicitly named p0..pN-1; `this` names the receiver.
-/// Other variables are declared on first use.  Call instructions
-/// distinguish the optional RET by token count (arity is known from the
-/// signature).
+/// Other variables are declared on first use.  `var` declares a local
+/// without using it — the printer emits it for locals no instruction
+/// references, so print→parse preserves the exact variable count.  Call
+/// instructions distinguish the optional RET by token count (arity is
+/// known from the signature).
 ///
 //===----------------------------------------------------------------------===//
 

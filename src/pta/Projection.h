@@ -1,0 +1,90 @@
+//===- pta/Projection.h - Context-insensitive projections -------*- C++ -*-===//
+//
+// Part of the hybridpt project (PLDI 2013 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The context-insensitive projection of an analysis result: every
+/// client-visible relation with its context columns dropped, in a uniform
+/// set representation that three producers can fill — the specialized
+/// solver, the Datalog reference analysis, and the concrete interpreter.
+///
+/// This is the comparison currency of the differential correctness
+/// harness (docs/CORRECTNESS.md): soundness is "concrete ⊆ abstract",
+/// the paper's precision orderings are "refined policy ⊆ coarser policy",
+/// and solver/reference equivalence is containment in both directions.
+/// All three reduce to \c diffContainment over two \c CiProjection values.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HYBRIDPT_PTA_PROJECTION_H
+#define HYBRIDPT_PTA_PROJECTION_H
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+namespace pt {
+
+class AnalysisResult;
+class Program;
+
+/// Context-insensitive facts, keyed by raw entity indices so producers do
+/// not need to share id interning.
+struct CiProjection {
+  /// (variable, allocation site).
+  std::set<std::pair<uint32_t, uint32_t>> VarPointsTo;
+  /// (invocation site, callee method).
+  std::set<std::pair<uint32_t, uint32_t>> CallEdges;
+  /// Methods reachable in at least one context.
+  std::set<uint32_t> ReachableMethods;
+  /// (static field, allocation site).
+  std::set<std::pair<uint32_t, uint32_t>> StaticFieldPointsTo;
+  /// (base allocation site, field, allocation site).
+  std::set<std::tuple<uint32_t, uint32_t, uint32_t>> FieldPointsTo;
+  /// Cast sites that may observe an incompatible object.
+  std::set<uint32_t> MayFailCasts;
+
+  size_t totalFacts() const {
+    return VarPointsTo.size() + CallEdges.size() + ReachableMethods.size() +
+           StaticFieldPointsTo.size() + FieldPointsTo.size() +
+           MayFailCasts.size();
+  }
+
+  bool operator==(const CiProjection &O) const {
+    return VarPointsTo == O.VarPointsTo && CallEdges == O.CallEdges &&
+           ReachableMethods == O.ReachableMethods &&
+           StaticFieldPointsTo == O.StaticFieldPointsTo &&
+           FieldPointsTo == O.FieldPointsTo &&
+           MayFailCasts == O.MayFailCasts;
+  }
+};
+
+/// Projects a solver result down to its context-insensitive facts.
+CiProjection ciProject(const AnalysisResult &Result);
+
+/// One fact of \c Fine missing from \c Coarse, rendered human-readable.
+struct CiViolation {
+  /// Relation the fact belongs to ("VarPointsTo", "MayFailCasts", ...).
+  std::string Relation;
+  /// Pretty-printed fact plus the two labels, ready to log.
+  std::string Detail;
+};
+
+/// Appends a violation for every fact of \p Fine not contained in
+/// \p Coarse (up to \p MaxPerRelation examples per relation) and returns
+/// the *total* number of missing facts.  \p FineLabel / \p CoarseLabel
+/// name the producers in the rendered details.
+size_t diffContainment(const CiProjection &Fine, const CiProjection &Coarse,
+                       const Program &Prog, const std::string &FineLabel,
+                       const std::string &CoarseLabel,
+                       std::vector<CiViolation> &Out,
+                       size_t MaxPerRelation = 5);
+
+} // namespace pt
+
+#endif // HYBRIDPT_PTA_PROJECTION_H

@@ -13,12 +13,19 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
+#include <cstring>
 
 using namespace pt;
 
 Solver::Solver(const Program &Prog, ContextPolicy &Policy, SolverOptions Opts)
     : Prog(Prog), Policy(Policy), Opts(Opts), Budget(Opts.TimeBudgetMs) {
   assert(Prog.isFinalized() && "solver needs a finalized program");
+  // Deliberate unsoundness for harness self-tests only: the fuzz oracle
+  // must detect (and minimize) a solver that drops static-call edges.
+  // Never set outside tests/CI.
+  if (const char *Break = std::getenv("HYBRIDPT_TEST_BREAK"))
+    TestBreakDropSCall = std::strcmp(Break, "drop-scall") == 0;
 }
 
 uint32_t Solver::varNode(VarId V, CtxId Ctx) {
@@ -218,6 +225,8 @@ void Solver::ensureReachable(MethodId M, CtxId Ctx) {
       // SCALL: MERGESTATIC gives the callee context outright
       // (Figure 2, last rule).
       PT_COUNT(Counters.RuleSCall);
+      if (TestBreakDropSCall)
+        continue; // Injected bug (HYBRIDPT_TEST_BREAK): see constructor.
       CtxId CalleeCtx = Policy.mergeStatic(Inv, Ctx);
       wireCall(Inv, Ctx, Call.Target, CalleeCtx);
     } else {

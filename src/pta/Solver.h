@@ -242,6 +242,10 @@ private:
   bool Aborted = false;
   bool HasRun = false;
 
+  /// Fault injection for the fuzz harness's self-test (env var
+  /// HYBRIDPT_TEST_BREAK=drop-scall): silently skip static-call wiring.
+  bool TestBreakDropSCall = false;
+
   /// Per-solver telemetry — never shared, so runs are bit-identical at any
   /// thread count.  All-zero when HYBRIDPT_TELEMETRY is off.
   telemetry::SolverCounters Counters;

@@ -18,10 +18,13 @@ using namespace pt;
 
 namespace {
 
-/// One (program, policy) cell: repeated runs, median time.  When a trace
-/// sink is configured, the cell appears as one span on its worker thread's
-/// timeline with solve/metrics sub-spans per repetition, and its final
-/// counters are recorded under the cell label.
+/// One (program, policy) cell: repeated runs, median time.  The reported
+/// metrics are the *median-time repetition's* metrics wholesale, so the
+/// time, counters, and precision columns all describe one coherent run
+/// (an aborted repetition's truncated time never enters the median).
+/// When a trace sink is configured, the cell appears as one span on its
+/// worker thread's timeline with solve/metrics sub-spans per repetition,
+/// and its final counters are recorded under the cell label.
 PrecisionMetrics runOneCell(const Program &Prog, const std::string &Policy,
                             const SolverOptions &SOpts, uint32_t Runs,
                             const std::string &LabelPrefix) {
@@ -29,13 +32,13 @@ PrecisionMetrics runOneCell(const Program &Prog, const std::string &Policy,
   CellOpts.TraceLabel = LabelPrefix + Policy;
   trace::TraceRecorder::Span CellSpan(CellOpts.Trace, CellOpts.TraceLabel,
                                       "cell");
-  std::vector<double> Times;
-  PrecisionMetrics Last;
+  std::vector<PrecisionMetrics> Reps;
   for (uint32_t RunIdx = 0; RunIdx < Runs; ++RunIdx) {
     auto Pol = createPolicy(Policy, Prog);
     if (!Pol) {
-      Last.Aborted = true;
-      return Last;
+      PrecisionMetrics Unknown;
+      Unknown.Aborted = true;
+      return Unknown;
     }
     Solver S(Prog, *Pol, CellOpts);
     AnalysisResult R = [&] {
@@ -45,17 +48,29 @@ PrecisionMetrics runOneCell(const Program &Prog, const std::string &Policy,
     {
       trace::TraceRecorder::Span MetricsSpan(CellOpts.Trace, "metrics",
                                              "phase");
-      Last = computeMetrics(R);
+      Reps.push_back(computeMetrics(R));
     }
-    Times.push_back(Last.SolveMs);
-    if (Last.Aborted)
+    if (Reps.back().Aborted)
       break; // A timeout will time out again; report the dash.
   }
-  std::sort(Times.begin(), Times.end());
-  Last.SolveMs = Times[Times.size() / 2];
+  // Pick the repetition whose SolveMs is the median of the completed runs;
+  // an aborted cell reports the aborted repetition itself (its partial
+  // counters are still the truest description of what happened).
+  PrecisionMetrics Cell;
+  if (Reps.back().Aborted) {
+    Cell = Reps.back();
+  } else {
+    std::vector<size_t> Order(Reps.size());
+    for (size_t I = 0; I < Order.size(); ++I)
+      Order[I] = I;
+    std::sort(Order.begin(), Order.end(), [&](size_t A, size_t B) {
+      return Reps[A].SolveMs < Reps[B].SolveMs;
+    });
+    Cell = Reps[Order[Order.size() / 2]];
+  }
   if (CellOpts.Trace)
-    CellOpts.Trace->counters(CellOpts.TraceLabel, Last.Counters);
-  return Last;
+    CellOpts.Trace->counters(CellOpts.TraceLabel, Cell.Counters);
+  return Cell;
 }
 
 } // namespace

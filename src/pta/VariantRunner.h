@@ -37,8 +37,10 @@ struct MatrixOptions {
   SolverOptions Solver;
   /// Worker threads; 0 = one per hardware thread.
   unsigned Threads = 1;
-  /// Repetitions per cell; the reported SolveMs is the median (the paper's
-  /// "medians of three runs").  Aborted cells are not repeated.
+  /// Repetitions per cell; the reported cell is the repetition with the
+  /// median SolveMs (the paper's "medians of three runs"), so its time and
+  /// counters describe one coherent run.  Aborted cells are not repeated
+  /// and report the aborted repetition itself.
   uint32_t Runs = 1;
   /// Prefix for cell trace labels, typically "<benchmark>/"; the policy
   /// name is appended per cell.

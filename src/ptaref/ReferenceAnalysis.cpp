@@ -632,6 +632,52 @@ ReferenceAnalysis::exportThrowPointsTo() const {
   return Rows;
 }
 
+std::set<std::pair<uint32_t, uint32_t>>
+ReferenceAnalysis::ciVarPointsTo() const {
+  std::set<std::pair<uint32_t, uint32_t>> Out;
+  for (size_t I = 0; I < VarPointsTo->settledRows(); ++I) {
+    const Value *Row = VarPointsTo->row(I);
+    Out.emplace(Row[0], Row[2]);
+  }
+  return Out;
+}
+
+std::set<std::pair<uint32_t, uint32_t>> ReferenceAnalysis::ciCallEdges() const {
+  std::set<std::pair<uint32_t, uint32_t>> Out;
+  for (size_t I = 0; I < CallGraph->settledRows(); ++I) {
+    const Value *Row = CallGraph->row(I);
+    Out.emplace(Row[0], Row[2]);
+  }
+  return Out;
+}
+
+std::set<uint32_t> ReferenceAnalysis::ciReachable() const {
+  std::set<uint32_t> Out;
+  for (size_t I = 0; I < Reachable->settledRows(); ++I)
+    Out.insert(Reachable->row(I)[0]);
+  return Out;
+}
+
+std::set<std::pair<uint32_t, uint32_t>>
+ReferenceAnalysis::ciStaticFieldPointsTo() const {
+  std::set<std::pair<uint32_t, uint32_t>> Out;
+  for (size_t I = 0; I < StaticFldPointsTo->settledRows(); ++I) {
+    const Value *Row = StaticFldPointsTo->row(I);
+    Out.emplace(Row[0], Row[1]);
+  }
+  return Out;
+}
+
+std::set<std::tuple<uint32_t, uint32_t, uint32_t>>
+ReferenceAnalysis::ciFieldPointsTo() const {
+  std::set<std::tuple<uint32_t, uint32_t, uint32_t>> Out;
+  for (size_t I = 0; I < FldPointsTo->settledRows(); ++I) {
+    const Value *Row = FldPointsTo->row(I);
+    Out.emplace(Row[0], Row[2], Row[3]);
+  }
+  return Out;
+}
+
 std::vector<std::vector<uint32_t>>
 ReferenceAnalysis::exportReachable() const {
   std::vector<std::vector<uint32_t>> Rows;

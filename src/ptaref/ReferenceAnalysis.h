@@ -22,6 +22,9 @@
 #include "datalog/Engine.h"
 
 #include <cstdint>
+#include <set>
+#include <tuple>
+#include <utility>
 #include <vector>
 
 namespace pt {
@@ -57,6 +60,23 @@ public:
   std::vector<std::vector<uint32_t>> exportReachable() const;
   std::vector<std::vector<uint32_t>> exportStaticFieldPointsTo() const;
   std::vector<std::vector<uint32_t>> exportThrowPointsTo() const;
+
+  // --- Context-insensitive projections (differential fuzzing oracle) ---
+  //
+  // Context columns dropped, raw entity indices.  Plain std containers so
+  // consumers do not need the solver library's CiProjection type to hold
+  // them — the fuzz harness copies these into one.
+
+  /// (var, heap) pairs.
+  std::set<std::pair<uint32_t, uint32_t>> ciVarPointsTo() const;
+  /// (invocation site, callee) pairs.
+  std::set<std::pair<uint32_t, uint32_t>> ciCallEdges() const;
+  /// Methods reachable in at least one context.
+  std::set<uint32_t> ciReachable() const;
+  /// (static field, heap) pairs.
+  std::set<std::pair<uint32_t, uint32_t>> ciStaticFieldPointsTo() const;
+  /// (base heap, field, heap) triples.
+  std::set<std::tuple<uint32_t, uint32_t, uint32_t>> ciFieldPointsTo() const;
 
 private:
   void loadFacts();

@@ -1,0 +1,382 @@
+//===- workloads/Shrink.cpp ----------------------------------------------------===//
+//
+// Part of the hybridpt project (PLDI 2013 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Shrink.h"
+
+#include "ir/Program.h"
+#include "ir/ProgramBuilder.h"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <set>
+
+using namespace pt;
+
+namespace {
+
+/// Instruction kinds addressable by the reduction (handlers included:
+/// they bind variables and so participate in failure reproduction).
+enum class Slot : uint8_t {
+  Alloc,
+  Move,
+  Cast,
+  Load,
+  Store,
+  SLoad,
+  SStore,
+  ThrowS,
+  Invoke,
+  Handler,
+};
+
+/// One droppable element: instruction \p Idx of kind \p Kind in method
+/// \p Meth.
+struct Atom {
+  uint32_t Meth;
+  Slot Kind;
+  uint32_t Idx;
+};
+
+/// The mutable description of "which parts of the original program are
+/// still present".  Rebuilding a \c Program from it renumbers every id.
+struct Sketch {
+  const Program *Orig;
+  std::vector<bool> KeepMethod;
+  /// KeepInstr[m][kind][idx], indexed by Slot.
+  std::vector<std::array<std::vector<bool>, 10>> KeepInstr;
+  /// Union-find over variable indices; merged locals point at their
+  /// representative.  Only locals are ever merged *into* other variables,
+  /// so this/formal representatives stay roots.
+  std::vector<uint32_t> VarRep;
+
+  explicit Sketch(const Program &P) : Orig(&P) {
+    KeepMethod.assign(P.numMethods(), true);
+    KeepInstr.resize(P.numMethods());
+    for (size_t MI = 0; MI < P.numMethods(); ++MI) {
+      const MethodInfo &Info = P.method(MethodId::fromIndex(MI));
+      auto &K = KeepInstr[MI];
+      K[size_t(Slot::Alloc)].assign(Info.Allocs.size(), true);
+      K[size_t(Slot::Move)].assign(Info.Moves.size(), true);
+      K[size_t(Slot::Cast)].assign(Info.Casts.size(), true);
+      K[size_t(Slot::Load)].assign(Info.Loads.size(), true);
+      K[size_t(Slot::Store)].assign(Info.Stores.size(), true);
+      K[size_t(Slot::SLoad)].assign(Info.SLoads.size(), true);
+      K[size_t(Slot::SStore)].assign(Info.SStores.size(), true);
+      K[size_t(Slot::ThrowS)].assign(Info.Throws.size(), true);
+      K[size_t(Slot::Invoke)].assign(Info.Invokes.size(), true);
+      K[size_t(Slot::Handler)].assign(Info.Handlers.size(), true);
+    }
+    VarRep.resize(P.numVars());
+    for (size_t I = 0; I < VarRep.size(); ++I)
+      VarRep[I] = static_cast<uint32_t>(I);
+  }
+
+  uint32_t findRep(uint32_t V) const {
+    while (VarRep[V] != V)
+      V = VarRep[V];
+    return V;
+  }
+};
+
+/// std::vector<bool> has proxy references, so atom keep-bits are toggled
+/// through this helper instead of a bool&.
+void setKeep(Sketch &S, const Atom &A, bool Value) {
+  S.KeepInstr[A.Meth][size_t(A.Kind)][A.Idx] = Value;
+}
+bool getKeep(const Sketch &S, const Atom &A) {
+  return S.KeepInstr[A.Meth][size_t(A.Kind)][A.Idx];
+}
+
+/// Rebuilds a fresh validated Program containing exactly the kept parts.
+/// Static calls whose target method was dropped are skipped implicitly.
+std::unique_ptr<Program> rebuild(const Sketch &S) {
+  const Program &P = *S.Orig;
+  ProgramBuilder B;
+
+  // Types and fields in id order: supers precede subtypes because the
+  // original was itself built through ProgramBuilder.  Ids are preserved.
+  for (size_t TI = 0; TI < P.numTypes(); ++TI) {
+    const TypeInfo &T = P.type(TypeId::fromIndex(TI));
+    B.addType(P.text(T.Name), T.Super, T.IsAbstract);
+  }
+  for (size_t FI = 0; FI < P.numFields(); ++FI) {
+    const FieldInfo &F = P.field(FieldId::fromIndex(FI));
+    if (F.IsStatic)
+      B.addStaticField(F.Owner, P.text(F.Name));
+    else
+      B.addField(F.Owner, P.text(F.Name));
+  }
+
+  std::vector<MethodId> NewMeth(P.numMethods(), MethodId::invalid());
+  for (size_t MI = 0; MI < P.numMethods(); ++MI) {
+    if (!S.KeepMethod[MI])
+      continue;
+    const MethodInfo &Info = P.method(MethodId::fromIndex(MI));
+    NewMeth[MI] =
+        B.addMethod(Info.Owner, P.text(Info.Name),
+                    static_cast<uint32_t>(Info.Formals.size()), Info.IsStatic);
+  }
+
+  std::vector<VarId> NewVar(P.numVars(), VarId::invalid());
+  for (size_t MI = 0; MI < P.numMethods(); ++MI) {
+    if (!S.KeepMethod[MI])
+      continue;
+    MethodId OldM = MethodId::fromIndex(MI);
+    MethodId M = NewMeth[MI];
+    const MethodInfo &Info = P.method(OldM);
+    if (Info.This.isValid())
+      NewVar[Info.This.index()] = B.thisVar(M);
+    for (size_t I = 0; I < Info.Formals.size(); ++I)
+      NewVar[Info.Formals[I].index()] =
+          B.formal(M, static_cast<uint32_t>(I));
+
+    // Locals are created on demand through the merge map: a merged local
+    // resolves to its representative's new variable.
+    auto MapVar = [&](VarId Old) {
+      uint32_t Rep = S.findRep(Old.index());
+      if (!NewVar[Rep].isValid())
+        NewVar[Rep] = B.addLocal(M, P.text(P.var(VarId(Rep)).Name));
+      return NewVar[Rep];
+    };
+
+    const auto &K = S.KeepInstr[MI];
+    for (size_t I = 0; I < Info.Allocs.size(); ++I)
+      if (K[size_t(Slot::Alloc)][I])
+        B.addAlloc(M, MapVar(Info.Allocs[I].Var),
+                   P.heap(Info.Allocs[I].Heap).Type);
+    for (size_t I = 0; I < Info.Moves.size(); ++I)
+      if (K[size_t(Slot::Move)][I])
+        B.addMove(M, MapVar(Info.Moves[I].To), MapVar(Info.Moves[I].From));
+    for (size_t I = 0; I < Info.Casts.size(); ++I)
+      if (K[size_t(Slot::Cast)][I])
+        B.addCast(M, MapVar(Info.Casts[I].To), MapVar(Info.Casts[I].From),
+                  Info.Casts[I].Target);
+    for (size_t I = 0; I < Info.Loads.size(); ++I)
+      if (K[size_t(Slot::Load)][I])
+        B.addLoad(M, MapVar(Info.Loads[I].To), MapVar(Info.Loads[I].Base),
+                  Info.Loads[I].Fld);
+    for (size_t I = 0; I < Info.Stores.size(); ++I)
+      if (K[size_t(Slot::Store)][I])
+        B.addStore(M, MapVar(Info.Stores[I].Base), Info.Stores[I].Fld,
+                   MapVar(Info.Stores[I].From));
+    for (size_t I = 0; I < Info.SLoads.size(); ++I)
+      if (K[size_t(Slot::SLoad)][I])
+        B.addSLoad(M, MapVar(Info.SLoads[I].To), Info.SLoads[I].Fld);
+    for (size_t I = 0; I < Info.SStores.size(); ++I)
+      if (K[size_t(Slot::SStore)][I])
+        B.addSStore(M, Info.SStores[I].Fld, MapVar(Info.SStores[I].From));
+    for (size_t I = 0; I < Info.Throws.size(); ++I)
+      if (K[size_t(Slot::ThrowS)][I])
+        B.addThrow(M, MapVar(Info.Throws[I].V));
+    for (size_t I = 0; I < Info.Handlers.size(); ++I)
+      if (K[size_t(Slot::Handler)][I])
+        B.addHandlerTo(M, Info.Handlers[I].CatchType,
+                       MapVar(Info.Handlers[I].Var));
+    for (size_t I = 0; I < Info.Invokes.size(); ++I) {
+      if (!K[size_t(Slot::Invoke)][I])
+        continue;
+      const InvokeInfo &Call = P.invoke(Info.Invokes[I]);
+      std::vector<VarId> Actuals;
+      for (VarId A : Call.Actuals)
+        Actuals.push_back(MapVar(A));
+      VarId RetTo =
+          Call.RetTo.isValid() ? MapVar(Call.RetTo) : VarId::invalid();
+      if (Call.IsStatic) {
+        if (!NewMeth[Call.Target.index()].isValid())
+          continue; // Callee was dropped; the call cannot be expressed.
+        B.addSCall(M, NewMeth[Call.Target.index()], std::move(Actuals),
+                   RetTo);
+      } else {
+        const SigInfo &Sig = P.sig(Call.Sig);
+        B.addVCall(M, MapVar(Call.Base), B.getSig(P.text(Sig.Name), Sig.Arity),
+                   std::move(Actuals), RetTo);
+      }
+    }
+
+    if (Info.Return.isValid())
+      B.setReturn(M, MapVar(Info.Return));
+  }
+
+  for (MethodId E : P.entryPoints())
+    if (NewMeth[E.index()].isValid())
+      B.addEntryPoint(NewMeth[E.index()]);
+
+  return B.build();
+}
+
+class Minimizer {
+public:
+  Minimizer(const Program &Seed, const ShrinkPredicate &StillFails,
+            const ShrinkOptions &Opts)
+      : S(Seed), StillFails(StillFails), Opts(Opts) {}
+
+  ShrinkResult run() {
+    ShrinkResult Res;
+    Res.InstrBefore = S.Orig->numInstructions();
+
+    // The rebuilt-but-unreduced program must fail too (renumbering is
+    // behavior-preserving); if the predicate is flaky, bail out with it.
+    if (!probe()) {
+      Res.Minimized = rebuild(S);
+      Res.Probes = Probes;
+      Res.InstrAfter = Res.Minimized->numInstructions();
+      return Res;
+    }
+
+    for (uint32_t Round = 0; Round < Opts.MaxRounds; ++Round) {
+      bool Changed = false;
+      Changed |= dropMethods();
+      Changed |= dropInstructions();
+      Changed |= mergeVariables();
+      if (!Changed || budgetSpent())
+        break;
+    }
+
+    Res.Minimized = rebuild(S);
+    Res.Probes = Probes;
+    Res.InstrAfter = Res.Minimized->numInstructions();
+    return Res;
+  }
+
+private:
+  bool budgetSpent() const {
+    return Opts.MaxProbes != 0 && Probes >= Opts.MaxProbes;
+  }
+
+  bool probe() {
+    ++Probes;
+    return StillFails(*rebuild(S));
+  }
+
+  /// Greedy chunked removal over \p N candidates: \p Drop toggles candidate
+  /// presence, halving chunk sizes like ddmin's complement phase.
+  template <typename DropFn>
+  bool chunkedDrop(size_t N, DropFn Drop) {
+    bool Changed = false;
+    for (size_t Chunk = std::max<size_t>(N / 2, 1); Chunk >= 1; Chunk /= 2) {
+      for (size_t At = 0; At < N; At += Chunk) {
+        if (budgetSpent())
+          return Changed;
+        size_t End = std::min(At + Chunk, N);
+        size_t Dropped = 0;
+        for (size_t I = At; I < End; ++I)
+          Dropped += Drop(I, false) ? 1 : 0;
+        if (Dropped == 0)
+          continue;
+        if (probe()) {
+          Changed = true;
+        } else {
+          for (size_t I = At; I < End; ++I)
+            Drop(I, true);
+        }
+      }
+      if (Chunk == 1)
+        break;
+    }
+    return Changed;
+  }
+
+  bool dropMethods() {
+    std::vector<uint32_t> Candidates;
+    const auto &Entries = S.Orig->entryPoints();
+    for (uint32_t MI = 0; MI < S.KeepMethod.size(); ++MI) {
+      bool IsEntry = std::find(Entries.begin(), Entries.end(),
+                               MethodId::fromIndex(MI)) != Entries.end();
+      if (S.KeepMethod[MI] && !IsEntry)
+        Candidates.push_back(MI);
+    }
+    return chunkedDrop(Candidates.size(), [&](size_t I, bool Restore) {
+      uint32_t MI = Candidates[I];
+      if (Restore) {
+        S.KeepMethod[MI] = true;
+        return true;
+      }
+      if (!S.KeepMethod[MI])
+        return false;
+      S.KeepMethod[MI] = false;
+      return true;
+    });
+  }
+
+  bool dropInstructions() {
+    std::vector<Atom> Atoms;
+    for (uint32_t MI = 0; MI < S.KeepMethod.size(); ++MI) {
+      if (!S.KeepMethod[MI])
+        continue;
+      for (uint8_t K = 0; K < 10; ++K)
+        for (uint32_t I = 0; I < S.KeepInstr[MI][K].size(); ++I)
+          if (S.KeepInstr[MI][K][I])
+            Atoms.push_back({MI, Slot(K), I});
+    }
+    return chunkedDrop(Atoms.size(), [&](size_t I, bool Restore) {
+      if (Restore) {
+        setKeep(S, Atoms[I], true);
+        return true;
+      }
+      if (!getKeep(S, Atoms[I]))
+        return false;
+      setKeep(S, Atoms[I], false);
+      return true;
+    });
+  }
+
+  bool mergeVariables() {
+    bool Changed = false;
+    const Program &P = *S.Orig;
+    for (uint32_t MI = 0; MI < S.KeepMethod.size(); ++MI) {
+      if (!S.KeepMethod[MI])
+        continue;
+      const MethodInfo &Info = P.method(MethodId::fromIndex(MI));
+      auto IsFixed = [&](VarId V) {
+        if (Info.This.isValid() && V == Info.This)
+          return true;
+        return std::find(Info.Formals.begin(), Info.Formals.end(), V) !=
+               Info.Formals.end();
+      };
+      // Info.Locals lists every variable of the method (this and formals
+      // included, created first, so they have the smallest indices).
+      for (VarId V : Info.Locals) {
+        if (budgetSpent())
+          return Changed;
+        uint32_t VI = V.index();
+        if (IsFixed(V) || S.findRep(VI) != VI)
+          continue; // Not a mergeable temp, or already merged away.
+        std::set<uint32_t> Tried;
+        for (VarId W : Info.Locals) {
+          uint32_t WR = S.findRep(W.index());
+          // Merge only into strictly-earlier representatives: keeps the
+          // union-find acyclic and prefers this/formals as survivors.
+          if (WR >= VI || !Tried.insert(WR).second)
+            continue;
+          S.VarRep[VI] = WR;
+          if (probe()) {
+            Changed = true;
+            break;
+          }
+          S.VarRep[VI] = VI;
+          if (budgetSpent())
+            return Changed;
+        }
+      }
+    }
+    return Changed;
+  }
+
+  Sketch S;
+  const ShrinkPredicate &StillFails;
+  ShrinkOptions Opts;
+  uint64_t Probes = 0;
+};
+
+} // namespace
+
+ShrinkResult pt::shrinkProgram(const Program &Seed,
+                               const ShrinkPredicate &StillFails,
+                               const ShrinkOptions &Opts) {
+  Minimizer M(Seed, StillFails, Opts);
+  return M.run();
+}

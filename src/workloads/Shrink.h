@@ -1,0 +1,66 @@
+//===- workloads/Shrink.h - Delta-debugging program minimizer ---*- C++ -*-===//
+//
+// Part of the hybridpt project (PLDI 2013 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shrinks a failing program to a minimal reproducer, delta-debugging
+/// style: repeatedly rebuild the program with parts removed and keep any
+/// reduction under which the caller's predicate still fails.  Reduction
+/// passes, coarse to fine: drop whole methods (entry points are kept),
+/// drop individual instructions and handlers, merge local variables into
+/// other locals of the same method.  Passes repeat until a full round
+/// changes nothing (1-minimality with respect to these operations).
+///
+/// The predicate sees a freshly built, validated \c Program each probe;
+/// entity ids are renumbered by the rebuild, so predicates must re-derive
+/// what "still fails" means from the program itself (e.g. re-run the
+/// oracles), never compare ids against the original.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HYBRIDPT_WORKLOADS_SHRINK_H
+#define HYBRIDPT_WORKLOADS_SHRINK_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+namespace pt {
+
+class Program;
+
+/// Returns true when \p Candidate still reproduces the failure being
+/// minimized.  Must be deterministic for the shrink to converge.
+using ShrinkPredicate = std::function<bool(const Program &Candidate)>;
+
+struct ShrinkOptions {
+  /// Cap on full reduction rounds (each round runs every pass once).
+  uint32_t MaxRounds = 8;
+  /// Cap on predicate evaluations across the whole shrink; 0 = unlimited.
+  uint64_t MaxProbes = 4000;
+};
+
+/// Result of one shrink run.
+struct ShrinkResult {
+  /// The smallest failing program found (never null; at worst a rebuild of
+  /// the input).
+  std::unique_ptr<Program> Minimized;
+  /// Predicate evaluations spent.
+  uint64_t Probes = 0;
+  /// Instruction counts before/after (Program::numInstructions).
+  size_t InstrBefore = 0;
+  size_t InstrAfter = 0;
+};
+
+/// Minimizes \p Seed under \p StillFails.  \p Seed itself must satisfy the
+/// predicate (asserted via an initial probe; if it does not, the result is
+/// just a rebuild of \p Seed).
+ShrinkResult shrinkProgram(const Program &Seed,
+                           const ShrinkPredicate &StillFails,
+                           const ShrinkOptions &Opts = {});
+
+} // namespace pt
+
+#endif // HYBRIDPT_WORKLOADS_SHRINK_H

@@ -181,11 +181,42 @@ TEST(Printer, RoundTripPreservesAnalysisResults) {
 class RoundTripFuzz : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(RoundTripFuzz, PrintParsePrintIsFixpoint) {
-  auto P = fuzzProgram(GetParam());
+  // Cycle through the fuzz driver's corpus shapes so tiny programs (empty
+  // bodies, zero-arg scalls) and call-/field-heavy ones are all covered.
+  uint64_t Seed = GetParam();
+  FuzzOptions Shape;
+  switch (Seed % 4) {
+  case 0:
+    break;
+  case 1:
+    Shape.Types = 3;
+    Shape.Fields = 2;
+    Shape.Methods = 5;
+    Shape.MaxInstrPerMethod = 4;
+    Shape.MaxLocals = 3;
+    break;
+  case 2:
+    Shape.Methods = 20;
+    Shape.MaxInstrPerMethod = 6;
+    break;
+  case 3:
+    Shape.Fields = 10;
+    Shape.MaxInstrPerMethod = 12;
+    break;
+  }
+  auto P = fuzzProgram(Seed, Shape);
   std::string Printed = printProgram(*P);
   ParseResult R = parseProgram(Printed);
   ASSERT_TRUE(R.ok()) << (R.Errors.empty() ? "" : R.Errors[0]);
   EXPECT_EQ(printProgram(*R.Prog), Printed);
+
+  // Structural isomorphism: entity and instruction counts survive.
+  EXPECT_EQ(R.Prog->numMethods(), P->numMethods());
+  EXPECT_EQ(R.Prog->numVars(), P->numVars());
+  EXPECT_EQ(R.Prog->numHeaps(), P->numHeaps());
+  EXPECT_EQ(R.Prog->numInvokes(), P->numInvokes());
+  EXPECT_EQ(R.Prog->numCastSites(), P->numCastSites());
+  EXPECT_EQ(R.Prog->numInstructions(), P->numInstructions());
 
   // Analysis equivalence under a representative policy (metrics are
   // invariant under the round trip's entity renumbering).
@@ -200,8 +231,68 @@ TEST_P(RoundTripFuzz, PrintParsePrintIsFixpoint) {
   EXPECT_EQ(M1.ReachableMethods, M2.ReachableMethods);
 }
 
+// 200 fuzzed programs: the delta-debugging minimizer depends on
+// print -> parse being lossless for anything the fuzzer (and hence the
+// shrinker) can produce.
 INSTANTIATE_TEST_SUITE_P(Sweep, RoundTripFuzz,
-                         ::testing::Range<uint64_t>(1, 21));
+                         ::testing::Range<uint64_t>(1, 201));
+
+// Round-trip audit: constructs the printer's known edge cases directly.
+TEST(Printer, EmptyBodyAndZeroArgScallRoundTrip) {
+  ProgramBuilder B;
+  TypeId Root = B.addType("Root");
+  MethodId Empty = B.addMethod(Root, "empty", 0, /*IsStatic=*/true);
+  MethodId Main = B.addMethod(Root, "main", 0, /*IsStatic=*/true);
+  B.addSCall(Main, Empty, {});              // scall, zero args, no ret
+  VarId R0 = B.addLocal(Main, "r");
+  B.addSCall(Main, Empty, {}, R0);          // scall, zero args, with ret
+  B.addEntryPoint(Main);
+  auto P = B.build();
+
+  std::string Printed = printProgram(*P);
+  ParseResult R = parseProgram(Printed);
+  ASSERT_TRUE(R.ok()) << (R.Errors.empty() ? "" : R.Errors[0]);
+  EXPECT_EQ(printProgram(*R.Prog), Printed);
+  EXPECT_EQ(R.Prog->numInvokes(), 2u);
+  EXPECT_EQ(R.Prog->method(findMethodByPath(*R.Prog, "Root::empty/0"))
+                .Invokes.size(),
+            0u);
+}
+
+TEST(Printer, ReservedVariableNamesAreUniquified) {
+  // Locals that collide with the implicit names (this, p0) and with each
+  // other after uniquification must still round-trip to an isomorphic
+  // program — the printer renames, never escapes.
+  ProgramBuilder B;
+  TypeId Root = B.addType("Root");
+  MethodId M = B.addMethod(Root, "m", 1, /*IsStatic=*/false);
+  VarId FakeThis = B.addLocal(M, "this");
+  VarId FakeP0 = B.addLocal(M, "p0");
+  VarId Dollar = B.addLocal(M, "this$1"); // collides with the renamer's pick
+  B.addAlloc(M, FakeThis, Root);
+  B.addMove(M, FakeP0, FakeThis);
+  B.addMove(M, Dollar, FakeP0);
+  MethodId Main = B.addMethod(Root, "main", 0, /*IsStatic=*/true);
+  VarId Recv = B.addLocal(Main, "recv");
+  B.addAlloc(Main, Recv, Root);
+  B.addVCall(Main, Recv, B.getSig("m", 1), {Recv});
+  B.addEntryPoint(Main);
+  auto P = B.build();
+
+  std::string Printed = printProgram(*P);
+  ParseResult R = parseProgram(Printed);
+  ASSERT_TRUE(R.ok()) << (R.Errors.empty() ? "" : R.Errors[0]);
+  EXPECT_EQ(printProgram(*R.Prog), Printed);
+  EXPECT_EQ(R.Prog->numVars(), P->numVars());
+  EXPECT_EQ(R.Prog->numInstructions(), P->numInstructions());
+
+  InsensPolicy Pol1(*P), Pol2(*R.Prog);
+  Solver S1(*P, Pol1), S2(*R.Prog, Pol2);
+  PrecisionMetrics M1 = computeMetrics(S1.run());
+  PrecisionMetrics M2 = computeMetrics(S2.run());
+  EXPECT_EQ(M1.CsVarPointsTo, M2.CsVarPointsTo);
+  EXPECT_EQ(M1.ReachableMethods, M2.ReachableMethods);
+}
 
 TEST(Printer, BenchmarkProgramRoundTrips) {
   Benchmark Bench = buildBenchmark("luindex");

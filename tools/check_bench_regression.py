@@ -7,10 +7,14 @@ Usage:
 
 Both files are produced by the bench harnesses (see docs/PERF.md).  Cells
 are matched by (benchmark, policy).  The check fails (exit 1) when any
-matched cell is more than --threshold percent slower in the candidate, or
-when a cell that completed in the baseline aborted in the candidate.
-Cells faster than --min-ms in the baseline are reported but never fail
-the check: their timings are noise-dominated.
+matched cell is more than --threshold percent slower in the candidate.
+Timing is compared only between cells that completed (were not aborted)
+in *both* files: an aborted cell's time_ms is budget-truncated (the
+table's dash entries), so comparing it against a real solve time flags
+spurious regressions.  Abort-state transitions in either direction are
+reported as warnings, never as failures — they are budget- and
+machine-load-sensitive.  Cells faster than --min-ms in the baseline are
+reported but never fail the check: their timings are noise-dominated.
 
 Fact counts (cs_vpt_facts, cg_edges) are compared exactly — the analyses
 are deterministic, so any drift is a correctness change, not noise — but
@@ -85,14 +89,18 @@ def main():
         b, c = base[key], cand[key]
         name = f"{key[0]}/{key[1]}"
 
+        # A timing regression can only be claimed when the cell completed
+        # on BOTH sides: an aborted cell's time_ms is budget-truncated
+        # (the table's dash), so dash-vs-number comparisons are spurious.
         if b.get("aborted"):
             if not c.get("aborted"):
                 print(f"improved: {name}: aborted -> completed")
             continue
         if c.get("aborted"):
             bt = b.get("time_ms", 0.0)
-            regressions.append(f"{name}: completed in baseline "
-                               f"({float(bt):.0f} ms) but aborted now")
+            warnings.append(f"{name}: completed in baseline "
+                            f"({float(bt):.0f} ms) but aborted in candidate "
+                            f"(budget/load sensitive; not a timing failure)")
             continue
 
         for fact in ("cs_vpt_facts", "cg_edges", "reachable_methods"):
