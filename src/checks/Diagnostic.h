@@ -1,0 +1,86 @@
+//===- checks/Diagnostic.h - Checker diagnostic model -----------*- C++ -*-===//
+//
+// Part of the hybridpt project (PLDI 2013 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The diagnostic record produced by the points-to-backed checkers: a rule
+/// id, a severity, a policy-independent site key, a human-readable message
+/// anchored at an IR location, and the points-to evidence that justifies
+/// the report.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HYBRIDPT_CHECKS_DIAGNOSTIC_H
+#define HYBRIDPT_CHECKS_DIAGNOSTIC_H
+
+#include "support/Ids.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pt {
+namespace checks {
+
+/// Diagnostic severity, mapped onto SARIF levels (note/warning/error).
+enum class Severity : uint8_t {
+  Note,
+  Warning,
+  Error,
+};
+
+/// SARIF level string for \p S ("note", "warning", "error").
+const char *severityName(Severity S);
+
+/// How a checker's report set behaves under context-policy refinement.
+///
+/// \c May checkers report facts the analysis could not rule out (a cast may
+/// fail, a site may be polymorphic, an object may escape).  A strictly more
+/// precise policy only shrinks context-insensitive fact sets, so May reports
+/// shrink too — refined ⊆ base.  The fuzz oracle and the `--compare`
+/// reduction metric assert exactly this.
+///
+/// \c Definite checkers report *proven* emptiness (a variable points to
+/// nothing, a method is unreachable, a call site is dead).  Precision proves
+/// more emptiness, so these grow under refinement and are excluded from the
+/// monotonicity checks.
+enum class Direction : uint8_t {
+  May,
+  Definite,
+};
+
+/// One checker finding.
+struct Diagnostic {
+  /// Registry id of the producing checker, e.g. "may-fail-cast".
+  std::string CheckId;
+  /// Stable rule id for machine output, e.g. "HPT004".
+  std::string RuleId;
+  Severity Sev = Severity::Warning;
+  Direction Dir = Direction::May;
+  /// Policy-independent site key ("cast:3", "invoke:7", "heap:2", ...).
+  /// Equal keys across two runs of the same program denote the same report,
+  /// which is what `--compare` and the monotonicity oracle diff on.
+  std::string SiteKey;
+  std::string Message;
+  /// Enclosing method (invalid for whole-program reports).
+  MethodId Method;
+  /// Source line; 0 when unknown.
+  uint32_t Line = 0;
+  /// Points-to evidence lines (offending heap sites, call targets, escape
+  /// reasons), already rendered.
+  std::vector<std::string> Evidence;
+
+  /// Diff key: same check, same site.
+  std::string key() const { return CheckId + "|" + SiteKey; }
+};
+
+/// Sorts diagnostics into the canonical report order: by source line, then
+/// check id, then site key.  Deterministic for equal inputs.
+void sortDiagnostics(std::vector<Diagnostic> &Diags);
+
+} // namespace checks
+} // namespace pt
+
+#endif // HYBRIDPT_CHECKS_DIAGNOSTIC_H

@@ -1,0 +1,52 @@
+//===- checks/Escape.h - Method-escape computation --------------*- C++ -*-===//
+//
+// Part of the hybridpt project (PLDI 2013 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Computes which allocation sites escape their allocating method, from the
+/// context-insensitive projection of an analysis run.  An object escapes
+/// when it flows out through a return, a static field, or a store into an
+/// object that itself escapes (or that another method allocated).
+///
+/// The rules are monotone in the CI relations, so a more precise policy —
+/// whose projections are subsets — proves at most as many escapes.  That
+/// makes the escape checker a \c Direction::May citizen of the
+/// monotonicity oracle.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HYBRIDPT_CHECKS_ESCAPE_H
+#define HYBRIDPT_CHECKS_ESCAPE_H
+
+#include "support/Ids.h"
+
+#include <string>
+#include <vector>
+
+namespace pt {
+
+class AnalysisResult;
+
+namespace checks {
+
+/// Escape verdict for one allocation site.
+struct EscapeInfo {
+  HeapId Heap;
+  /// First-discovered reason the object escapes, for evidence rendering
+  /// ("returned from <m>", "stored in static <f>", "stored in field <f> of
+  /// escaping <h>").
+  std::string Reason;
+};
+
+/// All heap sites that escape their allocating method, ordered by heap id.
+/// Fixpoint over: (a) reachable into a static field, (b) pointed to by the
+/// allocating method's return variable, (c) stored into a base object that
+/// escapes or that was allocated in a different method.
+std::vector<EscapeInfo> computeEscapes(const AnalysisResult &Result);
+
+} // namespace checks
+} // namespace pt
+
+#endif // HYBRIDPT_CHECKS_ESCAPE_H

@@ -1,0 +1,96 @@
+//===- checks/Render.cpp ----------------------------------------------------===//
+//
+// Part of the hybridpt project (PLDI 2013 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "checks/Render.h"
+
+#include "ir/Program.h"
+
+#include <cstdio>
+
+using namespace pt;
+using namespace pt::checks;
+
+std::string pt::checks::jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+namespace {
+
+std::string locationPrefix(const Program &Prog, const Diagnostic &D) {
+  std::string Out =
+      Prog.sourceName().empty() ? std::string("<input>") : Prog.sourceName();
+  if (D.Line != 0) {
+    Out += ":";
+    Out += std::to_string(D.Line);
+  }
+  return Out;
+}
+
+} // namespace
+
+void pt::checks::renderText(std::ostream &OS, const Program &Prog,
+                            const std::vector<Diagnostic> &Diags) {
+  for (const Diagnostic &D : Diags) {
+    OS << locationPrefix(Prog, D) << ": " << severityName(D.Sev) << ": ["
+       << D.RuleId << "] " << D.Message << "\n";
+    for (const std::string &E : D.Evidence)
+      OS << "    " << E << "\n";
+  }
+}
+
+void pt::checks::renderJsonl(std::ostream &OS, const Program &Prog,
+                             const std::vector<Diagnostic> &Diags,
+                             const std::string &PolicyName) {
+  for (const Diagnostic &D : Diags) {
+    OS << "{\"rule\":\"" << jsonEscape(D.RuleId) << "\",\"check\":\""
+       << jsonEscape(D.CheckId) << "\",\"level\":\"" << severityName(D.Sev)
+       << "\",\"siteKey\":\"" << jsonEscape(D.SiteKey) << "\",\"message\":\""
+       << jsonEscape(D.Message) << "\",\"file\":\""
+       << jsonEscape(Prog.sourceName()) << "\",\"line\":" << D.Line;
+    OS << ",\"method\":\""
+       << jsonEscape(D.Method.isValid() ? Prog.qualifiedName(D.Method) : "")
+       << "\"";
+    OS << ",\"evidence\":[";
+    for (size_t I = 0; I != D.Evidence.size(); ++I) {
+      if (I)
+        OS << ",";
+      OS << "\"" << jsonEscape(D.Evidence[I]) << "\"";
+    }
+    OS << "]";
+    if (!PolicyName.empty())
+      OS << ",\"policy\":\"" << jsonEscape(PolicyName) << "\"";
+    OS << "}\n";
+  }
+}

@@ -1,0 +1,218 @@
+//===- checks/Sarif.cpp -----------------------------------------------------===//
+//
+// Part of the hybridpt project (PLDI 2013 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "checks/Sarif.h"
+
+#include "checks/Render.h"
+#include "ir/Program.h"
+
+#include <cstddef>
+
+using namespace pt;
+using namespace pt::checks;
+
+namespace {
+
+/// Minimal streaming JSON writer with 2-space indentation, enough for the
+/// SARIF shape below.  Keys are emitted in call order.
+class JsonWriter {
+public:
+  explicit JsonWriter(std::ostream &OS) : OS(OS) {}
+
+  void openObject() { open('{'); }
+  void closeObject() { close('}'); }
+  void openArray() { open('['); }
+  void closeArray() { close(']'); }
+
+  void key(const std::string &K) {
+    comma();
+    indent();
+    OS << '"' << jsonEscape(K) << "\": ";
+    Pending = true;
+  }
+
+  void value(const std::string &V) {
+    prefix();
+    OS << '"' << jsonEscape(V) << '"';
+  }
+  void value(uint64_t V) {
+    prefix();
+    OS << V;
+  }
+
+private:
+  void open(char C) {
+    prefix();
+    OS << C;
+    NeedComma.push_back(false);
+  }
+  void close(char C) {
+    NeedComma.pop_back();
+    OS << "\n";
+    indent();
+    OS << C;
+    if (NeedComma.empty())
+      OS << "\n";
+  }
+  /// Emits the separator before a fresh value: nothing after a key, a
+  /// comma+newline+indent between array elements.
+  void prefix() {
+    if (Pending) {
+      Pending = false;
+      return;
+    }
+    comma();
+    indent();
+  }
+  void comma() {
+    if (Pending)
+      return;
+    if (!NeedComma.empty()) {
+      if (NeedComma.back())
+        OS << ",";
+      NeedComma.back() = true;
+      OS << "\n";
+    }
+  }
+  void indent() {
+    for (size_t I = 0; I != NeedComma.size(); ++I)
+      OS << "  ";
+  }
+
+  std::ostream &OS;
+  std::vector<bool> NeedComma;
+  bool Pending = false;
+};
+
+} // namespace
+
+void pt::checks::writeSarif(std::ostream &OS, const Program &Prog,
+                            const std::vector<Diagnostic> &Diags,
+                            const std::vector<CheckerInfo> &Rules,
+                            const SarifOptions &Opts) {
+  std::string Uri =
+      Prog.sourceName().empty() ? std::string("<input>") : Prog.sourceName();
+
+  JsonWriter W(OS);
+  W.openObject();
+  W.key("$schema");
+  W.value(std::string("https://raw.githubusercontent.com/oasis-tcs/"
+                      "sarif-spec/master/Schemata/sarif-schema-2.1.0.json"));
+  W.key("version");
+  W.value(std::string("2.1.0"));
+  W.key("runs");
+  W.openArray();
+  W.openObject();
+
+  W.key("tool");
+  W.openObject();
+  W.key("driver");
+  W.openObject();
+  W.key("name");
+  W.value(std::string("hybridpt-lint"));
+  W.key("version");
+  W.value(Opts.ToolVersion);
+  W.key("informationUri");
+  W.value(std::string("https://github.com/hybridpt/hybridpt"));
+  W.key("rules");
+  W.openArray();
+  for (const CheckerInfo &R : Rules) {
+    W.openObject();
+    W.key("id");
+    W.value(R.RuleId);
+    W.key("name");
+    W.value(R.Name);
+    W.key("shortDescription");
+    W.openObject();
+    W.key("text");
+    W.value(R.Summary);
+    W.closeObject();
+    W.key("defaultConfiguration");
+    W.openObject();
+    W.key("level");
+    W.value(std::string(severityName(R.Sev)));
+    W.closeObject();
+    W.closeObject();
+  }
+  W.closeArray();
+  W.closeObject(); // driver
+  W.closeObject(); // tool
+
+  if (!Opts.PolicyName.empty()) {
+    W.key("properties");
+    W.openObject();
+    W.key("policy");
+    W.value(Opts.PolicyName);
+    W.closeObject();
+  }
+
+  W.key("results");
+  W.openArray();
+  for (const Diagnostic &D : Diags) {
+    size_t RuleIndex = 0;
+    for (size_t I = 0; I != Rules.size(); ++I)
+      if (Rules[I].RuleId == D.RuleId)
+        RuleIndex = I;
+
+    W.openObject();
+    W.key("ruleId");
+    W.value(D.RuleId);
+    W.key("ruleIndex");
+    W.value(static_cast<uint64_t>(RuleIndex));
+    W.key("level");
+    W.value(std::string(severityName(D.Sev)));
+    W.key("message");
+    W.openObject();
+    W.key("text");
+    std::string Text = D.Message;
+    for (const std::string &E : D.Evidence)
+      Text += "\n" + E;
+    W.value(Text);
+    W.closeObject();
+    W.key("locations");
+    W.openArray();
+    W.openObject();
+    W.key("physicalLocation");
+    W.openObject();
+    W.key("artifactLocation");
+    W.openObject();
+    W.key("uri");
+    W.value(Uri);
+    W.closeObject();
+    if (D.Line != 0) {
+      W.key("region");
+      W.openObject();
+      W.key("startLine");
+      W.value(static_cast<uint64_t>(D.Line));
+      W.closeObject();
+    }
+    W.closeObject(); // physicalLocation
+    if (D.Method.isValid()) {
+      W.key("logicalLocations");
+      W.openArray();
+      W.openObject();
+      W.key("fullyQualifiedName");
+      W.value(Prog.qualifiedName(D.Method));
+      W.key("kind");
+      W.value(std::string("function"));
+      W.closeObject();
+      W.closeArray();
+    }
+    W.closeObject(); // location
+    W.closeArray();  // locations
+    W.key("partialFingerprints");
+    W.openObject();
+    W.key("hybridptSiteKey/v1");
+    W.value(D.key());
+    W.closeObject();
+    W.closeObject(); // result
+  }
+  W.closeArray(); // results
+
+  W.closeObject(); // run
+  W.closeArray();  // runs
+  W.closeObject(); // root
+}

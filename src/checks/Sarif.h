@@ -1,0 +1,52 @@
+//===- checks/Sarif.h - SARIF 2.1.0 diagnostic output -----------*- C++ -*-===//
+//
+// Part of the hybridpt project (PLDI 2013 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Serializes a diagnostic list as a SARIF 2.1.0 log — one run, the checker
+/// metadata as the rule table, each diagnostic as a result with a physical
+/// location (source file + line) and a logical location (the enclosing
+/// method).  Output is deterministic: no timestamps, no GUIDs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HYBRIDPT_CHECKS_SARIF_H
+#define HYBRIDPT_CHECKS_SARIF_H
+
+#include "checks/Checker.h"
+#include "checks/Diagnostic.h"
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pt {
+
+class Program;
+
+namespace checks {
+
+/// Knobs of the SARIF rendering.
+struct SarifOptions {
+  /// tool.driver.version.
+  std::string ToolVersion = "1.0.0";
+  /// Recorded as a run property when non-empty (the context policy the
+  /// diagnostics were produced under).
+  std::string PolicyName;
+};
+
+/// Writes \p Diags as one SARIF 2.1.0 run.  \p Rules is the full rule
+/// table (typically every registered checker's info, so ruleIndex stays
+/// stable whether or not a rule fired).  Diagnostics must reference rules
+/// present in \p Rules.
+void writeSarif(std::ostream &OS, const Program &Prog,
+                const std::vector<Diagnostic> &Diags,
+                const std::vector<CheckerInfo> &Rules,
+                const SarifOptions &Opts = {});
+
+} // namespace checks
+} // namespace pt
+
+#endif // HYBRIDPT_CHECKS_SARIF_H

@@ -6,6 +6,7 @@
 
 #include "fuzz/Oracle.h"
 
+#include "checks/Driver.h"
 #include "context/PolicyRegistry.h"
 #include "interp/Interpreter.h"
 #include "ir/Program.h"
@@ -108,6 +109,26 @@ void diffExports(const char *Relation,
   Out.push_back({Relation, OS.str()});
 }
 
+/// Ids of the registered Direction::May checkers — the monotone ones.
+std::vector<std::string> mayCheckerIds() {
+  std::vector<std::string> Out;
+  checks::CheckerRegistry &Reg = checks::CheckerRegistry::instance();
+  for (const std::string &Id : Reg.ids())
+    if (Reg.info(Id)->Dir == checks::Direction::May)
+      Out.push_back(Id);
+  return Out;
+}
+
+/// Report keys ("check|siteKey") of the May checkers over one result.
+std::set<std::string> mayCheckerKeys(const AnalysisResult &R,
+                                     const std::vector<std::string> &Ids) {
+  std::set<std::string> Out;
+  checks::LintRun Run = checks::runCheckers(R, Ids);
+  for (const checks::Diagnostic &D : Run.Diags)
+    Out.insert(D.key());
+  return Out;
+}
+
 } // namespace
 
 OracleReport pt::fuzz::checkProgram(const Program &Prog,
@@ -137,6 +158,9 @@ OracleReport pt::fuzz::checkProgram(const Program &Prog,
 
   // --- Solver runs, one per policy ---
   std::map<std::string, CiProjection> Projections;
+  std::map<std::string, std::set<std::string>> CheckerReports;
+  std::vector<std::string> MayIds =
+      Opts.CheckCheckers ? mayCheckerIds() : std::vector<std::string>();
   std::set<std::string> Involved;
   // Wraps diffContainment so every failed check records which solver
   // policies were implicated (labels like "interp" are not policies).
@@ -195,6 +219,9 @@ OracleReport pt::fuzz::checkProgram(const Program &Prog,
       }
     }
 
+    if (Opts.CheckCheckers)
+      CheckerReports.emplace(Name, mayCheckerKeys(R, MayIds));
+
     Projections.emplace(Name, std::move(Proj));
   }
 
@@ -236,6 +263,31 @@ OracleReport pt::fuzz::checkProgram(const Program &Prog,
       for (const auto &[Name, Proj] : Projections)
         if (Name != "insens")
           Check(Proj, InsIt->second, Name, "insens", {Name, "insens"});
+  }
+
+  // --- Checker monotonicity between refining pairs ---
+  if (Opts.CheckCheckers) {
+    for (const auto &[Fine, Coarse] : precisionOrderPairs()) {
+      auto FIt = CheckerReports.find(Fine);
+      auto CIt = CheckerReports.find(Coarse);
+      if (FIt == CheckerReports.end() || CIt == CheckerReports.end())
+        continue;
+      std::vector<std::string> Introduced;
+      std::set_difference(FIt->second.begin(), FIt->second.end(),
+                          CIt->second.begin(), CIt->second.end(),
+                          std::back_inserter(Introduced));
+      if (Introduced.empty())
+        continue;
+      std::ostringstream OS;
+      OS << "refined policy " << Fine << " reports " << Introduced.size()
+         << " may-finding(s) that " << Coarse << " proves safe:";
+      for (size_t I = 0;
+           I < Introduced.size() && I < Opts.MaxViolationsPerCheck; ++I)
+        OS << " " << Introduced[I];
+      Report.Violations.push_back({"CheckerMonotonicity", OS.str()});
+      Involved.insert(Fine);
+      Involved.insert(Coarse);
+    }
   }
 
   Report.InvolvedPolicies.assign(Involved.begin(), Involved.end());

@@ -5,7 +5,7 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The two oracles of the differential correctness harness, applied to one
+/// The oracles of the differential correctness harness, applied to one
 /// program (docs/CORRECTNESS.md):
 ///
 /// 1. **Soundness**: execute the program concretely in the interpreter and
@@ -22,6 +22,12 @@
 ///    invariants between refining policy pairs (e.g. U-2obj+H ⊆ 2obj+H):
 ///    a refined policy reporting a fact — or a may-fail cast — the coarser
 ///    one lacks is a violation signal.
+///
+/// 3. **Checker monotonicity**: run the \c Direction::May checkers of
+///    src/checks over every policy's result and require, for each refining
+///    pair, that the refined policy's report-key set is a subset of the
+///    coarser one's — more context precision must never introduce a
+///    may-fail cast, a polymorphic call site, or an escaping object.
 ///
 /// All checks reduce to \c pt::diffContainment over \c CiProjection
 /// values; any violation is a solver (or reference, or interpreter) bug.
@@ -66,6 +72,11 @@ struct OracleOptions {
   bool FullReferenceDiff = false;
   /// Check the precision-ordering invariants between refining pairs.
   bool CheckOrdering = true;
+  /// Check checker monotonicity between refining pairs: the refined policy
+  /// must never report a may-fail cast, polymorphic call site, or escaping
+  /// object the coarser policy proves safe (src/checks Direction::May
+  /// checkers; Definite checkers grow with precision and are exempt).
+  bool CheckCheckers = true;
   /// Example cap per relation per failed check.
   size_t MaxViolationsPerCheck = 5;
 };

@@ -30,12 +30,15 @@ namespace pt {
 struct AllocInstr {
   VarId Var;
   HeapId Heap;
+  /// Source line of the instruction; 0 when unknown (generated code).
+  uint32_t Line = 0;
 };
 
 /// `to = from` — MOVE(to, from).
 struct MoveInstr {
   VarId To;
   VarId From;
+  uint32_t Line = 0;
 };
 
 /// `to = (T) from` — a checked reference cast.
@@ -49,6 +52,7 @@ struct CastInstr {
   VarId From;
   TypeId Target;
   uint32_t Site;
+  uint32_t Line = 0;
 };
 
 /// `to = base.fld` — LOAD(to, base, fld).
@@ -56,6 +60,7 @@ struct LoadInstr {
   VarId To;
   VarId Base;
   FieldId Fld;
+  uint32_t Line = 0;
 };
 
 /// `base.fld = from` — STORE(base, fld, from).
@@ -63,6 +68,7 @@ struct StoreInstr {
   VarId Base;
   FieldId Fld;
   VarId From;
+  uint32_t Line = 0;
 };
 
 /// `to = Owner.fld` — static field load.  Static fields are global,
@@ -72,12 +78,14 @@ struct StoreInstr {
 struct SLoadInstr {
   VarId To;
   FieldId Fld;
+  uint32_t Line = 0;
 };
 
 /// `Owner.fld = from` — static field store.
 struct SStoreInstr {
   FieldId Fld;
   VarId From;
+  uint32_t Line = 0;
 };
 
 /// One invocation site, virtual (VCALL) or static (SCALL).
@@ -101,6 +109,8 @@ struct InvokeInfo {
   VarId RetTo;
   /// Human-readable label for diagnostics and dumps.
   StrId Name;
+  /// Source line of the call site; 0 when unknown.
+  uint32_t Line = 0;
 };
 
 /// `throw v` — raises the object(s) \c V points to.
@@ -112,6 +122,7 @@ struct InvokeInfo {
 /// is Doop's model minus try-range filtering.
 struct ThrowInstr {
   VarId V;
+  uint32_t Line = 0;
 };
 
 /// One exception handler of a method: objects whose dynamic type is a
@@ -119,6 +130,7 @@ struct ThrowInstr {
 struct HandlerInfo {
   TypeId CatchType;
   VarId Var;
+  uint32_t Line = 0;
 };
 
 /// One reference-cast site, for the may-fail-cast client.
@@ -127,6 +139,8 @@ struct CastSite {
   VarId To;
   VarId From;
   TypeId Target;
+  /// Source line of the cast; 0 when unknown.
+  uint32_t Line = 0;
 };
 
 } // namespace pt

@@ -43,6 +43,8 @@ struct TypeInfo {
   /// DFS interval labels for O(1) subtype tests, filled by finalize().
   uint32_t DfsEnter = 0;
   uint32_t DfsExit = 0;
+  /// Source line of the class declaration; 0 when unknown.
+  uint32_t DeclLine = 0;
 };
 
 /// A field, owned by the class that declares it.  Static fields are
@@ -73,6 +75,8 @@ struct HeapInfo {
   StrId Name;
   TypeId Type;
   MethodId InMethod;
+  /// Source line of the `new`; 0 when unknown.
+  uint32_t Line = 0;
 };
 
 /// A method definition with its flow-insensitive instruction bag.
@@ -81,6 +85,8 @@ struct MethodInfo {
   TypeId Owner;
   SigId Sig;
   bool IsStatic = false;
+  /// Source line of the method declaration; 0 when unknown.
+  uint32_t DeclLine = 0;
   /// `this`, valid iff the method is an instance method (THISVAR).
   VarId This;
   /// Formal parameters excluding the receiver (FORMALARG).
@@ -134,6 +140,11 @@ public:
   /// The string pool all entity names live in.
   const StringPool &strings() const { return Pool; }
 
+  /// Display name of the source the program was parsed from (a file path
+  /// for irtext inputs, empty for generated programs).  Diagnostics print
+  /// it in front of source lines.
+  const std::string &sourceName() const { return SourceName; }
+
   /// Convenience: the text of an interned name.
   const std::string &text(StrId Id) const { return Pool.text(Id); }
 
@@ -181,6 +192,7 @@ private:
   std::vector<InvokeInfo> Invokes;
   std::vector<CastSite> CastSites;
   std::vector<MethodId> EntryPoints;
+  std::string SourceName;
 
   /// Per-type virtual dispatch table: SigId -> MethodId, inherited entries
   /// included.  Built in finalize().

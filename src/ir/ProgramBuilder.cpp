@@ -16,7 +16,7 @@ using namespace pt;
 ProgramBuilder::ProgramBuilder() : Prog(std::make_unique<Program>()) {}
 
 TypeId ProgramBuilder::addType(std::string_view Name, TypeId Super,
-                               bool IsAbstract) {
+                               bool IsAbstract, uint32_t Line) {
   assert(!Prog->Finalized && "builder used after build()");
   assert(TypeByName.find(std::string(Name)) == TypeByName.end() &&
          "duplicate type name");
@@ -27,6 +27,7 @@ TypeId ProgramBuilder::addType(std::string_view Name, TypeId Super,
   Info.Name = Prog->Pool.intern(Name);
   Info.Super = Super;
   Info.IsAbstract = IsAbstract;
+  Info.DeclLine = Line;
   Prog->Types.push_back(std::move(Info));
   TypeByName.emplace(std::string(Name), Id);
   return Id;
@@ -66,7 +67,8 @@ VarId ProgramBuilder::addVarRaw(MethodId M, std::string_view Name) {
 }
 
 MethodId ProgramBuilder::addMethod(TypeId Owner, std::string_view Name,
-                                   uint32_t Arity, bool IsStatic) {
+                                   uint32_t Arity, bool IsStatic,
+                                   uint32_t Line) {
   assert(Owner.isValid() && Owner.index() < Prog->Types.size());
   MethodId Id = MethodId::fromIndex(Prog->Methods.size());
   MethodInfo Info;
@@ -74,6 +76,7 @@ MethodId ProgramBuilder::addMethod(TypeId Owner, std::string_view Name,
   Info.Owner = Owner;
   Info.Sig = getSig(Name, Arity);
   Info.IsStatic = IsStatic;
+  Info.DeclLine = Line;
   Prog->Methods.push_back(std::move(Info));
 
   MethodInfo &Stored = Prog->Methods[Id.index()];
@@ -115,64 +118,70 @@ void ProgramBuilder::addEntryPoint(MethodId M) {
   Prog->EntryPoints.push_back(M);
 }
 
-HeapId ProgramBuilder::addAlloc(MethodId M, VarId Var, TypeId Type) {
+HeapId ProgramBuilder::addAlloc(MethodId M, VarId Var, TypeId Type,
+                                uint32_t Line) {
   HeapId Heap = HeapId::fromIndex(Prog->Heaps.size());
   std::string Label = "new " + Prog->text(Prog->Types[Type.index()].Name) +
                       "@" + std::to_string(Heap.index());
-  Prog->Heaps.push_back({Prog->Pool.intern(Label), Type, M});
-  Prog->Methods[M.index()].Allocs.push_back({Var, Heap});
+  Prog->Heaps.push_back({Prog->Pool.intern(Label), Type, M, Line});
+  Prog->Methods[M.index()].Allocs.push_back({Var, Heap, Line});
   return Heap;
 }
 
-void ProgramBuilder::addMove(MethodId M, VarId To, VarId From) {
-  Prog->Methods[M.index()].Moves.push_back({To, From});
+void ProgramBuilder::addMove(MethodId M, VarId To, VarId From,
+                             uint32_t Line) {
+  Prog->Methods[M.index()].Moves.push_back({To, From, Line});
 }
 
 uint32_t ProgramBuilder::addCast(MethodId M, VarId To, VarId From,
-                                 TypeId Target) {
+                                 TypeId Target, uint32_t Line) {
   uint32_t Site = static_cast<uint32_t>(Prog->CastSites.size());
-  Prog->CastSites.push_back({M, To, From, Target});
-  Prog->Methods[M.index()].Casts.push_back({To, From, Target, Site});
+  Prog->CastSites.push_back({M, To, From, Target, Line});
+  Prog->Methods[M.index()].Casts.push_back({To, From, Target, Site, Line});
   return Site;
 }
 
-void ProgramBuilder::addLoad(MethodId M, VarId To, VarId Base, FieldId Fld) {
+void ProgramBuilder::addLoad(MethodId M, VarId To, VarId Base, FieldId Fld,
+                             uint32_t Line) {
   assert(!Prog->Fields[Fld.index()].IsStatic && "use addSLoad");
-  Prog->Methods[M.index()].Loads.push_back({To, Base, Fld});
+  Prog->Methods[M.index()].Loads.push_back({To, Base, Fld, Line});
 }
 
 void ProgramBuilder::addStore(MethodId M, VarId Base, FieldId Fld,
-                              VarId From) {
+                              VarId From, uint32_t Line) {
   assert(!Prog->Fields[Fld.index()].IsStatic && "use addSStore");
-  Prog->Methods[M.index()].Stores.push_back({Base, Fld, From});
+  Prog->Methods[M.index()].Stores.push_back({Base, Fld, From, Line});
 }
 
-void ProgramBuilder::addSLoad(MethodId M, VarId To, FieldId Fld) {
+void ProgramBuilder::addSLoad(MethodId M, VarId To, FieldId Fld,
+                              uint32_t Line) {
   assert(Prog->Fields[Fld.index()].IsStatic && "use addLoad");
-  Prog->Methods[M.index()].SLoads.push_back({To, Fld});
+  Prog->Methods[M.index()].SLoads.push_back({To, Fld, Line});
 }
 
-void ProgramBuilder::addSStore(MethodId M, FieldId Fld, VarId From) {
+void ProgramBuilder::addSStore(MethodId M, FieldId Fld, VarId From,
+                               uint32_t Line) {
   assert(Prog->Fields[Fld.index()].IsStatic && "use addStore");
-  Prog->Methods[M.index()].SStores.push_back({Fld, From});
+  Prog->Methods[M.index()].SStores.push_back({Fld, From, Line});
 }
 
-void ProgramBuilder::addThrow(MethodId M, VarId V) {
-  Prog->Methods[M.index()].Throws.push_back({V});
+void ProgramBuilder::addThrow(MethodId M, VarId V, uint32_t Line) {
+  Prog->Methods[M.index()].Throws.push_back({V, Line});
 }
 
 VarId ProgramBuilder::addHandler(MethodId M, TypeId CatchType,
-                                 std::string_view Name) {
+                                 std::string_view Name, uint32_t Line) {
   assert(CatchType.isValid() && CatchType.index() < Prog->Types.size());
   VarId V = addVarRaw(M, Name);
-  Prog->Methods[M.index()].Handlers.push_back({CatchType, V});
+  Prog->Methods[M.index()].Handlers.push_back({CatchType, V, Line});
   return V;
 }
 
-void ProgramBuilder::addHandlerTo(MethodId M, TypeId CatchType, VarId Var) {
+void ProgramBuilder::addHandlerTo(MethodId M, TypeId CatchType, VarId Var,
+                                  uint32_t Line) {
   assert(CatchType.isValid() && CatchType.index() < Prog->Types.size());
   assert(Prog->Vars[Var.index()].Owner == M && "handler var of other method");
-  Prog->Methods[M.index()].Handlers.push_back({CatchType, Var});
+  Prog->Methods[M.index()].Handlers.push_back({CatchType, Var, Line});
 }
 
 InvokeId ProgramBuilder::addInvokeRaw(MethodId M, InvokeInfo Info) {
@@ -183,7 +192,8 @@ InvokeId ProgramBuilder::addInvokeRaw(MethodId M, InvokeInfo Info) {
 }
 
 InvokeId ProgramBuilder::addVCall(MethodId M, VarId Base, SigId Sig,
-                                  std::vector<VarId> Actuals, VarId RetTo) {
+                                  std::vector<VarId> Actuals, VarId RetTo,
+                                  uint32_t Line) {
   InvokeInfo Info;
   Info.IsStatic = false;
   Info.InMethod = M;
@@ -194,11 +204,13 @@ InvokeId ProgramBuilder::addVCall(MethodId M, VarId Base, SigId Sig,
   Info.Name = Prog->Pool.intern(
       "vcall " + Prog->text(Prog->Sigs[Sig.index()].Name) + "@" +
       std::to_string(Prog->Invokes.size()));
+  Info.Line = Line;
   return addInvokeRaw(M, std::move(Info));
 }
 
 InvokeId ProgramBuilder::addSCall(MethodId M, MethodId Target,
-                                  std::vector<VarId> Actuals, VarId RetTo) {
+                                  std::vector<VarId> Actuals, VarId RetTo,
+                                  uint32_t Line) {
   assert(Prog->Methods[Target.index()].IsStatic &&
          "static call to instance method");
   InvokeInfo Info;
@@ -209,7 +221,12 @@ InvokeId ProgramBuilder::addSCall(MethodId M, MethodId Target,
   Info.RetTo = RetTo;
   Info.Name = Prog->Pool.intern("scall " + Prog->qualifiedName(Target) + "@" +
                                 std::to_string(Prog->Invokes.size()));
+  Info.Line = Line;
   return addInvokeRaw(M, std::move(Info));
+}
+
+void ProgramBuilder::setSourceName(std::string_view Name) {
+  Prog->SourceName = std::string(Name);
 }
 
 TypeId ProgramBuilder::findType(std::string_view Name) const {

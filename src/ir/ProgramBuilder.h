@@ -32,9 +32,10 @@ public:
   // --- Declarations ---
 
   /// Declares a class.  \p Super must already exist (or be invalid for a
-  /// root class).  Type names must be unique.
+  /// root class).  Type names must be unique.  \p Line is the source line
+  /// of the declaration (0 = unknown), as are all Line parameters below.
   TypeId addType(std::string_view Name, TypeId Super = TypeId::invalid(),
-                 bool IsAbstract = false);
+                 bool IsAbstract = false, uint32_t Line = 0);
 
   /// Declares an instance field on \p Owner.
   FieldId addField(TypeId Owner, std::string_view Name);
@@ -51,7 +52,7 @@ public:
   /// \p Arity formals named "p0".."pN" are created.  Use \c setReturn to
   /// designate the returned variable for non-void methods.
   MethodId addMethod(TypeId Owner, std::string_view Name, uint32_t Arity,
-                     bool IsStatic);
+                     bool IsStatic, uint32_t Line = 0);
 
   /// Adds a fresh local variable to \p M.
   VarId addLocal(MethodId M, std::string_view Name);
@@ -71,44 +72,53 @@ public:
   // --- Instruction emission (all into method \p M's body) ---
 
   /// `Var = new Type` — returns the fresh allocation site.
-  HeapId addAlloc(MethodId M, VarId Var, TypeId Type);
+  HeapId addAlloc(MethodId M, VarId Var, TypeId Type, uint32_t Line = 0);
 
   /// `To = From`.
-  void addMove(MethodId M, VarId To, VarId From);
+  void addMove(MethodId M, VarId To, VarId From, uint32_t Line = 0);
 
   /// `To = (Target) From` — returns the cast-site index.
-  uint32_t addCast(MethodId M, VarId To, VarId From, TypeId Target);
+  uint32_t addCast(MethodId M, VarId To, VarId From, TypeId Target,
+                   uint32_t Line = 0);
 
   /// `To = Base.Fld`.
-  void addLoad(MethodId M, VarId To, VarId Base, FieldId Fld);
+  void addLoad(MethodId M, VarId To, VarId Base, FieldId Fld,
+               uint32_t Line = 0);
 
   /// `Base.Fld = From`.
-  void addStore(MethodId M, VarId Base, FieldId Fld, VarId From);
+  void addStore(MethodId M, VarId Base, FieldId Fld, VarId From,
+                uint32_t Line = 0);
 
   /// `To = Owner.Fld` for a static field.
-  void addSLoad(MethodId M, VarId To, FieldId Fld);
+  void addSLoad(MethodId M, VarId To, FieldId Fld, uint32_t Line = 0);
 
   /// `Owner.Fld = From` for a static field.
-  void addSStore(MethodId M, FieldId Fld, VarId From);
+  void addSStore(MethodId M, FieldId Fld, VarId From, uint32_t Line = 0);
 
   /// `throw V`.
-  void addThrow(MethodId M, VarId V);
+  void addThrow(MethodId M, VarId V, uint32_t Line = 0);
 
   /// Declares a handler catching \p CatchType into a fresh local named
   /// \p Name; returns the handler variable.
-  VarId addHandler(MethodId M, TypeId CatchType, std::string_view Name);
+  VarId addHandler(MethodId M, TypeId CatchType, std::string_view Name,
+                   uint32_t Line = 0);
 
   /// Declares a handler binding into an existing local of \p M.
-  void addHandlerTo(MethodId M, TypeId CatchType, VarId Var);
+  void addHandlerTo(MethodId M, TypeId CatchType, VarId Var,
+                    uint32_t Line = 0);
 
   /// `RetTo = Base.Sig(Actuals...)` — virtual dispatch on Base's type.
   InvokeId addVCall(MethodId M, VarId Base, SigId Sig,
                     std::vector<VarId> Actuals,
-                    VarId RetTo = VarId::invalid());
+                    VarId RetTo = VarId::invalid(), uint32_t Line = 0);
 
   /// `RetTo = Target(Actuals...)` — statically bound call.
   InvokeId addSCall(MethodId M, MethodId Target, std::vector<VarId> Actuals,
-                    VarId RetTo = VarId::invalid());
+                    VarId RetTo = VarId::invalid(), uint32_t Line = 0);
+
+  /// Records the display name of the source being built (e.g. the irtext
+  /// file path); surfaced as \c Program::sourceName() for diagnostics.
+  void setSourceName(std::string_view Name);
 
   // --- Queries during construction ---
 

@@ -76,7 +76,10 @@ bool splitSig(std::string_view Text, std::string_view &Name,
 
 class Parser {
 public:
-  explicit Parser(std::string_view Text) : Tokens(tokenize(Text)) {}
+  Parser(std::string_view Text, std::string_view SourceName)
+      : Tokens(tokenize(Text)) {
+    B.setSourceName(SourceName);
+  }
 
   ParseResult run();
 
@@ -271,7 +274,7 @@ void Parser::declareTypesTopologically() {
         --Remaining;
         continue;
       }
-      B.addType(D.Name.Text, Super, D.IsAbstract);
+      B.addType(D.Name.Text, Super, D.IsAbstract, D.Name.Line);
       Done[I] = true;
       --Remaining;
       Progress = true;
@@ -317,8 +320,8 @@ ParseResult Parser::run() {
         error(MD.Sig, "duplicate method '" + Path + "'");
         continue;
       }
-      MethodByPath.emplace(Path,
-                           B.addMethod(Owner, Name, Arity, MD.IsStatic));
+      MethodByPath.emplace(Path, B.addMethod(Owner, Name, Arity,
+                                             MD.IsStatic, MD.Sig.Line));
     }
   }
 
@@ -419,13 +422,13 @@ void Parser::parseBody(MethodId M, size_t TokenBegin) {
         error(Type, "unknown type '" + std::string(Type.Text) + "'");
         continue;
       }
-      B.addAlloc(M, varFor(M, Var.Text), T);
+      B.addAlloc(M, varFor(M, Var.Text), T, Op.Line);
     } else if (Op.Text == "move") {
       Token To = NeedToken("target");
       Token From = NeedToken("source");
       if (To.Text.empty() || From.Text.empty())
         continue;
-      B.addMove(M, varFor(M, To.Text), varFor(M, From.Text));
+      B.addMove(M, varFor(M, To.Text), varFor(M, From.Text), Op.Line);
     } else if (Op.Text == "cast") {
       Token To = NeedToken("target");
       Token Type = NeedToken("type");
@@ -437,7 +440,7 @@ void Parser::parseBody(MethodId M, size_t TokenBegin) {
         error(Type, "unknown type '" + std::string(Type.Text) + "'");
         continue;
       }
-      B.addCast(M, varFor(M, To.Text), varFor(M, From.Text), T);
+      B.addCast(M, varFor(M, To.Text), varFor(M, From.Text), T, Op.Line);
     } else if (Op.Text == "load") {
       Token To = NeedToken("target");
       Token Base = NeedToken("base");
@@ -451,7 +454,7 @@ void Parser::parseBody(MethodId M, size_t TokenBegin) {
         error(Fld, "'load' on a static field; use 'sload'");
         continue;
       }
-      B.addLoad(M, varFor(M, To.Text), varFor(M, Base.Text), F);
+      B.addLoad(M, varFor(M, To.Text), varFor(M, Base.Text), F, Op.Line);
     } else if (Op.Text == "store") {
       Token Base = NeedToken("base");
       Token Fld = NeedToken("field");
@@ -465,7 +468,8 @@ void Parser::parseBody(MethodId M, size_t TokenBegin) {
         error(Fld, "'store' on a static field; use 'sstore'");
         continue;
       }
-      B.addStore(M, varFor(M, Base.Text), F, varFor(M, From.Text));
+      B.addStore(M, varFor(M, Base.Text), F, varFor(M, From.Text),
+                 Op.Line);
     } else if (Op.Text == "sload") {
       Token To = NeedToken("target");
       Token Fld = NeedToken("field");
@@ -478,7 +482,7 @@ void Parser::parseBody(MethodId M, size_t TokenBegin) {
         error(Fld, "'sload' on an instance field; use 'load'");
         continue;
       }
-      B.addSLoad(M, varFor(M, To.Text), F);
+      B.addSLoad(M, varFor(M, To.Text), F, Op.Line);
     } else if (Op.Text == "sstore") {
       Token Fld = NeedToken("field");
       Token From = NeedToken("source");
@@ -491,7 +495,7 @@ void Parser::parseBody(MethodId M, size_t TokenBegin) {
         error(Fld, "'sstore' on an instance field; use 'store'");
         continue;
       }
-      B.addSStore(M, F, varFor(M, From.Text));
+      B.addSStore(M, F, varFor(M, From.Text), Op.Line);
     } else if (Op.Text == "vcall" || Op.Text == "scall") {
       // Collect operand tokens to the end of the logical instruction:
       // operands are consumed greedily based on the signature's arity,
@@ -555,7 +559,8 @@ void Parser::parseBody(MethodId M, size_t TokenBegin) {
         VarId Ret = SigIdx == 2 ? varFor(M, Operands[0].Text)
                                 : VarId::invalid();
         VarId Base = varFor(M, Operands[SigIdx - 1].Text);
-        B.addVCall(M, Base, B.getSig(SigName, Arity), std::move(Args), Ret);
+        B.addVCall(M, Base, B.getSig(SigName, Arity), std::move(Args), Ret,
+                   Op.Line);
       } else {
         // Operands: [ret] Owner::name/arity.
         const Token &Target = Operands[SigIdx];
@@ -571,13 +576,13 @@ void Parser::parseBody(MethodId M, size_t TokenBegin) {
         }
         VarId Ret = SigIdx == 1 ? varFor(M, Operands[0].Text)
                                 : VarId::invalid();
-        B.addSCall(M, It->second, std::move(Args), Ret);
+        B.addSCall(M, It->second, std::move(Args), Ret, Op.Line);
       }
     } else if (Op.Text == "throw") {
       Token Var = NeedToken("variable");
       if (Var.Text.empty())
         continue;
-      B.addThrow(M, varFor(M, Var.Text));
+      B.addThrow(M, varFor(M, Var.Text), Op.Line);
     } else if (Op.Text == "catch") {
       Token Type = NeedToken("catch type");
       Token Var = NeedToken("handler variable");
@@ -590,7 +595,7 @@ void Parser::parseBody(MethodId M, size_t TokenBegin) {
       }
       // Reuse the variable when the name is already bound (a prior
       // instruction mentioned it), so round-trips preserve identity.
-      B.addHandlerTo(M, T, varFor(M, Var.Text));
+      B.addHandlerTo(M, T, varFor(M, Var.Text), Op.Line);
     } else if (Op.Text == "return") {
       Token Var = NeedToken("variable");
       if (Var.Text.empty())
@@ -610,7 +615,8 @@ void Parser::parseBody(MethodId M, size_t TokenBegin) {
 
 } // namespace
 
-ParseResult pt::parseProgram(std::string_view Text) {
-  Parser P(Text);
+ParseResult pt::parseProgram(std::string_view Text,
+                             std::string_view SourceName) {
+  Parser P(Text, SourceName);
   return P.run();
 }

@@ -64,8 +64,12 @@ struct ParseResult {
   bool ok() const { return Prog != nullptr; }
 };
 
-/// Parses PTIR text into a finalized program.
-ParseResult parseProgram(std::string_view Text);
+/// Parses PTIR text into a finalized program.  \p SourceName is recorded
+/// as \c Program::sourceName() (e.g. the file path) and every declaration
+/// and instruction remembers its source line, so downstream diagnostics
+/// can print `file:line`.
+ParseResult parseProgram(std::string_view Text,
+                         std::string_view SourceName = {});
 
 /// Prints \p Prog in PTIR syntax.  The output re-parses to an isomorphic
 /// program (entity order preserved, variable names uniquified as needed).

@@ -101,6 +101,41 @@ std::vector<HeapId> AnalysisResult::uncaughtExceptions() const {
   return Out;
 }
 
+std::vector<std::vector<uint32_t>> AnalysisResult::pointsToByVar() const {
+  std::vector<std::vector<uint32_t>> Out(Prog->numVars());
+  for (const VarFactsEntry &E : VarFacts)
+    for (uint32_t Obj : E.Objs)
+      Out[E.Var.index()].push_back(objHeap(Obj).index());
+  for (std::vector<uint32_t> &Set : Out) {
+    std::sort(Set.begin(), Set.end());
+    Set.erase(std::unique(Set.begin(), Set.end()), Set.end());
+  }
+  return Out;
+}
+
+std::vector<std::tuple<uint32_t, uint32_t, uint32_t>>
+AnalysisResult::ciFieldEdges() const {
+  std::vector<std::tuple<uint32_t, uint32_t, uint32_t>> Out;
+  for (const FieldFactsEntry &E : FieldFacts)
+    for (uint32_t Obj : E.Objs)
+      Out.emplace_back(objHeap(E.BaseObj).index(), E.Fld.index(),
+                       objHeap(Obj).index());
+  std::sort(Out.begin(), Out.end());
+  Out.erase(std::unique(Out.begin(), Out.end()), Out.end());
+  return Out;
+}
+
+std::vector<std::pair<uint32_t, uint32_t>>
+AnalysisResult::ciStaticEdges() const {
+  std::vector<std::pair<uint32_t, uint32_t>> Out;
+  for (const StaticFactsEntry &E : StaticFacts)
+    for (uint32_t Obj : E.Objs)
+      Out.emplace_back(E.Fld.index(), objHeap(Obj).index());
+  std::sort(Out.begin(), Out.end());
+  Out.erase(std::unique(Out.begin(), Out.end()), Out.end());
+  return Out;
+}
+
 namespace {
 
 /// Appends the canonical element tuple of a context to \p Row.

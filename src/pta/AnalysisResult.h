@@ -22,6 +22,7 @@
 #include "support/Telemetry.h"
 
 #include <cstdint>
+#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -148,6 +149,20 @@ public:
   /// Heap sites of exception objects escaping the program's entry points
   /// uncaught, sorted and deduplicated (the uncaught-exceptions client).
   std::vector<HeapId> uncaughtExceptions() const;
+
+  // --- Context-insensitive bulk accessors (checker clients) ---
+
+  /// CI points-to set of every variable, indexed densely by VarId: heap
+  /// site indices, sorted and deduplicated.  One pass over VarFacts, so
+  /// clients querying many variables should prefer this over pointsTo().
+  std::vector<std::vector<uint32_t>> pointsToByVar() const;
+
+  /// CI field edges (base heap, field, heap), sorted and deduplicated —
+  /// the store-reachability input of the method-escape checker.
+  std::vector<std::tuple<uint32_t, uint32_t, uint32_t>> ciFieldEdges() const;
+
+  /// CI static-field edges (field, heap), sorted and deduplicated.
+  std::vector<std::pair<uint32_t, uint32_t>> ciStaticEdges() const;
 
   // --- Canonical export for differential testing ---
   //

@@ -1,0 +1,204 @@
+#!/usr/bin/env python3
+"""CLI robustness tests for tools/trace_summary.py and
+tools/check_bench_regression.py.
+
+Every malformed input — missing file, empty file, truncated JSONL, wrong
+top-level JSON shape, non-numeric fields — must produce a clear one-line
+error or warning and a controlled exit code, never a Python traceback.
+
+Runs under pytest (each test_* function is collected) and standalone
+(`python3 tests/tools_cli_test.py`).
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+TOOLS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                         os.pardir, "tools")
+TRACE_SUMMARY = os.path.join(TOOLS_DIR, "trace_summary.py")
+BENCH_CHECK = os.path.join(TOOLS_DIR, "check_bench_regression.py")
+
+
+def run(script, *args):
+    return subprocess.run(
+        [sys.executable, script] + list(args),
+        capture_output=True, text=True, timeout=60,
+    )
+
+
+def assert_no_traceback(proc, context):
+    combined = proc.stdout + proc.stderr
+    assert "Traceback" not in combined, (
+        "%s: tool crashed with a traceback:\n%s" % (context, combined))
+
+
+def write_tmp(content, suffix):
+    fd, path = tempfile.mkstemp(suffix=suffix)
+    with os.fdopen(fd, "w") as f:
+        f.write(content)
+    return path
+
+
+# --- trace_summary.py ---
+
+def test_trace_summary_missing_file():
+    proc = run(TRACE_SUMMARY, "/nonexistent/trace.jsonl")
+    assert proc.returncode != 0
+    assert_no_traceback(proc, "missing trace")
+    assert "error:" in proc.stderr
+
+
+def test_trace_summary_empty_file():
+    path = write_tmp("", ".jsonl")
+    try:
+        proc = run(TRACE_SUMMARY, path)
+        assert proc.returncode != 0
+        assert_no_traceback(proc, "empty trace")
+        assert "no trace records" in proc.stderr
+    finally:
+        os.unlink(path)
+
+
+def test_trace_summary_truncated_and_malformed_records():
+    # A plausible trace whose tail was cut mid-record, with one span whose
+    # duration is garbage and a heartbeat with a non-numeric fact count.
+    lines = [
+        json.dumps({"type": "meta", "version": 1, "telemetry": True}),
+        json.dumps({"type": "span", "name": "solve", "dur_ms": 12.5,
+                    "cat": "phase"}),
+        json.dumps({"type": "span", "name": "solve", "dur_ms": "NaNish"}),
+        json.dumps({"type": "heartbeat", "label": "x", "step": 10,
+                    "facts": {"oops": 1}, "total": {"rule_alloc": 3}}),
+        '{"type": "span", "name": "trunc',  # the truncated tail
+    ]
+    path = write_tmp("\n".join(lines) + "\n", ".jsonl")
+    try:
+        proc = run(TRACE_SUMMARY, path)
+        assert_no_traceback(proc, "truncated trace")
+        assert proc.returncode == 0, proc.stderr
+        assert "bad JSON" in proc.stderr  # the truncated line was flagged
+        assert "solve" in proc.stdout     # the good span still summarized
+    finally:
+        os.unlink(path)
+
+
+def test_trace_summary_happy_path_still_works():
+    lines = [
+        json.dumps({"type": "meta", "version": 1, "telemetry": False}),
+        json.dumps({"type": "span", "name": "parse", "dur_ms": 1.0,
+                    "cat": "phase"}),
+    ]
+    path = write_tmp("\n".join(lines) + "\n", ".jsonl")
+    try:
+        proc = run(TRACE_SUMMARY, path)
+        assert proc.returncode == 0, proc.stderr
+        assert "parse" in proc.stdout
+    finally:
+        os.unlink(path)
+
+
+# --- check_bench_regression.py ---
+
+def bench_doc(cells):
+    return json.dumps({"budget_ms": 0, "runs": 1, "threads": 1,
+                       "cells": cells})
+
+
+GOOD_CELL = {"benchmark": "b", "policy": "p", "time_ms": 100.0,
+             "aborted": False, "cs_vpt_facts": 5}
+
+
+def test_bench_check_missing_file():
+    good = write_tmp(bench_doc([GOOD_CELL]), ".json")
+    try:
+        proc = run(BENCH_CHECK, "/nonexistent/base.json", good)
+        assert proc.returncode != 0
+        assert_no_traceback(proc, "missing baseline")
+        assert "error:" in proc.stderr
+    finally:
+        os.unlink(good)
+
+
+def test_bench_check_empty_file():
+    empty = write_tmp("", ".json")
+    good = write_tmp(bench_doc([GOOD_CELL]), ".json")
+    try:
+        proc = run(BENCH_CHECK, empty, good)
+        assert proc.returncode != 0
+        assert_no_traceback(proc, "empty baseline")
+        assert "error:" in proc.stderr
+    finally:
+        os.unlink(empty)
+        os.unlink(good)
+
+
+def test_bench_check_wrong_top_level_shape():
+    listy = write_tmp(json.dumps([1, 2, 3]), ".json")
+    good = write_tmp(bench_doc([GOOD_CELL]), ".json")
+    try:
+        proc = run(BENCH_CHECK, listy, good)
+        assert proc.returncode != 0
+        assert_no_traceback(proc, "list top level")
+        assert "expected a JSON object" in proc.stderr
+    finally:
+        os.unlink(listy)
+        os.unlink(good)
+
+
+def test_bench_check_malformed_cells_and_times():
+    # Non-dict cell, cell without keys, and a non-numeric time_ms: all
+    # must degrade to warnings while the good cell is still compared.
+    messy = write_tmp(bench_doc([
+        "not-a-cell",
+        {"time_ms": 1.0},
+        {"benchmark": "b", "policy": "q", "time_ms": "fast",
+         "aborted": False},
+        GOOD_CELL,
+    ]), ".json")
+    cand = write_tmp(bench_doc([
+        {"benchmark": "b", "policy": "q", "time_ms": 1.0, "aborted": False},
+        dict(GOOD_CELL, time_ms=105.0),
+    ]), ".json")
+    try:
+        proc = run(BENCH_CHECK, messy, cand)
+        assert_no_traceback(proc, "malformed cells")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "warning:" in proc.stdout
+        assert "compared 1 cells" in proc.stdout
+    finally:
+        os.unlink(messy)
+        os.unlink(cand)
+
+
+def test_bench_check_detects_a_real_regression():
+    base = write_tmp(bench_doc([GOOD_CELL]), ".json")
+    cand = write_tmp(bench_doc([dict(GOOD_CELL, time_ms=200.0)]), ".json")
+    try:
+        proc = run(BENCH_CHECK, base, cand, "--threshold", "20")
+        assert proc.returncode == 1
+        assert "FAIL" in proc.stdout
+    finally:
+        os.unlink(base)
+        os.unlink(cand)
+
+
+def main():
+    tests = [(name, fn) for name, fn in sorted(globals().items())
+             if name.startswith("test_") and callable(fn)]
+    failed = 0
+    for name, fn in tests:
+        try:
+            fn()
+            print("PASS %s" % name)
+        except AssertionError as e:
+            failed += 1
+            print("FAIL %s: %s" % (name, e))
+    print("%d/%d passed" % (len(tests) - failed, len(tests)))
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

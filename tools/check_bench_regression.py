@@ -34,19 +34,37 @@ import json
 import sys
 
 
+def to_float(value):
+    """Coerces a timing field to float; None for malformed values (a
+    truncated or hand-edited file must degrade to a warning, not a
+    traceback)."""
+    if isinstance(value, bool):
+        return None
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        return None
+
+
 def load(path):
     try:
         with open(path) as f:
             data = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
         sys.exit(f"error: cannot read {path}: {e}")
+    if not isinstance(data, dict):
+        sys.exit(f"error: {path}: expected a JSON object at top level, "
+                 f"got {type(data).__name__} (truncated or wrong file?)")
     cells = data.get("cells")
     if not isinstance(cells, list):
         sys.exit(f"error: {path}: no 'cells' array")
     keyed = {}
     for i, c in enumerate(cells):
+        if not isinstance(c, dict):
+            print(f"warning: {path}: cell #{i} is not an object, skipped")
+            continue
         bench, policy = c.get("benchmark"), c.get("policy")
-        if bench is None or policy is None:
+        if not isinstance(bench, str) or not isinstance(policy, str):
             print(f"warning: {path}: cell #{i} lacks benchmark/policy "
                   f"keys, skipped")
             continue
@@ -97,10 +115,11 @@ def main():
                 print(f"improved: {name}: aborted -> completed")
             continue
         if c.get("aborted"):
-            bt = b.get("time_ms", 0.0)
-            warnings.append(f"{name}: completed in baseline "
-                            f"({float(bt):.0f} ms) but aborted in candidate "
-                            f"(budget/load sensitive; not a timing failure)")
+            bt = to_float(b.get("time_ms", 0.0))
+            shown = f"{bt:.0f} ms" if bt is not None else "unknown time"
+            warnings.append(f"{name}: completed in baseline ({shown}) "
+                            f"but aborted in candidate (budget/load "
+                            f"sensitive; not a timing failure)")
             continue
 
         for fact in ("cs_vpt_facts", "cg_edges", "reachable_methods"):
@@ -131,7 +150,11 @@ def main():
         if "time_ms" not in b or "time_ms" not in c:
             warnings.append(f"{name}: no time_ms on both sides, skipped")
             continue
-        bt, ct = float(b["time_ms"]), float(c["time_ms"])
+        bt, ct = to_float(b["time_ms"]), to_float(c["time_ms"])
+        if bt is None or ct is None:
+            warnings.append(f"{name}: non-numeric time_ms "
+                            f"({b['time_ms']!r} vs {c['time_ms']!r}), skipped")
+            continue
         compared += 1
         base_total += bt
         cand_total += ct

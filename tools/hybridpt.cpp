@@ -340,7 +340,7 @@ int main(int argc, char **argv) {
       }
       std::stringstream Buffer;
       Buffer << In.rdbuf();
-      ParseResult Parsed = parseProgram(Buffer.str());
+      ParseResult Parsed = parseProgram(Buffer.str(), Opts.Input);
       if (!Parsed.ok()) {
         for (const std::string &E : Parsed.Errors)
           std::cerr << "parse error: " << E << "\n";

@@ -1,0 +1,229 @@
+//===- tools/hybridpt_lint.cpp - Checker-suite CLI --------------------------===//
+//
+// Part of the hybridpt project (PLDI 2013 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs the points-to-backed checker suite over a PTIR file (or built-in
+/// benchmark) and reports diagnostics as text, JSONL, or SARIF 2.1.0.
+///
+///   hybridpt-lint [options] <file.ptir | benchmark-name>
+///   hybridpt-lint --list-checks
+///
+/// Options:
+///   --policy NAME      context policy to analyze under (default 2obj+H)
+///   --checks A,B,...   checker ids to run (default: all)
+///   --format FMT       text | jsonl | sarif (default text)
+///   --output FILE      write the report to FILE instead of stdout
+///   --compare B,R      lint under policies B and R, diff the reports, and
+///                      fail when R introduces a may-report B lacks
+///                      (checker monotonicity; R must refine B)
+///   --budget MS        solver time budget per run (0 = unlimited)
+///   --max-facts N      solver fact budget per run (0 = unlimited)
+///
+/// Exit codes: 0 success, 1 usage/input/analysis error, 2 monotonicity
+/// violation in --compare mode.  Diagnostics alone never fail the run;
+/// baseline-diffing is the CI gate (see .github/workflows/ci.yml).
+///
+//===----------------------------------------------------------------------===//
+
+#include "checks/Driver.h"
+#include "checks/Render.h"
+#include "checks/Sarif.h"
+#include "context/PolicyRegistry.h"
+#include "ir/Program.h"
+#include "irtext/TextFormat.h"
+#include "workloads/Profiles.h"
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+using namespace pt;
+
+namespace {
+
+struct CliOptions {
+  std::string Policy = "2obj+H";
+  std::string Format = "text";
+  std::string Output;
+  std::string Input;
+  std::string ComparePair;
+  std::vector<std::string> Checks;
+  uint64_t BudgetMs = 0;
+  uint64_t MaxFacts = 0;
+};
+
+int usage(const char *Argv0) {
+  std::cerr << "usage: " << Argv0
+            << " [--policy NAME] [--checks A,B,...]\n"
+               "       [--format text|jsonl|sarif] [--output FILE]\n"
+               "       [--compare BASE,REFINED] [--budget MS] "
+               "[--max-facts N]\n"
+               "       <file.ptir | benchmark-name>\n"
+               "       "
+            << Argv0 << " --list-checks | --list-policies\n";
+  return 1;
+}
+
+std::vector<std::string> splitList(const std::string &S) {
+  std::vector<std::string> Out;
+  std::stringstream SS(S);
+  std::string Item;
+  while (std::getline(SS, Item, ','))
+    if (!Item.empty())
+      Out.push_back(Item);
+  return Out;
+}
+
+int listChecks() {
+  checks::CheckerRegistry &Reg = checks::CheckerRegistry::instance();
+  for (const std::string &Id : Reg.ids()) {
+    const checks::CheckerInfo *Info = Reg.info(Id);
+    std::cout << Info->RuleId << "  " << Id << " ("
+              << (Info->Dir == checks::Direction::May ? "may" : "definite")
+              << ", " << checks::severityName(Info->Sev) << ")\n        "
+              << Info->Summary << "\n";
+  }
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  CliOptions Opts;
+  for (int I = 1; I < argc; ++I) {
+    const char *Arg = argv[I];
+    auto Next = [&](std::string &Into) {
+      if (I + 1 >= argc)
+        return false;
+      Into = argv[++I];
+      return true;
+    };
+    std::string Val;
+    if (!std::strcmp(Arg, "--list-checks")) {
+      return listChecks();
+    } else if (!std::strcmp(Arg, "--list-policies")) {
+      for (const std::string &Name : allPolicyNames())
+        std::cout << Name << "\n";
+      return 0;
+    } else if (!std::strcmp(Arg, "--policy")) {
+      if (!Next(Opts.Policy))
+        return usage(argv[0]);
+    } else if (!std::strcmp(Arg, "--checks")) {
+      if (!Next(Val))
+        return usage(argv[0]);
+      Opts.Checks = splitList(Val);
+    } else if (!std::strcmp(Arg, "--format")) {
+      if (!Next(Opts.Format))
+        return usage(argv[0]);
+      if (Opts.Format != "text" && Opts.Format != "jsonl" &&
+          Opts.Format != "sarif")
+        return usage(argv[0]);
+    } else if (!std::strcmp(Arg, "--output")) {
+      if (!Next(Opts.Output))
+        return usage(argv[0]);
+    } else if (!std::strcmp(Arg, "--compare")) {
+      if (!Next(Opts.ComparePair))
+        return usage(argv[0]);
+    } else if (!std::strcmp(Arg, "--budget")) {
+      if (!Next(Val))
+        return usage(argv[0]);
+      Opts.BudgetMs = std::stoull(Val);
+    } else if (!std::strcmp(Arg, "--max-facts")) {
+      if (!Next(Val))
+        return usage(argv[0]);
+      Opts.MaxFacts = std::stoull(Val);
+    } else if (Arg[0] == '-') {
+      return usage(argv[0]);
+    } else if (Opts.Input.empty()) {
+      Opts.Input = Arg;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (Opts.Input.empty())
+    return usage(argv[0]);
+
+  // Load the program: a built-in benchmark name or a PTIR file.
+  Benchmark Bench;
+  std::unique_ptr<Program> Owned;
+  const Program *P = nullptr;
+  if (isBenchmarkName(Opts.Input)) {
+    Bench = buildBenchmark(Opts.Input);
+    P = Bench.Prog.get();
+  } else {
+    std::ifstream In(Opts.Input);
+    if (!In) {
+      std::cerr << "cannot open '" << Opts.Input << "'\n";
+      return 1;
+    }
+    std::stringstream Buffer;
+    Buffer << In.rdbuf();
+    ParseResult Parsed = parseProgram(Buffer.str(), Opts.Input);
+    if (!Parsed.ok()) {
+      for (const std::string &E : Parsed.Errors)
+        std::cerr << "parse error: " << E << "\n";
+      return 1;
+    }
+    Owned = std::move(Parsed.Prog);
+    P = Owned.get();
+  }
+
+  std::ofstream OutFile;
+  std::ostream *OS = &std::cout;
+  if (!Opts.Output.empty()) {
+    OutFile.open(Opts.Output);
+    if (!OutFile) {
+      std::cerr << "cannot write '" << Opts.Output << "'\n";
+      return 1;
+    }
+    OS = &OutFile;
+  }
+
+  checks::LintOptions LOpts;
+  LOpts.Checks = Opts.Checks;
+  LOpts.TimeBudgetMs = Opts.BudgetMs;
+  LOpts.MaxFacts = Opts.MaxFacts;
+
+  if (!Opts.ComparePair.empty()) {
+    std::vector<std::string> Pair = splitList(Opts.ComparePair);
+    if (Pair.size() != 2) {
+      std::cerr << "--compare wants BASE,REFINED\n";
+      return 1;
+    }
+    checks::CompareResult CR =
+        checks::comparePolicies(*P, Pair[0], Pair[1], LOpts);
+    if (!CR.ok()) {
+      std::cerr << "error: " << CR.Error << "\n";
+      return 1;
+    }
+    checks::renderCompare(*OS, CR);
+    return CR.monotonicityViolations().empty() ? 0 : 2;
+  }
+
+  LOpts.Policy = Opts.Policy;
+  checks::LintRun Run = checks::lintProgram(*P, LOpts);
+  if (!Run.ok()) {
+    std::cerr << "error: " << Run.Error << "\n";
+    return 1;
+  }
+  if (Run.Aborted)
+    std::cerr << "warning: solver hit its budget; report is computed from "
+                 "an under-approximate fixpoint\n";
+
+  if (Opts.Format == "text") {
+    checks::renderText(*OS, *P, Run.Diags);
+    *OS << Run.Diags.size() << " diagnostic(s) under policy " << Opts.Policy
+        << "\n";
+  } else if (Opts.Format == "jsonl") {
+    checks::renderJsonl(*OS, *P, Run.Diags, Opts.Policy);
+  } else {
+    checks::SarifOptions SOpts;
+    SOpts.PolicyName = Opts.Policy;
+    checks::writeSarif(*OS, *P, Run.Diags, Run.Rules, SOpts);
+  }
+  return 0;
+}

@@ -26,6 +26,19 @@ import sys
 RULE_PREFIX = "rule_"
 
 
+def to_num(value, default=0):
+    """Coerces a record field to a number, tolerating malformed traces
+    (a truncated write can leave partial values behind)."""
+    if isinstance(value, bool):
+        return default
+    if isinstance(value, (int, float)):
+        return value
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        return default
+
+
 def load_records(path):
     records = []
     try:
@@ -79,7 +92,9 @@ def summarize_spans(records, top):
         if rec.get("type") != "span":
             continue
         name = rec.get("name", "?")
-        dur = float(rec.get("dur_ms", 0.0))
+        if not isinstance(name, str):
+            name = "?"
+        dur = to_num(rec.get("dur_ms", 0.0), 0.0)
         entry = agg.setdefault(name, [0.0, 0, rec.get("cat", "")])
         entry[0] += dur
         entry[1] += 1
@@ -108,7 +123,7 @@ def final_totals_per_label(records):
         else:
             continue
         if isinstance(counters, dict):
-            totals[rec.get("label", "")] = counters
+            totals[str(rec.get("label", ""))] = counters
     return totals
 
 
@@ -136,17 +151,17 @@ def summarize_heartbeats(records):
     last = {}
     for rec in records:
         if rec.get("type") == "heartbeat":
-            last[rec.get("label", "")] = rec
+            last[str(rec.get("label", ""))] = rec
     if not last:
         return
     print(f"final heartbeat per label ({len(last)}):")
     for label in sorted(last):
         hb = last[label]
         print(f"  {label or '(unlabeled)'}: "
-              f"steps={fmt_count(int(hb.get('step', 0)))} "
-              f"facts={fmt_count(int(hb.get('facts', 0)))} "
-              f"nodes={fmt_count(int(hb.get('nodes', 0)))} "
-              f"mem={fmt_bytes(int(hb.get('memory_bytes', 0)))}")
+              f"steps={fmt_count(int(to_num(hb.get('step', 0))))} "
+              f"facts={fmt_count(int(to_num(hb.get('facts', 0))))} "
+              f"nodes={fmt_count(int(to_num(hb.get('nodes', 0))))} "
+              f"mem={fmt_bytes(int(to_num(hb.get('memory_bytes', 0))))}")
 
 
 def main():
@@ -157,6 +172,9 @@ def main():
     args = ap.parse_args()
 
     records = load_records(args.trace)
+    if not records:
+        sys.exit(f"error: {args.trace} contains no trace records "
+                 f"(empty file or not a --trace-out JSONL trace)")
     meta = next((r for r in records if r.get("type") == "meta"), None)
     if meta is None:
         print("warning: no meta record (file truncated or not a trace?)",
