@@ -11,6 +11,7 @@
 #include "support/TableWriter.h"
 
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 
 using namespace pt;
@@ -26,6 +27,8 @@ CellOptions CellOptions::fromEnv() {
   }
   if (const char *Threads = std::getenv("HYBRIDPT_THREADS"))
     Opts.Threads = static_cast<unsigned>(std::strtoul(Threads, nullptr, 10));
+  if (const char *Ladder = std::getenv("HYBRIDPT_LADDER"))
+    Opts.UseLadder = *Ladder != '\0' && std::strcmp(Ladder, "0") != 0;
   return Opts;
 }
 
@@ -37,6 +40,7 @@ static MatrixOptions toMatrixOptions(const CellOptions &Opts,
   M.Threads = Threads;
   M.Runs = Opts.Runs;
   M.TraceLabelPrefix = Opts.TraceLabelPrefix;
+  M.UseLadder = Opts.UseLadder;
   return M;
 }
 
@@ -65,6 +69,16 @@ BenchRecord pt::makeBenchRecord(const std::string &Benchmark,
   R.PeakBytes = M.PeakBytes;
   R.ReachableMethods = M.ReachableMethods;
   R.Aborted = M.Aborted;
+  if (M.Aborted)
+    R.AbortReasonName = abortReasonName(M.Reason);
+  // A ladder-degraded cell reports the landed rung's metrics, so its
+  // policy field names the landed rung; fallback_from keeps the requested
+  // one (regression diffs key cells by the requested policy).
+  if (!M.FallbackFrom.empty()) {
+    R.Policy = M.LandedPolicy;
+    R.FallbackFrom = M.FallbackFrom;
+  }
+  R.LadderTrail = M.LadderTrail;
   R.Counters = M.Counters;
   return R;
 }
@@ -83,6 +97,7 @@ bool pt::writeBenchJson(const std::string &Path, const std::string &Harness,
      << "  \"budget_ms\": " << Opts.BudgetMs << ",\n"
      << "  \"runs\": " << Opts.Runs << ",\n"
      << "  \"threads\": " << Opts.Threads << ",\n"
+     << "  \"ladder\": " << (Opts.UseLadder ? "true" : "false") << ",\n"
      << "  \"cells\": [\n";
   for (size_t I = 0; I < Records.size(); ++I) {
     const BenchRecord &R = Records[I];
@@ -93,6 +108,21 @@ bool pt::writeBenchJson(const std::string &Path, const std::string &Harness,
        << ", \"peak_bytes\": " << R.PeakBytes
        << ", \"reachable_methods\": " << R.ReachableMethods
        << ", \"aborted\": " << (R.Aborted ? "true" : "false");
+    if (!R.AbortReasonName.empty())
+      OS << ", \"abort_reason\": \"" << R.AbortReasonName << "\"";
+    if (!R.FallbackFrom.empty())
+      OS << ", \"fallback_from\": \"" << R.FallbackFrom << "\"";
+    if (!R.LadderTrail.empty()) {
+      OS << ", \"ladder\": [";
+      for (size_t J = 0; J < R.LadderTrail.size(); ++J) {
+        const RungAttempt &A = R.LadderTrail[J];
+        OS << (J ? ", " : "") << "{\"policy\": \"" << A.Policy
+           << "\", \"solve_ms\": " << formatFixed(A.SolveMs, 3)
+           << ", \"abort_reason\": \"" << abortReasonName(A.Reason)
+           << "\"}";
+      }
+      OS << "]";
+    }
     if (telemetry::SolverCounters::enabled()) {
       OS << ", \"counters\": {";
       bool FirstCounter = true;

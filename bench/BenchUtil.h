@@ -35,11 +35,17 @@ class TraceRecorder;
 /// Configuration for cell runs, overridable via environment variables:
 /// HYBRIDPT_BUDGET_MS (per-cell time budget, 0 = unlimited),
 /// HYBRIDPT_RUNS (repetitions per cell; median time reported),
-/// HYBRIDPT_THREADS (worker threads for matrix runs; 0 = hardware).
+/// HYBRIDPT_THREADS (worker threads for matrix runs; 0 = hardware),
+/// HYBRIDPT_LADDER (non-empty = degrade budget-aborted cells through the
+/// fallback ladder instead of reporting a dash).
 struct CellOptions {
   uint64_t BudgetMs = 120000;
   uint32_t Runs = 1;
   unsigned Threads = 1;
+  /// When a cell exhausts its budget, re-run it down the policy fallback
+  /// ladder (pta/Degrade.h) until a rung converges; the record is then
+  /// stamped with \c fallback_from instead of an aborted dash.
+  bool UseLadder = false;
   /// Observability sink shared by all cells (spans + heartbeats);
   /// nullptr = no tracing.  Not env-controlled — harnesses wire it from
   /// their --trace-out/--progress flags.
@@ -74,6 +80,15 @@ struct BenchRecord {
   size_t PeakBytes = 0;
   size_t ReachableMethods = 0;
   bool Aborted = false;
+  /// Why the landed run stopped short ("" when it converged); one of the
+  /// \c pt::abortReasonName strings.
+  std::string AbortReasonName;
+  /// Requested policy of a ladder-degraded cell ("" when the cell ran
+  /// natively); \c Policy is then the landed (coarser) rung.
+  std::string FallbackFrom;
+  /// Every ladder rung attempted for this cell (requested policy first),
+  /// with per-rung solve time and abort reason.  Empty for native runs.
+  std::vector<RungAttempt> LadderTrail;
   /// Aggregate solver counters; serialized only when the build carries
   /// telemetry (SolverCounters::enabled()).
   telemetry::SolverCounters Counters;

@@ -21,6 +21,12 @@
 /// PATH) so tools/check_bench_regression.py can track the perf
 /// trajectory across commits.
 ///
+/// With --ladder (or HYBRIDPT_LADDER=1), budget-expired cells degrade
+/// down the policy fallback ladder (docs/ROBUSTNESS.md) instead of
+/// showing a dash: the cell reports the first coarser rung that converges
+/// within the budget, rendered as `value*` with a per-benchmark footnote
+/// and stamped `fallback_from` in the JSON.
+///
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
@@ -50,6 +56,8 @@ int main(int argc, char **argv) {
   for (int I = 1; I < argc; ++I) {
     if (std::strcmp(argv[I], "--csv") == 0) {
       Csv = true;
+    } else if (std::strcmp(argv[I], "--ladder") == 0) {
+      Opts.UseLadder = true;
     } else if (std::strcmp(argv[I], "--progress") == 0) {
       Progress = true;
     } else if (std::strcmp(argv[I], "--threads") == 0 && I + 1 < argc) {
@@ -66,7 +74,7 @@ int main(int argc, char **argv) {
       std::cerr << "unknown benchmark '" << argv[I] << "'; known:";
       for (const std::string &N : benchmarkNames())
         std::cerr << ' ' << N;
-      std::cerr << "\n(options: --csv, --threads N, --json PATH, "
+      std::cerr << "\n(options: --csv, --ladder, --threads N, --json PATH, "
                    "--trace-out FILE, --chrome-trace FILE, --progress)\n";
       return 1;
     }
@@ -151,13 +159,18 @@ int main(int argc, char **argv) {
       Header.push_back(Policy);
     T.setHeader(Header);
 
+    // Ladder-degraded cells carry the landed rung's (converged) metrics;
+    // mark them with a star and explain in a footnote below the table.
+    auto Mark = [](const PrecisionMetrics &M, std::string S) {
+      return M.FallbackFrom.empty() ? S : S + "*";
+    };
     auto Row = [&](const std::string &Label, auto Get, int Decimals) {
       std::vector<std::string> Cols = {Label};
       for (const PrecisionMetrics &M : Cells) {
         if (M.Aborted)
           Cols.push_back("-");
         else
-          Cols.push_back(formatFixed(Get(M), Decimals));
+          Cols.push_back(Mark(M, formatFixed(Get(M), Decimals)));
       }
       T.addRow(Cols);
     };
@@ -174,13 +187,19 @@ int main(int argc, char **argv) {
     std::vector<std::string> TimeRow = {"elapsed time (s)"};
     std::vector<std::string> FactRow = {"sensitive var-points-to"};
     for (const PrecisionMetrics &M : Cells) {
-      TimeRow.push_back(M.Aborted ? "-" : formatSeconds(M.SolveMs));
-      FactRow.push_back(M.Aborted ? "-" : formatFactCount(M.CsVarPointsTo));
+      TimeRow.push_back(M.Aborted ? "-" : Mark(M, formatSeconds(M.SolveMs)));
+      FactRow.push_back(M.Aborted ? "-"
+                                  : Mark(M, formatFactCount(M.CsVarPointsTo)));
     }
     T.addRow(TimeRow);
     T.addRow(FactRow);
 
     T.print(std::cout);
+    for (size_t PI = 0; PI < Policies.size(); ++PI)
+      if (!Cells[PI].FallbackFrom.empty())
+        std::cout << "  * " << Policies[PI] << " exhausted its budget; "
+                  << "column shows " << Cells[PI].LandedPolicy
+                  << " via the fallback ladder\n";
     std::cout << '\n';
   }
 

@@ -21,6 +21,7 @@ LintRun pt::checks::runCheckers(const AnalysisResult &Result,
                                 const std::vector<std::string> &Checks) {
   LintRun Run;
   Run.Aborted = Result.Aborted;
+  Run.Reason = Result.Reason;
   Run.SolveMs = Result.SolveMs;
 
   CheckerRegistry &Reg = CheckerRegistry::instance();
@@ -48,6 +49,8 @@ LintRun pt::checks::lintProgram(const Program &Prog, const LintOptions &Opts) {
   SolverOptions SOpts;
   SOpts.TimeBudgetMs = Opts.TimeBudgetMs;
   SOpts.MaxFacts = Opts.MaxFacts;
+  SOpts.MemoryBudgetBytes = Opts.MemoryBudgetBytes;
+  SOpts.Cancel = Opts.Cancel;
   Solver S(Prog, *Policy, SOpts);
   AnalysisResult Result = S.run();
   return runCheckers(Result, Opts.Checks);

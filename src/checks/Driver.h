@@ -18,6 +18,8 @@
 
 #include "checks/Checker.h"
 #include "checks/Diagnostic.h"
+#include "pta/AnalysisResult.h"
+#include "support/Cancel.h"
 
 #include <cstdint>
 #include <ostream>
@@ -40,6 +42,10 @@ struct LintOptions {
   /// Solver budgets, 0 = unlimited.
   uint64_t TimeBudgetMs = 0;
   uint64_t MaxFacts = 0;
+  uint64_t MemoryBudgetBytes = 0;
+  /// Cooperative cancellation (^C / deadline); nullptr = none.  A
+  /// cancelled run still renders and flushes its report, marked aborted.
+  const CancelToken *Cancel = nullptr;
 };
 
 /// Result of one lint run.
@@ -50,6 +56,9 @@ struct LintRun {
   /// True when the solver hit a budget; diagnostics are then computed from
   /// an under-approximate fixpoint and must not be trusted.
   bool Aborted = false;
+  /// Why the solver stopped short (\c AbortReason::None when it
+  /// converged).
+  AbortReason Reason = AbortReason::None;
   double SolveMs = 0.0;
   /// Non-empty on failure (unknown policy or checker id).
   std::string Error;

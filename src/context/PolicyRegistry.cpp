@@ -8,6 +8,9 @@
 
 #include "context/Policies.h"
 
+#include <deque>
+#include <set>
+
 using namespace pt;
 
 std::unique_ptr<ContextPolicy> pt::createPolicy(std::string_view Name,
@@ -83,4 +86,46 @@ const std::vector<std::string> &pt::allPolicyNames() {
     return All;
   }();
   return Names;
+}
+
+const std::vector<std::pair<std::string, std::string>> &
+pt::precisionOrderPairs() {
+  // Each pair was derived from the constructor definitions in
+  // context/Policies.h: dropping context/heap-context elements maps the
+  // finer policy's RECORD/MERGE/MERGESTATIC onto the coarser's.  The first
+  // pair per finer policy is its preferred fallback target (see the header
+  // comment), so 2obj+H lists 2type+H before 1obj.
+  static const std::vector<std::pair<std::string, std::string>> Pairs = {
+      {"1call+H", "1call"},         {"2call+H", "1call+H"},
+      {"U-1obj", "1obj"},           {"SB-1obj", "1obj"},
+      {"2obj+H", "2type+H"},        {"2obj+H", "1obj"},
+      {"U-2obj+H", "2obj+H"},       {"S-2obj+H", "2obj+H"},
+      {"U-2type+H", "2type+H"},     {"S-2type+H", "2type+H"},
+      {"3obj+2H", "2obj+H"},
+  };
+  return Pairs;
+}
+
+bool pt::isProvablyCoarser(std::string_view Finer, std::string_view Coarser) {
+  if (Finer == Coarser)
+    return false;
+  if (Coarser == "insens")
+    return Finer != "insens";
+  // BFS over the fine -> coarse edges; the pair set is tiny.
+  std::deque<std::string> Queue;
+  std::set<std::string, std::less<>> Seen;
+  Queue.emplace_back(Finer);
+  while (!Queue.empty()) {
+    std::string Cur = std::move(Queue.front());
+    Queue.pop_front();
+    for (const auto &[Fine, Coarse] : precisionOrderPairs()) {
+      if (Fine != Cur)
+        continue;
+      if (Coarse == Coarser)
+        return true;
+      if (Seen.insert(Coarse).second)
+        Queue.push_back(Coarse);
+    }
+  }
+  return false;
 }

@@ -18,6 +18,7 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace pt {
@@ -42,6 +43,28 @@ const std::vector<std::string> &ablationPolicyNames();
 
 /// Everything createPolicy knows about.
 const std::vector<std::string> &allPolicyNames();
+
+/// The known precision-ordering pairs (finer, coarser): each finer
+/// policy's context maps factor through the coarser's (RECORD / MERGE /
+/// MERGESTATIC commute with the projection), so the finer fixpoint's
+/// context-insensitive projection is contained in the coarser's.  This is
+/// the canonical list shared by the fuzz oracle's ordering checks and the
+/// fallback ladder (pta/Degrade.h); "insens" is coarser than everything
+/// and deliberately not enumerated.  SA-1obj is absent — the paper notes
+/// it is incomparable to 1obj — and D-2obj+H's data-driven context shape
+/// admits no static factoring.
+///
+/// Pair order matters to the ladder: \c fallbackLadder follows the
+/// *first* pair listed for each finer policy, so a policy's preferred
+/// degradation target is listed first (e.g. 2obj+H prefers 2type+H, which
+/// keeps heap sensitivity, over the cheaper but blunter 1obj).
+const std::vector<std::pair<std::string, std::string>> &precisionOrderPairs();
+
+/// True when \p Coarser is provably coarser than \p Finer, i.e. reachable
+/// from it through the transitive closure of \c precisionOrderPairs, or
+/// \p Coarser is "insens" (and \p Finer is not).  Strict: false when the
+/// names are equal.
+bool isProvablyCoarser(std::string_view Finer, std::string_view Coarser);
 
 } // namespace pt
 

@@ -71,6 +71,8 @@ DriverResult pt::fuzz::runFuzz(const DriverOptions &Opts) {
   Stopwatch Campaign;
 
   auto BudgetLeft = [&] {
+    if (Opts.Cancel && Opts.Cancel->cancelled())
+      return false; // ^C / deadline: stop cleanly, keep findings so far.
     return Opts.BudgetMs == 0 ||
            Campaign.elapsedMs() < static_cast<double>(Opts.BudgetMs);
   };
@@ -89,6 +91,7 @@ DriverResult pt::fuzz::runFuzz(const DriverOptions &Opts) {
     OOpts.Policies = Opts.Policies;
     OOpts.InterpSeed = Seed;
     OOpts.SolverTimeBudgetMs = Opts.SolverTimeBudgetMs;
+    OOpts.Cancel = Opts.Cancel;
     OOpts.FullReferenceDiff =
         Opts.FullDiffEvery != 0 && Index % Opts.FullDiffEvery == 0;
 

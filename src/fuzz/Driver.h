@@ -50,6 +50,10 @@ struct DriverOptions {
   std::vector<std::string> Policies;
   /// Progress/diagnostics stream (nullptr = silent).
   std::ostream *Log = nullptr;
+  /// Cooperative cancellation (^C / deadline); nullptr = none.  A
+  /// cancelled campaign stops cleanly between (or mid-) programs and
+  /// still reports every failure found so far.
+  const CancelToken *Cancel = nullptr;
 };
 
 struct DriverResult {

@@ -24,18 +24,10 @@ using namespace pt::fuzz;
 
 const std::vector<std::pair<std::string, std::string>> &
 pt::fuzz::precisionOrderPairs() {
-  // Each pair was derived from the constructor definitions in
-  // context/Policies.h: dropping context/heap-context elements maps the
-  // finer policy's RECORD/MERGE/MERGESTATIC onto the coarser's.
-  static const std::vector<std::pair<std::string, std::string>> Pairs = {
-      {"1call+H", "1call"},         {"2call+H", "1call+H"},
-      {"U-1obj", "1obj"},           {"SB-1obj", "1obj"},
-      {"2obj+H", "1obj"},           {"2obj+H", "2type+H"},
-      {"U-2obj+H", "2obj+H"},       {"S-2obj+H", "2obj+H"},
-      {"U-2type+H", "2type+H"},     {"S-2type+H", "2type+H"},
-      {"3obj+2H", "2obj+H"},
-  };
-  return Pairs;
+  // The canonical list moved to context/PolicyRegistry so the fallback
+  // ladder (pta/Degrade.h) can share it without depending on the fuzz
+  // library; this forwarder keeps existing oracle callers working.
+  return pt::precisionOrderPairs();
 }
 
 namespace {
@@ -182,6 +174,7 @@ OracleReport pt::fuzz::checkProgram(const Program &Prog,
     }
     SolverOptions SOpts;
     SOpts.TimeBudgetMs = Opts.SolverTimeBudgetMs;
+    SOpts.Cancel = Opts.Cancel;
     Solver S(Prog, *Policy, SOpts);
     AnalysisResult R = S.run();
     if (R.Aborted) {

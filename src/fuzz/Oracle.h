@@ -38,6 +38,7 @@
 #define HYBRIDPT_FUZZ_ORACLE_H
 
 #include "pta/Projection.h"
+#include "support/Cancel.h"
 
 #include <cstdint>
 #include <string>
@@ -79,6 +80,10 @@ struct OracleOptions {
   bool CheckCheckers = true;
   /// Example cap per relation per failed check.
   size_t MaxViolationsPerCheck = 5;
+  /// Cooperative cancellation (^C / deadline); nullptr = none.  Cancelled
+  /// solver runs are treated like budget aborts: their checks are skipped,
+  /// so a mid-campaign ^C never manufactures a spurious failure.
+  const CancelToken *Cancel = nullptr;
 };
 
 /// Outcome of all checks on one program.
@@ -101,12 +106,9 @@ struct OracleReport {
 OracleReport checkProgram(const Program &Prog, const OracleOptions &Opts = {});
 
 /// The precision-ordering pairs (finer, coarser) asserted by the
-/// equivalence oracle: each finer policy's context maps factor through the
-/// coarser's (RECORD / MERGE / MERGESTATIC commute with the projection),
-/// so the finer fixpoint's CI projection must be contained in the
-/// coarser's.  SA-1obj is deliberately absent — the paper notes it is not
-/// comparable to 1obj — and D-2obj+H's data-driven context shape admits no
-/// static factoring.
+/// equivalence oracle.  Forwards to the canonical \c
+/// pt::precisionOrderPairs in context/PolicyRegistry.h, which the fallback
+/// ladder (pta/Degrade.h) shares; see there for the derivation notes.
 const std::vector<std::pair<std::string, std::string>> &precisionOrderPairs();
 
 } // namespace fuzz

@@ -12,6 +12,22 @@
 
 using namespace pt;
 
+const char *pt::abortReasonName(AbortReason Reason) {
+  switch (Reason) {
+  case AbortReason::None:
+    return "none";
+  case AbortReason::TimeBudget:
+    return "time_budget";
+  case AbortReason::FactBudget:
+    return "fact_budget";
+  case AbortReason::MemoryBudget:
+    return "memory_budget";
+  case AbortReason::Cancelled:
+    return "cancelled";
+  }
+  return "none";
+}
+
 std::vector<HeapId> AnalysisResult::pointsTo(VarId V) const {
   std::vector<HeapId> Out;
   for (const VarFactsEntry &E : VarFacts) {

@@ -30,6 +30,22 @@ namespace pt {
 
 class Program;
 
+/// Why a run stopped short of its fixpoint (docs/ROBUSTNESS.md).  The
+/// paper's dashes are all \c TimeBudget; the graceful-degradation layer
+/// reacts to the resource reasons (time, facts, memory) by descending the
+/// fallback ladder and passes \c Cancelled through untouched — a user who
+/// pressed ^C wants out, not a cheaper analysis.
+enum class AbortReason : uint8_t {
+  None,         ///< Ran to fixpoint.
+  TimeBudget,   ///< SolverOptions::TimeBudgetMs expired.
+  FactBudget,   ///< SolverOptions::MaxFacts reached.
+  MemoryBudget, ///< SolverOptions::MemoryBudgetBytes exceeded.
+  Cancelled,    ///< CancelToken tripped (SIGINT or deadline).
+};
+
+/// Stable lower-case name used in traces, JSON, and CLI output.
+const char *abortReasonName(AbortReason Reason);
+
 /// One context-sensitive call-graph edge:
 /// CALLGRAPH(invo, callerCtx, callee, calleeCtx).
 struct CallGraphEdge {
@@ -96,6 +112,14 @@ public:
   /// True when the run hit its time or fact budget; facts are then a sound
   /// under-approximation of the fixpoint and metrics must not be trusted.
   bool Aborted = false;
+
+  /// Why the run aborted; \c None when it converged.
+  AbortReason Reason = AbortReason::None;
+
+  /// True when the abort was staged by the fault-injection plan
+  /// (support/FaultPlan.h) rather than by real resource pressure; retry
+  /// policies treat injected aborts as transient.
+  bool FaultInjected = false;
 
   /// Wall-clock solve time, filled by the solver.
   double SolveMs = 0.0;

@@ -1,0 +1,122 @@
+//===- pta/Degrade.cpp ---------------------------------------------------------===//
+//
+// Part of the hybridpt project (PLDI 2013 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pta/Degrade.h"
+
+#include "context/PolicyRegistry.h"
+#include "ir/Program.h"
+#include "pta/Trace.h"
+
+#include <algorithm>
+
+using namespace pt;
+
+std::vector<std::string> pt::fallbackLadder(std::string_view Policy) {
+  std::vector<std::string> Rungs;
+  Rungs.emplace_back(Policy);
+  // Chain walk: follow the first listed coarser pair per policy; a policy
+  // with no listed pair degrades straight to insens.  The pair list is a
+  // DAG, but cap the walk anyway so a bad edit cannot loop forever.
+  size_t Cap = allPolicyNames().size() + 1;
+  while (Rungs.back() != "insens" && Rungs.size() <= Cap) {
+    const std::string &Cur = Rungs.back();
+    std::string Next = "insens";
+    for (const auto &[Fine, Coarse] : precisionOrderPairs()) {
+      if (Fine == Cur) {
+        Next = Coarse;
+        break;
+      }
+    }
+    Rungs.push_back(Next);
+  }
+  return Rungs;
+}
+
+bool pt::validateLadder(const std::vector<std::string> &Rungs,
+                        std::string &Error) {
+  const std::vector<std::string> &Known = allPolicyNames();
+  for (const std::string &R : Rungs) {
+    if (std::find(Known.begin(), Known.end(), R) == Known.end()) {
+      Error = "unknown policy '" + R + "' in ladder";
+      return false;
+    }
+  }
+  for (size_t I = 1; I < Rungs.size(); ++I) {
+    if (!isProvablyCoarser(Rungs[I - 1], Rungs[I])) {
+      Error = "ladder rung '" + Rungs[I] + "' is not provably coarser than '" +
+              Rungs[I - 1] + "'";
+      return false;
+    }
+  }
+  return true;
+}
+
+LadderResult pt::solveWithLadder(const Program &Prog,
+                                 std::string_view PolicyName,
+                                 const SolverOptions &Opts,
+                                 const LadderOptions &LOpts) {
+  LadderResult Out;
+  Out.RequestedPolicy = std::string(PolicyName);
+
+  std::vector<std::string> Rungs;
+  if (LOpts.Rungs.empty()) {
+    Rungs = fallbackLadder(PolicyName);
+  } else {
+    Rungs.emplace_back(PolicyName);
+    Rungs.insert(Rungs.end(), LOpts.Rungs.begin(), LOpts.Rungs.end());
+  }
+  if (!validateLadder(Rungs, Out.Error))
+    return Out;
+
+  std::vector<MethodId> Seeds;
+  for (size_t RI = 0; RI < Rungs.size(); ++RI) {
+    const std::string &Rung = Rungs[RI];
+    auto Pol = createPolicy(Rung, Prog);
+    if (!Pol) {
+      Out.Error = "unknown policy '" + Rung + "'";
+      return Out;
+    }
+    SolverOptions SOpts = Opts;
+    // Fallback rungs run under fresh trace labels: heartbeat step/fact
+    // series are monotone per label, and a re-run restarts from zero.
+    if (RI > 0 && !Opts.TraceLabel.empty())
+      SOpts.TraceLabel = Opts.TraceLabel + "~" + Rung;
+    if (LOpts.WarmStart && Rung == "insens")
+      SOpts.SeedReachable = Seeds;
+    Solver S(Prog, *Pol, SOpts);
+    AnalysisResult R = S.run();
+    Out.Trail.push_back({Rung, R.SolveMs, R.Reason});
+
+    bool ResourceAbort =
+        R.Aborted && (R.Reason == AbortReason::TimeBudget ||
+                      R.Reason == AbortReason::FactBudget ||
+                      R.Reason == AbortReason::MemoryBudget);
+    bool LastRung = RI + 1 == Rungs.size();
+    if (!ResourceAbort || LastRung) {
+      // Land here: converged, cancelled (the user wants out, not a
+      // coarser answer), or ladder exhausted.
+      if (Opts.Trace && ResourceAbort)
+        Opts.Trace->ladder(Opts.TraceLabel, Rung, /*To=*/"",
+                           abortReasonName(R.Reason), R.SolveMs);
+      Out.LandedPolicy = Rung;
+      if (RI > 0)
+        Out.FallbackFrom = Out.RequestedPolicy;
+      Out.Exhausted = ResourceAbort;
+      Out.Policy = std::move(Pol);
+      Out.Result.emplace(std::move(R));
+      return Out;
+    }
+
+    if (Opts.Trace)
+      Opts.Trace->ladder(Opts.TraceLabel, Rung, Rungs[RI + 1],
+                         abortReasonName(R.Reason), R.SolveMs);
+    if (LOpts.WarmStart)
+      Seeds = R.reachableMethods();
+  }
+  // Unreachable: the loop always lands on its last rung.
+  Out.Error = "empty ladder";
+  return Out;
+}

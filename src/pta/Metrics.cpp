@@ -19,6 +19,8 @@ PrecisionMetrics pt::computeMetrics(const AnalysisResult &Result) {
   const Program &Prog = Result.program();
   PrecisionMetrics M;
   M.Aborted = Result.Aborted;
+  M.Reason = Result.Reason;
+  M.FaultInjected = Result.FaultInjected;
   M.SolveMs = Result.SolveMs;
   M.PeakNodes = Result.SolverNodes;
   M.PeakBytes = Result.PeakBytes;

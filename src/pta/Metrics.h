@@ -21,13 +21,23 @@
 #ifndef HYBRIDPT_PTA_METRICS_H
 #define HYBRIDPT_PTA_METRICS_H
 
+#include "pta/AnalysisResult.h"
 #include "support/Telemetry.h"
 
 #include <cstddef>
+#include <string>
+#include <vector>
 
 namespace pt {
 
-class AnalysisResult;
+/// One rung the fallback ladder tried for a cell before landing
+/// (pta/Degrade.h): the policy, how long the attempt ran, and why it
+/// stopped (\c AbortReason::None for the landed converged rung).
+struct RungAttempt {
+  std::string Policy;
+  double SolveMs = 0.0;
+  AbortReason Reason = AbortReason::None;
+};
 
 /// One Table 1 cell group for a single (benchmark, analysis) pair.
 struct PrecisionMetrics {
@@ -72,6 +82,19 @@ struct PrecisionMetrics {
   telemetry::SolverCounters Counters;
   /// True when the run aborted on a budget (paper's dash entries).
   bool Aborted = false;
+  /// Why the run aborted; \c None when it converged.
+  AbortReason Reason = AbortReason::None;
+  /// True when the abort was staged by the fault-injection plan.
+  bool FaultInjected = false;
+  /// Graceful degradation (pta/Degrade.h): when the requested policy
+  /// aborted and the fallback ladder landed a coarser rung, \c
+  /// FallbackFrom names the requested policy and \c LandedPolicy the rung
+  /// these metrics actually describe.  Both empty for a native run.
+  std::string FallbackFrom;
+  std::string LandedPolicy;
+  /// Every rung the ladder tried, in order, landed rung last; empty when
+  /// the ladder was not engaged.
+  std::vector<RungAttempt> LadderTrail;
 };
 
 /// Computes all metrics for \p Result.

@@ -13,19 +13,55 @@
 
 #include <algorithm>
 #include <cassert>
-#include <cstdlib>
-#include <cstring>
 
 using namespace pt;
 
 Solver::Solver(const Program &Prog, ContextPolicy &Policy, SolverOptions Opts)
     : Prog(Prog), Policy(Policy), Opts(Opts), Budget(Opts.TimeBudgetMs) {
   assert(Prog.isFinalized() && "solver needs a finalized program");
-  // Deliberate unsoundness for harness self-tests only: the fuzz oracle
-  // must detect (and minimize) a solver that drops static-call edges.
-  // Never set outside tests/CI.
-  if (const char *Break = std::getenv("HYBRIDPT_TEST_BREAK"))
-    TestBreakDropSCall = std::strcmp(Break, "drop-scall") == 0;
+  // Fault injection for harness self-tests and the robustness matrix
+  // (docs/ROBUSTNESS.md).  An explicit plan wins; otherwise pick up the
+  // HYBRIDPT_FAULT_PLAN / HYBRIDPT_TEST_BREAK environment plan.  Never set
+  // outside tests/CI.
+  if (!this->Opts.Faults.any())
+    this->Opts.Faults = FaultPlan::fromEnv();
+  StepFaultArmed = this->Opts.Faults.OomAtStep != 0 ||
+                   this->Opts.Faults.CancelAtStep != 0;
+  SlowRuleArmed = this->Opts.Faults.SlowRule != FaultRule::None;
+}
+
+void Solver::pollGuards() {
+  if (Budget.expired()) {
+    abortRun(AbortReason::TimeBudget);
+    return;
+  }
+  if (Opts.Cancel && Opts.Cancel->cancelled()) {
+    abortRun(AbortReason::Cancelled);
+    return;
+  }
+  // The memory walk is O(nodes), so sample it on every eighth poll only
+  // (~8K budget ticks); overshoot is bounded by one polling interval.
+  if (Opts.MemoryBudgetBytes != 0 && (++MemPollTick & 0x7) == 0 &&
+      memoryBytes() > Opts.MemoryBudgetBytes)
+    abortRun(AbortReason::MemoryBudget);
+}
+
+void Solver::pollStepFaults() {
+  if (Aborted)
+    return;
+  if (Opts.Faults.OomAtStep != 0 && StepCount >= Opts.Faults.OomAtStep)
+    abortRun(AbortReason::MemoryBudget, /*Injected=*/true);
+  else if (Opts.Faults.CancelAtStep != 0 &&
+           StepCount >= Opts.Faults.CancelAtStep)
+    abortRun(AbortReason::Cancelled, /*Injected=*/true);
+}
+
+void Solver::stallForFault() {
+  // ~50us busy wait per targeted rule fire: enough to blow any realistic
+  // time budget without sleeping through test suites.
+  Stopwatch W;
+  while (W.elapsedMs() < 0.05) {
+  }
 }
 
 uint32_t Solver::varNode(VarId V, CtxId Ctx) {
@@ -93,7 +129,7 @@ void Solver::addFact(uint32_t NodeIdx, uint32_t Obj) {
   // Fact budget: refuse to queue more work once the budget is spent (the
   // old check ran after queueing, letting one extra wave through).
   if (Opts.MaxFacts != 0 && FactCount >= Opts.MaxFacts) {
-    Aborted = true;
+    abortRun(AbortReason::FactBudget);
     return;
   }
   Node &N = Nodes[NodeIdx];
@@ -155,6 +191,7 @@ void Solver::ensureReachable(MethodId M, CtxId Ctx) {
   // (Figure 2, third rule).
   for (const AllocInstr &A : Body.Allocs) {
     PT_COUNT(Counters.RuleAlloc);
+    slowRule(FaultRule::Alloc);
     HCtxId HCtx = Policy.record(A.Heap, Ctx);
     uint32_t Obj = internObject(A.Heap, HCtx);
     addFact(varNode(A.Var, Ctx), Obj);
@@ -163,12 +200,15 @@ void Solver::ensureReachable(MethodId M, CtxId Ctx) {
   // MOVE: intra-procedural copy edges.
   for (const MoveInstr &Mv : Body.Moves) {
     PT_COUNT(Counters.RuleMove);
+    slowRule(FaultRule::Move);
     addEdge(varNode(Mv.From, Ctx), varNode(Mv.To, Ctx));
   }
 
   // Casts: copy edges filtered by the target type.
-  for (const CastInstr &C : Body.Casts)
+  for (const CastInstr &C : Body.Casts) {
+    slowRule(FaultRule::Cast);
     addCastEdge(varNode(C.From, Ctx), varNode(C.To, Ctx), C.Target);
+  }
 
   // LOAD / STORE: subscribe on the base variable.  Each object that ever
   // reaches the base connects the field slot to the local variable.  The
@@ -176,6 +216,7 @@ void Solver::ensureReachable(MethodId M, CtxId Ctx) {
   // mid-replay stay in the node's pending suffix and reach the new
   // subscription through the worklist.
   for (const LoadInstr &L : Body.Loads) {
+    slowRule(FaultRule::Load);
     uint32_t Base = varNode(L.Base, Ctx);
     uint32_t To = varNode(L.To, Ctx);
     Nodes[Base].Loads.push_back({L.Fld, To});
@@ -187,6 +228,7 @@ void Solver::ensureReachable(MethodId M, CtxId Ctx) {
     }
   }
   for (const StoreInstr &S : Body.Stores) {
+    slowRule(FaultRule::Store);
     uint32_t Base = varNode(S.Base, Ctx);
     uint32_t From = varNode(S.From, Ctx);
     Nodes[Base].Stores.push_back({S.Fld, From});
@@ -201,10 +243,12 @@ void Solver::ensureReachable(MethodId M, CtxId Ctx) {
   // Static field accesses: global, context-free slots (Doop's model).
   for (const SLoadInstr &L : Body.SLoads) {
     PT_COUNT(Counters.RuleStaticLoad);
+    slowRule(FaultRule::SLoad);
     addEdge(staticNode(L.Fld), varNode(L.To, Ctx));
   }
   for (const SStoreInstr &S : Body.SStores) {
     PT_COUNT(Counters.RuleStaticStore);
+    slowRule(FaultRule::SStore);
     addEdge(varNode(S.From, Ctx), staticNode(S.Fld));
   }
 
@@ -225,8 +269,9 @@ void Solver::ensureReachable(MethodId M, CtxId Ctx) {
       // SCALL: MERGESTATIC gives the callee context outright
       // (Figure 2, last rule).
       PT_COUNT(Counters.RuleSCall);
-      if (TestBreakDropSCall)
-        continue; // Injected bug (HYBRIDPT_TEST_BREAK): see constructor.
+      slowRule(FaultRule::SCall);
+      if (Opts.Faults.DropSCall)
+        continue; // Injected bug (support/FaultPlan.h): see constructor.
       CtxId CalleeCtx = Policy.mergeStatic(Inv, Ctx);
       wireCall(Inv, Ctx, Call.Target, CalleeCtx);
     } else {
@@ -245,6 +290,7 @@ void Solver::routeThrow(uint32_t Obj, MethodId M, CtxId Ctx) {
   if (checkBudget())
     return;
   PT_COUNT(Counters.RuleThrow);
+  slowRule(FaultRule::Throw);
   TypeId ObjType = Prog.heap(ObjHeaps[Obj]).Type;
   const MethodInfo &Body = Prog.method(M);
   bool Caught = false;
@@ -275,6 +321,7 @@ void Solver::dispatch(const DispatchSub &Sub, uint32_t Obj) {
   if (checkBudget())
     return;
   PT_COUNT(Counters.RuleVCall);
+  slowRule(FaultRule::VCall);
   const InvokeInfo &Call = Prog.invoke(Sub.Invo);
   HeapId Heap = ObjHeaps[Obj];
   HCtxId HCtx = ObjHCtxs[Obj];
@@ -374,11 +421,13 @@ void Solver::processDelta(uint32_t NodeIdx) {
     for (size_t I = 0; I < Nodes[NodeIdx].Loads.size(); ++I) {
       LoadSub Sub = Nodes[NodeIdx].Loads[I];
       PT_COUNT(Counters.RuleLoad);
+      slowRule(FaultRule::Load);
       addEdge(fieldNode(Obj, Sub.Fld), Sub.ToNode);
     }
     for (size_t I = 0; I < Nodes[NodeIdx].Stores.size(); ++I) {
       StoreSub Sub = Nodes[NodeIdx].Stores[I];
       PT_COUNT(Counters.RuleStore);
+      slowRule(FaultRule::Store);
       addEdge(Sub.FromNode, fieldNode(Obj, Sub.Fld));
     }
     for (size_t I = 0; I < Nodes[NodeIdx].Edges.size(); ++I) {
@@ -388,6 +437,7 @@ void Solver::processDelta(uint32_t NodeIdx) {
     for (size_t I = 0; I < Nodes[NodeIdx].CastEdges.size(); ++I) {
       CastEdge E = Nodes[NodeIdx].CastEdges[I];
       PT_COUNT(Counters.RuleCast);
+      slowRule(FaultRule::Cast);
       if (Prog.isSubtype(Prog.heap(ObjHeaps[Obj]).Type, E.Filter))
         addFact(E.ToNode, Obj);
     }
@@ -398,6 +448,12 @@ void Solver::drainWorklist() {
   while (!Worklist.empty()) {
     if (Aborted || checkBudget())
       return;
+    ++StepCount;
+    if (StepFaultArmed) {
+      pollStepFaults();
+      if (Aborted)
+        return;
+    }
     uint32_t NodeIdx = Worklist.front();
     Worklist.pop_front();
     PT_COUNT(Counters.WorklistSteps);
@@ -413,6 +469,12 @@ AnalysisResult Solver::run() {
 
   Stopwatch Watch;
   CtxId Initial = Policy.initialContext();
+  // Warm start: the fallback ladder seeds a coarser re-run with the
+  // aborted finer run's reachable set (see SolverOptions::SeedReachable
+  // for the soundness argument).  Seeds go in before the entry points so
+  // their bodies instantiate exactly once either way.
+  for (MethodId Seed : Opts.SeedReachable)
+    ensureReachable(Seed, Initial);
   for (MethodId Entry : Prog.entryPoints())
     ensureReachable(Entry, Initial);
   drainWorklist();
@@ -457,13 +519,15 @@ size_t Solver::memoryBytes() const {
 void Solver::emitHeartbeat(bool Final) {
   trace::Heartbeat HB;
   HB.Label = Opts.TraceLabel;
-  HB.Step = Counters.WorklistSteps;
+  HB.Step = StepCount;
   HB.WorklistDepth = Worklist.size();
   HB.Nodes = Nodes.size();
   HB.Facts = FactCount;
   HB.Objects = ObjHeaps.size();
   HB.MemoryBytes = memoryBytes();
   HB.Final = Final;
+  if (Final && Aborted)
+    HB.Abort = abortReasonName(Reason);
   HB.Totals = Counters;
   HB.Deltas = Counters.since(LastBeat);
   LastBeat = Counters;
@@ -475,6 +539,8 @@ void Solver::emitHeartbeat(bool Final) {
 AnalysisResult Solver::harvest() {
   AnalysisResult Result(Prog, Policy);
   Result.Aborted = Aborted;
+  Result.Reason = Reason;
+  Result.FaultInjected = FaultInjected;
   Result.SolverNodes = Nodes.size();
   // Everything measured is append-only, so final == peak; computed before
   // the moves below empty the containers.

@@ -34,6 +34,8 @@
 #define HYBRIDPT_PTA_SOLVER_H
 
 #include "pta/AnalysisResult.h"
+#include "support/Cancel.h"
+#include "support/FaultPlan.h"
 #include "support/FlatMap.h"
 #include "support/Ids.h"
 #include "support/ObjectSet.h"
@@ -61,6 +63,27 @@ struct SolverOptions {
   uint64_t TimeBudgetMs = 0;
   /// Maximum number of points-to facts; 0 = unlimited.
   uint64_t MaxFacts = 0;
+  /// Hard cap on the solver's persistent container bytes (the same
+  /// accounting as \c AnalysisResult::PeakBytes); 0 = unlimited.  Polled
+  /// amortized (every ~8K budget ticks, since the walk is O(nodes)), so a
+  /// run may overshoot by one polling interval before aborting with
+  /// \c AbortReason::MemoryBudget.
+  uint64_t MemoryBudgetBytes = 0;
+  /// Cooperative cancellation (SIGINT / process deadline); nullptr = none.
+  /// A tripped token yields a clean \c AbortReason::Cancelled result with
+  /// flushed heartbeats instead of a killed process.
+  const CancelToken *Cancel = nullptr;
+  /// Deterministic fault injection (docs/ROBUSTNESS.md).  An empty plan
+  /// falls back to the HYBRIDPT_FAULT_PLAN / HYBRIDPT_TEST_BREAK
+  /// environment plan at construction.
+  FaultPlan Faults;
+  /// Warm-start seeds: methods marked reachable in the policy's initial
+  /// context before the entry points, used by the fallback ladder to reuse
+  /// an aborted finer run's reachable set.  Sound only when every seed is
+  /// reachable in this run's own fixpoint (e.g. context-insensitive rungs
+  /// seeded from any finer partial run); then the least fixpoint — and so
+  /// every precision metric — is unchanged, only convergence is faster.
+  std::vector<MethodId> SeedReachable;
   /// Heartbeat/trace sink; nullptr disables all sampling.
   trace::TraceRecorder *Trace = nullptr;
   /// Label stamped on this run's heartbeats, e.g. "luindex/2obj+H".
@@ -171,13 +194,40 @@ private:
   /// a hash-headed chain over \c CallEdges (no separate key copies).
   bool insertCallEdge(const CallGraphEdge &E);
 
-  /// Amortized deadline poll used from the inner dispatch/routeThrow/delta
-  /// loops; sets \c Aborted once the wall-clock budget expires.
+  /// Stops the run: records the reason (first one wins) and whether the
+  /// fault-injection plan staged it.
+  void abortRun(AbortReason Why, bool Injected = false) {
+    if (Aborted)
+      return;
+    Aborted = true;
+    Reason = Why;
+    FaultInjected = Injected;
+  }
+
+  /// Amortized guard poll used from the inner dispatch/routeThrow/delta
+  /// loops; aborts once the wall-clock budget expires, the cancel token
+  /// trips, or (every eighth poll, the walk being O(nodes)) the memory
+  /// budget is exceeded.
   bool checkBudget() {
-    if (!Aborted && (++BudgetTick & 0x3ff) == 0 && Budget.expired())
-      Aborted = true;
+    if (!Aborted && (++BudgetTick & 0x3ff) == 0)
+      pollGuards();
     return Aborted;
   }
+
+  /// The slow path of \c checkBudget.
+  void pollGuards();
+
+  /// Per-worklist-step fault-plan poll (called only when a step fault is
+  /// armed): trips cancellation or simulated OOM at the exact step.
+  void pollStepFaults();
+
+  /// Stalls ~50us when the fault plan targets \p Rule; called from the
+  /// rule sites behind a single member-bool guard.
+  void slowRule(FaultRule Rule) {
+    if (SlowRuleArmed && Opts.Faults.SlowRule == Rule)
+      stallForFault();
+  }
+  void stallForFault();
 
   void drainWorklist();
   void processDelta(uint32_t NodeIdx);
@@ -239,12 +289,22 @@ private:
   std::deque<uint32_t> Worklist;
   uint64_t FactCount = 0;
   uint32_t BudgetTick = 0;
+  uint32_t MemPollTick = 0;
   bool Aborted = false;
   bool HasRun = false;
 
-  /// Fault injection for the fuzz harness's self-test (env var
-  /// HYBRIDPT_TEST_BREAK=drop-scall): silently skip static-call wiring.
-  bool TestBreakDropSCall = false;
+  AbortReason Reason = AbortReason::None;
+  bool FaultInjected = false;
+
+  /// Worklist steps taken so far.  Counted unconditionally (unlike the
+  /// telemetry counters, which are all-zero without HYBRIDPT_TELEMETRY)
+  /// because the fault plan's *-at-step directives and the heartbeat Step
+  /// field must be deterministic in every build.
+  uint64_t StepCount = 0;
+
+  /// Cached \c Opts.Faults dispositions, hoisted out of the hot loops.
+  bool StepFaultArmed = false;
+  bool SlowRuleArmed = false;
 
   /// Per-solver telemetry — never shared, so runs are bit-identical at any
   /// thread count.  All-zero when HYBRIDPT_TELEMETRY is off.

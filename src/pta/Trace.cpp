@@ -175,8 +175,10 @@ void TraceRecorder::heartbeat(Heartbeat HB) {
      << ",\"nodes\":" << HB.Nodes << ",\"facts\":" << HB.Facts
      << ",\"objects\":" << HB.Objects
      << ",\"memory_bytes\":" << HB.MemoryBytes
-     << ",\"final\":" << (HB.Final ? "true" : "false")
-     << ",\"delta\":" << countersJson(HB.Deltas)
+     << ",\"final\":" << (HB.Final ? "true" : "false");
+  if (!HB.Abort.empty())
+    OS << ",\"abort_reason\":\"" << jsonEscape(HB.Abort) << '"';
+  OS << ",\"delta\":" << countersJson(HB.Deltas)
      << ",\"total\":" << countersJson(HB.Totals) << '}';
   writeLineLocked(OS.str());
 
@@ -187,7 +189,10 @@ void TraceRecorder::heartbeat(Heartbeat HB) {
               << " facts=" << humanCount(HB.Facts)
               << " nodes=" << humanCount(HB.Nodes) << " mem="
               << formatDouble(static_cast<double>(HB.MemoryBytes) / 1e6)
-              << "MB" << (HB.Final ? " (final)" : "") << std::endl;
+              << "MB" << (HB.Final ? " (final)" : "");
+    if (!HB.Abort.empty())
+      *Progress << " abort=" << HB.Abort;
+    *Progress << std::endl;
   }
 
   LastByLabel[HB.Label] = std::move(HB);
@@ -201,6 +206,28 @@ void TraceRecorder::counters(std::string_view Label,
      << "\",\"tid\":" << tidLocked() << ",\"t_ms\":" << formatDouble(nowMs())
      << ",\"counters\":" << countersJson(Counters) << '}';
   writeLineLocked(OS.str());
+}
+
+void TraceRecorder::ladder(std::string_view Label, std::string_view From,
+                           std::string_view To, std::string_view Reason,
+                           double SolveMs) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::ostringstream OS;
+  OS << "{\"type\":\"ladder\",\"label\":\"" << jsonEscape(Label)
+     << "\",\"tid\":" << tidLocked() << ",\"t_ms\":" << formatDouble(nowMs())
+     << ",\"from\":\"" << jsonEscape(From) << "\",\"to\":\""
+     << jsonEscape(To) << "\",\"reason\":\"" << jsonEscape(Reason)
+     << "\",\"solve_ms\":" << formatDouble(SolveMs) << '}';
+  writeLineLocked(OS.str());
+  if (Progress) {
+    *Progress << "[ladder] " << Label << ": " << From << " aborted ("
+              << Reason << ") after " << formatDouble(SolveMs) << "ms";
+    if (To.empty())
+      *Progress << ", ladder exhausted";
+    else
+      *Progress << ", falling back to " << To;
+    *Progress << std::endl;
+  }
 }
 
 bool TraceRecorder::lastHeartbeat(std::string_view Label,

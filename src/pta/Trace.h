@@ -49,6 +49,9 @@ struct Heartbeat {
   uint64_t Objects = 0;  ///< Interned (heap, hctx) objects.
   uint64_t MemoryBytes = 0; ///< Live container bytes (ObjectSet + FlatMap).
   bool Final = false;    ///< Emitted at end of solve (or on abort).
+  /// abortReasonName() of the run's abort on the final heartbeat of an
+  /// aborted run; empty otherwise (serialized as "abort_reason").
+  std::string Abort;
   telemetry::SolverCounters Totals; ///< Cumulative counters.
   telemetry::SolverCounters Deltas; ///< Change since the prior heartbeat.
   double TMs = 0.0;      ///< Recorder-relative time; filled on record.
@@ -86,6 +89,12 @@ public:
   /// Records a cell's final aggregate counters.
   void counters(std::string_view Label,
                 const telemetry::SolverCounters &Counters);
+
+  /// Records one fallback-ladder transition for \p Label: rung \p From
+  /// aborted for \p Reason after \p SolveMs and the ladder moved on to
+  /// \p To ("" = ladder exhausted).  See docs/ROBUSTNESS.md.
+  void ladder(std::string_view Label, std::string_view From,
+              std::string_view To, std::string_view Reason, double SolveMs);
 
   /// Copies the most recent heartbeat recorded under \p Label; false when
   /// none was seen (e.g. telemetry compiled out).

@@ -9,6 +9,7 @@
 #include "context/PolicyRegistry.h"
 #include "ir/Program.h"
 #include "pta/AnalysisResult.h"
+#include "pta/Degrade.h"
 #include "pta/Trace.h"
 #include "support/ThreadPool.h"
 
@@ -26,47 +27,79 @@ namespace {
 /// worker thread's timeline with solve/metrics sub-spans per repetition,
 /// and its final counters are recorded under the cell label.
 PrecisionMetrics runOneCell(const Program &Prog, const std::string &Policy,
-                            const SolverOptions &SOpts, uint32_t Runs,
+                            const SolverOptions &SOpts,
+                            const MatrixOptions &MOpts,
                             const std::string &LabelPrefix) {
+  uint32_t Runs = MOpts.Runs == 0 ? 1 : MOpts.Runs;
   SolverOptions CellOpts = SOpts;
   CellOpts.TraceLabel = LabelPrefix + Policy;
   trace::TraceRecorder::Span CellSpan(CellOpts.Trace, CellOpts.TraceLabel,
                                       "cell");
   std::vector<PrecisionMetrics> Reps;
   for (uint32_t RunIdx = 0; RunIdx < Runs; ++RunIdx) {
-    auto Pol = createPolicy(Policy, Prog);
-    if (!Pol) {
-      PrecisionMetrics Unknown;
-      Unknown.Aborted = true;
-      return Unknown;
-    }
-    Solver S(Prog, *Pol, CellOpts);
-    AnalysisResult R = [&] {
-      trace::TraceRecorder::Span SolveSpan(CellOpts.Trace, "solve", "phase");
-      return S.run();
-    }();
-    {
+    PrecisionMetrics Rep;
+    if (MOpts.UseLadder) {
+      LadderOptions LOpts;
+      LOpts.Rungs = MOpts.LadderRungs;
+      LadderResult LR = [&] {
+        trace::TraceRecorder::Span SolveSpan(CellOpts.Trace, "solve",
+                                             "phase");
+        return solveWithLadder(Prog, Policy, CellOpts, LOpts);
+      }();
+      if (!LR.Result) {
+        Rep.Aborted = true; // Unknown policy or invalid ladder.
+        return Rep;
+      }
+      {
+        trace::TraceRecorder::Span MetricsSpan(CellOpts.Trace, "metrics",
+                                               "phase");
+        Rep = computeMetrics(*LR.Result);
+      }
+      Rep.LandedPolicy = LR.LandedPolicy;
+      Rep.FallbackFrom = LR.FallbackFrom;
+      Rep.LadderTrail = std::move(LR.Trail);
+    } else {
+      auto Pol = createPolicy(Policy, Prog);
+      if (!Pol) {
+        Rep.Aborted = true;
+        return Rep;
+      }
+      Solver S(Prog, *Pol, CellOpts);
+      AnalysisResult R = [&] {
+        trace::TraceRecorder::Span SolveSpan(CellOpts.Trace, "solve",
+                                             "phase");
+        return S.run();
+      }();
       trace::TraceRecorder::Span MetricsSpan(CellOpts.Trace, "metrics",
                                              "phase");
-      Reps.push_back(computeMetrics(R));
+      Rep = computeMetrics(R);
     }
-    if (Reps.back().Aborted)
-      break; // A timeout will time out again; report the dash.
+    Reps.push_back(std::move(Rep));
+    // A genuine resource-budget abort will abort again, so stop repeating
+    // and report the dash.  Injected faults and cancellations are not
+    // resource verdicts about this cell: keep going, so the remaining
+    // repetitions (a cancelled token makes them near-instant no-ops) can
+    // still yield a completed run to report.
+    const PrecisionMetrics &Last = Reps.back();
+    if (Last.Aborted && !Last.FaultInjected &&
+        Last.Reason != AbortReason::Cancelled)
+      break;
   }
   // Pick the repetition whose SolveMs is the median of the completed runs;
-  // an aborted cell reports the aborted repetition itself (its partial
-  // counters are still the truest description of what happened).
+  // a cell with no completed repetition reports the last aborted one (its
+  // partial counters are still the truest description of what happened).
+  std::vector<size_t> Done;
+  for (size_t I = 0; I < Reps.size(); ++I)
+    if (!Reps[I].Aborted)
+      Done.push_back(I);
   PrecisionMetrics Cell;
-  if (Reps.back().Aborted) {
+  if (Done.empty()) {
     Cell = Reps.back();
   } else {
-    std::vector<size_t> Order(Reps.size());
-    for (size_t I = 0; I < Order.size(); ++I)
-      Order[I] = I;
-    std::sort(Order.begin(), Order.end(), [&](size_t A, size_t B) {
+    std::sort(Done.begin(), Done.end(), [&](size_t A, size_t B) {
       return Reps[A].SolveMs < Reps[B].SolveMs;
     });
-    Cell = Reps[Order[Order.size() / 2]];
+    Cell = Reps[Done[Done.size() / 2]];
   }
   if (CellOpts.Trace)
     CellOpts.Trace->counters(CellOpts.TraceLabel, Cell.Counters);
@@ -80,9 +113,8 @@ pt::runVariantMatrix(const Program &Prog,
                      const std::vector<std::string> &Policies,
                      const MatrixOptions &Opts) {
   std::vector<PrecisionMetrics> Cells(Policies.size());
-  uint32_t Runs = Opts.Runs == 0 ? 1 : Opts.Runs;
   parallelFor(Policies.size(), Opts.Threads, [&](size_t I) {
-    Cells[I] = runOneCell(Prog, Policies[I], Opts.Solver, Runs,
+    Cells[I] = runOneCell(Prog, Policies[I], Opts.Solver, Opts,
                           Opts.TraceLabelPrefix);
   });
   return Cells;

@@ -39,12 +39,23 @@ struct MatrixOptions {
   unsigned Threads = 1;
   /// Repetitions per cell; the reported cell is the repetition with the
   /// median SolveMs (the paper's "medians of three runs"), so its time and
-  /// counters describe one coherent run.  Aborted cells are not repeated
-  /// and report the aborted repetition itself.
+  /// counters describe one coherent run.  A genuine resource-budget abort
+  /// (time/facts/memory, not fault-injected) short-circuits the remaining
+  /// repetitions — the same budget will abort again — and reports the
+  /// aborted repetition itself; injected-fault and cancellation aborts do
+  /// not short-circuit, and the median is taken over whatever repetitions
+  /// completed.
   uint32_t Runs = 1;
   /// Prefix for cell trace labels, typically "<benchmark>/"; the policy
   /// name is appended per cell.
   std::string TraceLabelPrefix;
+  /// Graceful degradation (pta/Degrade.h): when a cell aborts on a
+  /// resource budget, descend its fallback ladder instead of reporting a
+  /// dash.  Degraded cells carry FallbackFrom/LandedPolicy/LadderTrail.
+  bool UseLadder = false;
+  /// Explicit ladder tail applied after each cell's own policy; empty =
+  /// the derived default ladder.  Only meaningful with \c UseLadder.
+  std::vector<std::string> LadderRungs;
 };
 
 /// Runs every policy in \p Policies over \p Prog (concurrently when

@@ -1,0 +1,41 @@
+//===- support/Cancel.cpp ------------------------------------------------------===//
+//
+// Part of the hybridpt project (PLDI 2013 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Cancel.h"
+
+#include <csignal>
+
+using namespace pt;
+
+namespace {
+
+// The token the SIGINT handler trips.  A plain pointer written before the
+// handler is installed and only read from the handler; the handler itself
+// performs nothing but a relaxed atomic store, which is async-signal-safe.
+CancelToken *SigintToken = nullptr;
+
+extern "C" void hybridptSigintHandler(int) {
+  if (SigintToken)
+    SigintToken->cancel();
+}
+
+} // namespace
+
+void pt::installSigintCancel(CancelToken &Token) {
+  SigintToken = &Token;
+#if defined(_WIN32)
+  std::signal(SIGINT, hybridptSigintHandler);
+#else
+  struct sigaction SA;
+  SA.sa_handler = hybridptSigintHandler;
+  sigemptyset(&SA.sa_mask);
+  // SA_RESETHAND: the first ^C cancels cooperatively, the second one kills
+  // the process the old-fashioned way.  No SA_RESTART: blocking reads may
+  // return EINTR, which is fine for our file-writing call sites.
+  SA.sa_flags = SA_RESETHAND;
+  sigaction(SIGINT, &SA, nullptr);
+#endif
+}

@@ -1,0 +1,77 @@
+//===- support/Cancel.h - Cooperative cancellation --------------*- C++ -*-===//
+//
+// Part of the hybridpt project (PLDI 2013 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A cooperative cancellation token shared between a driver and its solver
+/// runs.  The solver polls \c cancelled() on the same amortized cadence as
+/// its time-budget check and turns a trip into a clean \c Aborted result —
+/// heartbeats flushed, trace finalized, partial facts harvested — instead
+/// of a killed process with a truncated JSONL stream.
+///
+/// Two producers trip a token:
+///  - \c installSigintCancel wires SIGINT (^C) to \c cancel(); the handler
+///    resets itself, so a second ^C falls back to the default disposition
+///    and still kills a wedged process;
+///  - \c setDeadlineMs arms a process-wide wall-clock deadline (distinct
+///    from the per-run \c SolverOptions::TimeBudgetMs: the deadline bounds
+///    the whole invocation, e.g. a full Table 1 matrix).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HYBRIDPT_SUPPORT_CANCEL_H
+#define HYBRIDPT_SUPPORT_CANCEL_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace pt {
+
+/// Cooperative cancellation flag, safe to trip from a signal handler or
+/// another thread and cheap to poll from the solver's inner loop.
+class CancelToken {
+public:
+  CancelToken() = default;
+  CancelToken(const CancelToken &) = delete;
+  CancelToken &operator=(const CancelToken &) = delete;
+
+  /// Requests cancellation.  Async-signal-safe (a relaxed atomic store).
+  void cancel() noexcept { Flag.store(true, std::memory_order_relaxed); }
+
+  /// Arms a wall-clock deadline \p Ms milliseconds from now; 0 disarms.
+  void setDeadlineMs(uint64_t Ms) {
+    HasDeadline = Ms != 0;
+    if (HasDeadline)
+      DeadlineTp = Clock::now() + std::chrono::milliseconds(Ms);
+  }
+
+  /// True once \c cancel() was called or the armed deadline passed.
+  bool cancelled() const noexcept {
+    if (Flag.load(std::memory_order_relaxed))
+      return true;
+    return HasDeadline && Clock::now() >= DeadlineTp;
+  }
+
+  /// Clears the flag (tests re-use one token across runs).  Does not
+  /// disarm the deadline.
+  void reset() noexcept { Flag.store(false, std::memory_order_relaxed); }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  std::atomic<bool> Flag{false};
+  bool HasDeadline = false;
+  Clock::time_point DeadlineTp;
+};
+
+/// Routes the process's next SIGINT to \p Token.cancel().  One-shot: the
+/// handler restores the default disposition on delivery, so a second ^C
+/// terminates the process even if the run ignores the token.  The token
+/// must outlive the handler (typically both live in main()).
+void installSigintCancel(CancelToken &Token);
+
+} // namespace pt
+
+#endif // HYBRIDPT_SUPPORT_CANCEL_H

@@ -1,0 +1,170 @@
+//===- support/FaultPlan.cpp ---------------------------------------------------===//
+//
+// Part of the hybridpt project (PLDI 2013 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FaultPlan.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+using namespace pt;
+
+FaultRule pt::faultRuleByName(std::string_view Name) {
+  if (Name == "alloc")
+    return FaultRule::Alloc;
+  if (Name == "move")
+    return FaultRule::Move;
+  if (Name == "cast")
+    return FaultRule::Cast;
+  if (Name == "load")
+    return FaultRule::Load;
+  if (Name == "store")
+    return FaultRule::Store;
+  if (Name == "sload")
+    return FaultRule::SLoad;
+  if (Name == "sstore")
+    return FaultRule::SStore;
+  if (Name == "vcall")
+    return FaultRule::VCall;
+  if (Name == "scall")
+    return FaultRule::SCall;
+  if (Name == "throw")
+    return FaultRule::Throw;
+  return FaultRule::None;
+}
+
+const char *pt::faultRuleName(FaultRule Rule) {
+  switch (Rule) {
+  case FaultRule::Alloc:
+    return "alloc";
+  case FaultRule::Move:
+    return "move";
+  case FaultRule::Cast:
+    return "cast";
+  case FaultRule::Load:
+    return "load";
+  case FaultRule::Store:
+    return "store";
+  case FaultRule::SLoad:
+    return "sload";
+  case FaultRule::SStore:
+    return "sstore";
+  case FaultRule::VCall:
+    return "vcall";
+  case FaultRule::SCall:
+    return "scall";
+  case FaultRule::Throw:
+    return "throw";
+  case FaultRule::None:
+    break;
+  }
+  return "none";
+}
+
+namespace {
+
+bool parseStep(std::string_view Value, uint64_t &Out) {
+  if (Value.empty())
+    return false;
+  uint64_t N = 0;
+  for (char C : Value) {
+    if (C < '0' || C > '9')
+      return false;
+    N = N * 10 + static_cast<uint64_t>(C - '0');
+  }
+  if (N == 0)
+    return false; // Step counting starts at 1; 0 means "directive off".
+  Out = N;
+  return true;
+}
+
+} // namespace
+
+bool FaultPlan::parse(std::string_view Spec, FaultPlan &Out,
+                      std::string &Error) {
+  FaultPlan Plan;
+  size_t Pos = 0;
+  while (Pos < Spec.size()) {
+    size_t End = Spec.find(',', Pos);
+    if (End == std::string_view::npos)
+      End = Spec.size();
+    std::string_view Item = Spec.substr(Pos, End - Pos);
+    Pos = End + 1;
+    if (Item.empty())
+      continue;
+    size_t Eq = Item.find('=');
+    std::string_view Key = Item.substr(0, Eq);
+    std::string_view Value =
+        Eq == std::string_view::npos ? std::string_view{} : Item.substr(Eq + 1);
+    if (Key == "oom-at-step") {
+      if (!parseStep(Value, Plan.OomAtStep)) {
+        Error = "oom-at-step wants a positive integer, got '" +
+                std::string(Value) + "'";
+        return false;
+      }
+    } else if (Key == "cancel-at-step") {
+      if (!parseStep(Value, Plan.CancelAtStep)) {
+        Error = "cancel-at-step wants a positive integer, got '" +
+                std::string(Value) + "'";
+        return false;
+      }
+    } else if (Key == "slow-rule") {
+      Plan.SlowRule = faultRuleByName(Value);
+      if (Plan.SlowRule == FaultRule::None) {
+        Error = "slow-rule wants a rule name (alloc, move, cast, load, "
+                "store, sload, sstore, vcall, scall, throw), got '" +
+                std::string(Value) + "'";
+        return false;
+      }
+    } else if (Key == "drop-scall") {
+      if (Eq != std::string_view::npos) {
+        Error = "drop-scall takes no value";
+        return false;
+      }
+      Plan.DropSCall = true;
+    } else {
+      Error = "unknown fault directive '" + std::string(Item) + "'";
+      return false;
+    }
+  }
+  Out = Plan;
+  return true;
+}
+
+FaultPlan FaultPlan::fromEnv() {
+  FaultPlan Plan;
+  if (const char *Spec = std::getenv("HYBRIDPT_FAULT_PLAN")) {
+    std::string Error;
+    if (!FaultPlan::parse(Spec, Plan, Error)) {
+      std::fprintf(stderr, "HYBRIDPT_FAULT_PLAN: %s\n", Error.c_str());
+      std::abort(); // A typo'd plan must not silently test nothing.
+    }
+    return Plan;
+  }
+  // Legacy spelling kept alive for the fuzz harness self-test and any
+  // scripts that predate the registry.
+  if (const char *Break = std::getenv("HYBRIDPT_TEST_BREAK"))
+    Plan.DropSCall = std::strcmp(Break, "drop-scall") == 0;
+  return Plan;
+}
+
+std::string FaultPlan::spec() const {
+  std::string Out;
+  auto Append = [&Out](const std::string &Item) {
+    if (!Out.empty())
+      Out += ',';
+    Out += Item;
+  };
+  if (OomAtStep != 0)
+    Append("oom-at-step=" + std::to_string(OomAtStep));
+  if (CancelAtStep != 0)
+    Append("cancel-at-step=" + std::to_string(CancelAtStep));
+  if (SlowRule != FaultRule::None)
+    Append(std::string("slow-rule=") + faultRuleName(SlowRule));
+  if (DropSCall)
+    Append("drop-scall");
+  return Out;
+}

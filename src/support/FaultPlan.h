@@ -1,0 +1,97 @@
+//===- support/FaultPlan.h - Deterministic fault injection ------*- C++ -*-===//
+//
+// Part of the hybridpt project (PLDI 2013 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fault-injection registry: a small, parseable plan of deterministic
+/// faults the solver executes at exact points of its run, so every abort
+/// and degradation path is exercisable from tests, CI, and the fuzz
+/// harness without real resource pressure (docs/ROBUSTNESS.md).
+///
+/// Plan syntax — comma-separated directives:
+///
+///   oom-at-step=N      simulate memory-budget exhaustion at worklist
+///                      step N (clean MemoryBudget abort)
+///   cancel-at-step=N   trip cancellation at worklist step N (clean
+///                      Cancelled abort, exactly as a ^C would)
+///   slow-rule=NAME     stall ~50us on every fire of rule NAME (one of
+///                      alloc, move, cast, load, store, sload, sstore,
+///                      vcall, scall, throw) to force time budgets
+///                      deterministically onto a chosen rule
+///   drop-scall         silently skip static-call wiring (the legacy
+///                      unsoundness used to self-test the fuzz oracle)
+///
+/// Sources, in priority order: an explicit \c SolverOptions::Faults plan,
+/// else the HYBRIDPT_FAULT_PLAN environment variable, else the legacy
+/// HYBRIDPT_TEST_BREAK=drop-scall spelling.  Never set outside tests/CI.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HYBRIDPT_SUPPORT_FAULTPLAN_H
+#define HYBRIDPT_SUPPORT_FAULTPLAN_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace pt {
+
+/// Names the Figure-2 rule sites \c slow-rule can target.
+enum class FaultRule : uint8_t {
+  None,
+  Alloc,
+  Move,
+  Cast,
+  Load,
+  Store,
+  SLoad,
+  SStore,
+  VCall,
+  SCall,
+  Throw,
+};
+
+/// Parses \p Name ("vcall", "load", ...) to a rule; None for unknown.
+FaultRule faultRuleByName(std::string_view Name);
+/// Inverse of \c faultRuleByName; "none" for None.
+const char *faultRuleName(FaultRule Rule);
+
+/// One parsed fault plan.  Default-constructed = no faults.
+struct FaultPlan {
+  /// Simulate memory exhaustion once this worklist step is reached (0 =
+  /// off; step counting starts at 1).
+  uint64_t OomAtStep = 0;
+  /// Trip cancellation once this worklist step is reached (0 = off).
+  uint64_t CancelAtStep = 0;
+  /// Stall every fire of this rule (None = off).
+  FaultRule SlowRule = FaultRule::None;
+  /// Skip static-call wiring (deliberate unsoundness for oracle self-tests).
+  bool DropSCall = false;
+
+  /// True when any directive is armed.
+  bool any() const {
+    return OomAtStep != 0 || CancelAtStep != 0 ||
+           SlowRule != FaultRule::None || DropSCall;
+  }
+
+  /// Parses a plan spec ("oom-at-step=100,slow-rule=vcall").  On success
+  /// fills \p Out; on failure returns false and names the bad directive in
+  /// \p Error.  An empty spec parses to an empty plan.
+  static bool parse(std::string_view Spec, FaultPlan &Out,
+                    std::string &Error);
+
+  /// The environment-supplied plan: HYBRIDPT_FAULT_PLAN, falling back to
+  /// the legacy HYBRIDPT_TEST_BREAK=drop-scall.  A malformed value aborts
+  /// the process with a clear message — a fault plan that silently parses
+  /// to "no faults" would fake green tests.
+  static FaultPlan fromEnv();
+
+  /// Round-trips the plan back to spec syntax ("" for an empty plan).
+  std::string spec() const;
+};
+
+} // namespace pt
+
+#endif // HYBRIDPT_SUPPORT_FAULTPLAN_H

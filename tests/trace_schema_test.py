@@ -5,12 +5,16 @@ Runs the hybridpt driver with --trace-out/--chrome-trace/--progress on a
 small workload, then validates:
 
   * every JSONL line parses and matches the record schema in
-    docs/OBSERVABILITY.md (meta, span, heartbeat, counters);
+    docs/OBSERVABILITY.md (meta, span, heartbeat, counters, ladder);
   * heartbeat totals are monotone per label and the final heartbeat's
     fact counter ties out (telemetry builds);
   * the Chrome trace loads as JSON and its begin/end events are
     well-nested per thread;
   * tools/trace_summary.py digests the trace and exits cleanly.
+
+A second driver run under --ladder with a tiny fact budget checks the
+degradation surface: every abort still flushes a final heartbeat stamped
+with its abort_reason, and each rung descent emits a ladder record.
 
 Registered with ctest from tests/CMakeLists.txt; stdlib only.
 """
@@ -23,6 +27,8 @@ import tempfile
 import os
 
 FAILURES = []
+
+ABORT_REASONS = ("time_budget", "fact_budget", "memory_budget", "cancelled")
 
 
 def check(cond, msg):
@@ -71,7 +77,7 @@ def validate_jsonl(path):
 
     last_total = {}  # label -> (lineno, totals dict)
     finals = {}      # label -> final heartbeat record
-    n_spans = n_beats = 0
+    n_spans = n_beats = n_ladders = 0
     for i, rec in records[1:]:
         kind = rec.get("type")
         where = f"jsonl:{i} ({kind})"
@@ -99,6 +105,12 @@ def validate_jsonl(path):
                 check(is_uint(rec.get(key)), f"{where}: bad {key}")
             check(is_num(rec.get("t_ms")), f"{where}: bad t_ms")
             check(isinstance(rec.get("final"), bool), f"{where}: bad final")
+            if "abort_reason" in rec:
+                check(rec.get("abort_reason") in ABORT_REASONS,
+                      f"{where}: unknown abort_reason "
+                      f"{rec.get('abort_reason')!r}")
+                check(rec.get("final") is True,
+                      f"{where}: abort_reason on a non-final heartbeat")
             check_counter_obj(rec.get("delta"), f"{where}: delta")
             check_counter_obj(rec.get("total"), f"{where}: total")
             total = rec.get("total")
@@ -116,6 +128,19 @@ def validate_jsonl(path):
         elif kind == "counters":
             check(isinstance(rec.get("label"), str), f"{where}: no label")
             check_counter_obj(rec.get("counters"), f"{where}: counters")
+        elif kind == "ladder":
+            n_ladders += 1
+            check(isinstance(rec.get("label"), str), f"{where}: no label")
+            check(isinstance(rec.get("from"), str) and rec.get("from"),
+                  f"{where}: bad from")
+            # Empty "to" = ladder exhausted; otherwise the next rung.
+            check(isinstance(rec.get("to"), str), f"{where}: bad to")
+            check(rec.get("reason") in ABORT_REASONS,
+                  f"{where}: bad reason {rec.get('reason')!r}")
+            check(is_num(rec.get("t_ms")), f"{where}: bad t_ms")
+            check(is_num(rec.get("solve_ms")) and rec.get("solve_ms") >= 0,
+                  f"{where}: bad solve_ms")
+            check(is_uint(rec.get("tid")), f"{where}: bad tid")
         else:
             check(False, f"{where}: unknown record type {kind!r}")
 
@@ -134,7 +159,7 @@ def validate_jsonl(path):
             check(all(v == 0 for v in total.values()),
                   f"final heartbeat {label}: nonzero counters "
                   f"with telemetry off")
-    return telemetry_on
+    return telemetry_on, n_ladders, finals
 
 
 def validate_chrome(path):
@@ -202,6 +227,39 @@ def main():
                   "trace_summary printed no span ranking")
             check("final heartbeat" in summ.stdout,
                   "trace_summary printed no heartbeat section")
+
+        # Degradation surface: a --ladder run under a tiny fact budget
+        # aborts every rung, so each descent must leave a ladder record
+        # and each rung's final heartbeat must carry its abort reason —
+        # the "abort paths still flush" guarantee, end to end.
+        lad = os.path.join(tmp, "ladder.jsonl")
+        cmd = [args.hybridpt, "--policy", "2call+H", "--ladder",
+               "--max-facts", "1000", "--trace-out", lad, "luindex"]
+        proc = subprocess.run(cmd, capture_output=True, text=True,
+                              timeout=300)
+        check(proc.returncode == 0,
+              f"ladder run exited {proc.returncode}: {proc.stderr[-500:]}")
+        if proc.returncode == 0:
+            _, n_ladders, finals = validate_jsonl(lad)
+            check(n_ladders >= 2,
+                  f"ladder run: only {n_ladders} ladder record(s)")
+            check(len(finals) >= 2,
+                  "ladder run: fallback rungs flushed no final heartbeats")
+            for label, rec in finals.items():
+                check(rec.get("abort_reason") == "fact_budget",
+                      f"ladder run: final heartbeat {label} lacks "
+                      f"abort_reason=fact_budget")
+
+            summ = subprocess.run([sys.executable, args.summary, lad],
+                                  capture_output=True, text=True,
+                                  timeout=60)
+            check(summ.returncode == 0,
+                  f"trace_summary (ladder) exited {summ.returncode}: "
+                  f"{summ.stderr[-500:]}")
+            check("fallback ladder" in summ.stdout,
+                  "trace_summary printed no ladder section")
+            check("aborted" in summ.stdout,
+                  "trace_summary did not flag the aborted rungs")
 
     if FAILURES:
         print(f"FAIL: {len(FAILURES)} check(s):")

@@ -6,15 +6,19 @@ Usage:
         [--threshold PCT] [--min-ms MS]
 
 Both files are produced by the bench harnesses (see docs/PERF.md).  Cells
-are matched by (benchmark, policy).  The check fails (exit 1) when any
-matched cell is more than --threshold percent slower in the candidate.
-Timing is compared only between cells that completed (were not aborted)
-in *both* files: an aborted cell's time_ms is budget-truncated (the
-table's dash entries), so comparing it against a real solve time flags
-spurious regressions.  Abort-state transitions in either direction are
-reported as warnings, never as failures — they are budget- and
-machine-load-sensitive.  Cells faster than --min-ms in the baseline are
-reported but never fail the check: their timings are noise-dominated.
+are matched by (benchmark, requested policy): a cell degraded by the
+fallback ladder (docs/ROBUSTNESS.md) carries the landed rung in "policy"
+and the requested policy in "fallback_from", so matching keys on
+fallback_from when present.  The check fails (exit 1) when any matched
+cell is more than --threshold percent slower in the candidate.  Timing is
+compared only between cells that completed (were not aborted) in *both*
+files AND landed on the same rung: an aborted cell's time_ms is
+budget-truncated (the table's dash entries), and a degraded cell's
+time_ms measures a coarser policy, so either comparison flags spurious
+regressions.  Abort- and degradation-state transitions in either
+direction are reported as warnings, never as failures — they are budget-
+and machine-load-sensitive.  Cells faster than --min-ms in the baseline
+are reported but never fail the check: their timings are noise-dominated.
 
 Fact counts (cs_vpt_facts, cg_edges) are compared exactly — the analyses
 are deterministic, so any drift is a correctness change, not noise — but
@@ -68,6 +72,11 @@ def load(path):
             print(f"warning: {path}: cell #{i} lacks benchmark/policy "
                   f"keys, skipped")
             continue
+        # Key degraded cells by the policy the user asked for, so a run
+        # that fell back still lines up with its native baseline cell.
+        requested = c.get("fallback_from")
+        if isinstance(requested, str) and requested:
+            policy = requested
         keyed[(bench, policy)] = c
     return data, keyed
 
@@ -86,7 +95,7 @@ def main():
     base_top, base = load(args.baseline)
     cand_top, cand = load(args.candidate)
 
-    for key in ("budget_ms", "runs", "threads"):
+    for key in ("budget_ms", "runs", "threads", "ladder"):
         if base_top.get(key) != cand_top.get(key):
             print(f"warning: harness config differs: {key} = "
                   f"{base_top.get(key)} vs {cand_top.get(key)}")
@@ -122,6 +131,24 @@ def main():
                             f"sensitive; not a timing failure)")
             continue
 
+        # Fallback-ladder state: a degraded cell's metrics describe the
+        # landed rung, so timing/fact comparison only makes sense when
+        # both sides landed on the same rung.
+        b_rung = b.get("policy") if b.get("fallback_from") else None
+        c_rung = c.get("policy") if c.get("fallback_from") else None
+        if b_rung != c_rung:
+            if c_rung is None:
+                print(f"improved: {name}: degraded to {b_rung} in "
+                      f"baseline, native in candidate")
+            elif b_rung is None:
+                warnings.append(f"{name}: native in baseline but degraded "
+                                f"to {c_rung} via the fallback ladder "
+                                f"(budget sensitive; not a timing failure)")
+            else:
+                warnings.append(f"{name}: fallback rung changed "
+                                f"{b_rung} -> {c_rung}")
+            continue
+
         for fact in ("cs_vpt_facts", "cg_edges", "reachable_methods"):
             if b.get(fact) != c.get(fact):
                 warnings.append(f"{name}: {fact} changed "
@@ -129,7 +156,10 @@ def main():
                                 f"(precision/correctness drift?)")
 
         # Fields on one side only (schema drift across PRs): warn-only.
-        for field in sorted((set(b) ^ set(c)) - {"counters"}):
+        # Degradation fields already got a dedicated message above.
+        for field in sorted((set(b) ^ set(c))
+                            - {"counters", "fallback_from", "ladder",
+                               "abort_reason"}):
             side = "baseline" if field in b else "candidate"
             warnings.append(f"{name}: field '{field}' only in {side}")
 

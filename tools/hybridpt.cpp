@@ -26,9 +26,20 @@
 ///   --compare NAME     also run NAME and print the precision delta
 ///   --budget MS        per-run time budget (0 = unlimited)
 ///   --max-facts N      per-run fact budget (0 = unlimited)
+///   --max-memory-mb N  per-run solver memory budget (0 = unlimited)
+///   --deadline-ms MS   whole-process deadline; expiry cancels cleanly
 ///   --matrix           run the full Table 1 policy matrix instead of one
 ///   --threads N        workers for --matrix (0 = hardware concurrency)
 ///   --csv              machine-readable metric output
+///
+/// Graceful degradation (docs/ROBUSTNESS.md):
+///   --ladder           on a resource-budget abort, re-run successively
+///                      coarser policies until one converges
+///   --ladder-rungs L   comma-separated explicit rungs tried after the
+///                      requested policy (default: derived ladder)
+///
+/// ^C cancels cooperatively: the run stops at the next guard poll and
+/// still reports, flushes traces, and exits cleanly (second ^C kills).
 ///
 /// Observability (docs/OBSERVABILITY.md):
 ///   --trace-out FILE     stream JSONL telemetry (spans + heartbeats)
@@ -46,6 +57,7 @@
 #include "irtext/TextFormat.h"
 #include "pta/AnalysisResult.h"
 #include "pta/Clients.h"
+#include "pta/Degrade.h"
 #include "pta/Explain.h"
 #include "pta/DotExport.h"
 #include "pta/FactWriter.h"
@@ -54,12 +66,14 @@
 #include "pta/Solver.h"
 #include "pta/Trace.h"
 #include "pta/VariantRunner.h"
+#include "support/Cancel.h"
 #include "support/TableWriter.h"
 #include "workloads/Profiles.h"
 
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 
 using namespace pt;
@@ -76,6 +90,10 @@ struct CliOptions {
   std::vector<std::string> DumpVars;
   uint64_t BudgetMs = 0;
   uint64_t MaxFacts = 0;
+  uint64_t MaxMemoryMb = 0;
+  uint64_t DeadlineMs = 0;
+  bool Ladder = false;
+  std::vector<std::string> LadderRungs;
   unsigned Threads = 1;
   bool Matrix = false;
   bool Metrics = false;
@@ -101,7 +119,9 @@ int usage(const char *Argv0) {
       << "usage: " << Argv0
       << " [--policy NAME] [--metrics] [--devirt] [--casts]\n"
          "       [--dump-vpt Class::method/arity::var] [--compare NAME]\n"
-         "       [--budget MS] [--max-facts N] [--matrix] [--threads N]\n"
+         "       [--budget MS] [--max-facts N] [--max-memory-mb N]\n"
+         "       [--deadline-ms MS] [--ladder] [--ladder-rungs A,B,...]\n"
+         "       [--matrix] [--threads N]\n"
          "       [--csv] [--trace-out FILE] [--chrome-trace FILE]\n"
          "       [--progress] [--explain-abort] [--heartbeat-steps N]\n"
          "       [--heartbeat-ms MS] <file.ptir | benchmark-name>\n"
@@ -140,42 +160,103 @@ void finishTrace(trace::TraceRecorder *Rec, const CliOptions &Cli) {
     std::cerr << "chrome trace: " << Error << "\n";
 }
 
-AnalysisResult analyze(const Program &P, ContextPolicy &Policy,
-                       const CliOptions &Cli, trace::TraceRecorder *Rec,
-                       const std::string &Label) {
+std::vector<std::string> splitCommaList(std::string_view Spec) {
+  std::vector<std::string> Out;
+  size_t Pos = 0;
+  while (Pos <= Spec.size()) {
+    size_t End = Spec.find(',', Pos);
+    if (End == std::string_view::npos)
+      End = Spec.size();
+    if (End > Pos)
+      Out.emplace_back(Spec.substr(Pos, End - Pos));
+    Pos = End + 1;
+  }
+  return Out;
+}
+
+SolverOptions solverOptions(const CliOptions &Cli, trace::TraceRecorder *Rec,
+                            const CancelToken *Cancel) {
   SolverOptions Opts;
   Opts.TimeBudgetMs = Cli.BudgetMs;
   Opts.MaxFacts = Cli.MaxFacts;
+  Opts.MemoryBudgetBytes = Cli.MaxMemoryMb * 1000000;
+  Opts.Cancel = Cancel;
   Opts.Trace = Rec;
-  Opts.TraceLabel = Label;
   Opts.HeartbeatSteps = Cli.HeartbeatSteps;
   Opts.HeartbeatMs = Cli.HeartbeatMs;
+  return Opts;
+}
+
+/// One analysis run plus whatever keeps its result valid.  With --ladder
+/// the landed policy may be coarser than the requested one.
+struct RunOutcome {
+  std::optional<AnalysisResult> R;
+  std::unique_ptr<ContextPolicy> Policy;
+  std::string LandedPolicy;
+  std::string FallbackFrom;
+};
+
+RunOutcome analyze(const Program &P, const std::string &PolicyName,
+                   const CliOptions &Cli, trace::TraceRecorder *Rec,
+                   const std::string &Label, const CancelToken *Cancel) {
+  SolverOptions Opts = solverOptions(Cli, Rec, Cancel);
+  Opts.TraceLabel = Label;
   trace::TraceRecorder::Span SolveSpan(Rec, Label, "cell");
-  Solver S(P, Policy, Opts);
-  return S.run();
+  RunOutcome Out;
+  if (Cli.Ladder) {
+    LadderOptions LOpts;
+    LOpts.Rungs = Cli.LadderRungs;
+    LadderResult LR = solveWithLadder(P, PolicyName, Opts, LOpts);
+    if (!LR.Result) {
+      std::cerr << LR.Error << " (see --list-policies)\n";
+      return Out;
+    }
+    if (LR.degraded())
+      std::cerr << "[ladder] " << PolicyName << " exhausted its budget; "
+                << "reporting " << LR.LandedPolicy << " instead\n";
+    Out.Policy = std::move(LR.Policy);
+    Out.R = std::move(LR.Result);
+    Out.LandedPolicy = LR.LandedPolicy;
+    Out.FallbackFrom = LR.FallbackFrom;
+    return Out;
+  }
+  Out.Policy = createPolicy(PolicyName, P);
+  if (!Out.Policy) {
+    std::cerr << "unknown policy '" << PolicyName
+              << "' (see --list-policies)\n";
+    return Out;
+  }
+  Solver S(P, *Out.Policy, Opts);
+  Out.R.emplace(S.run());
+  Out.LandedPolicy = PolicyName;
+  return Out;
 }
 
 /// --matrix: all Table 1 policies, fanned out over the worker pool.
 int runMatrix(const Program &P, const CliOptions &Cli,
-              trace::TraceRecorder *Rec) {
+              trace::TraceRecorder *Rec, const CancelToken *Cancel) {
   const std::vector<std::string> &Policies = table1PolicyNames();
   MatrixOptions MOpts;
-  MOpts.Solver.TimeBudgetMs = Cli.BudgetMs;
-  MOpts.Solver.MaxFacts = Cli.MaxFacts;
-  MOpts.Solver.Trace = Rec;
-  MOpts.Solver.HeartbeatSteps = Cli.HeartbeatSteps;
-  MOpts.Solver.HeartbeatMs = Cli.HeartbeatMs;
+  MOpts.Solver = solverOptions(Cli, Rec, Cancel);
   MOpts.Threads = Cli.Threads;
   MOpts.TraceLabelPrefix = Cli.Input + "/";
+  MOpts.UseLadder = Cli.Ladder;
+  MOpts.LadderRungs = Cli.LadderRungs;
   std::vector<PrecisionMetrics> Cells = runVariantMatrix(P, Policies, MOpts);
 
   TableWriter T;
   T.setHeader({"analysis", "avg_objs_per_var", "cg_edges", "poly_vcalls",
                "may_fail_casts", "reachable_methods", "time_s",
                "cs_vpt_facts", "peak_bytes"});
+  size_t Degraded = 0;
   for (size_t I = 0; I < Policies.size(); ++I) {
     const PrecisionMetrics &M = Cells[I];
-    T.addRow({Policies[I],
+    std::string Name = Policies[I];
+    if (!M.FallbackFrom.empty()) {
+      Name += ">" + M.LandedPolicy; // Degraded cell: the landed rung.
+      ++Degraded;
+    }
+    T.addRow({Name,
               M.Aborted ? "-" : formatFixed(M.AvgPointsTo, 2),
               M.Aborted ? "-" : std::to_string(M.CallGraphEdges),
               M.Aborted ? "-" : std::to_string(M.PolyVCalls),
@@ -191,6 +272,10 @@ int runMatrix(const Program &P, const CliOptions &Cli,
     T.printCsv(std::cout);
   else
     T.print(std::cout);
+  if (Degraded != 0 && !Cli.Csv)
+    std::cout << Degraded << " cell(s) degraded via the fallback ladder "
+              << "('requested>landed'); metrics describe the landed "
+              << "policy.\n";
   finishTrace(Rec, Cli);
   return 0;
 }
@@ -208,7 +293,11 @@ void printMetrics(const PrecisionMetrics &M, const std::string &Policy,
     return;
   }
   std::cout << "analysis:                " << Policy
-            << (M.Aborted ? "  (ABORTED: budget expired)" : "") << "\n"
+            << (M.Aborted
+                    ? std::string("  (ABORTED: ") + abortReasonName(M.Reason) +
+                          ")"
+                    : std::string())
+            << "\n"
             << "avg objs per var:        " << formatFixed(M.AvgPointsTo, 2)
             << "\n"
             << "call-graph edges:        " << M.CallGraphEdges << "\n"
@@ -267,7 +356,16 @@ int main(int argc, char **argv) {
       Opts.BudgetMs = std::strtoull(Value(), nullptr, 10);
     else if (Arg == "--max-facts")
       Opts.MaxFacts = std::strtoull(Value(), nullptr, 10);
-    else if (Arg == "--threads")
+    else if (Arg == "--max-memory-mb")
+      Opts.MaxMemoryMb = std::strtoull(Value(), nullptr, 10);
+    else if (Arg == "--deadline-ms")
+      Opts.DeadlineMs = std::strtoull(Value(), nullptr, 10);
+    else if (Arg == "--ladder")
+      Opts.Ladder = true;
+    else if (Arg == "--ladder-rungs") {
+      Opts.Ladder = true;
+      Opts.LadderRungs = splitCommaList(Value());
+    } else if (Arg == "--threads")
       Opts.Threads = static_cast<unsigned>(std::strtoul(Value(), nullptr, 10));
     else if (Arg == "--matrix")
       Opts.Matrix = true;
@@ -307,6 +405,15 @@ int main(int argc, char **argv) {
       Opts.FactsDir.empty() && Opts.CallGraphDotPath.empty() &&
       Opts.PointsToDotFocus.empty())
     Opts.Metrics = true;
+
+  // Cooperative cancellation: ^C (or the --deadline-ms expiry) trips the
+  // token, the solver aborts at its next guard poll, and the run still
+  // reports partial results and flushes its traces.  SIGINT is installed
+  // with SA_RESETHAND, so a second ^C kills the process the normal way.
+  static CancelToken Cancel;
+  installSigintCancel(Cancel);
+  if (Opts.DeadlineMs != 0)
+    Cancel.setDeadlineMs(Opts.DeadlineMs);
 
   // Observability sink: one recorder for the whole invocation.
   std::unique_ptr<trace::TraceRecorder> Rec;
@@ -352,21 +459,30 @@ int main(int argc, char **argv) {
   }
 
   if (Opts.Matrix)
-    return runMatrix(*P, Opts, Rec.get());
+    return runMatrix(*P, Opts, Rec.get(), &Cancel);
 
-  auto Policy = createPolicy(Opts.Policy, *P);
-  if (!Policy) {
-    std::cerr << "unknown policy '" << Opts.Policy
-              << "' (see --list-policies)\n";
+  const std::string CellLabel = Opts.Input + "/" + Opts.Policy;
+  RunOutcome Main =
+      analyze(*P, Opts.Policy, Opts, Rec.get(), CellLabel, &Cancel);
+  if (!Main.R) {
+    finishTrace(Rec.get(), Opts);
     return 1;
   }
-  const std::string CellLabel = Opts.Input + "/" + Opts.Policy;
-  AnalysisResult R = analyze(*P, *Policy, Opts, Rec.get(), CellLabel);
-  if (R.Aborted && Opts.ExplainAbort && Rec)
-    explainAbort(*Rec, CellLabel);
+  AnalysisResult &R = *Main.R;
+  if (R.Aborted) {
+    std::cerr << "[abort] " << CellLabel << ": " << abortReasonName(R.Reason)
+              << (R.FaultInjected ? " (injected)" : "") << "\n";
+    if (Opts.ExplainAbort && Rec)
+      explainAbort(*Rec, CellLabel);
+  }
 
+  // Metrics are labeled with the landed policy: under --ladder it may be
+  // a coarser rung than the one requested.
+  std::string MetricsLabel = Main.LandedPolicy;
+  if (!Main.FallbackFrom.empty())
+    MetricsLabel += " (fallback from " + Main.FallbackFrom + ")";
   if (Opts.Metrics)
-    printMetrics(computeMetrics(R), Opts.Policy, Opts.Csv);
+    printMetrics(computeMetrics(R), MetricsLabel, Opts.Csv);
 
   if (Opts.Stats)
     std::cout << "\n" << formatStats(computeStats(R), *P);
@@ -451,16 +567,15 @@ int main(int argc, char **argv) {
   }
 
   if (!Opts.Compare.empty()) {
-    auto OtherPolicy = createPolicy(Opts.Compare, *P);
-    if (!OtherPolicy) {
-      std::cerr << "unknown policy '" << Opts.Compare << "'\n";
+    RunOutcome Other = analyze(*P, Opts.Compare, Opts, Rec.get(),
+                               Opts.Input + "/" + Opts.Compare, &Cancel);
+    if (!Other.R) {
+      finishTrace(Rec.get(), Opts);
       return 1;
     }
-    AnalysisResult Other = analyze(*P, *OtherPolicy, Opts, Rec.get(),
-                                   Opts.Input + "/" + Opts.Compare);
-    std::cout << "\n--- delta " << Opts.Policy << " -> " << Opts.Compare
-              << " ---\n"
-              << formatDelta(diffResults(R, Other), *P);
+    std::cout << "\n--- delta " << Main.LandedPolicy << " -> "
+              << Other.LandedPolicy << " ---\n"
+              << formatDelta(diffResults(R, *Other.R), *P);
   }
   finishTrace(Rec.get(), Opts);
   return 0;

@@ -27,7 +27,11 @@
 ///                        (default 25; 0 = never)
 ///   --max-failures N     stop after N failing programs (default 5)
 ///   --solver-budget MS   per-solver-run budget (default 0 = unlimited)
+///   --deadline-ms MS     whole-campaign deadline; expiry cancels cleanly
 ///   --quiet              suppress progress output
+///
+/// ^C cancels cooperatively: the campaign stops at the next guard poll and
+/// still reports every failure found so far (second ^C kills).
 ///
 /// Exit status: 0 when every program passed, 1 on any violation, 2 on
 /// usage errors.
@@ -36,6 +40,7 @@
 
 #include "context/PolicyRegistry.h"
 #include "fuzz/Driver.h"
+#include "support/Cancel.h"
 
 #include <cstdlib>
 #include <cstring>
@@ -51,7 +56,8 @@ int usage(const char *Argv0) {
             << " [--seed N] [--max-programs N] [--budget-ms MS]\n"
                "       [--minimize | --no-minimize] [--regress-dir DIR]\n"
                "       [--policy NAME]... [--full-diff-every N]\n"
-               "       [--max-failures N] [--solver-budget MS] [--quiet]\n";
+               "       [--max-failures N] [--solver-budget MS]\n"
+               "       [--deadline-ms MS] [--quiet]\n";
   return 2;
 }
 
@@ -70,6 +76,7 @@ int main(int argc, char **argv) {
   fuzz::DriverOptions Opts;
   Opts.FullDiffEvery = 25;
   bool Quiet = false;
+  uint64_t DeadlineMs = 0;
 
   for (int I = 1; I < argc; ++I) {
     const char *Arg = argv[I];
@@ -118,6 +125,10 @@ int main(int argc, char **argv) {
       const char *V = Next();
       if (!V || !parseU64(V, Opts.SolverTimeBudgetMs))
         return usage(argv[0]);
+    } else if (std::strcmp(Arg, "--deadline-ms") == 0) {
+      const char *V = Next();
+      if (!V || !parseU64(V, DeadlineMs))
+        return usage(argv[0]);
     } else if (std::strcmp(Arg, "--quiet") == 0) {
       Quiet = true;
     } else {
@@ -139,7 +150,19 @@ int main(int argc, char **argv) {
   if (!Quiet)
     Opts.Log = &std::cerr;
 
+  // ^C / --deadline-ms stop the campaign cooperatively; every failure
+  // found so far is still reported (SA_RESETHAND: a second ^C kills).
+  static CancelToken Cancel;
+  installSigintCancel(Cancel);
+  if (DeadlineMs != 0)
+    Cancel.setDeadlineMs(DeadlineMs);
+  Opts.Cancel = &Cancel;
+
   fuzz::DriverResult Result = fuzz::runFuzz(Opts);
+
+  if (Cancel.cancelled())
+    std::cerr << "hybridpt-fuzz: campaign cancelled; partial results "
+                 "follow\n";
 
   std::cout << "hybridpt-fuzz: " << Result.ProgramsRun << " programs, "
             << Result.Failures << " failing, " << Result.TotalViolations

@@ -21,6 +21,12 @@
 ///                      (checker monotonicity; R must refine B)
 ///   --budget MS        solver time budget per run (0 = unlimited)
 ///   --max-facts N      solver fact budget per run (0 = unlimited)
+///   --max-memory-mb N  solver memory budget per run (0 = unlimited)
+///   --deadline-ms MS   whole-process deadline; expiry cancels cleanly
+///
+/// ^C cancels cooperatively: the solver stops at its next guard poll and
+/// the report (text/JSONL/SARIF) is still rendered and flushed, marked as
+/// computed from an under-approximate fixpoint (second ^C kills).
 ///
 /// Exit codes: 0 success, 1 usage/input/analysis error, 2 monotonicity
 /// violation in --compare mode.  Diagnostics alone never fail the run;
@@ -34,6 +40,7 @@
 #include "context/PolicyRegistry.h"
 #include "ir/Program.h"
 #include "irtext/TextFormat.h"
+#include "support/Cancel.h"
 #include "workloads/Profiles.h"
 
 #include <cstring>
@@ -54,6 +61,8 @@ struct CliOptions {
   std::vector<std::string> Checks;
   uint64_t BudgetMs = 0;
   uint64_t MaxFacts = 0;
+  uint64_t MaxMemoryMb = 0;
+  uint64_t DeadlineMs = 0;
 };
 
 int usage(const char *Argv0) {
@@ -62,6 +71,7 @@ int usage(const char *Argv0) {
                "       [--format text|jsonl|sarif] [--output FILE]\n"
                "       [--compare BASE,REFINED] [--budget MS] "
                "[--max-facts N]\n"
+               "       [--max-memory-mb N] [--deadline-ms MS]\n"
                "       <file.ptir | benchmark-name>\n"
                "       "
             << Argv0 << " --list-checks | --list-policies\n";
@@ -136,6 +146,14 @@ int main(int argc, char **argv) {
       if (!Next(Val))
         return usage(argv[0]);
       Opts.MaxFacts = std::stoull(Val);
+    } else if (!std::strcmp(Arg, "--max-memory-mb")) {
+      if (!Next(Val))
+        return usage(argv[0]);
+      Opts.MaxMemoryMb = std::stoull(Val);
+    } else if (!std::strcmp(Arg, "--deadline-ms")) {
+      if (!Next(Val))
+        return usage(argv[0]);
+      Opts.DeadlineMs = std::stoull(Val);
     } else if (Arg[0] == '-') {
       return usage(argv[0]);
     } else if (Opts.Input.empty()) {
@@ -183,10 +201,19 @@ int main(int argc, char **argv) {
     OS = &OutFile;
   }
 
+  // ^C / --deadline-ms cancel cooperatively so a partial report still
+  // renders and flushes (SA_RESETHAND: a second ^C kills).
+  static CancelToken Cancel;
+  installSigintCancel(Cancel);
+  if (Opts.DeadlineMs != 0)
+    Cancel.setDeadlineMs(Opts.DeadlineMs);
+
   checks::LintOptions LOpts;
   LOpts.Checks = Opts.Checks;
   LOpts.TimeBudgetMs = Opts.BudgetMs;
   LOpts.MaxFacts = Opts.MaxFacts;
+  LOpts.MemoryBudgetBytes = Opts.MaxMemoryMb * 1000000;
+  LOpts.Cancel = &Cancel;
 
   if (!Opts.ComparePair.empty()) {
     std::vector<std::string> Pair = splitList(Opts.ComparePair);
@@ -211,8 +238,9 @@ int main(int argc, char **argv) {
     return 1;
   }
   if (Run.Aborted)
-    std::cerr << "warning: solver hit its budget; report is computed from "
-                 "an under-approximate fixpoint\n";
+    std::cerr << "warning: solver aborted (" << abortReasonName(Run.Reason)
+              << "); report is computed from an under-approximate "
+                 "fixpoint\n";
 
   if (Opts.Format == "text") {
     checks::renderText(*OS, *P, Run.Diags);

@@ -11,8 +11,10 @@ for the record schema).  Three summaries are printed:
     call count) — the "where did the time go" view;
   * top-K rule counters, summed over the final totals of each label —
     the "which Figure-2 rules did the work" view;
-  * per-label final heartbeat state (facts, nodes, memory) when
-    heartbeats are present.
+  * per-label final heartbeat state (facts, nodes, memory), each aborted
+    run flagged with its abort reason;
+  * fallback-ladder descents (docs/ROBUSTNESS.md): which labels degraded,
+    through which rungs, why, and how much time the aborted attempts cost.
 
 Only the Python standard library is used.  Unknown record types are
 ignored so the tool keeps working as the schema grows.
@@ -155,13 +157,44 @@ def summarize_heartbeats(records):
     if not last:
         return
     print(f"final heartbeat per label ({len(last)}):")
+    aborted = 0
     for label in sorted(last):
         hb = last[label]
+        line = (f"  {label or '(unlabeled)'}: "
+                f"steps={fmt_count(int(to_num(hb.get('step', 0))))} "
+                f"facts={fmt_count(int(to_num(hb.get('facts', 0))))} "
+                f"nodes={fmt_count(int(to_num(hb.get('nodes', 0))))} "
+                f"mem={fmt_bytes(int(to_num(hb.get('memory_bytes', 0))))}")
+        reason = hb.get("abort_reason")
+        if isinstance(reason, str) and reason:
+            aborted += 1
+            line += f"  ABORTED ({reason})"
+        print(line)
+    if aborted:
+        print(f"{aborted} of {len(last)} label(s) aborted; their facts are "
+              f"partial under-approximations")
+
+
+def summarize_ladder(records):
+    """Fallback-ladder descents, grouped per label (docs/ROBUSTNESS.md)."""
+    by_label = {}
+    for rec in records:
+        if rec.get("type") == "ladder":
+            by_label.setdefault(str(rec.get("label", "")), []).append(rec)
+    if not by_label:
+        return
+    print(f"fallback ladder ({len(by_label)} degraded label(s)):")
+    for label in sorted(by_label):
+        hops = by_label[label]
+        wasted = sum(to_num(h.get("solve_ms", 0.0), 0.0) for h in hops)
+        chain = []
+        for hop in hops:
+            chain.append(f"{hop.get('from', '?')} "
+                         f"[{hop.get('reason', '?')}]")
+        landed = hops[-1].get("to") or "EXHAUSTED"
         print(f"  {label or '(unlabeled)'}: "
-              f"steps={fmt_count(int(to_num(hb.get('step', 0))))} "
-              f"facts={fmt_count(int(to_num(hb.get('facts', 0))))} "
-              f"nodes={fmt_count(int(to_num(hb.get('nodes', 0))))} "
-              f"mem={fmt_bytes(int(to_num(hb.get('memory_bytes', 0))))}")
+              f"{' -> '.join(chain)} -> {landed}  "
+              f"(aborted attempts cost {fmt_ms(wasted)})")
 
 
 def main():
@@ -189,6 +222,10 @@ def main():
     summarize_rules(records, args.top)
     print()
     summarize_heartbeats(records)
+    ladder = [r for r in records if r.get("type") == "ladder"]
+    if ladder:
+        print()
+        summarize_ladder(records)
     return 0
 
 
