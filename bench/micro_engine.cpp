@@ -257,7 +257,9 @@ int main(int argc, char **argv) {
   Args.push_back(argv[0]);
   for (int I = 1; I < argc; ++I) {
     if (std::strcmp(argv[I], "--threads") == 0 && I + 1 < argc)
-      ThreadCounts.push_back(std::strtol(argv[++I], nullptr, 10));
+      // 0 = hardware concurrency, same rule as every other harness.
+      ThreadCounts.push_back(pt::ThreadPool::resolveThreads(
+          static_cast<unsigned>(std::strtoul(argv[++I], nullptr, 10))));
     else if (std::strcmp(argv[I], "--trace-out") == 0 && I + 1 < argc)
       TraceOut = argv[++I];
     else

@@ -1,0 +1,247 @@
+//===- bench/summary_bench.cpp - Worklist vs. summary engine --------------===//
+//
+// Part of the hybridpt project (PLDI 2013 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Head-to-head of the two solving modes (docs/PERF.md): for each
+/// (benchmark, policy) cell, solve with the worklist engine, the summary
+/// engine's deterministic inline sweep (1 thread), and the summary engine's
+/// work-stealing sweep at --threads N (default 8; 0 = hardware).  Each
+/// cell's record in BENCH_summary.json carries
+///
+///   * `speedup`       — worklist time / multi-threaded summary time,
+///   * `self_speedup`  — 1-thread summary time / N-thread summary time,
+///   * `parallelism`   — work/span (TotalBusyMs / CriticalPathMs), the
+///                       speedup an unbounded machine could extract from
+///                       the SCC DAG regardless of how many cores this
+///                       host actually has, and
+///   * scheduler utilization counters (tasks, steals, idle backoffs).
+///
+/// On a single-core host the measured speedups hover around 1.0 while
+/// `parallelism` still reports the available DAG width — compare it with
+/// the recorded `hardware_threads` before reading anything into the
+/// measured numbers (tools/check_bench_regression.py treats `speedup` as
+/// warn-only for exactly this reason).
+///
+/// All times are medians over --runs repetitions (default 3), as in the
+/// paper.  Every cell also cross-checks that both engines report the same
+/// context-sensitive var-points-to fact count; a mismatch fails the run,
+/// since the engines provably compute the same least fixpoint.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "context/PolicyRegistry.h"
+#include "ir/Program.h"
+#include "pta/AnalysisResult.h"
+#include "pta/summary/SummarySolver.h"
+#include "support/TableWriter.h"
+#include "support/ThreadPool.h"
+#include "workloads/Profiles.h"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace pt;
+
+namespace {
+
+/// One engine leg of a cell: median time plus the facts it computed.
+struct Leg {
+  double MedianMs = 0.0;
+  size_t CsVarPointsTo = 0;
+  bool Aborted = false;
+  summary::SummaryStats Stats; // Meaningful for summary legs only.
+};
+
+double medianOf(std::vector<double> Times) {
+  std::sort(Times.begin(), Times.end());
+  return Times[Times.size() / 2];
+}
+
+/// Solves (Prog, Policy) Runs times with the given engine and returns the
+/// median-time leg.  A fresh policy per repetition keeps context interning
+/// cold, matching how table1_main measures cells.
+Leg runLeg(const Program &Prog, const std::string &Policy,
+           SolverEngine Engine, unsigned SummaryThreads, uint32_t Runs,
+           uint64_t BudgetMs) {
+  Leg Out;
+  std::vector<double> Times;
+  for (uint32_t Rep = 0; Rep < Runs; ++Rep) {
+    auto Pol = createPolicy(Policy, Prog);
+    SolverOptions Opts;
+    Opts.TimeBudgetMs = BudgetMs;
+    Opts.Engine = Engine;
+    Opts.SummaryThreads = SummaryThreads;
+    summary::SummaryStats Stats;
+    AnalysisResult R = Engine == SolverEngine::Summary
+                           ? summary::solveSummary(Prog, *Pol, Opts, &Stats)
+                           : solveProgram(Prog, *Pol, Opts);
+    if (R.Aborted) {
+      Out.Aborted = true;
+      return Out;
+    }
+    Times.push_back(R.SolveMs);
+    if (Rep == 0) {
+      Out.CsVarPointsTo = R.numCsVarPointsTo();
+      Out.Stats = Stats;
+    }
+  }
+  Out.MedianMs = medianOf(std::move(Times));
+  return Out;
+}
+
+int usage() {
+  std::cerr << "usage: summary_bench [benchmark]... [--policy NAME]...\n"
+               "       [--threads N] [--runs N] [--json PATH]\n"
+               "(benchmarks default to luindex lusearch antlr; policies "
+               "default to insens 2obj+H;\n --threads is the summary sweep "
+               "width, default 8, 0 = hardware)\n";
+  return 1;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::vector<std::string> Benchmarks;
+  std::vector<std::string> Policies;
+  unsigned Threads = 8;
+  uint32_t Runs = 3;
+  std::string JsonPath = "BENCH_summary.json";
+  uint64_t BudgetMs = CellOptions::fromEnv().BudgetMs;
+
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--threads") == 0 && I + 1 < argc) {
+      Threads = ThreadPool::resolveThreads(
+          static_cast<unsigned>(std::strtoul(argv[++I], nullptr, 10)));
+    } else if (std::strcmp(argv[I], "--runs") == 0 && I + 1 < argc) {
+      Runs = std::max(1u, static_cast<unsigned>(
+                              std::strtoul(argv[++I], nullptr, 10)));
+    } else if (std::strcmp(argv[I], "--policy") == 0 && I + 1 < argc) {
+      Policies.push_back(argv[++I]);
+    } else if (std::strcmp(argv[I], "--json") == 0 && I + 1 < argc) {
+      JsonPath = argv[++I];
+    } else if (isBenchmarkName(argv[I])) {
+      Benchmarks.push_back(argv[I]);
+    } else {
+      std::cerr << "unknown argument '" << argv[I] << "'\n";
+      return usage();
+    }
+  }
+  if (Benchmarks.empty())
+    Benchmarks = {"luindex", "lusearch", "antlr"};
+  if (Policies.empty())
+    Policies = {"insens", "2obj+H"};
+  for (const std::string &P : Policies)
+    if (!createPolicy(P, *buildBenchmark("luindex").Prog)) {
+      std::cerr << "unknown policy '" << P << "'\n";
+      return usage();
+    }
+
+  std::cout << "summary_bench: worklist vs. summary engine (" << Runs
+            << " runs/cell, " << Threads << " sweep workers, "
+            << ThreadPool::hardwareThreads() << " hardware threads)\n\n";
+
+  TableWriter T;
+  T.setHeader({"benchmark", "policy", "worklist_ms", "summary1_ms",
+               "summaryN_ms", "speedup", "self_speedup", "parallelism",
+               "sccs", "depth"});
+
+  std::ostringstream Cells;
+  bool FactMismatch = false;
+  size_t NumCells = 0;
+  for (const std::string &Name : Benchmarks) {
+    Benchmark Bench = buildBenchmark(Name);
+    for (const std::string &Policy : Policies) {
+      Leg Worklist = runLeg(*Bench.Prog, Policy, SolverEngine::Worklist, 1,
+                            Runs, BudgetMs);
+      Leg Sum1 = runLeg(*Bench.Prog, Policy, SolverEngine::Summary, 1, Runs,
+                        BudgetMs);
+      Leg SumN = runLeg(*Bench.Prog, Policy, SolverEngine::Summary, Threads,
+                        Runs, BudgetMs);
+      bool Aborted = Worklist.Aborted || Sum1.Aborted || SumN.Aborted;
+      bool Match = Aborted || (Worklist.CsVarPointsTo == Sum1.CsVarPointsTo &&
+                               Worklist.CsVarPointsTo == SumN.CsVarPointsTo);
+      if (!Match) {
+        FactMismatch = true;
+        std::cerr << "FACT MISMATCH " << Name << "/" << Policy
+                  << ": worklist=" << Worklist.CsVarPointsTo
+                  << " summary1=" << Sum1.CsVarPointsTo
+                  << " summaryN=" << SumN.CsVarPointsTo << "\n";
+      }
+      double Speedup =
+          Aborted || SumN.MedianMs <= 0 ? 0 : Worklist.MedianMs / SumN.MedianMs;
+      double SelfSpeedup =
+          Aborted || SumN.MedianMs <= 0 ? 0 : Sum1.MedianMs / SumN.MedianMs;
+      const summary::SummaryStats &S = SumN.Stats;
+
+      T.addRow({Name, Policy,
+                Aborted ? "-" : formatFixed(Worklist.MedianMs, 1),
+                Aborted ? "-" : formatFixed(Sum1.MedianMs, 1),
+                Aborted ? "-" : formatFixed(SumN.MedianMs, 1),
+                Aborted ? "-" : formatFixed(Speedup, 2),
+                Aborted ? "-" : formatFixed(SelfSpeedup, 2),
+                Aborted ? "-" : formatFixed(S.parallelism(), 2),
+                std::to_string(S.NumSCCs), std::to_string(S.MaxDepth)});
+
+      if (NumCells++)
+        Cells << ",\n";
+      Cells << "    {\"benchmark\": \"" << Name << "\", \"policy\": \""
+            << Policy << "\", \"aborted\": " << (Aborted ? "true" : "false");
+      if (!Aborted) {
+        Cells << ", \"time_ms\": " << formatFixed(SumN.MedianMs, 3)
+              << ", \"worklist_ms\": " << formatFixed(Worklist.MedianMs, 3)
+              << ", \"summary_1t_ms\": " << formatFixed(Sum1.MedianMs, 3)
+              << ", \"speedup\": " << formatFixed(Speedup, 3)
+              << ", \"self_speedup\": " << formatFixed(SelfSpeedup, 3)
+              << ", \"cs_vpt_facts\": " << Worklist.CsVarPointsTo
+              << ", \"facts_match\": " << (Match ? "true" : "false");
+      }
+      Cells << ", \"num_sccs\": " << S.NumSCCs
+            << ", \"max_depth\": " << S.MaxDepth
+            << ", \"activated_sccs\": " << S.ActivatedSCCs
+            << ", \"cross_msgs\": " << S.CrossMsgs
+            << ", \"utilization\": {\"workers\": " << S.Threads
+            << ", \"tasks\": " << S.PoolTasks << ", \"steals\": " << S.Steals
+            << ", \"idle_backoffs\": " << S.IdleBackoffs
+            << ", \"busy_ms\": " << formatFixed(S.TotalBusyMs, 3)
+            << ", \"critical_path_ms\": " << formatFixed(S.CriticalPathMs, 3)
+            << ", \"parallelism\": " << formatFixed(S.parallelism(), 3)
+            << ", \"wall_ms\": " << formatFixed(S.WallMs, 3) << "}}";
+    }
+  }
+
+  T.print(std::cout);
+  std::cout << "\n(parallelism = work/span of the SCC DAG; measured "
+               "speedups are bounded by the "
+            << ThreadPool::hardwareThreads() << " hardware thread(s))\n";
+
+  if (!JsonPath.empty() && JsonPath != "-") {
+    std::ofstream OS(JsonPath);
+    if (!OS) {
+      std::cerr << "cannot write '" << JsonPath << "'\n";
+      return 1;
+    }
+    OS << "{\n  \"harness\": \"summary_bench\",\n  \"budget_ms\": "
+       << BudgetMs << ",\n  \"runs\": " << Runs
+       << ",\n  \"threads\": " << Threads << ",\n  \"solver\": \"summary\""
+       << ",\n  \"solver_threads\": " << Threads
+       << ",\n  \"hardware_threads\": " << ThreadPool::hardwareThreads()
+       << ",\n  \"cells\": [\n"
+       << Cells.str() << "\n  ]\n}\n";
+    if (!OS) {
+      std::cerr << "short write to '" << JsonPath << "'\n";
+      return 1;
+    }
+    std::cout << "wrote " << NumCells << " cells to " << JsonPath << "\n";
+  }
+  return FactMismatch ? 1 : 0;
+}

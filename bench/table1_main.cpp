@@ -35,6 +35,7 @@
 #include "ir/Program.h"
 #include "pta/Trace.h"
 #include "support/TableWriter.h"
+#include "support/ThreadPool.h"
 #include "workloads/Profiles.h"
 
 #include <cstring>
@@ -61,7 +62,19 @@ int main(int argc, char **argv) {
     } else if (std::strcmp(argv[I], "--progress") == 0) {
       Progress = true;
     } else if (std::strcmp(argv[I], "--threads") == 0 && I + 1 < argc) {
-      Opts.Threads = static_cast<unsigned>(std::strtoul(argv[++I], nullptr, 10));
+      // 0 = hardware concurrency (ThreadPool::resolveThreads is the one
+      // shared interpretation; docs/PERF.md).
+      Opts.Threads = ThreadPool::resolveThreads(
+          static_cast<unsigned>(std::strtoul(argv[++I], nullptr, 10)));
+    } else if (std::strcmp(argv[I], "--solver") == 0 && I + 1 < argc) {
+      if (!parseSolverEngine(argv[++I], Opts.Engine)) {
+        std::cerr << "unknown solver '" << argv[I]
+                  << "' (worklist or summary)\n";
+        return 1;
+      }
+    } else if (std::strcmp(argv[I], "--solver-threads") == 0 && I + 1 < argc) {
+      Opts.SolverThreads =
+          static_cast<unsigned>(std::strtoul(argv[++I], nullptr, 10));
     } else if (std::strcmp(argv[I], "--json") == 0 && I + 1 < argc) {
       JsonPath = argv[++I];
     } else if (std::strcmp(argv[I], "--trace-out") == 0 && I + 1 < argc) {
@@ -74,8 +87,10 @@ int main(int argc, char **argv) {
       std::cerr << "unknown benchmark '" << argv[I] << "'; known:";
       for (const std::string &N : benchmarkNames())
         std::cerr << ' ' << N;
-      std::cerr << "\n(options: --csv, --ladder, --threads N, --json PATH, "
-                   "--trace-out FILE, --chrome-trace FILE, --progress)\n";
+      std::cerr << "\n(options: --csv, --ladder, --threads N, "
+                   "--solver worklist|summary, --solver-threads N, "
+                   "--json PATH, --trace-out FILE, --chrome-trace FILE, "
+                   "--progress)\n";
       return 1;
     }
   }

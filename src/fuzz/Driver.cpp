@@ -94,6 +94,7 @@ DriverResult pt::fuzz::runFuzz(const DriverOptions &Opts) {
     OOpts.Cancel = Opts.Cancel;
     OOpts.FullReferenceDiff =
         Opts.FullDiffEvery != 0 && Index % Opts.FullDiffEvery == 0;
+    OOpts.CheckSummary = Opts.CompareSummary;
 
     OracleReport Report = checkProgram(*Prog, OOpts);
     ++Result.ProgramsRun;

@@ -48,6 +48,11 @@ struct DriverOptions {
   uint64_t SolverTimeBudgetMs = 0;
   /// Policies to check; empty = the thirteen paper analyses.
   std::vector<std::string> Policies;
+  /// Fourth comparison axis (OracleOptions::CheckSummary): re-solve every
+  /// policy with the compositional summary engine and require bit-identical
+  /// exports against the worklist run.  Roughly doubles per-program solver
+  /// cost, so it is opt-in (--compare-summary).
+  bool CompareSummary = false;
   /// Progress/diagnostics stream (nullptr = silent).
   std::ostream *Log = nullptr;
   /// Cooperative cancellation (^C / deadline); nullptr = none.  A

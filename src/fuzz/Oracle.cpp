@@ -77,28 +77,41 @@ std::string renderRow(const std::vector<uint32_t> &Row) {
 }
 
 /// Exact export comparison (both directions), as in the differential test
-/// suite but reporting rather than asserting.
+/// suite but reporting rather than asserting.  \p LeftSide / \p RightSide
+/// name the two engines in the message ("solver" vs "ref", "worklist" vs
+/// "summary").
+void diffExportsLabeled(const char *Relation, const char *LeftSide,
+                        const std::vector<std::vector<uint32_t>> &Left,
+                        const char *RightSide,
+                        const std::vector<std::vector<uint32_t>> &Right,
+                        const std::string &Policy, size_t MaxExamples,
+                        std::vector<CiViolation> &Out) {
+  if (Left == Right)
+    return;
+  std::vector<std::vector<uint32_t>> OnlyLeft, OnlyRight;
+  std::set_difference(Left.begin(), Left.end(), Right.begin(), Right.end(),
+                      std::back_inserter(OnlyLeft));
+  std::set_difference(Right.begin(), Right.end(), Left.begin(), Left.end(),
+                      std::back_inserter(OnlyRight));
+  std::ostringstream OS;
+  OS << Relation << ": " << LeftSide << "/" << Policy << " vs " << RightSide
+     << "/" << Policy << " exports differ: " << OnlyLeft.size() << " rows "
+     << LeftSide << "-only, " << OnlyRight.size() << " rows " << RightSide
+     << "-only;";
+  for (size_t I = 0; I < OnlyLeft.size() && I < MaxExamples; ++I)
+    OS << " " << LeftSide << "-only " << renderRow(OnlyLeft[I]);
+  for (size_t I = 0; I < OnlyRight.size() && I < MaxExamples; ++I)
+    OS << " " << RightSide << "-only " << renderRow(OnlyRight[I]);
+  Out.push_back({Relation, OS.str()});
+}
+
 void diffExports(const char *Relation,
                  const std::vector<std::vector<uint32_t>> &Solver,
                  const std::vector<std::vector<uint32_t>> &Ref,
                  const std::string &Policy, size_t MaxExamples,
                  std::vector<CiViolation> &Out) {
-  if (Solver == Ref)
-    return;
-  std::vector<std::vector<uint32_t>> OnlySolver, OnlyRef;
-  std::set_difference(Solver.begin(), Solver.end(), Ref.begin(), Ref.end(),
-                      std::back_inserter(OnlySolver));
-  std::set_difference(Ref.begin(), Ref.end(), Solver.begin(), Solver.end(),
-                      std::back_inserter(OnlyRef));
-  std::ostringstream OS;
-  OS << Relation << ": solver/" << Policy << " vs ref/" << Policy
-     << " exports differ: " << OnlySolver.size() << " rows solver-only, "
-     << OnlyRef.size() << " rows ref-only;";
-  for (size_t I = 0; I < OnlySolver.size() && I < MaxExamples; ++I)
-    OS << " solver-only " << renderRow(OnlySolver[I]);
-  for (size_t I = 0; I < OnlyRef.size() && I < MaxExamples; ++I)
-    OS << " ref-only " << renderRow(OnlyRef[I]);
-  Out.push_back({Relation, OS.str()});
+  diffExportsLabeled(Relation, "solver", Solver, "ref", Ref, Policy,
+                     MaxExamples, Out);
 }
 
 /// Ids of the registered Direction::May checkers — the monotone ones.
@@ -207,6 +220,51 @@ OracleReport pt::fuzz::checkProgram(const Program &Prog,
         diffExports("MethodThrows", R.exportThrowPointsTo(),
                     Ref.exportThrowPointsTo(), Name,
                     Opts.MaxViolationsPerCheck, Report.Violations);
+        if (Report.Violations.size() > Before)
+          Involved.insert(Name);
+      }
+    }
+
+    // Fourth comparison axis: the compositional summary engine
+    // (pta/summary) solves the same monotone constraint system, whose
+    // least fixpoint is unique, so its canonical exports must match the
+    // worklist engine's bit for bit under every policy.  The summary run
+    // gets its own fresh policy (context ids are interning-order-relative,
+    // and exports re-encode them through the policy's tables — the policy
+    // must outlive the result).
+    if (Opts.CheckSummary) {
+      auto SumPolicy = createPolicy(Name, Prog);
+      SolverOptions SumOpts = SOpts;
+      SumOpts.Engine = SolverEngine::Summary;
+      AnalysisResult SumR = solveProgram(Prog, *SumPolicy, SumOpts);
+      // A budget/cancel abort in only one engine is a timing artifact,
+      // not a divergence; comparing a truncated fixpoint would be noise.
+      if (!SumR.Aborted) {
+        size_t Before = Report.Violations.size();
+        diffExportsLabeled("VarPointsTo", "worklist", R.exportVarPointsTo(),
+                           "summary", SumR.exportVarPointsTo(), Name,
+                           Opts.MaxViolationsPerCheck, Report.Violations);
+        diffExportsLabeled("CallGraph", "worklist", R.exportCallGraph(),
+                           "summary", SumR.exportCallGraph(), Name,
+                           Opts.MaxViolationsPerCheck, Report.Violations);
+        diffExportsLabeled("FldPointsTo", "worklist", R.exportFieldPointsTo(),
+                           "summary", SumR.exportFieldPointsTo(), Name,
+                           Opts.MaxViolationsPerCheck, Report.Violations);
+        diffExportsLabeled("Reachable", "worklist", R.exportReachable(),
+                           "summary", SumR.exportReachable(), Name,
+                           Opts.MaxViolationsPerCheck, Report.Violations);
+        diffExportsLabeled("StaticFldPointsTo", "worklist",
+                           R.exportStaticFieldPointsTo(), "summary",
+                           SumR.exportStaticFieldPointsTo(), Name,
+                           Opts.MaxViolationsPerCheck, Report.Violations);
+        diffExportsLabeled("MethodThrows", "worklist", R.exportThrowPointsTo(),
+                           "summary", SumR.exportThrowPointsTo(), Name,
+                           Opts.MaxViolationsPerCheck, Report.Violations);
+        // The projection comparison catches client-level divergence even
+        // if a future export grows schedule-dependent fields.
+        CiProjection SumProj = ciProject(SumR);
+        Check(SumProj, Proj, "summary:" + Name, Name, {Name});
+        Check(Proj, SumProj, Name, "summary:" + Name, {Name});
         if (Report.Violations.size() > Before)
           Involved.insert(Name);
       }

@@ -73,6 +73,12 @@ struct OracleOptions {
   bool FullReferenceDiff = false;
   /// Check the precision-ordering invariants between refining pairs.
   bool CheckOrdering = true;
+  /// Fourth comparison axis: re-solve every non-aborted policy with the
+  /// compositional summary engine (pta/summary/SummarySolver.h) and
+  /// require bit-identical canonical exports against the worklist run.
+  /// Any divergence is a routing bug in the SCC engine (or a
+  /// schedule-dependence bug in the worklist engine).
+  bool CheckSummary = false;
   /// Check checker monotonicity between refining pairs: the refined policy
   /// must never report a may-fail cast, polymorphic call site, or escaping
   /// object the coarser policy proves safe (src/checks Direction::May

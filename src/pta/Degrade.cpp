@@ -86,8 +86,7 @@ LadderResult pt::solveWithLadder(const Program &Prog,
       SOpts.TraceLabel = Opts.TraceLabel + "~" + Rung;
     if (LOpts.WarmStart && Rung == "insens")
       SOpts.SeedReachable = Seeds;
-    Solver S(Prog, *Pol, SOpts);
-    AnalysisResult R = S.run();
+    AnalysisResult R = solveProgram(Prog, *Pol, SOpts);
     Out.Trail.push_back({Rung, R.SolveMs, R.Reason});
 
     bool ResourceAbort =

@@ -78,9 +78,14 @@ public:
   double nowMs() const { return Epoch.elapsedMs(); }
 
   /// Records a span open/close pair on the calling thread's timeline.
-  /// Prefer the RAII \c Span wrapper.
-  void beginSpan(std::string_view Name, std::string_view Cat);
-  void endSpan(std::string_view Name, std::string_view Cat, double StartMs);
+  /// \p ArgsJson is an optional preformatted JSON object ("{"k":v}") that
+  /// lands in the JSONL span record and the Chrome event's "args" — the
+  /// summary solver tags per-SCC spans with {"scc","depth","methods"} this
+  /// way.  Prefer the RAII \c Span wrapper.
+  void beginSpan(std::string_view Name, std::string_view Cat,
+                 std::string_view ArgsJson = {});
+  void endSpan(std::string_view Name, std::string_view Cat, double StartMs,
+               std::string_view ArgsJson = {});
 
   /// Records a heartbeat (streams a JSONL line, remembers it as the
   /// label's latest, mirrors to the progress stream when enabled).
@@ -110,16 +115,17 @@ public:
   /// RAII span; a null recorder makes it a no-op.
   class Span {
   public:
-    Span(TraceRecorder *Rec, std::string_view Name, std::string_view Cat)
-        : Rec(Rec), Name(Name), Cat(Cat) {
+    Span(TraceRecorder *Rec, std::string_view Name, std::string_view Cat,
+         std::string_view ArgsJson = {})
+        : Rec(Rec), Name(Name), Cat(Cat), Args(ArgsJson) {
       if (Rec) {
         StartMs = Rec->nowMs();
-        Rec->beginSpan(this->Name, this->Cat);
+        Rec->beginSpan(this->Name, this->Cat, this->Args);
       }
     }
     ~Span() {
       if (Rec)
-        Rec->endSpan(Name, Cat, StartMs);
+        Rec->endSpan(Name, Cat, StartMs, Args);
     }
     Span(const Span &) = delete;
     Span &operator=(const Span &) = delete;
@@ -128,6 +134,7 @@ public:
     TraceRecorder *Rec;
     std::string Name;
     std::string Cat;
+    std::string Args;
     double StartMs = 0.0;
   };
 

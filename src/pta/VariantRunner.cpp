@@ -64,11 +64,11 @@ PrecisionMetrics runOneCell(const Program &Prog, const std::string &Policy,
         Rep.Aborted = true;
         return Rep;
       }
-      Solver S(Prog, *Pol, CellOpts);
       AnalysisResult R = [&] {
         trace::TraceRecorder::Span SolveSpan(CellOpts.Trace, "solve",
                                              "phase");
-        return S.run();
+        // Engine choice (worklist or summary) rides in on CellOpts.
+        return solveProgram(Prog, *Pol, CellOpts);
       }();
       trace::TraceRecorder::Span MetricsSpan(CellOpts.Trace, "metrics",
                                              "phase");

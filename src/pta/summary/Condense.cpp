@@ -1,0 +1,185 @@
+//===- pta/summary/Condense.cpp --------------------------------------------===//
+//
+// Part of the hybridpt project (PLDI 2013 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pta/summary/Condense.h"
+
+#include "ir/Program.h"
+
+#include <algorithm>
+#include <limits>
+
+using namespace pt;
+using namespace pt::summary;
+
+namespace {
+constexpr uint32_t Unvisited = std::numeric_limits<uint32_t>::max();
+} // namespace
+
+Condensation
+pt::summary::condenseGraph(uint32_t NumNodes,
+                           const std::vector<std::vector<uint32_t>> &Succ) {
+  Condensation C;
+  C.SccOf.assign(NumNodes, Unvisited);
+
+  // Iterative Tarjan.  Each DFS frame remembers how far into its node's
+  // successor list it got, so the loop resumes exactly where the recursive
+  // formulation would return to.
+  std::vector<uint32_t> Index(NumNodes, Unvisited);
+  std::vector<uint32_t> Low(NumNodes, 0);
+  std::vector<uint32_t> Stack;
+  std::vector<char> OnStack(NumNodes, 0);
+  struct Frame {
+    uint32_t Node;
+    uint32_t EdgePos;
+  };
+  std::vector<Frame> Dfs;
+  uint32_t NextIndex = 0;
+
+  for (uint32_t Root = 0; Root < NumNodes; ++Root) {
+    if (Index[Root] != Unvisited)
+      continue;
+    Index[Root] = Low[Root] = NextIndex++;
+    Stack.push_back(Root);
+    OnStack[Root] = 1;
+    Dfs.push_back({Root, 0});
+    while (!Dfs.empty()) {
+      Frame &F = Dfs.back();
+      uint32_t V = F.Node;
+      if (F.EdgePos < Succ[V].size()) {
+        uint32_t W = Succ[V][F.EdgePos++];
+        if (Index[W] == Unvisited) {
+          Index[W] = Low[W] = NextIndex++;
+          Stack.push_back(W);
+          OnStack[W] = 1;
+          Dfs.push_back({W, 0});
+        } else if (OnStack[W] && Index[W] < Low[V]) {
+          Low[V] = Index[W];
+        }
+        continue;
+      }
+      Dfs.pop_back();
+      if (!Dfs.empty()) {
+        uint32_t Parent = Dfs.back().Node;
+        if (Low[V] < Low[Parent])
+          Low[Parent] = Low[V];
+      }
+      if (Low[V] == Index[V]) {
+        // V roots a component; everything above it on the stack belongs
+        // to it.  Emission happens only after every reachable component
+        // below has been emitted, so component ids ascend bottom-up.
+        uint32_t Scc = C.NumSCCs++;
+        C.Members.emplace_back();
+        while (true) {
+          uint32_t W = Stack.back();
+          Stack.pop_back();
+          OnStack[W] = 0;
+          C.SccOf[W] = Scc;
+          C.Members.back().push_back(W);
+          if (W == V)
+            break;
+        }
+        std::sort(C.Members.back().begin(), C.Members.back().end());
+      }
+    }
+  }
+
+  // Condensed edges caller-component -> callee-component, deduplicated.
+  C.Succs.assign(C.NumSCCs, {});
+  for (uint32_t V = 0; V < NumNodes; ++V) {
+    uint32_t From = C.SccOf[V];
+    for (uint32_t W : Succ[V]) {
+      uint32_t To = C.SccOf[W];
+      if (From != To)
+        C.Succs[From].push_back(To);
+    }
+  }
+  for (std::vector<uint32_t> &S : C.Succs) {
+    std::sort(S.begin(), S.end());
+    S.erase(std::unique(S.begin(), S.end()), S.end());
+  }
+
+  // Bottom-up order: callee components got smaller Tarjan emission ids,
+  // so ascending id order IS the sweep order.
+  C.Topo.resize(C.NumSCCs);
+  C.TopoRank.resize(C.NumSCCs);
+  for (uint32_t S = 0; S < C.NumSCCs; ++S) {
+    C.Topo[S] = S;
+    C.TopoRank[S] = S;
+  }
+
+  // Depth over the DAG: successors have smaller ids, so one ascending
+  // pass sees every callee's depth before its callers.
+  C.Depth.assign(C.NumSCCs, 0);
+  for (uint32_t S = 0; S < C.NumSCCs; ++S)
+    for (uint32_t T : C.Succs[S])
+      if (C.Depth[T] + 1 > C.Depth[S])
+        C.Depth[S] = C.Depth[T] + 1;
+
+  return C;
+}
+
+std::vector<std::vector<uint32_t>>
+pt::summary::buildStaticCallGraph(const Program &Prog) {
+  uint32_t NumM = static_cast<uint32_t>(Prog.numMethods());
+  std::vector<std::vector<uint32_t>> Out(NumM);
+
+  // Instantiated types, RTA-style: every heap site's type counts because
+  // reachability is unknown before the solve.
+  std::vector<char> Instantiated(Prog.numTypes(), 0);
+  std::vector<TypeId> InstTypes;
+  for (size_t H = 0; H < Prog.numHeaps(); ++H) {
+    TypeId T = Prog.heap(HeapId::fromIndex(H)).Type;
+    if (!Instantiated[T.index()]) {
+      Instantiated[T.index()] = 1;
+      InstTypes.push_back(T);
+    }
+  }
+
+  // Per-signature virtual-callee cache: lookup(T, sig) over instantiated
+  // types, deduplicated.  Signatures repeat across call sites, so this
+  // turns the RTA sweep from O(sites * types) lookups into O(sigs * types).
+  std::vector<char> SigCached(Prog.numSigs(), 0);
+  std::vector<std::vector<uint32_t>> SigCallees(Prog.numSigs());
+  auto virtualCallees = [&](SigId Sig) -> const std::vector<uint32_t> & {
+    uint32_t SI = Sig.index();
+    if (!SigCached[SI]) {
+      SigCached[SI] = 1;
+      std::vector<uint32_t> &Callees = SigCallees[SI];
+      for (TypeId T : InstTypes) {
+        MethodId M = Prog.lookup(T, Sig);
+        if (M.isValid())
+          Callees.push_back(M.index());
+      }
+      std::sort(Callees.begin(), Callees.end());
+      Callees.erase(std::unique(Callees.begin(), Callees.end()),
+                    Callees.end());
+    }
+    return SigCallees[SI];
+  };
+
+  for (uint32_t MI = 0; MI < NumM; ++MI) {
+    const MethodInfo &M = Prog.method(MethodId(MI));
+    std::vector<uint32_t> &Callees = Out[MI];
+    for (InvokeId Invo : M.Invokes) {
+      const InvokeInfo &Call = Prog.invoke(Invo);
+      if (Call.IsStatic) {
+        if (Call.Target.isValid())
+          Callees.push_back(Call.Target.index());
+      } else {
+        const std::vector<uint32_t> &VC = virtualCallees(Call.Sig);
+        Callees.insert(Callees.end(), VC.begin(), VC.end());
+      }
+    }
+    std::sort(Callees.begin(), Callees.end());
+    Callees.erase(std::unique(Callees.begin(), Callees.end()), Callees.end());
+  }
+  return Out;
+}
+
+Condensation pt::summary::condenseProgram(const Program &Prog) {
+  return condenseGraph(static_cast<uint32_t>(Prog.numMethods()),
+                       buildStaticCallGraph(Prog));
+}

@@ -1,0 +1,87 @@
+//===- pta/summary/Condense.h - Call-graph SCC condensation -----*- C++ -*-===//
+//
+// Part of the hybridpt project (PLDI 2013 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The structural pre-pass of the compositional summary solver
+/// (docs/PERF.md): condense a context-insensitive over-approximation of
+/// the call graph into strongly connected components and order the SCC DAG
+/// bottom-up (callees before callers), so independent components can be
+/// solved concurrently and each component sees its callees' summaries
+/// before it starts.
+///
+/// The pre-graph is an RTA-style approximation: every method is a node,
+/// static calls edge to their resolved target, and a virtual call edges to
+/// \c lookup(T, sig) for every instantiated type T (all heap-site types —
+/// reachability is not known yet).  Precision here only affects *schedule*
+/// quality, never results: the summary solver routes facts between
+/// components by message, so a callee the pre-graph missed simply lands in
+/// a different component and costs some extra cross-component traffic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HYBRIDPT_PTA_SUMMARY_CONDENSE_H
+#define HYBRIDPT_PTA_SUMMARY_CONDENSE_H
+
+#include "support/Ids.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace pt {
+
+class Program;
+
+namespace summary {
+
+/// The SCC condensation of a directed graph over dense node ids.
+struct Condensation {
+  /// Number of components.  Component ids are Tarjan emission order,
+  /// which is a reverse-topological (bottom-up) order of the DAG: every
+  /// successor (callee) component has a smaller id than its callers.
+  uint32_t NumSCCs = 0;
+  /// Node index -> component id.
+  std::vector<uint32_t> SccOf;
+  /// Component id -> member node indices, in ascending node order.
+  std::vector<std::vector<uint32_t>> Members;
+  /// Component id -> distinct successor components (edges point from
+  /// caller-component to callee-component), ascending, no self-loops.
+  std::vector<std::vector<uint32_t>> Succs;
+  /// Component ids in bottom-up order (callees before callers).  With
+  /// Tarjan emission ids this is simply 0, 1, ..., NumSCCs-1; kept
+  /// explicit so consumers do not depend on that accident.
+  std::vector<uint32_t> Topo;
+  /// Component id -> position in \c Topo (the bottom-up rank).
+  std::vector<uint32_t> TopoRank;
+  /// Component id -> longest successor-path length below it (leaves are
+  /// 0).  The maximum over all components is the DAG's height — a lower
+  /// bound on sequential sweep depth.
+  std::vector<uint32_t> Depth;
+
+  /// True when \p A and \p B are in the same component.
+  bool sameScc(uint32_t A, uint32_t B) const {
+    return SccOf[A] == SccOf[B];
+  }
+};
+
+/// Condenses the graph with \p NumNodes nodes and adjacency \p Succ
+/// (Succ[n] = successor node indices; duplicates and self-loops allowed).
+/// Iterative Tarjan — no recursion, so deep call chains cannot overflow
+/// the stack.  Deterministic for fixed input.
+Condensation condenseGraph(uint32_t NumNodes,
+                           const std::vector<std::vector<uint32_t>> &Succ);
+
+/// Builds the RTA-style context-insensitive call graph over all methods
+/// of \p Prog: Out[m] lists callee method indices of every invoke in m
+/// (static targets plus virtual lookups over all heap-site types).
+std::vector<std::vector<uint32_t>> buildStaticCallGraph(const Program &Prog);
+
+/// Convenience: condenseGraph over buildStaticCallGraph.
+Condensation condenseProgram(const Program &Prog);
+
+} // namespace summary
+} // namespace pt
+
+#endif // HYBRIDPT_PTA_SUMMARY_CONDENSE_H

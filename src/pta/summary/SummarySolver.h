@@ -1,0 +1,83 @@
+//===- pta/summary/SummarySolver.h - Compositional SCC solver ---*- C++ -*-===//
+//
+// Part of the hybridpt project (PLDI 2013 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compositional solving mode (`--solver=summary`, docs/PERF.md): the
+/// context-insensitive call graph is condensed into SCCs (Condense.h) and
+/// each component becomes a *partition* — a mini difference-propagation
+/// solver over the nodes it owns, with memoized (method, context)
+/// instantiation playing the role of value-contexts-style method summaries
+/// (Padhye & Khedker; see PAPERS.md).  Call sites instantiate callee
+/// summaries under the cell's Record/Merge policy exactly as the worklist
+/// solver does; facts and edges that cross component boundaries travel as
+/// messages, so iteration happens only *within* an SCC and independent
+/// SCCs of the bottom-up sweep solve concurrently on a work-stealing
+/// `support/ThreadPool`.
+///
+/// Both engines compute the same least fixpoint: the rule system is
+/// monotone with deterministic rule functions, so the fixpoint is unique
+/// regardless of schedule, and the canonical sorted exports
+/// (AnalysisResult) are bit-identical to the worklist solver's at any
+/// worker-thread count.  Schedule-dependent *diagnostics* (replay/dedup
+/// telemetry counters, PeakBytes) are deterministic only in
+/// single-threaded summary mode.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HYBRIDPT_PTA_SUMMARY_SUMMARYSOLVER_H
+#define HYBRIDPT_PTA_SUMMARY_SUMMARYSOLVER_H
+
+#include "pta/Solver.h"
+
+#include <cstdint>
+
+namespace pt {
+
+class Program;
+class ContextPolicy;
+
+namespace summary {
+
+/// Scheduler and memoization statistics of one summary-mode run, for
+/// BENCH_summary.json and the perf docs.  Memoization counters mirror the
+/// telemetry counters of the result (all-zero without HYBRIDPT_TELEMETRY);
+/// scheduling fields are always live.
+struct SummaryStats {
+  uint32_t NumSCCs = 0;        ///< Partitions (call-graph SCCs).
+  uint32_t MaxDepth = 0;       ///< Height of the SCC DAG.
+  uint64_t ActivatedSCCs = 0;  ///< Partitions that ever ran.
+  uint64_t Activations = 0;    ///< Drain tasks executed (scc_tasks).
+  uint64_t CrossMsgs = 0;      ///< Cross-partition messages sent.
+  uint64_t SummaryHits = 0;    ///< Memoized (method, ctx) re-requests.
+  uint64_t SummaryMisses = 0;  ///< Fresh (method, ctx) instantiations.
+  uint64_t SummaryInstantiations = 0; ///< Call-site summary links.
+  double TotalBusyMs = 0.0;    ///< Work: summed partition busy time.
+  double CriticalPathMs = 0.0; ///< Span: busiest dependency chain.
+  double WallMs = 0.0;         ///< Wall clock of the whole solve.
+  unsigned Threads = 1;        ///< Resolved worker-thread count.
+  uint64_t PoolTasks = 0;      ///< Jobs the pool executed (0 inline).
+  uint64_t Steals = 0;         ///< Work-stealing migrations.
+  uint64_t IdleBackoffs = 0;   ///< Worker idle sleeps.
+
+  /// Work/span parallelism — the speedup an unbounded machine could get.
+  double parallelism() const {
+    return CriticalPathMs > 0.0 ? TotalBusyMs / CriticalPathMs : 1.0;
+  }
+};
+
+/// Runs the summary engine on \p Prog under \p Policy.
+/// \p Opts.SummaryThreads picks the worker count (1 = deterministic
+/// inline sweep, 0 = hardware concurrency); budgets, cancellation, fault
+/// plans, seeds and heartbeats behave as in the worklist solver.  When
+/// \p Stats is non-null it receives the run's scheduler statistics.
+AnalysisResult solveSummary(const Program &Prog, ContextPolicy &Policy,
+                            const SolverOptions &Opts,
+                            SummaryStats *Stats = nullptr);
+
+} // namespace summary
+} // namespace pt
+
+#endif // HYBRIDPT_PTA_SUMMARY_SUMMARYSOLVER_H

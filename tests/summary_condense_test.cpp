@@ -1,0 +1,184 @@
+//===- tests/summary_condense_test.cpp - SCC condensation -----------------===//
+//
+// Part of the hybridpt project (PLDI 2013 reproduction).
+//
+// Unit tests for the summary solver's structural pre-pass
+// (pta/summary/Condense.h): Tarjan condensation on hand-built graphs with
+// self-loops, mutual recursion, and cross-SCC back edges, plus the
+// RTA-style call graph over a parsed program.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Program.h"
+#include "irtext/TextFormat.h"
+#include "pta/summary/Condense.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace {
+
+using namespace pt;
+using pt::summary::Condensation;
+using pt::summary::condenseGraph;
+
+using Adj = std::vector<std::vector<uint32_t>>;
+
+// Checks the invariants every condensation must satisfy: SccOf is a
+// partition consistent with Members, Succs has no self-loops, successor
+// component ids are strictly smaller (bottom-up emission order), and
+// Depth is the longest successor path.
+void checkInvariants(const Condensation &C, uint32_t NumNodes) {
+  ASSERT_EQ(C.SccOf.size(), NumNodes);
+  ASSERT_EQ(C.Members.size(), C.NumSCCs);
+  ASSERT_EQ(C.Succs.size(), C.NumSCCs);
+  ASSERT_EQ(C.Depth.size(), C.NumSCCs);
+  size_t Total = 0;
+  for (uint32_t S = 0; S < C.NumSCCs; ++S) {
+    Total += C.Members[S].size();
+    EXPECT_FALSE(C.Members[S].empty());
+    EXPECT_TRUE(std::is_sorted(C.Members[S].begin(), C.Members[S].end()));
+    for (uint32_t V : C.Members[S])
+      EXPECT_EQ(C.SccOf[V], S);
+    uint32_t Deepest = 0;
+    for (uint32_t T : C.Succs[S]) {
+      EXPECT_NE(T, S) << "condensed DAG must not have self-loops";
+      EXPECT_LT(T, S) << "callee components must have smaller ids";
+      Deepest = std::max(Deepest, C.Depth[T] + 1);
+    }
+    EXPECT_EQ(C.Depth[S], Deepest);
+  }
+  EXPECT_EQ(Total, NumNodes);
+  // Topo is the ascending-id identity order, and TopoRank its inverse.
+  for (uint32_t S = 0; S < C.NumSCCs; ++S)
+    EXPECT_EQ(C.TopoRank[C.Topo[S]], S);
+}
+
+TEST(Condense, EmptyGraph) {
+  Condensation C = condenseGraph(0, {});
+  EXPECT_EQ(C.NumSCCs, 0u);
+}
+
+TEST(Condense, SelfLoopIsItsOwnComponent) {
+  // 0 -> 0 (self-recursive method), 1 isolated.
+  Adj G{{0}, {}};
+  Condensation C = condenseGraph(2, G);
+  checkInvariants(C, 2);
+  EXPECT_EQ(C.NumSCCs, 2u);
+  EXPECT_NE(C.SccOf[0], C.SccOf[1]);
+  // The self-loop collapses: no component lists itself as a successor.
+  EXPECT_TRUE(C.Succs[C.SccOf[0]].empty());
+}
+
+TEST(Condense, MutualRecursionCollapses) {
+  // main(2) -> {even(0), odd(1)}, even <-> odd.
+  Adj G{{1}, {0}, {0, 1}};
+  Condensation C = condenseGraph(3, G);
+  checkInvariants(C, 3);
+  EXPECT_EQ(C.NumSCCs, 2u);
+  EXPECT_TRUE(C.sameScc(0, 1));
+  EXPECT_FALSE(C.sameScc(0, 2));
+  // Caller component sits above the recursive pair.
+  EXPECT_GT(C.SccOf[2], C.SccOf[0]);
+  EXPECT_EQ(C.Depth[C.SccOf[0]], 0u);
+  EXPECT_EQ(C.Depth[C.SccOf[2]], 1u);
+}
+
+TEST(Condense, CrossSccBackEdgeMergesChain) {
+  // Chain 0 -> 1 -> 2 -> 3 with a back edge 3 -> 1: {1,2,3} is one
+  // component, {0} another above it.
+  Adj G{{1}, {2}, {3}, {1}};
+  Condensation C = condenseGraph(4, G);
+  checkInvariants(C, 4);
+  EXPECT_EQ(C.NumSCCs, 2u);
+  EXPECT_TRUE(C.sameScc(1, 2));
+  EXPECT_TRUE(C.sameScc(2, 3));
+  EXPECT_FALSE(C.sameScc(0, 1));
+  EXPECT_GT(C.SccOf[0], C.SccOf[1]);
+}
+
+TEST(Condense, DiamondKeepsComponentsSeparate) {
+  // 3 -> {1, 2} -> 0: four singleton components, depth 0/1/1/2.
+  Adj G{{}, {0}, {0}, {1, 2}};
+  Condensation C = condenseGraph(4, G);
+  checkInvariants(C, 4);
+  EXPECT_EQ(C.NumSCCs, 4u);
+  EXPECT_EQ(C.Depth[C.SccOf[0]], 0u);
+  EXPECT_EQ(C.Depth[C.SccOf[1]], 1u);
+  EXPECT_EQ(C.Depth[C.SccOf[2]], 1u);
+  EXPECT_EQ(C.Depth[C.SccOf[3]], 2u);
+}
+
+TEST(Condense, DuplicateEdgesAndDisconnectedRoots) {
+  // Duplicate edges must not duplicate condensed successors; multiple
+  // DFS roots must all be covered.
+  Adj G{{1, 1, 1}, {}, {3}, {2}, {}};
+  Condensation C = condenseGraph(5, G);
+  checkInvariants(C, 5);
+  EXPECT_EQ(C.NumSCCs, 4u);
+  EXPECT_TRUE(C.sameScc(2, 3));
+  EXPECT_EQ(C.Succs[C.SccOf[0]].size(), 1u);
+}
+
+TEST(Condense, DeepChainDoesNotOverflowStack) {
+  // 100k-deep call chain: the iterative Tarjan must survive where a
+  // recursive one would blow the stack.
+  constexpr uint32_t N = 100000;
+  Adj G(N);
+  for (uint32_t V = 0; V + 1 < N; ++V)
+    G[V].push_back(V + 1);
+  Condensation C = condenseGraph(N, G);
+  EXPECT_EQ(C.NumSCCs, N);
+  EXPECT_EQ(C.Depth[C.SccOf[0]], N - 1);
+}
+
+TEST(Condense, ProgramCallGraphSeparatesRecursionFromCallers) {
+  // even/odd mutual recursion below main: condenseProgram must place the
+  // pair in one component strictly below main's.
+  const char *Src = R"(
+class Object {
+}
+class Box extends Object {
+}
+class App extends Object {
+  static method even/1 {
+    scall r App::odd/1 p0
+    return r
+  }
+  static method odd/1 {
+    scall r App::even/1 p0
+    return r
+  }
+  static method main/0 {
+    new b Box
+    scall x App::even/1 b
+  }
+}
+entry App::main/0
+)";
+  ParseResult Parsed = parseProgram(Src);
+  ASSERT_TRUE(Parsed.ok())
+      << (Parsed.Errors.empty() ? "" : Parsed.Errors.front());
+  const Program &Prog = *Parsed.Prog;
+  Condensation C = pt::summary::condenseProgram(Prog);
+  checkInvariants(C, static_cast<uint32_t>(Prog.numMethods()));
+
+  auto findMethod = [&](std::string_view Name) {
+    for (size_t M = 0; M < Prog.numMethods(); ++M)
+      if (Prog.qualifiedName(MethodId::fromIndex(M)) == Name)
+        return MethodId::fromIndex(M);
+    return MethodId::invalid();
+  };
+  MethodId Even = findMethod("App.even/1");
+  MethodId Odd = findMethod("App.odd/1");
+  MethodId Main = findMethod("App.main/0");
+  ASSERT_TRUE(Even.isValid());
+  ASSERT_TRUE(Odd.isValid());
+  ASSERT_TRUE(Main.isValid());
+  EXPECT_TRUE(C.sameScc(Even.index(), Odd.index()));
+  EXPECT_FALSE(C.sameScc(Main.index(), Even.index()));
+  EXPECT_GT(C.SccOf[Main.index()], C.SccOf[Even.index()]);
+}
+
+} // namespace

@@ -1,0 +1,125 @@
+//===- tests/summary_determinism_test.cpp - thread-count determinism ------===//
+//
+// Part of the hybridpt project (PLDI 2013 reproduction).
+//
+// The summary engine's scheduling is nondeterministic under a thread
+// pool, but the *analysis* is not: the constraint system is monotone with
+// deterministic rules, so the least fixpoint — and therefore every
+// canonical export — is bit-identical at any worker-thread count.  This
+// pins that guarantee at 1, 2, and 8 workers.
+//
+// Deliberately NOT compared: telemetry counters and PeakBytes.  Replay
+// and dedup-hit counts depend on message interleaving, so they are
+// schedule-dependent diagnostics (see pta/summary/SummarySolver.h); only
+// single-threaded summary runs reproduce them exactly.
+//
+//===----------------------------------------------------------------------===//
+
+#include "context/PolicyRegistry.h"
+#include "ir/Program.h"
+#include "irtext/TextFormat.h"
+#include "pta/Projection.h"
+#include "pta/summary/SummarySolver.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace {
+
+using namespace pt;
+
+std::string slurp(const std::filesystem::path &Path) {
+  std::ifstream In(Path);
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+struct Canonical {
+  std::vector<std::vector<uint32_t>> Var, Cg, Fld, Reach, Stat, Thr;
+  bool operator==(const Canonical &) const = default;
+};
+
+Canonical canonicalize(const AnalysisResult &R) {
+  return {R.exportVarPointsTo(),        R.exportCallGraph(),
+          R.exportFieldPointsTo(),      R.exportReachable(),
+          R.exportStaticFieldPointsTo(), R.exportThrowPointsTo()};
+}
+
+TEST(SummaryDeterminism, BitIdenticalAcrossThreadCounts) {
+  const unsigned ThreadCounts[] = {1, 2, 8};
+  for (const auto &Entry :
+       std::filesystem::directory_iterator(HYBRIDPT_EXAMPLES_DIR)) {
+    if (Entry.path().extension() != ".ptir")
+      continue;
+    SCOPED_TRACE(Entry.path().filename().string());
+    ParseResult Parsed = parseProgram(slurp(Entry.path()));
+    ASSERT_TRUE(Parsed.ok());
+    const Program &Prog = *Parsed.Prog;
+
+    // 2obj+H stresses the context machinery hardest of the paper
+    // policies; insens maximizes sharing across call sites.  Both must
+    // be schedule-independent.
+    for (const char *Policy : {"insens", "2obj+H"}) {
+      SCOPED_TRACE(Policy);
+      Canonical Baseline;
+      bool HaveBaseline = false;
+      for (unsigned Threads : ThreadCounts) {
+        SCOPED_TRACE(testing::Message() << Threads << " threads");
+        auto P = createPolicy(Policy, Prog);
+        ASSERT_TRUE(P);
+        SolverOptions Opts;
+        Opts.Engine = SolverEngine::Summary;
+        Opts.SummaryThreads = Threads;
+        summary::SummaryStats Stats;
+        AnalysisResult R = summary::solveSummary(Prog, *P, Opts, &Stats);
+        ASSERT_FALSE(R.Aborted);
+        EXPECT_EQ(Stats.Threads, Threads);
+        EXPECT_GT(Stats.NumSCCs, 0u);
+        EXPECT_GT(Stats.ActivatedSCCs, 0u);
+        // Work/span must be populated and sane: the critical path can
+        // never exceed the total busy time.
+        EXPECT_GE(Stats.TotalBusyMs + 1e-9, Stats.CriticalPathMs);
+        Canonical C = canonicalize(R);
+        if (!HaveBaseline) {
+          Baseline = std::move(C);
+          HaveBaseline = true;
+        } else {
+          EXPECT_EQ(C, Baseline);
+        }
+      }
+    }
+  }
+}
+
+// Repeated single-threaded runs are bit-identical including diagnostics —
+// the inline sweep is fully deterministic (ready-heap by ascending SCC
+// id), so even the schedule-dependent counters reproduce.
+TEST(SummaryDeterminism, InlineSweepReproducesCounters) {
+  std::filesystem::path Example =
+      std::filesystem::path(HYBRIDPT_EXAMPLES_DIR) / "containers.ptir";
+  ParseResult Parsed = parseProgram(slurp(Example));
+  ASSERT_TRUE(Parsed.ok());
+  const Program &Prog = *Parsed.Prog;
+  // The policies must outlive the results: AnalysisResult re-encodes
+  // context ids through the policy's tables at export time.
+  auto PA = createPolicy("2obj+H", Prog);
+  auto PB = createPolicy("2obj+H", Prog);
+  auto run = [&](ContextPolicy &P) {
+    SolverOptions Opts;
+    Opts.Engine = SolverEngine::Summary;
+    Opts.SummaryThreads = 1;
+    return summary::solveSummary(Prog, P, Opts);
+  };
+  AnalysisResult A = run(*PA);
+  AnalysisResult B = run(*PB);
+  EXPECT_EQ(A.Counters, B.Counters);
+  EXPECT_EQ(A.SolverNodes, B.SolverNodes);
+  EXPECT_EQ(A.PeakBytes, B.PeakBytes);
+  EXPECT_EQ(canonicalize(A), canonicalize(B));
+}
+
+} // namespace

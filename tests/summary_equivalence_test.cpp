@@ -1,0 +1,146 @@
+//===- tests/summary_equivalence_test.cpp - summary == worklist -----------===//
+//
+// Part of the hybridpt project (PLDI 2013 reproduction).
+//
+// The summary solver's headline guarantee (pta/summary/SummarySolver.h):
+// on every checked-in example program, for every registered policy, the
+// compositional SCC engine produces a bit-identical analysis to the
+// worklist engine — same canonical exports, same context-insensitive
+// projection.  Both engines solve the same monotone constraint system, so
+// any divergence is a routing bug (a lost cross-partition message, a
+// collision in a dedup structure, a mis-owned node).
+//
+//===----------------------------------------------------------------------===//
+
+#include "context/PolicyRegistry.h"
+#include "ir/Program.h"
+#include "irtext/TextFormat.h"
+#include "pta/Projection.h"
+#include "pta/Solver.h"
+#include "pta/summary/SummarySolver.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace {
+
+using namespace pt;
+
+std::string slurp(const std::filesystem::path &Path) {
+  std::ifstream In(Path);
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+// Compares every canonical export table.  The exports re-encode context
+// ids as element tuples, so they are independent of the id-assignment
+// order the two engines (and any thread count) happen to use.
+void expectSameAnalysis(const AnalysisResult &Worklist,
+                        const AnalysisResult &Summary) {
+  EXPECT_EQ(Worklist.Aborted, Summary.Aborted);
+  EXPECT_EQ(Worklist.exportVarPointsTo(), Summary.exportVarPointsTo());
+  EXPECT_EQ(Worklist.exportCallGraph(), Summary.exportCallGraph());
+  EXPECT_EQ(Worklist.exportFieldPointsTo(), Summary.exportFieldPointsTo());
+  EXPECT_EQ(Worklist.exportReachable(), Summary.exportReachable());
+  EXPECT_EQ(Worklist.exportStaticFieldPointsTo(),
+            Summary.exportStaticFieldPointsTo());
+  EXPECT_EQ(Worklist.exportThrowPointsTo(), Summary.exportThrowPointsTo());
+  EXPECT_EQ(ciProject(Worklist), ciProject(Summary));
+}
+
+TEST(SummaryEquivalence, EveryExampleEveryPolicy) {
+  size_t Programs = 0;
+  for (const auto &Entry :
+       std::filesystem::directory_iterator(HYBRIDPT_EXAMPLES_DIR)) {
+    if (Entry.path().extension() != ".ptir")
+      continue;
+    ++Programs;
+    SCOPED_TRACE(Entry.path().filename().string());
+    ParseResult Parsed = parseProgram(slurp(Entry.path()));
+    ASSERT_TRUE(Parsed.ok())
+        << (Parsed.Errors.empty() ? "" : Parsed.Errors.front());
+    const Program &Prog = *Parsed.Prog;
+
+    for (const std::string &Name : allPolicyNames()) {
+      SCOPED_TRACE("policy " + Name);
+      // Fresh policy instances per engine: policies memoize context
+      // tables internally, so sharing one across runs would entangle
+      // the id spaces.
+      auto WPolicy = createPolicy(Name, Prog);
+      auto SPolicy = createPolicy(Name, Prog);
+      ASSERT_TRUE(WPolicy && SPolicy);
+
+      SolverOptions WOpts;
+      Solver S(Prog, *WPolicy, WOpts);
+      AnalysisResult Worklist = S.run();
+
+      SolverOptions SOpts;
+      SOpts.Engine = SolverEngine::Summary;
+      SOpts.SummaryThreads = 1;
+      AnalysisResult Summary = solveProgram(Prog, *SPolicy, SOpts);
+
+      ASSERT_FALSE(Worklist.Aborted);
+      expectSameAnalysis(Worklist, Summary);
+      // The summary engine counts its memoization: every reachable
+      // (method, ctx) is exactly one miss.
+      if (telemetry::SolverCounters::enabled()) {
+        EXPECT_EQ(Summary.Counters.SummaryMisses,
+                  Summary.Reachable.size());
+      }
+    }
+  }
+  EXPECT_GE(Programs, 5u);
+}
+
+// Budget aborts must behave identically in both modes: a fact budget that
+// truncates the worklist engine must also abort the summary engine with
+// the same reason (the *partial* result may differ — only the abort
+// classification is pinned).
+TEST(SummaryEquivalence, FactBudgetAbortsSummaryMode) {
+  std::filesystem::path Example =
+      std::filesystem::path(HYBRIDPT_EXAMPLES_DIR) / "dispatch.ptir";
+  ParseResult Parsed = parseProgram(slurp(Example));
+  ASSERT_TRUE(Parsed.ok());
+  auto Policy = createPolicy("2obj+H", *Parsed.Prog);
+  ASSERT_TRUE(Policy);
+  SolverOptions Opts;
+  Opts.Engine = SolverEngine::Summary;
+  Opts.SummaryThreads = 1;
+  Opts.MaxFacts = 3;
+  AnalysisResult R = solveProgram(*Parsed.Prog, *Policy, Opts);
+  EXPECT_TRUE(R.Aborted);
+  EXPECT_EQ(R.Reason, AbortReason::FactBudget);
+}
+
+// solveProgram is the engine dispatcher: worklist mode must go through
+// the classic solver unchanged.
+TEST(SummaryEquivalence, SolveProgramDispatchesWorklist) {
+  std::filesystem::path Example =
+      std::filesystem::path(HYBRIDPT_EXAMPLES_DIR) / "dispatch.ptir";
+  ParseResult Parsed = parseProgram(slurp(Example));
+  ASSERT_TRUE(Parsed.ok());
+  auto A = createPolicy("1obj", *Parsed.Prog);
+  auto B = createPolicy("1obj", *Parsed.Prog);
+  AnalysisResult ViaDispatch = solveProgram(*Parsed.Prog, *A, {});
+  SolverOptions Opts;
+  Solver S(*Parsed.Prog, *B, Opts);
+  AnalysisResult Direct = S.run();
+  expectSameAnalysis(Direct, ViaDispatch);
+}
+
+TEST(SummaryEquivalence, EngineNamesRoundTrip) {
+  SolverEngine E = SolverEngine::Worklist;
+  EXPECT_TRUE(parseSolverEngine("summary", E));
+  EXPECT_EQ(E, SolverEngine::Summary);
+  EXPECT_STREQ(solverEngineName(E), "summary");
+  EXPECT_TRUE(parseSolverEngine("worklist", E));
+  EXPECT_EQ(E, SolverEngine::Worklist);
+  EXPECT_STREQ(solverEngineName(E), "worklist");
+  EXPECT_FALSE(parseSolverEngine("bogus", E));
+}
+
+} // namespace

@@ -31,6 +31,15 @@ peak_bytes, which older baselines lack) are reported as warnings, never
 as errors.  Counter values themselves are diffed warn-only too — they are
 deterministic, so unexplained drift deserves a look, but they measure
 solver-internal work, not user-visible results.
+
+BENCH_summary.json (bench/summary_bench) adds engine-comparison fields:
+"speedup"/"self_speedup" ratios and the work/span "parallelism" under
+"utilization".  Ratio drops are warn-only — on a loaded or small-core
+machine the measured speedup is noise even when the DAG parallelism is
+real — and aborted cells carry no ratios at all, so they can never false-
+alarm.  The top-level "solver"/"solver_threads" config keys must match
+between the two files for timings to be comparable at all (a worklist
+baseline vs. a summary candidate is apples to oranges); a mismatch warns.
 """
 
 import argparse
@@ -95,7 +104,8 @@ def main():
     base_top, base = load(args.baseline)
     cand_top, cand = load(args.candidate)
 
-    for key in ("budget_ms", "runs", "threads", "ladder"):
+    for key in ("budget_ms", "runs", "threads", "ladder", "solver",
+                "solver_threads"):
         if base_top.get(key) != cand_top.get(key):
             print(f"warning: harness config differs: {key} = "
                   f"{base_top.get(key)} vs {cand_top.get(key)}")
@@ -149,17 +159,41 @@ def main():
                                 f"{b_rung} -> {c_rung}")
             continue
 
-        for fact in ("cs_vpt_facts", "cg_edges", "reachable_methods"):
+        for fact in ("cs_vpt_facts", "cg_edges", "reachable_methods",
+                     "num_sccs", "max_depth", "facts_match"):
             if b.get(fact) != c.get(fact):
                 warnings.append(f"{name}: {fact} changed "
                                 f"{b.get(fact)} -> {c.get(fact)} "
                                 f"(precision/correctness drift?)")
 
+        # Engine-comparison ratios (summary_bench): warn-only — measured
+        # speedup is machine-load- and core-count-sensitive, and the
+        # aborted cases were already skipped above.
+        for ratio in ("speedup", "self_speedup"):
+            br, cr = to_float(b.get(ratio)), to_float(c.get(ratio))
+            if br is None or cr is None or br <= 0:
+                continue
+            drop_pct = (br - cr) / br * 100.0
+            if drop_pct > args.threshold:
+                warnings.append(f"{name}: {ratio} dropped "
+                                f"{br:.2f}x -> {cr:.2f}x (-{drop_pct:.1f}%; "
+                                f"warn-only, load/core sensitive)")
+        bu, cu = b.get("utilization"), c.get("utilization")
+        if isinstance(bu, dict) and isinstance(cu, dict):
+            bp, cp = to_float(bu.get("parallelism")), \
+                     to_float(cu.get("parallelism"))
+            if bp is not None and cp is not None and bp > 0:
+                drop_pct = (bp - cp) / bp * 100.0
+                if drop_pct > args.threshold:
+                    warnings.append(f"{name}: DAG parallelism dropped "
+                                    f"{bp:.2f} -> {cp:.2f} (-{drop_pct:.1f}%; "
+                                    f"SCC structure changed?)")
+
         # Fields on one side only (schema drift across PRs): warn-only.
         # Degradation fields already got a dedicated message above.
         for field in sorted((set(b) ^ set(c))
                             - {"counters", "fallback_from", "ladder",
-                               "abort_reason"}):
+                               "abort_reason", "utilization"}):
             side = "baseline" if field in b else "candidate"
             warnings.append(f"{name}: field '{field}' only in {side}")
 

@@ -30,6 +30,11 @@
 ///   --deadline-ms MS   whole-process deadline; expiry cancels cleanly
 ///   --matrix           run the full Table 1 policy matrix instead of one
 ///   --threads N        workers for --matrix (0 = hardware concurrency)
+///   --solver NAME      solving engine: worklist (default) or summary —
+///                      the compositional SCC solver (docs/PERF.md)
+///   --solver-threads N workers for the summary solver's bottom-up SCC
+///                      sweep (default 1 = deterministic inline sweep,
+///                      0 = hardware concurrency)
 ///   --csv              machine-readable metric output
 ///
 /// Graceful degradation (docs/ROBUSTNESS.md):
@@ -68,6 +73,7 @@
 #include "pta/VariantRunner.h"
 #include "support/Cancel.h"
 #include "support/TableWriter.h"
+#include "support/ThreadPool.h"
 #include "workloads/Profiles.h"
 
 #include <cstring>
@@ -95,6 +101,8 @@ struct CliOptions {
   bool Ladder = false;
   std::vector<std::string> LadderRungs;
   unsigned Threads = 1;
+  SolverEngine Engine = SolverEngine::Worklist;
+  unsigned SolverThreads = 1;
   bool Matrix = false;
   bool Metrics = false;
   bool Stats = false;
@@ -122,6 +130,7 @@ int usage(const char *Argv0) {
          "       [--budget MS] [--max-facts N] [--max-memory-mb N]\n"
          "       [--deadline-ms MS] [--ladder] [--ladder-rungs A,B,...]\n"
          "       [--matrix] [--threads N]\n"
+         "       [--solver worklist|summary] [--solver-threads N]\n"
          "       [--csv] [--trace-out FILE] [--chrome-trace FILE]\n"
          "       [--progress] [--explain-abort] [--heartbeat-steps N]\n"
          "       [--heartbeat-ms MS] <file.ptir | benchmark-name>\n"
@@ -184,6 +193,8 @@ SolverOptions solverOptions(const CliOptions &Cli, trace::TraceRecorder *Rec,
   Opts.Trace = Rec;
   Opts.HeartbeatSteps = Cli.HeartbeatSteps;
   Opts.HeartbeatMs = Cli.HeartbeatMs;
+  Opts.Engine = Cli.Engine;
+  Opts.SummaryThreads = Cli.SolverThreads;
   return Opts;
 }
 
@@ -226,8 +237,7 @@ RunOutcome analyze(const Program &P, const std::string &PolicyName,
               << "' (see --list-policies)\n";
     return Out;
   }
-  Solver S(P, *Out.Policy, Opts);
-  Out.R.emplace(S.run());
+  Out.R.emplace(solveProgram(P, *Out.Policy, Opts));
   Out.LandedPolicy = PolicyName;
   return Out;
 }
@@ -366,7 +376,19 @@ int main(int argc, char **argv) {
       Opts.Ladder = true;
       Opts.LadderRungs = splitCommaList(Value());
     } else if (Arg == "--threads")
-      Opts.Threads = static_cast<unsigned>(std::strtoul(Value(), nullptr, 10));
+      // 0 = one worker per hardware thread, resolved through the one
+      // shared rule so every tool agrees (docs/PERF.md).
+      Opts.Threads = ThreadPool::resolveThreads(
+          static_cast<unsigned>(std::strtoul(Value(), nullptr, 10)));
+    else if (Arg == "--solver") {
+      if (!parseSolverEngine(Value(), Opts.Engine)) {
+        std::cerr << "unknown solver '" << argv[I]
+                  << "' (worklist or summary)\n";
+        return 1;
+      }
+    } else if (Arg == "--solver-threads")
+      Opts.SolverThreads =
+          static_cast<unsigned>(std::strtoul(Value(), nullptr, 10));
     else if (Arg == "--matrix")
       Opts.Matrix = true;
     else if (Arg == "--metrics")

@@ -27,6 +27,10 @@
 ///                        (default 25; 0 = never)
 ///   --max-failures N     stop after N failing programs (default 5)
 ///   --solver-budget MS   per-solver-run budget (default 0 = unlimited)
+///   --compare-summary    re-solve every policy with the compositional
+///                        summary engine and require bit-identical exports
+///                        against the worklist run (fourth oracle axis;
+///                        roughly doubles solver cost per program)
 ///   --deadline-ms MS     whole-campaign deadline; expiry cancels cleanly
 ///   --quiet              suppress progress output
 ///
@@ -57,7 +61,7 @@ int usage(const char *Argv0) {
                "       [--minimize | --no-minimize] [--regress-dir DIR]\n"
                "       [--policy NAME]... [--full-diff-every N]\n"
                "       [--max-failures N] [--solver-budget MS]\n"
-               "       [--deadline-ms MS] [--quiet]\n";
+               "       [--compare-summary] [--deadline-ms MS] [--quiet]\n";
   return 2;
 }
 
@@ -125,6 +129,8 @@ int main(int argc, char **argv) {
       const char *V = Next();
       if (!V || !parseU64(V, Opts.SolverTimeBudgetMs))
         return usage(argv[0]);
+    } else if (std::strcmp(Arg, "--compare-summary") == 0) {
+      Opts.CompareSummary = true;
     } else if (std::strcmp(Arg, "--deadline-ms") == 0) {
       const char *V = Next();
       if (!V || !parseU64(V, DeadlineMs))
