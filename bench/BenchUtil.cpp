@@ -34,6 +34,8 @@ CellOptions CellOptions::fromEnv() {
   if (const char *ST = std::getenv("HYBRIDPT_SOLVER_THREADS"))
     Opts.SolverThreads =
         static_cast<unsigned>(std::strtoul(ST, nullptr, 10));
+  if (const char *Prof = std::getenv("HYBRIDPT_PROFILE"))
+    Opts.Profile = *Prof != '\0' && std::strcmp(Prof, "0") != 0;
   return Opts;
 }
 
@@ -48,6 +50,8 @@ static MatrixOptions toMatrixOptions(const CellOptions &Opts,
   M.Runs = Opts.Runs;
   M.TraceLabelPrefix = Opts.TraceLabelPrefix;
   M.UseLadder = Opts.UseLadder;
+  M.Profile = Opts.Profile;
+  M.ProfileTopK = Opts.ProfileTopK;
   return M;
 }
 
@@ -87,6 +91,7 @@ BenchRecord pt::makeBenchRecord(const std::string &Benchmark,
   }
   R.LadderTrail = M.LadderTrail;
   R.Counters = M.Counters;
+  R.ProfileJson = M.ProfileJson;
   return R;
 }
 
@@ -144,6 +149,9 @@ bool pt::writeBenchJson(const std::string &Path, const std::string &Harness,
                                 });
       OS << "}";
     }
+    // Already a rendered JSON object (prov::renderBlameJson).
+    if (!R.ProfileJson.empty())
+      OS << ", \"profile\": " << R.ProfileJson;
     OS << "}" << (I + 1 < Records.size() ? "," : "") << "\n";
   }
   OS << "  ]\n}\n";

@@ -60,6 +60,11 @@ struct CellOptions {
   trace::TraceRecorder *Trace = nullptr;
   /// Cell label prefix, typically "<benchmark>/".
   std::string TraceLabelPrefix;
+  /// Record derivation provenance per cell and attach the top-K blame
+  /// profile to each record ("profile" in BENCH json; docs/OBSERVABILITY.md).
+  /// Wired from --profile-out; also HYBRIDPT_PROFILE=1.
+  bool Profile = false;
+  size_t ProfileTopK = 10;
 
   /// Reads the environment overrides.
   static CellOptions fromEnv();
@@ -100,6 +105,9 @@ struct BenchRecord {
   /// Aggregate solver counters; serialized only when the build carries
   /// telemetry (SolverCounters::enabled()).
   telemetry::SolverCounters Counters;
+  /// Rendered cost-attribution profile of the cell (already a JSON
+  /// object); empty unless the run profiled with provenance on.
+  std::string ProfileJson;
 };
 
 /// Fills one record from a finished cell.

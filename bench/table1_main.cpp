@@ -39,6 +39,7 @@
 #include "workloads/Profiles.h"
 
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -50,6 +51,7 @@ int main(int argc, char **argv) {
   bool Csv = false;
   bool Progress = false;
   std::string JsonPath = "BENCH_table1.json";
+  std::string ProfileOut;
   std::string TraceOut;
   std::string ChromeTraceOut;
   std::vector<std::string> Selected;
@@ -77,6 +79,9 @@ int main(int argc, char **argv) {
           static_cast<unsigned>(std::strtoul(argv[++I], nullptr, 10));
     } else if (std::strcmp(argv[I], "--json") == 0 && I + 1 < argc) {
       JsonPath = argv[++I];
+    } else if (std::strcmp(argv[I], "--profile-out") == 0 && I + 1 < argc) {
+      ProfileOut = argv[++I];
+      Opts.Profile = true;
     } else if (std::strcmp(argv[I], "--trace-out") == 0 && I + 1 < argc) {
       TraceOut = argv[++I];
     } else if (std::strcmp(argv[I], "--chrome-trace") == 0 && I + 1 < argc) {
@@ -89,8 +94,8 @@ int main(int argc, char **argv) {
         std::cerr << ' ' << N;
       std::cerr << "\n(options: --csv, --ladder, --threads N, "
                    "--solver worklist|summary, --solver-threads N, "
-                   "--json PATH, --trace-out FILE, --chrome-trace FILE, "
-                   "--progress)\n";
+                   "--json PATH, --profile-out PATH, --trace-out FILE, "
+                   "--chrome-trace FILE, --progress)\n";
       return 1;
     }
   }
@@ -230,6 +235,29 @@ int main(int argc, char **argv) {
     if (!Csv)
       std::cout << "wrote " << Records.size() << " cells to " << JsonPath
                 << "\n";
+  }
+  // Standalone per-cell cost-attribution profiles (--profile-out): the
+  // same "profile" objects folded into the BENCH json, but in one small
+  // file tools/trace_summary.py renders directly.
+  if (!ProfileOut.empty()) {
+    std::ofstream OS(ProfileOut);
+    if (!OS) {
+      std::cerr << "cannot write '" << ProfileOut << "'\n";
+      return 1;
+    }
+    OS << "{\"harness\": \"table1_profile\", \"cells\": [";
+    bool First = true;
+    for (const BenchRecord &R : Records) {
+      if (R.ProfileJson.empty())
+        continue;
+      OS << (First ? "" : ",") << "\n  {\"benchmark\": \"" << R.Benchmark
+         << "\", \"policy\": \"" << R.Policy
+         << "\", \"profile\": " << R.ProfileJson << "}";
+      First = false;
+    }
+    OS << "\n]}\n";
+    if (!Csv)
+      std::cout << "wrote profiles to " << ProfileOut << "\n";
   }
   if (Rec && !ChromeTraceOut.empty() &&
       !Rec->writeChromeTrace(ChromeTraceOut, Error))

@@ -100,6 +100,7 @@ public:
                     "`, which points to no object" + Where;
         D.Method = M;
         D.Line = L.Line;
+        D.WhyReachable = M; // Hinges on the method being reachable.
         Out.push_back(std::move(D));
       }
       for (size_t I = 0; I != MI.Stores.size(); ++I) {
@@ -114,6 +115,7 @@ public:
                     "`, which points to no object" + Where;
         D.Method = M;
         D.Line = S.Line;
+        D.WhyReachable = M;
         Out.push_back(std::move(D));
       }
       for (size_t I = 0; I != MI.Throws.size(); ++I) {
@@ -127,6 +129,7 @@ public:
                     "`, which points to no object" + Where;
         D.Method = M;
         D.Line = T.Line;
+        D.WhyReachable = M;
         Out.push_back(std::move(D));
       }
     }
@@ -190,6 +193,7 @@ public:
                   P.qualifiedName(Inv.InMethod);
       D.Method = Inv.InMethod;
       D.Line = Inv.Line;
+      D.WhyReachable = Inv.InMethod; // "reachable yet dead" needs the reach.
       Out.push_back(std::move(D));
     }
   }
@@ -220,6 +224,12 @@ public:
                   P.qualifiedName(Site.InMethod);
       D.Method = Site.InMethod;
       D.Line = Site.Line;
+      if (!C.Offenders.empty()) {
+        // Why may the cast fail?  Because `from` may hold the first
+        // offending allocation — the derivation of exactly that fact.
+        D.WhyVar = Site.From;
+        D.WhyHeap = C.Offenders.front();
+      }
       for (size_t I = 0; I != C.Offenders.size() && I != MaxEvidence; ++I)
         D.Evidence.push_back("may hold " + heapDesc(P, C.Offenders[I]));
       capEvidence(D.Evidence, C.Offenders.size());

@@ -51,6 +51,19 @@ enum class Direction : uint8_t {
   Definite,
 };
 
+/// One step of a diagnostic's derivation flow (SARIF codeFlows): a
+/// rendered provenance step with its anchoring method.  Produced by
+/// \c attachDerivationFlows when a lint run records provenance.
+struct FlowStep {
+  /// "[rule] Fact(...)" rendering of one derivation step.
+  std::string Message;
+  /// Method the step's conclusion is attributed to; invalid = program
+  /// scope (static fields, entry points).
+  MethodId Method;
+  /// Source line; 0 when unknown.
+  uint32_t Line = 0;
+};
+
 /// One checker finding.
 struct Diagnostic {
   /// Registry id of the producing checker, e.g. "may-fail-cast".
@@ -71,6 +84,18 @@ struct Diagnostic {
   /// Points-to evidence lines (offending heap sites, call targets, escape
   /// reasons), already rendered.
   std::vector<std::string> Evidence;
+  /// Provenance anchors, filled by checkers that can name the fact
+  /// justifying the report.  When both \c WhyVar and \c WhyHeap are valid
+  /// the offending fact is VarPointsTo(WhyVar, *, WhyHeap); when only
+  /// \c WhyReachable is valid it is Reachable(WhyReachable, *) — the
+  /// report hinges on the site being reachable at all.  Ignored unless a
+  /// provenance recorder is attached to the lint run.
+  VarId WhyVar;
+  HeapId WhyHeap;
+  MethodId WhyReachable;
+  /// Derivation of the anchored fact, leaves first (conclusion last);
+  /// rendered as a SARIF codeFlow.  Empty without provenance.
+  std::vector<FlowStep> Flow;
 
   /// Diff key: same check, same site.
   std::string key() const { return CheckId + "|" + SiteKey; }

@@ -6,6 +6,7 @@
 
 #include "checks/Driver.h"
 
+#include "checks/Flow.h"
 #include "context/PolicyRegistry.h"
 #include "ir/Program.h"
 #include "pta/AnalysisResult.h"
@@ -51,9 +52,17 @@ LintRun pt::checks::lintProgram(const Program &Prog, const LintOptions &Opts) {
   SOpts.MaxFacts = Opts.MaxFacts;
   SOpts.MemoryBudgetBytes = Opts.MemoryBudgetBytes;
   SOpts.Cancel = Opts.Cancel;
+  SOpts.Prov = Opts.Prov;
   Solver S(Prog, *Policy, SOpts);
   AnalysisResult Result = S.run();
-  return runCheckers(Result, Opts.Checks);
+  LintRun Run = runCheckers(Result, Opts.Checks);
+  if (PT_PROV_ACTIVE(Opts.Prov))
+    attachDerivationFlows(Result, *Opts.Prov, Run.Diags);
+  if (Opts.KeepResult) {
+    Run.Policy = std::move(Policy);
+    Run.Result.emplace(std::move(Result));
+  }
+  return Run;
 }
 
 namespace {
@@ -97,6 +106,10 @@ CompareResult pt::checks::comparePolicies(const Program &Prog,
 
   LintOptions BaseOpts = Opts;
   BaseOpts.Policy = Base;
+  // Two runs cannot share one arena: fact payloads embed per-run dense
+  // object ids.  The comparison never reads provenance anyway.
+  BaseOpts.Prov = nullptr;
+  BaseOpts.KeepResult = false;
   CR.Base = lintProgram(Prog, BaseOpts);
   if (!CR.Base.ok()) {
     CR.Error = CR.Base.Error;
@@ -104,6 +117,8 @@ CompareResult pt::checks::comparePolicies(const Program &Prog,
   }
   LintOptions RefOpts = Opts;
   RefOpts.Policy = Refined;
+  RefOpts.Prov = nullptr;
+  RefOpts.KeepResult = false;
   CR.Refined = lintProgram(Prog, RefOpts);
   if (!CR.Refined.ok()) {
     CR.Error = CR.Refined.Error;

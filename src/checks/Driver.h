@@ -19,9 +19,12 @@
 #include "checks/Checker.h"
 #include "checks/Diagnostic.h"
 #include "pta/AnalysisResult.h"
+#include "pta/provenance/Provenance.h"
 #include "support/Cancel.h"
 
 #include <cstdint>
+#include <memory>
+#include <optional>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -29,6 +32,7 @@
 namespace pt {
 
 class AnalysisResult;
+class ContextPolicy;
 class Program;
 
 namespace checks {
@@ -46,6 +50,16 @@ struct LintOptions {
   /// Cooperative cancellation (^C / deadline); nullptr = none.  A
   /// cancelled run still renders and flushes its report, marked aborted.
   const CancelToken *Cancel = nullptr;
+  /// Derivation provenance recorder.  When set, the solver records into it
+  /// and diagnostics with "why" anchors get their derivation attached as
+  /// \c Diagnostic::Flow (SARIF codeFlows).  The recorder must be empty;
+  /// comparePolicies ignores it (two runs cannot share one arena).
+  prov::Recorder *Prov = nullptr;
+  /// Keep the solved result (and its policy) alive in the returned
+  /// \c LintRun so callers can run post-lint provenance queries against it
+  /// (`hybridpt-lint --why`); fact ids in \c Prov are only meaningful
+  /// against this result's object tables.
+  bool KeepResult = false;
 };
 
 /// Result of one lint run.
@@ -62,6 +76,11 @@ struct LintRun {
   double SolveMs = 0.0;
   /// Non-empty on failure (unknown policy or checker id).
   std::string Error;
+  /// Solved result and its policy, kept only under
+  /// \c LintOptions::KeepResult.  The policy must outlive the result
+  /// (validation re-computes context side conditions through it).
+  std::unique_ptr<ContextPolicy> Policy;
+  std::optional<AnalysisResult> Result;
 
   bool ok() const { return Error.empty(); }
 };

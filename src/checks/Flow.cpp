@@ -1,0 +1,125 @@
+//===- checks/Flow.cpp ------------------------------------------------------===//
+//
+// Part of the hybridpt project (PLDI 2013 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "checks/Flow.h"
+
+#include "ir/Program.h"
+#include "pta/AnalysisResult.h"
+#include "support/Hashing.h"
+
+using namespace pt;
+using namespace pt::checks;
+using namespace pt::prov;
+
+#if HYBRIDPT_PROVENANCE_ENABLED
+
+namespace {
+
+/// Method a step's conclusion is attributed to (mirrors the blame
+/// attribution): var owner, throwing/reachable method, invoking method.
+MethodId flowMethod(const Program &Prog, const AnalysisResult &Res,
+                    const Fact &F) {
+  switch (F.Kind) {
+  case FactKind::VarPointsTo:
+    return Prog.var(VarId(unpackHi(F.A))).Owner;
+  case FactKind::FieldPointsTo: {
+    uint32_t BaseObj = unpackHi(F.A);
+    if (BaseObj < Res.numObjects())
+      return Prog.heap(Res.objHeap(BaseObj)).InMethod;
+    return MethodId();
+  }
+  case FactKind::StaticPointsTo:
+    return MethodId();
+  case FactKind::ThrowPointsTo:
+  case FactKind::Reachable:
+    return MethodId(unpackHi(F.A));
+  case FactKind::CallEdge:
+    return Prog.invoke(InvokeId(unpackHi(F.A))).InMethod;
+  }
+  return MethodId();
+}
+
+/// Best source line for a step's conclusion: the alloc site's line for
+/// Alloc conclusions, the invoke's line for call edges, the attributed
+/// method's declaration line otherwise; 0 when nothing is known.
+uint32_t flowLine(const Program &Prog, const AnalysisResult &Res,
+                  const Fact &F, Rule R, MethodId M) {
+  if (F.Kind == FactKind::CallEdge)
+    return Prog.invoke(InvokeId(unpackHi(F.A))).Line;
+  if (R == Rule::Alloc && F.Kind == FactKind::VarPointsTo) {
+    uint32_t Obj = static_cast<uint32_t>(F.B64);
+    if (Obj < Res.numObjects())
+      return Prog.heap(Res.objHeap(Obj)).Line;
+  }
+  if (M.isValid())
+    return Prog.method(M).DeclLine;
+  return 0;
+}
+
+/// Converts a derivation tree into FlowSteps (leaves first, conclusion
+/// last), keeping at most MaxSteps by dropping the deepest leaves first.
+std::vector<FlowStep> toFlow(const Recorder &Rec, const AnalysisResult &Res,
+                             const DerivationTree &Tree, size_t MaxSteps) {
+  const Program &Prog = Res.program();
+  std::vector<FlowStep> Out;
+  size_t N = Tree.Steps.size();
+  size_t First = N > MaxSteps ? N - MaxSteps : 0;
+  Out.reserve(N - First);
+  for (size_t I = First; I < N; ++I) {
+    const TreeStep &TS = Tree.Steps[I];
+    Fact F = Rec.fact(TS.FactId);
+    FlowStep S;
+    S.Method = flowMethod(Prog, Res, F);
+    S.Line = flowLine(Prog, Res, F, TS.R, S.Method);
+    S.Message = std::string("[") + ruleName(TS.R) + "] " +
+                formatFact(Rec, Res, TS.FactId);
+    Out.push_back(std::move(S));
+  }
+  return Out;
+}
+
+/// Derivation of Reachable(M, *): the first recorded Reachable fact for M
+/// in any context.  (whyPointsTo's sibling; no context filter because the
+/// checkers anchor on "reachable at all".)
+DerivationTree whyReachable(const Recorder &Rec, MethodId M) {
+  size_t NumFacts = Rec.numFacts();
+  for (uint32_t Id = 0; Id < NumFacts; ++Id) {
+    Fact F = Rec.fact(Id);
+    if (F.Kind == FactKind::Reachable && unpackHi(F.A) == M.rawValue())
+      return deriveFact(Rec, Id);
+  }
+  DerivationTree Tree;
+  Tree.Error = "no recorded Reachable fact for the method";
+  return Tree;
+}
+
+} // namespace
+
+void pt::checks::attachDerivationFlows(const AnalysisResult &Res,
+                                       const Recorder &Rec,
+                                       std::vector<Diagnostic> &Diags,
+                                       size_t MaxSteps) {
+  for (Diagnostic &D : Diags) {
+    DerivationTree Tree;
+    if (D.WhyVar.isValid() && D.WhyHeap.isValid())
+      Tree = whyPointsTo(Rec, Res, D.WhyVar, CtxId(), D.WhyHeap);
+    else if (D.WhyReachable.isValid())
+      Tree = whyReachable(Rec, D.WhyReachable);
+    else
+      continue;
+    if (!Tree.Found)
+      continue; // Aborted runs may lack the fact; the report stands alone.
+    D.Flow = toFlow(Rec, Res, Tree, MaxSteps);
+  }
+}
+
+#else // !HYBRIDPT_PROVENANCE_ENABLED
+
+void pt::checks::attachDerivationFlows(const AnalysisResult &,
+                                       const prov::Recorder &,
+                                       std::vector<Diagnostic> &, size_t) {}
+
+#endif

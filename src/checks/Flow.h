@@ -1,0 +1,44 @@
+//===- checks/Flow.h - Derivation codeFlows for diagnostics -----*- C++ -*-===//
+//
+// Part of the hybridpt project (PLDI 2013 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Attaches provenance-derived code flows to checker diagnostics: when a
+/// lint run records derivation provenance, every diagnostic that names a
+/// "why" anchor (Diagnostic::WhyVar/WhyHeap or WhyReachable) gets its
+/// anchored fact's minimal derivation rendered as Diagnostic::Flow, which
+/// the SARIF writer emits as a codeFlow (docs/OBSERVABILITY.md).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HYBRIDPT_CHECKS_FLOW_H
+#define HYBRIDPT_CHECKS_FLOW_H
+
+#include "checks/Diagnostic.h"
+#include "pta/provenance/Provenance.h"
+
+#include <vector>
+
+namespace pt {
+
+class AnalysisResult;
+
+namespace checks {
+
+/// Fills \c D.Flow for every diagnostic in \p Diags whose anchors resolve
+/// to a recorded fact.  Diagnostics without anchors, and anchors whose
+/// fact was never derived (possible under an aborted run), are left
+/// untouched.  Flow steps are capped at \p MaxSteps (leaves dropped
+/// first, conclusion always kept) so one deep derivation cannot bloat the
+/// SARIF log.
+void attachDerivationFlows(const AnalysisResult &Res,
+                           const prov::Recorder &Rec,
+                           std::vector<Diagnostic> &Diags,
+                           size_t MaxSteps = 32);
+
+} // namespace checks
+} // namespace pt
+
+#endif // HYBRIDPT_CHECKS_FLOW_H

@@ -203,6 +203,63 @@ void pt::checks::writeSarif(std::ostream &OS, const Program &Prog,
     }
     W.closeObject(); // location
     W.closeArray();  // locations
+    // Derivation provenance as a codeFlow: one threadFlow whose locations
+    // walk the anchored fact's derivation leaves-first (the "why" behind
+    // the report; docs/OBSERVABILITY.md).  Only present when the lint run
+    // recorded provenance and the checker anchored a fact.
+    if (!D.Flow.empty()) {
+      W.key("codeFlows");
+      W.openArray();
+      W.openObject();
+      W.key("threadFlows");
+      W.openArray();
+      W.openObject();
+      W.key("locations");
+      W.openArray();
+      for (const FlowStep &S : D.Flow) {
+        W.openObject();
+        W.key("location");
+        W.openObject();
+        W.key("physicalLocation");
+        W.openObject();
+        W.key("artifactLocation");
+        W.openObject();
+        W.key("uri");
+        W.value(Uri);
+        W.closeObject();
+        if (S.Line != 0) {
+          W.key("region");
+          W.openObject();
+          W.key("startLine");
+          W.value(static_cast<uint64_t>(S.Line));
+          W.closeObject();
+        }
+        W.closeObject(); // physicalLocation
+        if (S.Method.isValid()) {
+          W.key("logicalLocations");
+          W.openArray();
+          W.openObject();
+          W.key("fullyQualifiedName");
+          W.value(Prog.qualifiedName(S.Method));
+          W.key("kind");
+          W.value(std::string("function"));
+          W.closeObject();
+          W.closeArray();
+        }
+        W.key("message");
+        W.openObject();
+        W.key("text");
+        W.value(S.Message);
+        W.closeObject();
+        W.closeObject(); // location
+        W.closeObject(); // threadFlowLocation
+      }
+      W.closeArray();  // locations
+      W.closeObject(); // threadFlow
+      W.closeArray();  // threadFlows
+      W.closeObject(); // codeFlow
+      W.closeArray();  // codeFlows
+    }
     W.key("partialFingerprints");
     W.openObject();
     W.key("hybridptSiteKey/v1");

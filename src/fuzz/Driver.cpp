@@ -95,6 +95,7 @@ DriverResult pt::fuzz::runFuzz(const DriverOptions &Opts) {
     OOpts.FullReferenceDiff =
         Opts.FullDiffEvery != 0 && Index % Opts.FullDiffEvery == 0;
     OOpts.CheckSummary = Opts.CompareSummary;
+    OOpts.CheckProvenance = Opts.CheckProvenance;
 
     OracleReport Report = checkProgram(*Prog, OOpts);
     ++Result.ProgramsRun;

@@ -53,6 +53,10 @@ struct DriverOptions {
   /// exports against the worklist run.  Roughly doubles per-program solver
   /// cost, so it is opt-in (--compare-summary).
   bool CompareSummary = false;
+  /// Fifth axis (OracleOptions::CheckProvenance): record derivation
+  /// provenance and replay sampled steps through the rule-checking
+  /// validator (--check-provenance).
+  bool CheckProvenance = false;
   /// Progress/diagnostics stream (nullptr = silent).
   std::ostream *Log = nullptr;
   /// Cooperative cancellation (^C / deadline); nullptr = none.  A

@@ -12,6 +12,7 @@
 #include "ir/Program.h"
 #include "pta/AnalysisResult.h"
 #include "pta/Solver.h"
+#include "pta/provenance/Provenance.h"
 #include "ptaref/ReferenceAnalysis.h"
 
 #include <algorithm>
@@ -188,6 +189,12 @@ OracleReport pt::fuzz::checkProgram(const Program &Prog,
     SolverOptions SOpts;
     SOpts.TimeBudgetMs = Opts.SolverTimeBudgetMs;
     SOpts.Cancel = Opts.Cancel;
+    // Fifth axis: record every derivation and replay a sample through the
+    // rule checker below.  Hooks never influence solving, so the primary
+    // run can carry the recorder.
+    prov::Recorder ProvRec;
+    if (Opts.CheckProvenance && HYBRIDPT_PROVENANCE_ENABLED)
+      SOpts.Prov = &ProvRec;
     Solver S(Prog, *Policy, SOpts);
     AnalysisResult R = S.run();
     if (R.Aborted) {
@@ -198,6 +205,18 @@ OracleReport pt::fuzz::checkProgram(const Program &Prog,
 
     // Soundness: concrete ⊆ abstract, relation by relation.
     Check(Concrete, Proj, "interp", Name, {Name});
+
+    if (SOpts.Prov) {
+      prov::ValidationResult VR = prov::validateSampledSteps(
+          ProvRec, R, Policy.get(), Opts.ProvenanceStride);
+      if (!VR.Ok) {
+        Report.Violations.push_back(
+            {"Provenance", "worklist/" + Name + ": " + VR.Error +
+                               " (after " + std::to_string(VR.CheckedSteps) +
+                               " checked steps)"});
+        Involved.insert(Name);
+      }
+    }
 
     if (Opts.FullReferenceDiff) {
       auto RefPolicy = createPolicy(Name, Prog);
@@ -236,6 +255,10 @@ OracleReport pt::fuzz::checkProgram(const Program &Prog,
       auto SumPolicy = createPolicy(Name, Prog);
       SolverOptions SumOpts = SOpts;
       SumOpts.Engine = SolverEngine::Summary;
+      // Its own arena: fact payloads embed per-run dense object ids, and
+      // parity means "valid under either engine", not "same steps".
+      prov::Recorder SumProvRec;
+      SumOpts.Prov = SOpts.Prov ? &SumProvRec : nullptr;
       AnalysisResult SumR = solveProgram(Prog, *SumPolicy, SumOpts);
       // A budget/cancel abort in only one engine is a timing artifact,
       // not a divergence; comparing a truncated fixpoint would be noise.
@@ -265,6 +288,16 @@ OracleReport pt::fuzz::checkProgram(const Program &Prog,
         CiProjection SumProj = ciProject(SumR);
         Check(SumProj, Proj, "summary:" + Name, Name, {Name});
         Check(Proj, SumProj, Name, "summary:" + Name, {Name});
+        if (SumOpts.Prov) {
+          prov::ValidationResult VR = prov::validateSampledSteps(
+              SumProvRec, SumR, SumPolicy.get(), Opts.ProvenanceStride);
+          if (!VR.Ok)
+            Report.Violations.push_back(
+                {"Provenance", "summary/" + Name + ": " + VR.Error +
+                                   " (after " +
+                                   std::to_string(VR.CheckedSteps) +
+                                   " checked steps)"});
+        }
         if (Report.Violations.size() > Before)
           Involved.insert(Name);
       }

@@ -84,6 +84,16 @@ struct OracleOptions {
   /// object the coarser policy proves safe (src/checks Direction::May
   /// checkers; Definite checkers grow with precision and are exempt).
   bool CheckCheckers = true;
+  /// Fifth comparison axis: record derivation provenance during every
+  /// solver run and replay a sample of the recorded steps through the
+  /// rule-checking validator (prov::validateSampledSteps) with the run's
+  /// context policy — every step must re-check against the Figure-2 side
+  /// conditions.  With \c CheckSummary the summary engine's derivations
+  /// are validated too (parity: valid under either engine).  No-op when
+  /// the build compiles provenance out.
+  bool CheckProvenance = false;
+  /// Every Nth recorded step is replayed (1 = all; default samples).
+  size_t ProvenanceStride = 3;
   /// Example cap per relation per failed check.
   size_t MaxViolationsPerCheck = 5;
   /// Cooperative cancellation (^C / deadline); nullptr = none.  Cancelled

@@ -86,6 +86,10 @@ LadderResult pt::solveWithLadder(const Program &Prog,
       SOpts.TraceLabel = Opts.TraceLabel + "~" + Rung;
     if (LOpts.WarmStart && Rung == "insens")
       SOpts.SeedReachable = Seeds;
+    // Each rung is a fresh run with fresh dense object ids; derivations of
+    // the landed rung must not cite facts from an aborted finer attempt.
+    if (PT_PROV_ACTIVE(SOpts.Prov))
+      SOpts.Prov->clear();
     AnalysisResult R = solveProgram(Prog, *Pol, SOpts);
     Out.Trail.push_back({Rung, R.SolveMs, R.Reason});
 

@@ -95,6 +95,11 @@ struct PrecisionMetrics {
   /// Every rung the ladder tried, in order, landed rung last; empty when
   /// the ladder was not engaged.
   std::vector<RungAttempt> LadderTrail;
+  /// Rendered cost-attribution profile (prov::renderBlameJson) of this
+  /// cell's run; empty unless the matrix ran with \c MatrixOptions::Profile
+  /// and the build carries provenance.  Folded into BENCH json as the
+  /// cell's "profile" object.
+  std::string ProfileJson;
 };
 
 /// Computes all metrics for \p Result.

@@ -123,19 +123,19 @@ uint32_t Solver::internObject(HeapId Heap, HCtxId HCtx) {
   return Obj;
 }
 
-void Solver::addFact(uint32_t NodeIdx, uint32_t Obj) {
+bool Solver::addFact(uint32_t NodeIdx, uint32_t Obj) {
   if (Aborted)
-    return;
+    return false;
   // Fact budget: refuse to queue more work once the budget is spent (the
   // old check ran after queueing, letting one extra wave through).
   if (Opts.MaxFacts != 0 && FactCount >= Opts.MaxFacts) {
     abortRun(AbortReason::FactBudget);
-    return;
+    return false;
   }
   Node &N = Nodes[NodeIdx];
   if (!N.Set.insert(Obj)) {
     PT_COUNT(Counters.FactDedupHits);
-    return;
+    return false;
   }
   PT_COUNT(Counters.FactsInserted);
   ++FactCount;
@@ -143,6 +143,54 @@ void Solver::addFact(uint32_t NodeIdx, uint32_t Obj) {
     N.Queued = true;
     Worklist.push_back(NodeIdx);
   }
+  return true;
+}
+
+uint32_t Solver::provFact(uint32_t NodeIdx, uint32_t Obj) {
+  const NodeDesc &D = Descs[NodeIdx];
+  prov::Recorder &R = *Opts.Prov;
+  switch (D.Kind) {
+  case NodeKind::VarCtx:
+    return R.internFact(prov::FactKind::VarPointsTo, packPair(D.A, D.B), Obj);
+  case NodeKind::FieldSlot:
+    return R.internFact(prov::FactKind::FieldPointsTo, packPair(D.A, D.B),
+                        Obj);
+  case NodeKind::StaticSlot:
+    return R.internFact(prov::FactKind::StaticPointsTo, D.A, Obj);
+  case NodeKind::ThrowSlot:
+    return R.internFact(prov::FactKind::ThrowPointsTo, packPair(D.A, D.B),
+                        Obj);
+  }
+  return prov::InvalidFact;
+}
+
+void Solver::noteEdgeWhy(uint32_t From, uint32_t To, prov::Rule Why,
+                         uint32_t Aux) {
+  if (!provOn())
+    return;
+  uint64_t Packed = (static_cast<uint64_t>(Aux) << 8) |
+                    static_cast<uint64_t>(Why);
+  EdgeWhy.tryEmplace(packPair(From, To), Packed);
+}
+
+void Solver::noteCastEdgeWhy(uint32_t From, uint32_t To, uint32_t Aux) {
+  if (!provOn())
+    return;
+  uint64_t Packed = (static_cast<uint64_t>(Aux) << 8) |
+                    static_cast<uint64_t>(prov::Rule::Cast);
+  CastEdgeWhy.tryEmplace(packPair(From, To), Packed);
+}
+
+void Solver::provEdgeStep(uint32_t From, uint32_t To, uint32_t Obj,
+                          bool IsCast) {
+  const uint64_t *Packed = (IsCast ? CastEdgeWhy : EdgeWhy)
+                               .find(packPair(From, To));
+  if (!Packed)
+    return; // Edge predates the recorder (never happens within one run).
+  auto Why = static_cast<prov::Rule>(*Packed & 0xff);
+  auto Aux = static_cast<uint32_t>(*Packed >> 8);
+  uint32_t Prem = provFact(From, Obj);
+  Opts.Prov->step(provFact(To, Obj), Why, Prem, Aux);
 }
 
 void Solver::addEdge(uint32_t From, uint32_t To) {
@@ -160,8 +208,11 @@ void Solver::addEdge(uint32_t From, uint32_t To) {
   // reentrant graph growth.
   uint32_t Count = Nodes[From].Set.size();
   PT_COUNT_ADD(Counters.FactsReplayed, Count);
-  for (uint32_t I = 0; I < Count; ++I)
-    addFact(To, Nodes[From].Set.at(I));
+  for (uint32_t I = 0; I < Count; ++I) {
+    uint32_t Obj = Nodes[From].Set.at(I);
+    if (addFact(To, Obj) && provOn())
+      provEdgeStep(From, To, Obj, /*IsCast=*/false);
+  }
 }
 
 void Solver::addCastEdge(uint32_t From, uint32_t To, TypeId Filter) {
@@ -172,18 +223,29 @@ void Solver::addCastEdge(uint32_t From, uint32_t To, TypeId Filter) {
   for (uint32_t I = 0; I < Count; ++I) {
     uint32_t Obj = Nodes[From].Set.at(I);
     PT_COUNT(Counters.RuleCast);
-    if (Prog.isSubtype(Prog.heap(ObjHeaps[Obj]).Type, Filter))
-      addFact(To, Obj);
+    if (Prog.isSubtype(Prog.heap(ObjHeaps[Obj]).Type, Filter) &&
+        addFact(To, Obj) && provOn())
+      provEdgeStep(From, To, Obj, /*IsCast=*/true);
   }
 }
 
-void Solver::ensureReachable(MethodId M, CtxId Ctx) {
+void Solver::ensureReachable(MethodId M, CtxId Ctx, prov::Rule Why,
+                             uint32_t WhyPrem) {
   if (Aborted)
     return;
   if (!ReachableSet.insert(packPair(M.index(), Ctx.index())))
     return;
   PT_COUNT(Counters.MethodsInstantiated);
   ReachableList.push_back({M, Ctx});
+
+  // The Reachable fact anchors every intra-procedural derivation of this
+  // body: allocs cite it directly, move/cast/static edges carry it as
+  // their auxiliary premise.
+  uint32_t RFact = prov::InvalidFact;
+  if (provOn())
+    RFact = Opts.Prov->recordFact(prov::FactKind::Reachable,
+                                  packPair(M.index(), Ctx.index()), 0, Why,
+                                  WhyPrem);
 
   const MethodInfo &Body = Prog.method(M);
 
@@ -194,20 +256,26 @@ void Solver::ensureReachable(MethodId M, CtxId Ctx) {
     slowRule(FaultRule::Alloc);
     HCtxId HCtx = Policy.record(A.Heap, Ctx);
     uint32_t Obj = internObject(A.Heap, HCtx);
-    addFact(varNode(A.Var, Ctx), Obj);
+    uint32_t VN = varNode(A.Var, Ctx);
+    if (addFact(VN, Obj) && provOn())
+      Opts.Prov->step(provFact(VN, Obj), prov::Rule::Alloc, RFact);
   }
 
   // MOVE: intra-procedural copy edges.
   for (const MoveInstr &Mv : Body.Moves) {
     PT_COUNT(Counters.RuleMove);
     slowRule(FaultRule::Move);
-    addEdge(varNode(Mv.From, Ctx), varNode(Mv.To, Ctx));
+    uint32_t FromN = varNode(Mv.From, Ctx), ToN = varNode(Mv.To, Ctx);
+    noteEdgeWhy(FromN, ToN, prov::Rule::Move, RFact);
+    addEdge(FromN, ToN);
   }
 
   // Casts: copy edges filtered by the target type.
   for (const CastInstr &C : Body.Casts) {
     slowRule(FaultRule::Cast);
-    addCastEdge(varNode(C.From, Ctx), varNode(C.To, Ctx), C.Target);
+    uint32_t FromN = varNode(C.From, Ctx), ToN = varNode(C.To, Ctx);
+    noteCastEdgeWhy(FromN, ToN, RFact);
+    addCastEdge(FromN, ToN, C.Target);
   }
 
   // LOAD / STORE: subscribe on the base variable.  Each object that ever
@@ -224,7 +292,10 @@ void Solver::ensureReachable(MethodId M, CtxId Ctx) {
     for (uint32_t I = 0; I < Count; ++I) {
       uint32_t Obj = Nodes[Base].Set.at(I);
       PT_COUNT(Counters.RuleLoad);
-      addEdge(fieldNode(Obj, L.Fld), To);
+      uint32_t FN = fieldNode(Obj, L.Fld);
+      if (provOn())
+        noteEdgeWhy(FN, To, prov::Rule::Load, provFact(Base, Obj));
+      addEdge(FN, To);
     }
   }
   for (const StoreInstr &S : Body.Stores) {
@@ -236,7 +307,10 @@ void Solver::ensureReachable(MethodId M, CtxId Ctx) {
     for (uint32_t I = 0; I < Count; ++I) {
       uint32_t Obj = Nodes[Base].Set.at(I);
       PT_COUNT(Counters.RuleStore);
-      addEdge(From, fieldNode(Obj, S.Fld));
+      uint32_t FN = fieldNode(Obj, S.Fld);
+      if (provOn())
+        noteEdgeWhy(From, FN, prov::Rule::Store, provFact(Base, Obj));
+      addEdge(From, FN);
     }
   }
 
@@ -244,12 +318,16 @@ void Solver::ensureReachable(MethodId M, CtxId Ctx) {
   for (const SLoadInstr &L : Body.SLoads) {
     PT_COUNT(Counters.RuleStaticLoad);
     slowRule(FaultRule::SLoad);
-    addEdge(staticNode(L.Fld), varNode(L.To, Ctx));
+    uint32_t FromN = staticNode(L.Fld), ToN = varNode(L.To, Ctx);
+    noteEdgeWhy(FromN, ToN, prov::Rule::StaticLoad, RFact);
+    addEdge(FromN, ToN);
   }
   for (const SStoreInstr &S : Body.SStores) {
     PT_COUNT(Counters.RuleStaticStore);
     slowRule(FaultRule::SStore);
-    addEdge(varNode(S.From, Ctx), staticNode(S.Fld));
+    uint32_t FromN = varNode(S.From, Ctx), ToN = staticNode(S.Fld);
+    noteEdgeWhy(FromN, ToN, prov::Rule::StaticStore, RFact);
+    addEdge(FromN, ToN);
   }
 
   // Throws: every object reaching the thrown variable is routed through
@@ -258,8 +336,11 @@ void Solver::ensureReachable(MethodId M, CtxId Ctx) {
     uint32_t VNode = varNode(T.V, Ctx);
     Nodes[VNode].ThrowSubs.push_back(packPair(M.index(), Ctx.index()));
     uint32_t Count = Nodes[VNode].Set.size();
-    for (uint32_t I = 0; I < Count; ++I)
-      routeThrow(Nodes[VNode].Set.at(I), M, Ctx);
+    for (uint32_t I = 0; I < Count; ++I) {
+      uint32_t Obj = Nodes[VNode].Set.at(I);
+      routeThrow(Obj, M, Ctx,
+                 provOn() ? provFact(VNode, Obj) : prov::InvalidFact);
+    }
   }
 
   // Calls.
@@ -273,7 +354,7 @@ void Solver::ensureReachable(MethodId M, CtxId Ctx) {
       if (Opts.Faults.DropSCall)
         continue; // Injected bug (support/FaultPlan.h): see constructor.
       CtxId CalleeCtx = Policy.mergeStatic(Inv, Ctx);
-      wireCall(Inv, Ctx, Call.Target, CalleeCtx);
+      wireCall(Inv, Ctx, Call.Target, CalleeCtx, prov::Rule::SCall, RFact);
     } else {
       // VCALL: subscribe on the receiver; dispatch per arriving object
       // (Figure 2, second-to-last rule).
@@ -286,35 +367,56 @@ void Solver::ensureReachable(MethodId M, CtxId Ctx) {
   }
 }
 
-void Solver::routeThrow(uint32_t Obj, MethodId M, CtxId Ctx) {
+void Solver::routeThrow(uint32_t Obj, MethodId M, CtxId Ctx, uint32_t WhyPrem,
+                        uint32_t WhyAux) {
   if (checkBudget())
     return;
   PT_COUNT(Counters.RuleThrow);
   slowRule(FaultRule::Throw);
+  // A valid aux premise (the call edge) means the object is escalating out
+  // of a callee; otherwise it is raised locally by a throw instruction.
+  bool Escalating = WhyAux != prov::InvalidFact;
   TypeId ObjType = Prog.heap(ObjHeaps[Obj]).Type;
   const MethodInfo &Body = Prog.method(M);
   bool Caught = false;
   for (const HandlerInfo &H : Body.Handlers) {
     if (Prog.isSubtype(ObjType, H.CatchType)) {
-      addFact(varNode(H.Var, Ctx), Obj);
+      uint32_t HN = varNode(H.Var, Ctx);
+      if (addFact(HN, Obj) && provOn())
+        Opts.Prov->step(provFact(HN, Obj),
+                        Escalating ? prov::Rule::CatchEscalate
+                                   : prov::Rule::CatchBind,
+                        WhyPrem, WhyAux);
       Caught = true;
     }
   }
-  if (!Caught)
-    addFact(throwNode(M, Ctx), Obj);
+  if (!Caught) {
+    uint32_t TN = throwNode(M, Ctx);
+    if (addFact(TN, Obj) && provOn())
+      Opts.Prov->step(provFact(TN, Obj),
+                      Escalating ? prov::Rule::ThrowEscalate
+                                 : prov::Rule::ThrowRaise,
+                      WhyPrem, WhyAux);
+  }
 }
 
 void Solver::addThrowLink(uint32_t ThrowNodeIdx, MethodId CallerM,
-                          CtxId CallerCtx) {
+                          CtxId CallerCtx, uint32_t WhyAux) {
   uint64_t Link = packPair(CallerM.index(), CallerCtx.index());
   uint64_t DedupKey =
       mix64(Link) ^ (static_cast<uint64_t>(ThrowNodeIdx) << 1);
   if (!ThrowLinkDedup.insert(DedupKey))
     return;
+  if (provOn())
+    ThrowLinkWhy.tryEmplace(DedupKey, WhyAux);
   Nodes[ThrowNodeIdx].ThrowLinks.push_back(Link);
   uint32_t Count = Nodes[ThrowNodeIdx].Set.size();
-  for (uint32_t I = 0; I < Count; ++I)
-    routeThrow(Nodes[ThrowNodeIdx].Set.at(I), CallerM, CallerCtx);
+  for (uint32_t I = 0; I < Count; ++I) {
+    uint32_t Obj = Nodes[ThrowNodeIdx].Set.at(I);
+    routeThrow(Obj, CallerM, CallerCtx,
+               provOn() ? provFact(ThrowNodeIdx, Obj) : prov::InvalidFact,
+               WhyAux);
+  }
 }
 
 void Solver::dispatch(const DispatchSub &Sub, uint32_t Obj) {
@@ -330,12 +432,26 @@ void Solver::dispatch(const DispatchSub &Sub, uint32_t Obj) {
   if (!Callee.isValid())
     return; // No receiver method: the concrete execution would throw.
   CtxId CalleeCtx = Policy.merge(Heap, HCtx, Sub.Invo, Sub.CallerCtx);
+  // Provenance: the receiver fact justifies the call edge, the call edge
+  // justifies callee reachability and the this-binding.  The edge fact is
+  // interned eagerly (interning is not a derivation step); its own step is
+  // recorded by wireCall on the first successful edge insert.
+  uint32_t BaseFact = prov::InvalidFact, CEFact = prov::InvalidFact;
+  if (provOn()) {
+    BaseFact = prov::varPointsTo(*Opts.Prov, Call.Base, Sub.CallerCtx, Obj);
+    CEFact = prov::callEdgeFact(*Opts.Prov, Sub.Invo, Sub.CallerCtx, Callee,
+                                CalleeCtx);
+  }
   // THISVAR binding: only this receiver object flows into `this` under the
   // context derived from it.
   const MethodInfo &CalleeInfo = Prog.method(Callee);
-  ensureReachable(Callee, CalleeCtx);
-  addFact(varNode(CalleeInfo.This, CalleeCtx), Obj);
-  wireCall(Sub.Invo, Sub.CallerCtx, Callee, CalleeCtx);
+  ensureReachable(Callee, CalleeCtx, prov::Rule::ReachCall, CEFact);
+  uint32_t ThisN = varNode(CalleeInfo.This, CalleeCtx);
+  if (addFact(ThisN, Obj) && provOn())
+    Opts.Prov->step(provFact(ThisN, Obj), prov::Rule::ThisBind, BaseFact,
+                    CEFact);
+  wireCall(Sub.Invo, Sub.CallerCtx, Callee, CalleeCtx, prov::Rule::VCall,
+           BaseFact);
 }
 
 bool Solver::insertCallEdge(const CallGraphEdge &E) {
@@ -362,28 +478,43 @@ bool Solver::insertCallEdge(const CallGraphEdge &E) {
 }
 
 void Solver::wireCall(InvokeId Invo, CtxId CallerCtx, MethodId Callee,
-                      CtxId CalleeCtx) {
+                      CtxId CalleeCtx, prov::Rule CallWhy, uint32_t CallPrem) {
   if (!insertCallEdge({Invo, CallerCtx, Callee, CalleeCtx}))
     return;
 
-  ensureReachable(Callee, CalleeCtx);
+  // The call-edge fact: conclusion of VCALL/SCALL, auxiliary premise of
+  // every interprocedural binding below.
+  uint32_t CEFact = prov::InvalidFact;
+  if (provOn())
+    CEFact = Opts.Prov->recordFact(
+        prov::FactKind::CallEdge, packPair(Invo.index(), CallerCtx.index()),
+        packPair(Callee.index(), CalleeCtx.index()), CallWhy, CallPrem);
+
+  ensureReachable(Callee, CalleeCtx, prov::Rule::ReachCall, CEFact);
 
   // INTERPROCASSIGN: actual -> formal edges (Figure 2, first rule).
   const InvokeInfo &Call = Prog.invoke(Invo);
   const MethodInfo &CalleeInfo = Prog.method(Callee);
   size_t NumArgs = std::min(Call.Actuals.size(), CalleeInfo.Formals.size());
-  for (size_t I = 0; I < NumArgs; ++I)
-    addEdge(varNode(Call.Actuals[I], CallerCtx),
-            varNode(CalleeInfo.Formals[I], CalleeCtx));
+  for (size_t I = 0; I < NumArgs; ++I) {
+    uint32_t FromN = varNode(Call.Actuals[I], CallerCtx);
+    uint32_t ToN = varNode(CalleeInfo.Formals[I], CalleeCtx);
+    noteEdgeWhy(FromN, ToN, prov::Rule::ParamBind, CEFact);
+    addEdge(FromN, ToN);
+  }
 
   // Return value: formal-return -> actual-return (Figure 2, second rule).
-  if (Call.RetTo.isValid() && CalleeInfo.Return.isValid())
-    addEdge(varNode(CalleeInfo.Return, CalleeCtx),
-            varNode(Call.RetTo, CallerCtx));
+  if (Call.RetTo.isValid() && CalleeInfo.Return.isValid()) {
+    uint32_t FromN = varNode(CalleeInfo.Return, CalleeCtx);
+    uint32_t ToN = varNode(Call.RetTo, CallerCtx);
+    noteEdgeWhy(FromN, ToN, prov::Rule::ReturnBind, CEFact);
+    addEdge(FromN, ToN);
+  }
 
   // Exception escalation: what escapes the callee is raised in the
   // calling frame.
-  addThrowLink(throwNode(Callee, CalleeCtx), Call.InMethod, CallerCtx);
+  addThrowLink(throwNode(Callee, CalleeCtx), Call.InMethod, CallerCtx,
+               CEFact);
 }
 
 void Solver::processDelta(uint32_t NodeIdx) {
@@ -412,34 +543,56 @@ void Solver::processDelta(uint32_t NodeIdx) {
     }
     for (size_t I = 0; I < Nodes[NodeIdx].ThrowSubs.size(); ++I) {
       uint64_t Frame = Nodes[NodeIdx].ThrowSubs[I];
-      routeThrow(Obj, MethodId(unpackHi(Frame)), CtxId(unpackLo(Frame)));
+      // This node is the thrown variable; its fact is the raise premise.
+      routeThrow(Obj, MethodId(unpackHi(Frame)), CtxId(unpackLo(Frame)),
+                 provOn() ? provFact(NodeIdx, Obj) : prov::InvalidFact);
     }
     for (size_t I = 0; I < Nodes[NodeIdx].ThrowLinks.size(); ++I) {
       uint64_t Frame = Nodes[NodeIdx].ThrowLinks[I];
-      routeThrow(Obj, MethodId(unpackHi(Frame)), CtxId(unpackLo(Frame)));
+      // This node is a callee throw slot; the link's call edge is the aux.
+      uint32_t WhyPrem = prov::InvalidFact, WhyAux = prov::InvalidFact;
+      if (provOn()) {
+        WhyPrem = provFact(NodeIdx, Obj);
+        uint64_t DedupKey =
+            mix64(Frame) ^ (static_cast<uint64_t>(NodeIdx) << 1);
+        if (const uint32_t *Aux = ThrowLinkWhy.find(DedupKey))
+          WhyAux = *Aux;
+      }
+      routeThrow(Obj, MethodId(unpackHi(Frame)), CtxId(unpackLo(Frame)),
+                 WhyPrem, WhyAux);
     }
     for (size_t I = 0; I < Nodes[NodeIdx].Loads.size(); ++I) {
       LoadSub Sub = Nodes[NodeIdx].Loads[I];
       PT_COUNT(Counters.RuleLoad);
       slowRule(FaultRule::Load);
-      addEdge(fieldNode(Obj, Sub.Fld), Sub.ToNode);
+      uint32_t FN = fieldNode(Obj, Sub.Fld);
+      if (provOn())
+        noteEdgeWhy(FN, Sub.ToNode, prov::Rule::Load,
+                    provFact(NodeIdx, Obj));
+      addEdge(FN, Sub.ToNode);
     }
     for (size_t I = 0; I < Nodes[NodeIdx].Stores.size(); ++I) {
       StoreSub Sub = Nodes[NodeIdx].Stores[I];
       PT_COUNT(Counters.RuleStore);
       slowRule(FaultRule::Store);
-      addEdge(Sub.FromNode, fieldNode(Obj, Sub.Fld));
+      uint32_t FN = fieldNode(Obj, Sub.Fld);
+      if (provOn())
+        noteEdgeWhy(Sub.FromNode, FN, prov::Rule::Store,
+                    provFact(NodeIdx, Obj));
+      addEdge(Sub.FromNode, FN);
     }
     for (size_t I = 0; I < Nodes[NodeIdx].Edges.size(); ++I) {
       uint32_t To = Nodes[NodeIdx].Edges[I];
-      addFact(To, Obj);
+      if (addFact(To, Obj) && provOn())
+        provEdgeStep(NodeIdx, To, Obj, /*IsCast=*/false);
     }
     for (size_t I = 0; I < Nodes[NodeIdx].CastEdges.size(); ++I) {
       CastEdge E = Nodes[NodeIdx].CastEdges[I];
       PT_COUNT(Counters.RuleCast);
       slowRule(FaultRule::Cast);
-      if (Prog.isSubtype(Prog.heap(ObjHeaps[Obj]).Type, E.Filter))
-        addFact(E.ToNode, Obj);
+      if (Prog.isSubtype(Prog.heap(ObjHeaps[Obj]).Type, E.Filter) &&
+          addFact(E.ToNode, Obj) && provOn())
+        provEdgeStep(NodeIdx, E.ToNode, Obj, /*IsCast=*/true);
     }
   }
 }
@@ -474,9 +627,9 @@ AnalysisResult Solver::run() {
   // for the soundness argument).  Seeds go in before the entry points so
   // their bodies instantiate exactly once either way.
   for (MethodId Seed : Opts.SeedReachable)
-    ensureReachable(Seed, Initial);
+    ensureReachable(Seed, Initial, prov::Rule::Seed);
   for (MethodId Entry : Prog.entryPoints())
-    ensureReachable(Entry, Initial);
+    ensureReachable(Entry, Initial, prov::Rule::Entry);
   drainWorklist();
 
   // One closing heartbeat regardless of cadence, so every traced run —
@@ -513,6 +666,11 @@ size_t Solver::memoryBytes() const {
   Bytes += ReachableList.capacity() * sizeof(std::pair<MethodId, CtxId>);
   Bytes += CallEdges.capacity() * sizeof(CallGraphEdge) +
            CallEdgeNext.capacity() * sizeof(uint32_t);
+  // Provenance costs count against the same budget: the derivation arena
+  // plus the edge-justification side maps.
+  if (PT_PROV_ACTIVE(Opts.Prov))
+    Bytes += Opts.Prov->memoryBytes() + EdgeWhy.memoryBytes() +
+             CastEdgeWhy.memoryBytes() + ThrowLinkWhy.memoryBytes();
   return Bytes;
 }
 

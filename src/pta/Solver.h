@@ -34,6 +34,7 @@
 #define HYBRIDPT_PTA_SOLVER_H
 
 #include "pta/AnalysisResult.h"
+#include "pta/provenance/Provenance.h"
 #include "support/Cancel.h"
 #include "support/FaultPlan.h"
 #include "support/FlatMap.h"
@@ -113,6 +114,12 @@ struct SolverOptions {
   /// ...or whenever this many milliseconds passed since the last one
   /// (polled every 1024 steps; 0 = never by time).
   uint64_t HeartbeatMs = 250;
+  /// Derivation-provenance recorder (docs/OBSERVABILITY.md): when non-null
+  /// and the build compiles HYBRIDPT_PROVENANCE in, every derived fact gets
+  /// a step naming the Figure-2 rule and premise facts.  The arena's bytes
+  /// count against \c MemoryBudgetBytes.  Null keeps every hook a dead
+  /// single-pointer test.
+  prov::Recorder *Prov = nullptr;
   /// Which engine solves the cell (see \c SolverEngine).
   SolverEngine Engine = SolverEngine::Worklist;
   /// Worker threads for \c SolverEngine::Summary (ignored by the
@@ -201,28 +208,58 @@ private:
 
   /// Delivers an exception object raised in or escalated into
   /// (\p M, \p Ctx): binds matching handlers or escapes to the method's
-  /// throw slot.
-  void routeThrow(uint32_t Obj, MethodId M, CtxId Ctx);
+  /// throw slot.  \p WhyPrem / \p WhyAux are the provenance premises: the
+  /// thrown-var (or callee-throw-slot) fact, plus the call edge when the
+  /// object is escalating (a valid aux selects the Escalate rule variants).
+  void routeThrow(uint32_t Obj, MethodId M, CtxId Ctx,
+                  uint32_t WhyPrem = prov::InvalidFact,
+                  uint32_t WhyAux = prov::InvalidFact);
 
   /// Adds an escalation link callee-throw-slot -> caller frame, replaying
-  /// existing facts.
-  void addThrowLink(uint32_t ThrowNodeIdx, MethodId CallerM, CtxId CallerCtx);
+  /// existing facts.  \p WhyAux is the provenance call-edge fact.
+  void addThrowLink(uint32_t ThrowNodeIdx, MethodId CallerM, CtxId CallerCtx,
+                    uint32_t WhyAux = prov::InvalidFact);
 
   // --- Fact and edge insertion (all idempotent) ---
 
-  void addFact(uint32_t NodeIdx, uint32_t Obj);
+  /// Returns true when the fact was newly inserted (the provenance hooks
+  /// record a derivation step exactly then).
+  bool addFact(uint32_t NodeIdx, uint32_t Obj);
   void addEdge(uint32_t From, uint32_t To);
   void addCastEdge(uint32_t From, uint32_t To, TypeId Filter);
 
   /// REACHABLE(M, Ctx): instantiates the method body on first sight.
-  void ensureReachable(MethodId M, CtxId Ctx);
+  /// \p Why / \p WhyPrem describe how reachability was derived (entry
+  /// point, ladder seed, or a call edge) for the provenance arena.
+  void ensureReachable(MethodId M, CtxId Ctx,
+                       prov::Rule Why = prov::Rule::Entry,
+                       uint32_t WhyPrem = prov::InvalidFact);
 
   /// Handles one receiver object arriving at a virtual call's base node.
   void dispatch(const DispatchSub &Sub, uint32_t Obj);
 
   /// Wires argument/return edges for a discovered call-graph edge.
+  /// \p CallWhy is VCall or SCall; \p CallPrem the premise fact (receiver
+  /// VarPointsTo resp. caller Reachable).
   void wireCall(InvokeId Invo, CtxId CallerCtx, MethodId Callee,
-                CtxId CalleeCtx);
+                CtxId CalleeCtx, prov::Rule CallWhy = prov::Rule::SCall,
+                uint32_t CallPrem = prov::InvalidFact);
+
+  // --- Provenance hooks (single dead pointer test when Prov is null) ---
+
+  /// True when this run records derivations.
+  bool provOn() const { return PT_PROV_ACTIVE(Opts.Prov); }
+
+  /// Interns the fact a (node, object) pair denotes, by node kind.
+  uint32_t provFact(uint32_t NodeIdx, uint32_t Obj);
+
+  /// Remembers why edge \p From -> \p To exists, keyed like EdgeDedup;
+  /// must run before \c addEdge so replayed facts find the justification.
+  void noteEdgeWhy(uint32_t From, uint32_t To, prov::Rule Why, uint32_t Aux);
+  void noteCastEdgeWhy(uint32_t From, uint32_t To, uint32_t Aux);
+
+  /// Records the step for one fact propagated along (\p From, \p To).
+  void provEdgeStep(uint32_t From, uint32_t To, uint32_t Obj, bool IsCast);
 
   /// Appends \p E to the call graph unless present; exact tuple dedup via
   /// a hash-headed chain over \c CallEdges (no separate key copies).
@@ -319,6 +356,16 @@ private:
   std::vector<CallGraphEdge> CallEdges;
 
   FlatSet EdgeDedup; ///< packPair(from, to)
+
+  /// Provenance edge justifications: packPair(from, to) -> packed
+  /// (aux fact << 8 | rule).  Only populated when \c Opts.Prov is set;
+  /// cast edges get their own map because a plain and a cast edge can
+  /// coexist between one node pair.
+  FlatMap<uint64_t> EdgeWhy;
+  FlatMap<uint64_t> CastEdgeWhy;
+  /// ThrowLink justifications, keyed like \c ThrowLinkDedup -> call-edge
+  /// fact id.
+  FlatMap<uint32_t> ThrowLinkWhy;
 
   std::deque<uint32_t> Worklist;
   uint64_t FactCount = 0;

@@ -187,16 +187,22 @@ void TraceRecorder::heartbeat(Heartbeat HB) {
   writeLineLocked(OS.str());
 
   if (Progress) {
-    *Progress << "[hb] " << HB.Label << ": t="
-              << formatDouble(HB.TMs / 1000.0) << "s steps="
-              << humanCount(HB.Step) << " wl=" << humanCount(HB.WorklistDepth)
-              << " facts=" << humanCount(HB.Facts)
-              << " nodes=" << humanCount(HB.Nodes) << " mem="
-              << formatDouble(static_cast<double>(HB.MemoryBytes) / 1e6)
-              << "MB" << (HB.Final ? " (final)" : "");
+    // Render the whole line first and emit it as ONE stream insertion:
+    // stderr is typically unbuffered, so piecewise insertions become
+    // separate writes that interleave across cells at --threads > 1 (Mu
+    // only serializes this recorder, not other writers of the fd).
+    std::ostringstream Line;
+    Line << "[hb] " << HB.Label << ": t=" << formatDouble(HB.TMs / 1000.0)
+         << "s steps=" << humanCount(HB.Step)
+         << " wl=" << humanCount(HB.WorklistDepth)
+         << " facts=" << humanCount(HB.Facts)
+         << " nodes=" << humanCount(HB.Nodes) << " mem="
+         << formatDouble(static_cast<double>(HB.MemoryBytes) / 1e6) << "MB"
+         << (HB.Final ? " (final)" : "");
     if (!HB.Abort.empty())
-      *Progress << " abort=" << HB.Abort;
-    *Progress << std::endl;
+      Line << " abort=" << HB.Abort;
+    Line << '\n';
+    *Progress << Line.str() << std::flush;
   }
 
   LastByLabel[HB.Label] = std::move(HB);
@@ -224,13 +230,16 @@ void TraceRecorder::ladder(std::string_view Label, std::string_view From,
      << "\",\"solve_ms\":" << formatDouble(SolveMs) << '}';
   writeLineLocked(OS.str());
   if (Progress) {
-    *Progress << "[ladder] " << Label << ": " << From << " aborted ("
-              << Reason << ") after " << formatDouble(SolveMs) << "ms";
+    // Same single-write discipline as the heartbeat lines above.
+    std::ostringstream Line;
+    Line << "[ladder] " << Label << ": " << From << " aborted (" << Reason
+         << ") after " << formatDouble(SolveMs) << "ms";
     if (To.empty())
-      *Progress << ", ladder exhausted";
+      Line << ", ladder exhausted";
     else
-      *Progress << ", falling back to " << To;
-    *Progress << std::endl;
+      Line << ", falling back to " << To;
+    Line << '\n';
+    *Progress << Line.str() << std::flush;
   }
 }
 

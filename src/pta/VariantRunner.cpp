@@ -36,8 +36,14 @@ PrecisionMetrics runOneCell(const Program &Prog, const std::string &Policy,
   trace::TraceRecorder::Span CellSpan(CellOpts.Trace, CellOpts.TraceLabel,
                                       "cell");
   std::vector<PrecisionMetrics> Reps;
+  // Per-repetition provenance: each repetition is its own run with its own
+  // dense object ids, so each gets a fresh recorder (never the shared
+  // MatrixOptions::Solver.Prov, which concurrent cells would corrupt).
+  const bool DoProfile = MOpts.Profile && HYBRIDPT_PROVENANCE_ENABLED != 0;
   for (uint32_t RunIdx = 0; RunIdx < Runs; ++RunIdx) {
     PrecisionMetrics Rep;
+    prov::Recorder ProvRec;
+    CellOpts.Prov = DoProfile ? &ProvRec : nullptr;
     if (MOpts.UseLadder) {
       LadderOptions LOpts;
       LOpts.Rungs = MOpts.LadderRungs;
@@ -58,6 +64,9 @@ PrecisionMetrics runOneCell(const Program &Prog, const std::string &Policy,
       Rep.LandedPolicy = LR.LandedPolicy;
       Rep.FallbackFrom = LR.FallbackFrom;
       Rep.LadderTrail = std::move(LR.Trail);
+      if (DoProfile && !Rep.Aborted)
+        Rep.ProfileJson = prov::renderBlameJson(
+            prov::blame(ProvRec, *LR.Result, MOpts.ProfileTopK));
     } else {
       auto Pol = createPolicy(Policy, Prog);
       if (!Pol) {
@@ -70,9 +79,14 @@ PrecisionMetrics runOneCell(const Program &Prog, const std::string &Policy,
         // Engine choice (worklist or summary) rides in on CellOpts.
         return solveProgram(Prog, *Pol, CellOpts);
       }();
-      trace::TraceRecorder::Span MetricsSpan(CellOpts.Trace, "metrics",
-                                             "phase");
-      Rep = computeMetrics(R);
+      {
+        trace::TraceRecorder::Span MetricsSpan(CellOpts.Trace, "metrics",
+                                               "phase");
+        Rep = computeMetrics(R);
+      }
+      if (DoProfile && !Rep.Aborted)
+        Rep.ProfileJson = prov::renderBlameJson(
+            prov::blame(ProvRec, R, MOpts.ProfileTopK));
     }
     Reps.push_back(std::move(Rep));
     // A genuine resource-budget abort will abort again, so stop repeating

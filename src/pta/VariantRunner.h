@@ -56,6 +56,14 @@ struct MatrixOptions {
   /// Explicit ladder tail applied after each cell's own policy; empty =
   /// the derived default ladder.  Only meaningful with \c UseLadder.
   std::vector<std::string> LadderRungs;
+  /// Record derivation provenance per cell and attach the rendered blame
+  /// profile (prov::renderBlameJson) to \c PrecisionMetrics::ProfileJson.
+  /// Each repetition gets its own recorder — cells run concurrently and
+  /// fact payloads embed per-run object ids — so \c Solver.Prov is ignored
+  /// by the matrix.  No-op when the build compiles provenance out.
+  bool Profile = false;
+  /// Rows per attribution bucket in the per-cell profile.
+  size_t ProfileTopK = 10;
 };
 
 /// Runs every policy in \p Policies over \p Prog (concurrently when

@@ -176,6 +176,12 @@ enum class MsgKind : uint8_t {
   RouteThrow, ///< routeThrow(Obj, A = method, B = ctx).
 };
 
+/// Sentinel for Msg::WhyRule: the receiver must not record a derivation
+/// step (either provenance is off, or the step was already recorded on the
+/// sender side — portal-forwarded facts record at portal-insert time, since
+/// the portal's descriptor is the remote fact key).
+constexpr uint8_t WhyNone = 0xFF;
+
 struct Msg {
   MsgKind Kind;
   NK NKey = NK::VarCtx;
@@ -186,6 +192,14 @@ struct Msg {
   uint32_t RefPart = 0;
   uint32_t RefA = 0;
   uint32_t RefB = 0;
+  // Provenance payload: fact ids are global (the recorder is shared), so
+  // they travel across partitions unchanged.  Reach carries (rule, prem);
+  // Fact carries the full step; Edge carries the justification the
+  // receiver stores in its EdgeWhy map; RouteThrow/ThrowLink carry the
+  // throw-fact premise and the call-edge aux.
+  uint8_t WhyRule = WhyNone;
+  uint32_t WhyPrem = prov::InvalidFact;
+  uint32_t WhyAux = prov::InvalidFact;
 };
 
 // ---------------------------------------------------------------------------
@@ -232,7 +246,9 @@ public:
 
   void apply(const Msg &M);
   void drainWorklist();
-  void ensureReachable(MethodId M, CtxId Ctx);
+  void ensureReachable(MethodId M, CtxId Ctx,
+                       prov::Rule Why = prov::Rule::Entry,
+                       uint32_t WhyPrem = prov::InvalidFact);
 
   /// Bytes held by this partition's persistent containers.
   size_t memoryBytes() const;
@@ -268,11 +284,13 @@ public:
     CtxId CallerCtx;
   };
   /// One exception-escalation link out of a throw slot; \c Part may be a
-  /// different partition (fired as a RouteThrow message).
+  /// different partition (fired as a RouteThrow message).  \c WhyAux is
+  /// the call-edge fact justifying the link (provenance only).
   struct TLink {
     uint32_t Part;
     uint32_t M;
     uint32_t Ctx;
+    uint32_t WhyAux = prov::InvalidFact;
   };
 
   struct Node {
@@ -306,6 +324,12 @@ public:
   FlatMap<uint32_t> PortalFieldIndex;
   FlatMap<uint32_t> PortalStaticIndex;
   FlatSet EdgeDedup;
+
+  /// Provenance: object-independent justification per (from, to) edge,
+  /// value = (aux fact id << 8) | rule — same first-wins discipline as the
+  /// worklist solver's maps.  Empty when provenance is off.
+  FlatMap<uint64_t> EdgeWhy;
+  FlatMap<uint64_t> CastEdgeWhy;
 
   FlatSet ReachableSet;
   std::vector<std::pair<MethodId, CtxId>> ReachableList;
@@ -368,28 +392,62 @@ private:
 
   uint32_t internObject(HeapId Heap, HCtxId HCtx);
 
-  void addFact(uint32_t NodeIdx, uint32_t Obj);
+  /// Returns true on a fresh insert (callers record provenance then).
+  bool addFact(uint32_t NodeIdx, uint32_t Obj);
   void addEdge(uint32_t From, uint32_t To);
   void addCastEdge(uint32_t From, uint32_t To, TypeId Filter);
   void addThrowLink(uint32_t ThrowNodeIdx, uint32_t CallerPart,
-                    uint32_t CallerM, uint32_t CallerCtx);
-  void fireThrowLink(const TLink &L, uint32_t Obj);
-  void routeThrow(uint32_t Obj, MethodId M, CtxId Ctx);
+                    uint32_t CallerM, uint32_t CallerCtx,
+                    uint32_t WhyAux = prov::InvalidFact);
+  void fireThrowLink(const TLink &L, uint32_t Obj,
+                     uint32_t WhyPrem = prov::InvalidFact);
+  void routeThrow(uint32_t Obj, MethodId M, CtxId Ctx,
+                  uint32_t WhyPrem = prov::InvalidFact,
+                  uint32_t WhyAux = prov::InvalidFact);
   void dispatch(const DispatchSub &Sub, uint32_t Obj);
   void wireCall(InvokeId Invo, CtxId CallerCtx, MethodId Callee,
-                CtxId CalleeCtx);
+                CtxId CalleeCtx, prov::Rule CallWhy = prov::Rule::SCall,
+                uint32_t CallPrem = prov::InvalidFact);
   bool insertCallEdge(const CallGraphEdge &E);
   void processDelta(uint32_t NodeIdx);
 
   /// Requests summary (method, ctx) from its owner (locally or by msg).
-  void reach(MethodId M, CtxId Ctx);
+  void reach(MethodId M, CtxId Ctx, prov::Rule Why = prov::Rule::Entry,
+             uint32_t WhyPrem = prov::InvalidFact);
   /// Delivers \p Obj into (\p V, \p Ctx) wherever that variable lives.
-  void factToVar(VarId V, CtxId Ctx, uint32_t Obj);
+  void factToVar(VarId V, CtxId Ctx, uint32_t Obj,
+                 prov::Rule Why = prov::Rule::Entry,
+                 uint32_t WhyPrem = prov::InvalidFact,
+                 uint32_t WhyAux = prov::InvalidFact);
   /// LOAD consequence field(obj, fld) -> ToNode, with a remote source
-  /// shipped to the slot's owner as an Edge message.
-  void loadEdge(uint32_t Obj, FieldId Fld, uint32_t ToNode);
+  /// shipped to the slot's owner as an Edge message.  \p BaseWhy is the
+  /// triggering base-variable fact (provenance aux).
+  void loadEdge(uint32_t Obj, FieldId Fld, uint32_t ToNode,
+                uint32_t BaseWhy = prov::InvalidFact);
   /// STORE consequence FromNode -> field(obj, fld), portal when remote.
-  void storeEdge(uint32_t FromNode, uint32_t Obj, FieldId Fld);
+  void storeEdge(uint32_t FromNode, uint32_t Obj, FieldId Fld,
+                 uint32_t BaseWhy = prov::InvalidFact);
+
+  // --- Provenance hooks (zero-cost when HYBRIDPT_PROVENANCE=0) ---
+  bool provOn() const; // Defined after Engine (needs E.Opts).
+  /// Interns the analysis fact a node/object pair denotes.  Portal nodes
+  /// intern the *remote* fact — the portal descriptor is the remote key.
+  uint32_t provFact(uint32_t NodeIdx, uint32_t Obj);
+  void noteEdgeWhy(uint32_t From, uint32_t To, prov::Rule Why,
+                   uint32_t Aux) {
+    if (provOn())
+      EdgeWhy.tryEmplace(packPair(From, To),
+                         (static_cast<uint64_t>(Aux) << 8) |
+                             static_cast<uint64_t>(Why));
+  }
+  void noteCastEdgeWhy(uint32_t From, uint32_t To, uint32_t Aux) {
+    if (provOn())
+      CastEdgeWhy.tryEmplace(packPair(From, To),
+                             (static_cast<uint64_t>(Aux) << 8) |
+                                 static_cast<uint64_t>(prov::Rule::Cast));
+  }
+  /// Records the step for a fresh propagation of \p Obj across an edge.
+  void provEdgeStep(uint32_t From, uint32_t To, uint32_t Obj, bool IsCast);
 
   CtxId policyMerge(HeapId Heap, HCtxId HCtx, InvokeId Invo, CtxId Ctx);
   CtxId policyMergeStatic(InvokeId Invo, CtxId Ctx);
@@ -558,6 +616,8 @@ private:
 
 bool Partition::aborted() const { return E.aborted(); }
 
+bool Partition::provOn() const { return PT_PROV_ACTIVE(E.Opts.Prov); }
+
 Partition::Partition(Engine &E, uint32_t Id)
     : E(E), Id(Id),
       CounterSnap(
@@ -576,9 +636,16 @@ void Partition::pollGuards() {
   // heartbeat thread and, when a budget is set, summed across partitions.
   if ((++MemPollTick & 0x7) == 0) {
     MemBytesA.store(memoryBytes(), std::memory_order_relaxed);
-    if (E.Opts.MemoryBudgetBytes != 0 &&
-        E.totalPublishedMemory() > E.Opts.MemoryBudgetBytes)
-      E.abortRun(AbortReason::MemoryBudget);
+    if (E.Opts.MemoryBudgetBytes != 0) {
+      uint64_t Total = E.totalPublishedMemory();
+      // The shared derivation arena is engine-global state; charge it
+      // once here, not per partition (memoryBytes() is a lock-free
+      // atomic read, safe from any draining thread).
+      if (PT_PROV_ACTIVE(E.Opts.Prov))
+        Total += E.Opts.Prov->memoryBytes();
+      if (Total > E.Opts.MemoryBudgetBytes)
+        E.abortRun(AbortReason::MemoryBudget);
+    }
   }
   publishCounters();
   E.maybeHeartbeat();
@@ -736,12 +803,45 @@ CtxId Partition::policyMerge(HeapId Heap, HCtxId HCtx, InvokeId Invo,
   return R;
 }
 
+// --- Provenance -----------------------------------------------------------
+
+uint32_t Partition::provFact(uint32_t NodeIdx, uint32_t Obj) {
+  prov::Recorder &R = *E.Opts.Prov;
+  const Desc &D = Descs[NodeIdx];
+  switch (D.Kind) {
+  case PK::VarCtx:
+  case PK::PortalVar:
+    return prov::varPointsTo(R, VarId(D.A), CtxId(D.B), Obj);
+  case PK::FieldSlot:
+  case PK::PortalField:
+    return prov::fieldPointsTo(R, D.A, FieldId(D.B), Obj);
+  case PK::StaticSlot:
+  case PK::PortalStatic:
+    return prov::staticPointsTo(R, FieldId(D.A), Obj);
+  case PK::ThrowSlot:
+    return prov::throwPointsTo(R, MethodId(D.A), CtxId(D.B), Obj);
+  }
+  return prov::InvalidFact;
+}
+
+void Partition::provEdgeStep(uint32_t From, uint32_t To, uint32_t Obj,
+                             bool IsCast) {
+  FlatMap<uint64_t> &Map = IsCast ? CastEdgeWhy : EdgeWhy;
+  uint64_t *Why = Map.find(packPair(From, To));
+  if (!Why)
+    return; // Edge predates provenance enablement; skip, stay sound.
+  auto Rule = static_cast<prov::Rule>(*Why & 0xFF);
+  auto Aux = static_cast<uint32_t>(*Why >> 8);
+  E.Opts.Prov->step(provFact(To, Obj), Rule, provFact(From, Obj), Aux);
+}
+
 // --- Cross-partition routing ----------------------------------------------
 
-void Partition::reach(MethodId M, CtxId Ctx) {
+void Partition::reach(MethodId M, CtxId Ctx, prov::Rule Why,
+                      uint32_t WhyPrem) {
   uint32_t Owner = E.partOfMethod(M);
   if (Owner == Id) {
-    ensureReachable(M, Ctx);
+    ensureReachable(M, Ctx, Why, WhyPrem);
     return;
   }
   if (!SentReach.insert(packPair(M.index(), Ctx.index())))
@@ -751,13 +851,20 @@ void Partition::reach(MethodId M, CtxId Ctx) {
   Message.Kind = MsgKind::Reach;
   Message.A = M.index();
   Message.B = Ctx.index();
+  if (provOn()) {
+    Message.WhyRule = static_cast<uint8_t>(Why);
+    Message.WhyPrem = WhyPrem;
+  }
   E.post(Owner, Message);
 }
 
-void Partition::factToVar(VarId V, CtxId Ctx, uint32_t Obj) {
+void Partition::factToVar(VarId V, CtxId Ctx, uint32_t Obj, prov::Rule Why,
+                          uint32_t WhyPrem, uint32_t WhyAux) {
   uint32_t Owner = E.partOfVar(V);
   if (Owner == Id) {
-    addFact(varNode(V, Ctx), Obj);
+    uint32_t N = varNode(V, Ctx);
+    if (addFact(N, Obj) && provOn())
+      E.Opts.Prov->step(provFact(N, Obj), Why, WhyPrem, WhyAux);
     return;
   }
   PT_COUNT(Counters.CrossMsgs);
@@ -767,13 +874,21 @@ void Partition::factToVar(VarId V, CtxId Ctx, uint32_t Obj) {
   Message.A = V.index();
   Message.B = Ctx.index();
   Message.Obj = Obj;
+  if (provOn()) {
+    Message.WhyRule = static_cast<uint8_t>(Why);
+    Message.WhyPrem = WhyPrem;
+    Message.WhyAux = WhyAux;
+  }
   E.post(Owner, Message);
 }
 
-void Partition::loadEdge(uint32_t Obj, FieldId Fld, uint32_t ToNode) {
+void Partition::loadEdge(uint32_t Obj, FieldId Fld, uint32_t ToNode,
+                         uint32_t BaseWhy) {
   uint32_t Owner = E.partOfObj(Obj);
   if (Owner == Id) {
-    addEdge(fieldNode(Obj, Fld), ToNode);
+    uint32_t Src = fieldNode(Obj, Fld);
+    noteEdgeWhy(Src, ToNode, prov::Rule::Load, BaseWhy);
+    addEdge(Src, ToNode);
     return;
   }
   // The edge's source (the field slot) lives elsewhere: ship the edge to
@@ -789,22 +904,28 @@ void Partition::loadEdge(uint32_t Obj, FieldId Fld, uint32_t ToNode) {
   Message.RefKey = NK::VarCtx;
   Message.RefA = D.A;
   Message.RefB = D.B;
+  if (provOn()) {
+    Message.WhyRule = static_cast<uint8_t>(prov::Rule::Load);
+    Message.WhyAux = BaseWhy;
+  }
   E.post(Owner, Message);
 }
 
-void Partition::storeEdge(uint32_t FromNode, uint32_t Obj, FieldId Fld) {
+void Partition::storeEdge(uint32_t FromNode, uint32_t Obj, FieldId Fld,
+                          uint32_t BaseWhy) {
   uint32_t Owner = E.partOfObj(Obj);
   uint32_t To = Owner == Id ? fieldNode(Obj, Fld)
                             : portalNode(NK::FieldSlot, Obj, Fld.index(),
                                          Owner);
+  noteEdgeWhy(FromNode, To, prov::Rule::Store, BaseWhy);
   addEdge(FromNode, To);
 }
 
 // --- Facts and edges ------------------------------------------------------
 
-void Partition::addFact(uint32_t NodeIdx, uint32_t Obj) {
+bool Partition::addFact(uint32_t NodeIdx, uint32_t Obj) {
   if (aborted())
-    return;
+    return false;
   bool Portal = isPortal(Descs[NodeIdx].Kind);
   // Portal inserts are routing state, not analysis facts: they must not
   // count toward MaxFacts or the fact counters, or the summary engine
@@ -812,13 +933,13 @@ void Partition::addFact(uint32_t NodeIdx, uint32_t Obj) {
   if (!Portal && E.Opts.MaxFacts != 0 &&
       E.FactCount.load(std::memory_order_relaxed) >= E.Opts.MaxFacts) {
     E.abortRun(AbortReason::FactBudget);
-    return;
+    return false;
   }
   Node &N = Nodes[NodeIdx];
   if (!N.Set.insert(Obj)) {
     if (!Portal)
       PT_COUNT(Counters.FactDedupHits);
-    return;
+    return false;
   }
   if (!Portal) {
     PT_COUNT(Counters.FactsInserted);
@@ -828,6 +949,7 @@ void Partition::addFact(uint32_t NodeIdx, uint32_t Obj) {
     N.Queued = true;
     Worklist.push_back(NodeIdx);
   }
+  return true;
 }
 
 void Partition::addEdge(uint32_t From, uint32_t To) {
@@ -841,8 +963,11 @@ void Partition::addEdge(uint32_t From, uint32_t To) {
   Nodes[From].Edges.push_back(To);
   uint32_t Count = Nodes[From].Set.size();
   PT_COUNT_ADD(Counters.FactsReplayed, Count);
-  for (uint32_t I = 0; I < Count; ++I)
-    addFact(To, Nodes[From].Set.at(I));
+  for (uint32_t I = 0; I < Count; ++I) {
+    uint32_t Obj = Nodes[From].Set.at(I);
+    if (addFact(To, Obj) && provOn())
+      provEdgeStep(From, To, Obj, /*IsCast=*/false);
+  }
 }
 
 void Partition::addCastEdge(uint32_t From, uint32_t To, TypeId Filter) {
@@ -854,13 +979,15 @@ void Partition::addCastEdge(uint32_t From, uint32_t To, TypeId Filter) {
     uint32_t Obj = Nodes[From].Set.at(I);
     PT_COUNT(Counters.RuleCast);
     if (E.Prog.isSubtype(E.Prog.heap(E.Objs.heapOf(Obj)).Type, Filter))
-      addFact(To, Obj);
+      if (addFact(To, Obj) && provOn())
+        provEdgeStep(From, To, Obj, /*IsCast=*/true);
   }
 }
 
 // --- Reachability (the summary body) --------------------------------------
 
-void Partition::ensureReachable(MethodId M, CtxId Ctx) {
+void Partition::ensureReachable(MethodId M, CtxId Ctx, prov::Rule Why,
+                                uint32_t WhyPrem) {
   if (aborted())
     return;
   if (!ReachableSet.insert(packPair(M.index(), Ctx.index()))) {
@@ -872,6 +999,12 @@ void Partition::ensureReachable(MethodId M, CtxId Ctx) {
   PT_COUNT(Counters.MethodsInstantiated);
   ReachableList.push_back({M, Ctx});
 
+  uint32_t RFact = prov::InvalidFact;
+  if (provOn()) {
+    RFact = prov::reachableFact(*E.Opts.Prov, M, Ctx);
+    E.Opts.Prov->step(RFact, Why, WhyPrem);
+  }
+
   const Program &Prog = E.Prog;
   const MethodInfo &Body = Prog.method(M);
 
@@ -880,18 +1013,26 @@ void Partition::ensureReachable(MethodId M, CtxId Ctx) {
     slowRule(FaultRule::Alloc);
     HCtxId HCtx = policyRecord(A.Heap, Ctx);
     uint32_t Obj = internObject(A.Heap, HCtx);
-    addFact(varNode(A.Var, Ctx), Obj);
+    uint32_t VN = varNode(A.Var, Ctx);
+    if (addFact(VN, Obj) && provOn())
+      E.Opts.Prov->step(provFact(VN, Obj), prov::Rule::Alloc, RFact);
   }
 
   for (const MoveInstr &Mv : Body.Moves) {
     PT_COUNT(Counters.RuleMove);
     slowRule(FaultRule::Move);
-    addEdge(varNode(Mv.From, Ctx), varNode(Mv.To, Ctx));
+    uint32_t From = varNode(Mv.From, Ctx);
+    uint32_t To = varNode(Mv.To, Ctx);
+    noteEdgeWhy(From, To, prov::Rule::Move, RFact);
+    addEdge(From, To);
   }
 
   for (const CastInstr &C : Body.Casts) {
     slowRule(FaultRule::Cast);
-    addCastEdge(varNode(C.From, Ctx), varNode(C.To, Ctx), C.Target);
+    uint32_t From = varNode(C.From, Ctx);
+    uint32_t To = varNode(C.To, Ctx);
+    noteCastEdgeWhy(From, To, RFact);
+    addCastEdge(From, To, C.Target);
   }
 
   for (const LoadInstr &L : Body.Loads) {
@@ -903,7 +1044,8 @@ void Partition::ensureReachable(MethodId M, CtxId Ctx) {
     for (uint32_t I = 0; I < Count; ++I) {
       uint32_t Obj = Nodes[Base].Set.at(I);
       PT_COUNT(Counters.RuleLoad);
-      loadEdge(Obj, L.Fld, To);
+      loadEdge(Obj, L.Fld, To,
+               provOn() ? provFact(Base, Obj) : prov::InvalidFact);
     }
   }
   for (const StoreInstr &S : Body.Stores) {
@@ -915,7 +1057,8 @@ void Partition::ensureReachable(MethodId M, CtxId Ctx) {
     for (uint32_t I = 0; I < Count; ++I) {
       uint32_t Obj = Nodes[Base].Set.at(I);
       PT_COUNT(Counters.RuleStore);
-      storeEdge(From, Obj, S.Fld);
+      storeEdge(From, Obj, S.Fld,
+                provOn() ? provFact(Base, Obj) : prov::InvalidFact);
     }
   }
 
@@ -925,7 +1068,9 @@ void Partition::ensureReachable(MethodId M, CtxId Ctx) {
     uint32_t Owner = E.partOfStatic(L.Fld);
     uint32_t To = varNode(L.To, Ctx);
     if (Owner == Id) {
-      addEdge(staticNode(L.Fld), To);
+      uint32_t Src = staticNode(L.Fld);
+      noteEdgeWhy(Src, To, prov::Rule::StaticLoad, RFact);
+      addEdge(Src, To);
     } else {
       PT_COUNT(Counters.CrossMsgs);
       Msg Message;
@@ -936,6 +1081,10 @@ void Partition::ensureReachable(MethodId M, CtxId Ctx) {
       Message.RefKey = NK::VarCtx;
       Message.RefA = L.To.index();
       Message.RefB = Ctx.index();
+      if (provOn()) {
+        Message.WhyRule = static_cast<uint8_t>(prov::Rule::StaticLoad);
+        Message.WhyAux = RFact;
+      }
       E.post(Owner, Message);
     }
   }
@@ -946,15 +1095,20 @@ void Partition::ensureReachable(MethodId M, CtxId Ctx) {
     uint32_t To = Owner == Id
                       ? staticNode(S.Fld)
                       : portalNode(NK::StaticSlot, S.Fld.index(), 0, Owner);
-    addEdge(varNode(S.From, Ctx), To);
+    uint32_t From = varNode(S.From, Ctx);
+    noteEdgeWhy(From, To, prov::Rule::StaticStore, RFact);
+    addEdge(From, To);
   }
 
   for (const ThrowInstr &T : Body.Throws) {
     uint32_t VNode = varNode(T.V, Ctx);
     Nodes[VNode].ThrowSubs.push_back(packPair(M.index(), Ctx.index()));
     uint32_t Count = Nodes[VNode].Set.size();
-    for (uint32_t I = 0; I < Count; ++I)
-      routeThrow(Nodes[VNode].Set.at(I), M, Ctx);
+    for (uint32_t I = 0; I < Count; ++I) {
+      uint32_t Obj = Nodes[VNode].Set.at(I);
+      routeThrow(Obj, M, Ctx,
+                 provOn() ? provFact(VNode, Obj) : prov::InvalidFact);
+    }
   }
 
   for (InvokeId Inv : Body.Invokes) {
@@ -965,7 +1119,7 @@ void Partition::ensureReachable(MethodId M, CtxId Ctx) {
       if (E.Opts.Faults.DropSCall)
         continue; // Injected bug (support/FaultPlan.h).
       CtxId CalleeCtx = policyMergeStatic(Inv, Ctx);
-      wireCall(Inv, Ctx, Call.Target, CalleeCtx);
+      wireCall(Inv, Ctx, Call.Target, CalleeCtx, prov::Rule::SCall, RFact);
     } else {
       uint32_t Base = varNode(Call.Base, Ctx);
       Nodes[Base].Dispatches.push_back({Inv, Ctx});
@@ -978,7 +1132,8 @@ void Partition::ensureReachable(MethodId M, CtxId Ctx) {
 
 // --- Exceptions -----------------------------------------------------------
 
-void Partition::routeThrow(uint32_t Obj, MethodId M, CtxId Ctx) {
+void Partition::routeThrow(uint32_t Obj, MethodId M, CtxId Ctx,
+                           uint32_t WhyPrem, uint32_t WhyAux) {
   if (checkBudget())
     return;
   PT_COUNT(Counters.RuleThrow);
@@ -986,35 +1141,54 @@ void Partition::routeThrow(uint32_t Obj, MethodId M, CtxId Ctx) {
   const Program &Prog = E.Prog;
   TypeId ObjType = Prog.heap(E.Objs.heapOf(Obj)).Type;
   const MethodInfo &Body = Prog.method(M);
+  // An aux premise (the call edge) means this object escalated out of a
+  // callee; otherwise it came from a local THROW.
+  bool Escalating = WhyAux != prov::InvalidFact;
   bool Caught = false;
   for (const HandlerInfo &H : Body.Handlers) {
     if (Prog.isSubtype(ObjType, H.CatchType)) {
-      addFact(varNode(H.Var, Ctx), Obj);
+      uint32_t HN = varNode(H.Var, Ctx);
+      if (addFact(HN, Obj) && provOn())
+        E.Opts.Prov->step(provFact(HN, Obj),
+                          Escalating ? prov::Rule::CatchEscalate
+                                     : prov::Rule::CatchBind,
+                          WhyPrem, WhyAux);
       Caught = true;
     }
   }
-  if (!Caught)
-    addFact(throwNode(M, Ctx), Obj);
+  if (!Caught) {
+    uint32_t TN = throwNode(M, Ctx);
+    if (addFact(TN, Obj) && provOn())
+      E.Opts.Prov->step(provFact(TN, Obj),
+                        Escalating ? prov::Rule::ThrowEscalate
+                                   : prov::Rule::ThrowRaise,
+                        WhyPrem, WhyAux);
+  }
 }
 
 void Partition::addThrowLink(uint32_t ThrowNodeIdx, uint32_t CallerPart,
-                             uint32_t CallerM, uint32_t CallerCtx) {
+                             uint32_t CallerM, uint32_t CallerCtx,
+                             uint32_t WhyAux) {
   // Exact dedup by linear scan: links per throw slot are few, and a false
   // hash-dedup hit here would silently drop an escalation path.
   std::vector<TLink> &Links = Nodes[ThrowNodeIdx].ThrowLinks;
   for (const TLink &L : Links)
     if (L.Part == CallerPart && L.M == CallerM && L.Ctx == CallerCtx)
       return;
-  Links.push_back({CallerPart, CallerM, CallerCtx});
+  Links.push_back({CallerPart, CallerM, CallerCtx, WhyAux});
   uint32_t Count = Nodes[ThrowNodeIdx].Set.size();
-  for (uint32_t I = 0; I < Count; ++I)
-    fireThrowLink({CallerPart, CallerM, CallerCtx},
-                  Nodes[ThrowNodeIdx].Set.at(I));
+  for (uint32_t I = 0; I < Count; ++I) {
+    uint32_t Obj = Nodes[ThrowNodeIdx].Set.at(I);
+    fireThrowLink({CallerPart, CallerM, CallerCtx, WhyAux}, Obj,
+                  provOn() ? provFact(ThrowNodeIdx, Obj)
+                           : prov::InvalidFact);
+  }
 }
 
-void Partition::fireThrowLink(const TLink &L, uint32_t Obj) {
+void Partition::fireThrowLink(const TLink &L, uint32_t Obj,
+                              uint32_t WhyPrem) {
   if (L.Part == Id) {
-    routeThrow(Obj, MethodId(L.M), CtxId(L.Ctx));
+    routeThrow(Obj, MethodId(L.M), CtxId(L.Ctx), WhyPrem, L.WhyAux);
     return;
   }
   PT_COUNT(Counters.CrossMsgs);
@@ -1023,6 +1197,10 @@ void Partition::fireThrowLink(const TLink &L, uint32_t Obj) {
   Message.A = L.M;
   Message.B = L.Ctx;
   Message.Obj = Obj;
+  if (provOn()) {
+    Message.WhyPrem = WhyPrem;
+    Message.WhyAux = L.WhyAux;
+  }
   E.post(L.Part, Message);
 }
 
@@ -1042,9 +1220,21 @@ void Partition::dispatch(const DispatchSub &Sub, uint32_t Obj) {
     return;
   CtxId CalleeCtx = policyMerge(Heap, HCtx, Sub.Invo, Sub.CallerCtx);
   const MethodInfo &CalleeInfo = Prog.method(Callee);
-  reach(Callee, CalleeCtx);
-  factToVar(CalleeInfo.This, CalleeCtx, Obj);
-  wireCall(Sub.Invo, Sub.CallerCtx, Callee, CalleeCtx);
+  // Provenance: intern (not record) the receiver fact and the call-edge
+  // fact here; the call edge's own step lands in wireCall on first insert.
+  uint32_t BaseFact = prov::InvalidFact;
+  uint32_t CEFact = prov::InvalidFact;
+  if (provOn()) {
+    BaseFact =
+        prov::varPointsTo(*E.Opts.Prov, Call.Base, Sub.CallerCtx, Obj);
+    CEFact = prov::callEdgeFact(*E.Opts.Prov, Sub.Invo, Sub.CallerCtx,
+                                Callee, CalleeCtx);
+  }
+  reach(Callee, CalleeCtx, prov::Rule::ReachCall, CEFact);
+  factToVar(CalleeInfo.This, CalleeCtx, Obj, prov::Rule::ThisBind, BaseFact,
+            CEFact);
+  wireCall(Sub.Invo, Sub.CallerCtx, Callee, CalleeCtx, prov::Rule::VCall,
+           BaseFact);
 }
 
 bool Partition::insertCallEdge(const CallGraphEdge &Edge) {
@@ -1071,7 +1261,8 @@ bool Partition::insertCallEdge(const CallGraphEdge &Edge) {
 }
 
 void Partition::wireCall(InvokeId Invo, CtxId CallerCtx, MethodId Callee,
-                         CtxId CalleeCtx) {
+                         CtxId CalleeCtx, prov::Rule CallWhy,
+                         uint32_t CallPrem) {
   // The call edge is deduped in the *caller's* partition — every wireCall
   // for an invoke runs where the invoke's method lives, so the dedup stays
   // partition-local and exact.
@@ -1081,7 +1272,14 @@ void Partition::wireCall(InvokeId Invo, CtxId CallerCtx, MethodId Callee,
   // "instantiate summary at call site" event.
   PT_COUNT(Counters.SummaryInstantiations);
 
-  reach(Callee, CalleeCtx);
+  uint32_t CEFact = prov::InvalidFact;
+  if (provOn()) {
+    CEFact =
+        prov::callEdgeFact(*E.Opts.Prov, Invo, CallerCtx, Callee, CalleeCtx);
+    E.Opts.Prov->step(CEFact, CallWhy, CallPrem);
+  }
+
+  reach(Callee, CalleeCtx, prov::Rule::ReachCall, CEFact);
 
   const Program &Prog = E.Prog;
   const InvokeInfo &Call = Prog.invoke(Invo);
@@ -1096,13 +1294,16 @@ void Partition::wireCall(InvokeId Invo, CtxId CallerCtx, MethodId Callee,
             ? varNode(CalleeInfo.Formals[I], CalleeCtx)
             : portalNode(NK::VarCtx, CalleeInfo.Formals[I].index(),
                          CalleeCtx.index(), CalleePart);
+    noteEdgeWhy(From, To, prov::Rule::ParamBind, CEFact);
     addEdge(From, To);
   }
 
   if (Call.RetTo.isValid() && CalleeInfo.Return.isValid()) {
     if (CalleePart == Id) {
-      addEdge(varNode(CalleeInfo.Return, CalleeCtx),
-              varNode(Call.RetTo, CallerCtx));
+      uint32_t From = varNode(CalleeInfo.Return, CalleeCtx);
+      uint32_t To = varNode(Call.RetTo, CallerCtx);
+      noteEdgeWhy(From, To, prov::Rule::ReturnBind, CEFact);
+      addEdge(From, To);
     } else {
       // Return edges flow callee -> caller: the source lives in the
       // callee's partition, so the edge is shipped there.
@@ -1116,13 +1317,17 @@ void Partition::wireCall(InvokeId Invo, CtxId CallerCtx, MethodId Callee,
       Message.RefKey = NK::VarCtx;
       Message.RefA = Call.RetTo.index();
       Message.RefB = CallerCtx.index();
+      if (provOn()) {
+        Message.WhyRule = static_cast<uint8_t>(prov::Rule::ReturnBind);
+        Message.WhyAux = CEFact;
+      }
       E.post(CalleePart, Message);
     }
   }
 
   if (CalleePart == Id) {
     addThrowLink(throwNode(Callee, CalleeCtx), Id, Call.InMethod.index(),
-                 CallerCtx.index());
+                 CallerCtx.index(), CEFact);
   } else {
     PT_COUNT(Counters.CrossMsgs);
     Msg Message;
@@ -1132,6 +1337,8 @@ void Partition::wireCall(InvokeId Invo, CtxId CallerCtx, MethodId Callee,
     Message.RefPart = Id;
     Message.RefA = Call.InMethod.index();
     Message.RefB = CallerCtx.index();
+    if (provOn())
+      Message.WhyAux = CEFact;
     E.post(CalleePart, Message);
   }
 }
@@ -1182,36 +1389,41 @@ void Partition::processDelta(uint32_t NodeIdx) {
       DispatchSub Sub = Nodes[NodeIdx].Dispatches[I];
       dispatch(Sub, Obj);
     }
+    uint32_t SelfFact =
+        provOn() ? provFact(NodeIdx, Obj) : prov::InvalidFact;
     for (size_t I = 0; I < Nodes[NodeIdx].ThrowSubs.size(); ++I) {
       uint64_t Frame = Nodes[NodeIdx].ThrowSubs[I];
-      routeThrow(Obj, MethodId(unpackHi(Frame)), CtxId(unpackLo(Frame)));
+      routeThrow(Obj, MethodId(unpackHi(Frame)), CtxId(unpackLo(Frame)),
+                 SelfFact);
     }
     for (size_t I = 0; I < Nodes[NodeIdx].ThrowLinks.size(); ++I) {
       TLink L = Nodes[NodeIdx].ThrowLinks[I];
-      fireThrowLink(L, Obj);
+      fireThrowLink(L, Obj, SelfFact);
     }
     for (size_t I = 0; I < Nodes[NodeIdx].Loads.size(); ++I) {
       LoadSub Sub = Nodes[NodeIdx].Loads[I];
       PT_COUNT(Counters.RuleLoad);
       slowRule(FaultRule::Load);
-      loadEdge(Obj, Sub.Fld, Sub.ToNode);
+      loadEdge(Obj, Sub.Fld, Sub.ToNode, SelfFact);
     }
     for (size_t I = 0; I < Nodes[NodeIdx].Stores.size(); ++I) {
       StoreSub Sub = Nodes[NodeIdx].Stores[I];
       PT_COUNT(Counters.RuleStore);
       slowRule(FaultRule::Store);
-      storeEdge(Sub.FromNode, Obj, Sub.Fld);
+      storeEdge(Sub.FromNode, Obj, Sub.Fld, SelfFact);
     }
     for (size_t I = 0; I < Nodes[NodeIdx].Edges.size(); ++I) {
       uint32_t To = Nodes[NodeIdx].Edges[I];
-      addFact(To, Obj);
+      if (addFact(To, Obj) && provOn())
+        provEdgeStep(NodeIdx, To, Obj, /*IsCast=*/false);
     }
     for (size_t I = 0; I < Nodes[NodeIdx].CastEdges.size(); ++I) {
       CastEdge Ce = Nodes[NodeIdx].CastEdges[I];
       PT_COUNT(Counters.RuleCast);
       slowRule(FaultRule::Cast);
       if (E.Prog.isSubtype(E.Prog.heap(E.Objs.heapOf(Obj)).Type, Ce.Filter))
-        addFact(Ce.ToNode, Obj);
+        if (addFact(Ce.ToNode, Obj) && provOn())
+          provEdgeStep(NodeIdx, Ce.ToNode, Obj, /*IsCast=*/true);
     }
   }
 }
@@ -1239,25 +1451,39 @@ void Partition::apply(const Msg &M) {
     return;
   switch (M.Kind) {
   case MsgKind::Reach:
-    ensureReachable(MethodId(M.A), CtxId(M.B));
+    ensureReachable(MethodId(M.A), CtxId(M.B),
+                    M.WhyRule == WhyNone
+                        ? prov::Rule::Entry
+                        : static_cast<prov::Rule>(M.WhyRule),
+                    M.WhyPrem);
     break;
-  case MsgKind::Fact:
-    addFact(internNode(M.NKey, M.A, M.B), M.Obj);
+  case MsgKind::Fact: {
+    uint32_t N = internNode(M.NKey, M.A, M.B);
+    bool Fresh = addFact(N, M.Obj);
+    // WhyNone marks a portal-forwarded fact: the sender already recorded
+    // its step at portal-insert time (portal desc == this fact's key).
+    if (Fresh && provOn() && M.WhyRule != WhyNone)
+      E.Opts.Prov->step(provFact(N, M.Obj),
+                        static_cast<prov::Rule>(M.WhyRule), M.WhyPrem,
+                        M.WhyAux);
     break;
+  }
   case MsgKind::Edge: {
     uint32_t Src = internNode(M.NKey, M.A, M.B);
     uint32_t Dst = M.RefPart == Id
                        ? internNode(M.RefKey, M.RefA, M.RefB)
                        : portalNode(M.RefKey, M.RefA, M.RefB, M.RefPart);
+    if (M.WhyRule != WhyNone)
+      noteEdgeWhy(Src, Dst, static_cast<prov::Rule>(M.WhyRule), M.WhyAux);
     addEdge(Src, Dst);
     break;
   }
   case MsgKind::ThrowLink:
     addThrowLink(throwNode(MethodId(M.A), CtxId(M.B)), M.RefPart, M.RefA,
-                 M.RefB);
+                 M.RefB, M.WhyAux);
     break;
   case MsgKind::RouteThrow:
-    routeThrow(M.Obj, MethodId(M.A), CtxId(M.B));
+    routeThrow(M.Obj, MethodId(M.A), CtxId(M.B), M.WhyPrem, M.WhyAux);
     break;
   }
 }
@@ -1280,6 +1506,7 @@ size_t Partition::memoryBytes() const {
            StaticSlotIndex.memoryBytes() + ThrowSlotIndex.memoryBytes() +
            PortalVarIndex.memoryBytes() + PortalFieldIndex.memoryBytes() +
            PortalStaticIndex.memoryBytes() + EdgeDedup.memoryBytes() +
+           EdgeWhy.memoryBytes() + CastEdgeWhy.memoryBytes() +
            ReachableSet.memoryBytes() + SentReach.memoryBytes() +
            CallEdgeHead.memoryBytes() + RecordCache.memoryBytes() +
            MergeStaticCache.memoryBytes() + ObjCache.memoryBytes();
@@ -1378,6 +1605,8 @@ void Engine::emitHeartbeatLocked(bool Final) {
   if (Final) {
     // The sweep has quiesced: exact values are race-free now.
     uint64_t Nodes = 0, Mem = Objs.memoryBytes();
+    if (PT_PROV_ACTIVE(Opts.Prov))
+      Mem += Opts.Prov->memoryBytes();
     for (const auto &P : Parts) {
       Nodes += P->Nodes.size();
       Mem += P->memoryBytes();
@@ -1393,6 +1622,8 @@ void Engine::emitHeartbeatLocked(bool Final) {
     // Live sweep: read only the published atomic snapshots (stale by at
     // most one guard-poll interval, but race-free).
     uint64_t Nodes = 0, Mem = 0;
+    if (PT_PROV_ACTIVE(Opts.Prov))
+      Mem += Opts.Prov->memoryBytes();
     for (const auto &P : Parts) {
       Nodes += P->NodesA.load(std::memory_order_relaxed);
       Mem += P->MemBytesA.load(std::memory_order_relaxed);
@@ -1418,6 +1649,8 @@ AnalysisResult Engine::harvest() {
   }
   Result.Counters = exactCounters();
   Result.PeakBytes = Objs.memoryBytes();
+  if (PT_PROV_ACTIVE(Opts.Prov))
+    Result.PeakBytes += Opts.Prov->memoryBytes();
   Objs.exportTables(Result.ObjHeaps, Result.ObjHCtxs);
 
   for (const auto &PPtr : Parts) {
@@ -1466,11 +1699,13 @@ AnalysisResult Engine::solve(unsigned Threads, SummaryStats *Stats) {
   // Seed: warm-start methods first, then entry points — same effective
   // reachable seeding as Solver::run (order is irrelevant to the
   // fixpoint; both are requests into the owners' inboxes).
-  auto seed = [&](MethodId M) {
+  auto seed = [&](MethodId M, prov::Rule Why) {
     Msg Message;
     Message.Kind = MsgKind::Reach;
     Message.A = M.index();
     Message.B = Initial.index();
+    if (PT_PROV_ACTIVE(Opts.Prov))
+      Message.WhyRule = static_cast<uint8_t>(Why);
     post(partOfMethod(M), Message);
   };
 
@@ -1483,9 +1718,9 @@ AnalysisResult Engine::solve(unsigned Threads, SummaryStats *Stats) {
       ThreadPool WorkPool(Threads);
       Pool = &WorkPool;
       for (MethodId Seed : Opts.SeedReachable)
-        seed(Seed);
+        seed(Seed, prov::Rule::Seed);
       for (MethodId Entry : Prog.entryPoints())
-        seed(Entry);
+        seed(Entry, prov::Rule::Entry);
       {
         std::unique_lock<std::mutex> Lock(DoneMu);
         while (TasksInFlight.load(std::memory_order_acquire) != 0) {
@@ -1505,9 +1740,9 @@ AnalysisResult Engine::solve(unsigned Threads, SummaryStats *Stats) {
       // partition's memory to this thread before harvest.
     } else {
       for (MethodId Seed : Opts.SeedReachable)
-        seed(Seed);
+        seed(Seed, prov::Rule::Seed);
       for (MethodId Entry : Prog.entryPoints())
-        seed(Entry);
+        seed(Entry, prov::Rule::Entry);
       while (!ReadyHeap.empty()) {
         uint32_t Part = ReadyHeap.top();
         ReadyHeap.pop();

@@ -40,6 +40,14 @@ real — and aborted cells carry no ratios at all, so they can never false-
 alarm.  The top-level "solver"/"solver_threads" config keys must match
 between the two files for timings to be comparable at all (a worklist
 baseline vs. a summary candidate is apples to oranges); a mismatch warns.
+
+One schema rule IS load-bearing and fails hard: a cell that carries a
+"utilization" object must carry numeric work ("busy_ms") and span
+("critical_path_ms") keys — parallelism is work/span, so a file missing
+either is not a usable summary baseline (truncated write or a harness
+schema change that must land with a new baseline).  Such files exit 1
+with a message naming the file and cell instead of silently comparing
+nothing (or crashing).
 """
 
 import argparse
@@ -87,6 +95,25 @@ def load(path):
         if isinstance(requested, str) and requested:
             policy = requested
         keyed[(bench, policy)] = c
+
+        # Summary-bench schema guard: a utilization object without its
+        # work/span keys cannot yield a parallelism number — that file is
+        # truncated or from a drifted harness, and comparing it would
+        # silently check nothing.  Fail clearly instead.
+        util = c.get("utilization")
+        if util is not None:
+            if not isinstance(util, dict):
+                sys.exit(f"error: {path}: cell {bench}/{policy}: "
+                         f"'utilization' is not an object (truncated "
+                         f"file?)")
+            for work_span, key in (("work", "busy_ms"),
+                                   ("span", "critical_path_ms")):
+                if to_float(util.get(key)) is None:
+                    sys.exit(f"error: {path}: cell {bench}/{policy}: "
+                             f"utilization lacks a numeric '{key}' "
+                             f"({work_span}) key — not a usable summary "
+                             f"baseline; regenerate it with "
+                             f"bench/summary_bench")
     return data, keyed
 
 

@@ -12,6 +12,7 @@
 ///   hybridpt --list-policies
 ///   hybridpt --list-benchmarks
 ///   hybridpt [options] <file.ptir | benchmark-name>
+///   hybridpt explain [options] --why var=...,heap=... <input>
 ///
 /// Options:
 ///   --policy NAME      analysis to run (default S-2obj+H)
@@ -54,6 +55,20 @@
 ///                        the hottest rule counters to stderr
 ///   --heartbeat-steps N  heartbeat every N worklist steps (default 65536)
 ///   --heartbeat-ms MS    ...or every MS milliseconds (default 250)
+///
+/// Provenance (docs/OBSERVABILITY.md, "Provenance & explanation"):
+///   --provenance         record per-fact derivation steps while solving
+///   --why var=Q,heap=N   derive why variable Q (Class::method/arity::var)
+///                        may point to an object allocated at heap site N;
+///                        repeatable; implies --provenance
+///   --format F           derivation rendering: text (default), json, dot
+///   --blame K            print the top-K cost-attribution profile
+///   --validate           re-check every derivation step against the
+///                        Figure-2 side conditions (exit 1 on failure)
+///   --profile-out FILE   write the blame profile as JSON to FILE
+///
+/// `hybridpt explain ...` is shorthand for a provenance-enabled run whose
+/// only outputs are the --why/--blame answers (no metric block).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -115,6 +130,22 @@ struct CliOptions {
   bool ExplainAbort = false;
   uint64_t HeartbeatSteps = 65536;
   uint64_t HeartbeatMs = 250;
+  /// Provenance mode (hybridpt explain / --provenance / --why / --blame).
+  bool Explain = false;
+  bool Provenance = false;
+  std::vector<std::string> WhyQueries;
+  std::string WhyFormat = "text";
+  size_t BlameTopK = 0;
+  bool ValidateWhy = false;
+  std::string ProfileOut;
+  /// The run's derivation recorder, owned by main(); null when provenance
+  /// is off.
+  prov::Recorder *Prov = nullptr;
+
+  bool wantsProvenance() const {
+    return Provenance || Explain || !WhyQueries.empty() || BlameTopK != 0 ||
+           !ProfileOut.empty();
+  }
 
   bool wantsTrace() const {
     return !TraceOut.empty() || !ChromeTraceOut.empty() || Progress ||
@@ -133,7 +164,12 @@ int usage(const char *Argv0) {
          "       [--solver worklist|summary] [--solver-threads N]\n"
          "       [--csv] [--trace-out FILE] [--chrome-trace FILE]\n"
          "       [--progress] [--explain-abort] [--heartbeat-steps N]\n"
-         "       [--heartbeat-ms MS] <file.ptir | benchmark-name>\n"
+         "       [--heartbeat-ms MS] [--provenance]\n"
+         "       [--why var=PATH,heap=NAME] [--format text|json|dot]\n"
+         "       [--blame K] [--validate] [--profile-out FILE]\n"
+         "       <file.ptir | benchmark-name>\n"
+         "       " << Argv0
+      << " explain [options] --why var=...,heap=... <input>\n"
          "       " << Argv0 << " --list-policies | --list-benchmarks\n";
   return 1;
 }
@@ -195,7 +231,132 @@ SolverOptions solverOptions(const CliOptions &Cli, trace::TraceRecorder *Rec,
   Opts.HeartbeatMs = Cli.HeartbeatMs;
   Opts.Engine = Cli.Engine;
   Opts.SummaryThreads = Cli.SolverThreads;
+  Opts.Prov = Cli.Prov;
   return Opts;
+}
+
+/// Heap allocation site whose name matches \p Name exactly; invalid when
+/// absent or ambiguous-free (first match wins — heap names are unique per
+/// program in practice).
+HeapId findHeapByName(const Program &P, std::string_view Name) {
+  for (size_t H = 0; H < P.numHeaps(); ++H) {
+    HeapId Id = HeapId::fromIndex(H);
+    if (P.text(P.heap(Id).Name) == Name)
+      return Id;
+  }
+  return HeapId();
+}
+
+/// One --why query: "var=Class::method/arity::var,heap=siteName".  The
+/// context is deliberately not part of the grammar: the query means "in
+/// any context", which is what a user chasing a spurious fact wants.
+struct WhyQuery {
+  std::string VarPath;
+  std::string HeapName;
+};
+
+bool parseWhyQuery(std::string_view Spec, WhyQuery &Out, std::string &Error) {
+  for (const std::string &Part : splitCommaList(Spec)) {
+    size_t Eq = Part.find('=');
+    if (Eq == std::string::npos) {
+      Error = "bad --why component '" + Part + "' (want key=value)";
+      return false;
+    }
+    std::string Key = Part.substr(0, Eq), Val = Part.substr(Eq + 1);
+    if (Key == "var")
+      Out.VarPath = Val;
+    else if (Key == "heap")
+      Out.HeapName = Val;
+    else {
+      Error = "unknown --why key '" + Key + "' (var, heap)";
+      return false;
+    }
+  }
+  if (Out.VarPath.empty() || Out.HeapName.empty()) {
+    Error = "--why needs both var= and heap=";
+    return false;
+  }
+  return true;
+}
+
+void printBlameText(const prov::BlameReport &B) {
+  std::cout << "cost attribution: " << B.TotalSteps << " derivation steps, "
+            << B.TotalFacts << " facts, " << B.ArenaBytes
+            << " arena bytes\n";
+  auto Section = [](const char *Title, const std::vector<prov::BlameRow> &Rows) {
+    std::cout << "  " << Title << ":\n";
+    for (const prov::BlameRow &Row : Rows)
+      std::cout << "    " << Row.Key << "  steps=" << Row.Steps
+                << " bytes=" << Row.Bytes << "\n";
+  };
+  Section("by rule", B.ByRule);
+  Section("by method", B.ByMethod);
+  Section("by alloc site", B.ByAllocSite);
+  Section("by ctx depth", B.ByCtxDepth);
+}
+
+/// Answers every --why query and the --blame/--profile-out requests over a
+/// finished provenance-enabled run.  Returns the process exit code.
+int runProvenanceQueries(const Program &P, const AnalysisResult &R,
+                         ContextPolicy *Policy, const CliOptions &Cli) {
+  prov::Recorder &Rec = *Cli.Prov;
+  int Exit = 0;
+  for (const std::string &Spec : Cli.WhyQueries) {
+    WhyQuery Q;
+    std::string Error;
+    if (!parseWhyQuery(Spec, Q, Error)) {
+      std::cerr << Error << "\n";
+      return 1;
+    }
+    VarId V = findVarByPath(P, Q.VarPath);
+    if (!V.isValid()) {
+      std::cerr << "no variable '" << Q.VarPath << "'\n";
+      return 1;
+    }
+    HeapId H = findHeapByName(P, Q.HeapName);
+    if (!H.isValid()) {
+      std::cerr << "no heap site '" << Q.HeapName << "'\n";
+      return 1;
+    }
+    prov::DerivationTree Tree = prov::whyPointsTo(Rec, R, V, CtxId(), H);
+    if (Cli.WhyFormat == "json")
+      std::cout << prov::renderTreeJson(Rec, R, Tree) << "\n";
+    else if (Cli.WhyFormat == "dot")
+      std::cout << prov::renderTreeDot(Rec, R, Tree);
+    else
+      std::cout << prov::renderTreeText(Rec, R, Tree);
+    if (!Tree.Found) {
+      Exit = 1;
+      continue;
+    }
+    if (Cli.ValidateWhy) {
+      prov::ValidationResult VR = prov::validateTree(Rec, R, Tree, Policy);
+      if (VR.Ok) {
+        std::cout << "validation: ok (" << VR.CheckedSteps << " steps)\n";
+      } else {
+        std::cout << "validation: FAILED — " << VR.Error << "\n";
+        Exit = 1;
+      }
+    }
+  }
+  if (Cli.BlameTopK != 0) {
+    prov::BlameReport B = prov::blame(Rec, R, Cli.BlameTopK);
+    if (Cli.WhyFormat == "json")
+      std::cout << prov::renderBlameJson(B) << "\n";
+    else
+      printBlameText(B);
+  }
+  if (!Cli.ProfileOut.empty()) {
+    size_t TopK = Cli.BlameTopK != 0 ? Cli.BlameTopK : 10;
+    std::ofstream OS(Cli.ProfileOut);
+    if (!OS) {
+      std::cerr << "cannot write '" << Cli.ProfileOut << "'\n";
+      return 1;
+    }
+    OS << prov::renderBlameJson(prov::blame(Rec, R, TopK)) << "\n";
+    std::cout << "wrote profile to " << Cli.ProfileOut << "\n";
+  }
+  return Exit;
 }
 
 /// One analysis run plus whatever keeps its result valid.  With --ladder
@@ -248,6 +409,13 @@ int runMatrix(const Program &P, const CliOptions &Cli,
   const std::vector<std::string> &Policies = table1PolicyNames();
   MatrixOptions MOpts;
   MOpts.Solver = solverOptions(Cli, Rec, Cancel);
+  // Cells run concurrently and each is its own run; a recorder shared
+  // across them would mix per-run object ids.  The matrix path instead
+  // asks the runner for per-cell profiles.
+  MOpts.Solver.Prov = nullptr;
+  MOpts.Profile = !Cli.ProfileOut.empty();
+  if (Cli.BlameTopK != 0)
+    MOpts.ProfileTopK = Cli.BlameTopK;
   MOpts.Threads = Cli.Threads;
   MOpts.TraceLabelPrefix = Cli.Input + "/";
   MOpts.UseLadder = Cli.Ladder;
@@ -286,6 +454,25 @@ int runMatrix(const Program &P, const CliOptions &Cli,
     std::cout << Degraded << " cell(s) degraded via the fallback ladder "
               << "('requested>landed'); metrics describe the landed "
               << "policy.\n";
+  if (!Cli.ProfileOut.empty()) {
+    std::ofstream OS(Cli.ProfileOut);
+    if (!OS) {
+      std::cerr << "cannot write '" << Cli.ProfileOut << "'\n";
+      return 1;
+    }
+    OS << "{\"harness\": \"hybridpt-matrix\", \"benchmark\": \""
+       << Cli.Input << "\", \"cells\": [";
+    bool First = true;
+    for (size_t I = 0; I < Policies.size(); ++I) {
+      if (Cells[I].ProfileJson.empty())
+        continue;
+      OS << (First ? "" : ",") << "\n  {\"policy\": \"" << Policies[I]
+         << "\", \"profile\": " << Cells[I].ProfileJson << "}";
+      First = false;
+    }
+    OS << "\n]}\n";
+    std::cout << "wrote per-cell profiles to " << Cli.ProfileOut << "\n";
+  }
   finishTrace(Rec, Cli);
   return 0;
 }
@@ -331,7 +518,12 @@ void printMetrics(const PrecisionMetrics &M, const std::string &Policy,
 
 int main(int argc, char **argv) {
   CliOptions Opts;
-  for (int I = 1; I < argc; ++I) {
+  int FirstArg = 1;
+  if (argc > 1 && std::strcmp(argv[1], "explain") == 0) {
+    Opts.Explain = true;
+    FirstArg = 2;
+  }
+  for (int I = FirstArg; I < argc; ++I) {
     std::string_view Arg = argv[I];
     auto Value = [&]() -> const char * {
       if (I + 1 >= argc) {
@@ -413,6 +605,24 @@ int main(int argc, char **argv) {
       Opts.HeartbeatSteps = std::strtoull(Value(), nullptr, 10);
     else if (Arg == "--heartbeat-ms")
       Opts.HeartbeatMs = std::strtoull(Value(), nullptr, 10);
+    else if (Arg == "--provenance")
+      Opts.Provenance = true;
+    else if (Arg == "--why")
+      Opts.WhyQueries.push_back(Value());
+    else if (Arg == "--format") {
+      Opts.WhyFormat = Value();
+      if (Opts.WhyFormat != "text" && Opts.WhyFormat != "json" &&
+          Opts.WhyFormat != "dot") {
+        std::cerr << "unknown --format '" << Opts.WhyFormat
+                  << "' (text, json, dot)\n";
+        return 1;
+      }
+    } else if (Arg == "--blame")
+      Opts.BlameTopK = std::strtoull(Value(), nullptr, 10);
+    else if (Arg == "--validate")
+      Opts.ValidateWhy = true;
+    else if (Arg == "--profile-out")
+      Opts.ProfileOut = Value();
     else if (Arg.size() >= 2 && Arg.substr(0, 2) == "--")
       return usage(argv[0]);
     else if (Opts.Input.empty())
@@ -422,11 +632,30 @@ int main(int argc, char **argv) {
   }
   if (Opts.Input.empty())
     return usage(argv[0]);
-  if (!Opts.Metrics && !Opts.Devirt && !Opts.Casts && !Opts.Stats &&
-      !Opts.Matrix && Opts.DumpVars.empty() && Opts.Compare.empty() &&
-      Opts.FactsDir.empty() && Opts.CallGraphDotPath.empty() &&
-      Opts.PointsToDotFocus.empty())
+  if (Opts.Explain && Opts.WhyQueries.empty() && Opts.BlameTopK == 0 &&
+      Opts.ProfileOut.empty()) {
+    std::cerr << "explain needs --why, --blame, or --profile-out\n";
+    return usage(argv[0]);
+  }
+  if (!Opts.Explain && !Opts.Metrics && !Opts.Devirt && !Opts.Casts &&
+      !Opts.Stats && !Opts.Matrix && Opts.DumpVars.empty() &&
+      Opts.Compare.empty() && Opts.FactsDir.empty() &&
+      Opts.CallGraphDotPath.empty() && Opts.PointsToDotFocus.empty() &&
+      Opts.WhyQueries.empty() && Opts.BlameTopK == 0 &&
+      Opts.ProfileOut.empty())
     Opts.Metrics = true;
+
+  // The derivation recorder outlives the analysis so the queries below can
+  // read it; a null pointer keeps every solver hook a dead branch.
+  prov::Recorder ProvRec;
+  if (Opts.wantsProvenance()) {
+#if !HYBRIDPT_PROVENANCE_ENABLED
+    std::cerr << "this build has provenance compiled out "
+                 "(HYBRIDPT_PROVENANCE=0)\n";
+    return 1;
+#endif
+    Opts.Prov = &ProvRec;
+  }
 
   // Cooperative cancellation: ^C (or the --deadline-ms expiry) trips the
   // token, the solver aborts at its next guard poll, and the run still
@@ -589,7 +818,11 @@ int main(int argc, char **argv) {
   }
 
   if (!Opts.Compare.empty()) {
-    RunOutcome Other = analyze(*P, Opts.Compare, Opts, Rec.get(),
+    // The comparison run must not record into the main run's arena: fact
+    // payloads embed per-run dense object ids.
+    CliOptions OtherOpts = Opts;
+    OtherOpts.Prov = nullptr;
+    RunOutcome Other = analyze(*P, Opts.Compare, OtherOpts, Rec.get(),
                                Opts.Input + "/" + Opts.Compare, &Cancel);
     if (!Other.R) {
       finishTrace(Rec.get(), Opts);
@@ -599,6 +832,10 @@ int main(int argc, char **argv) {
               << Other.LandedPolicy << " ---\n"
               << formatDelta(diffResults(R, *Other.R), *P);
   }
+
+  int ExitCode = 0;
+  if (Opts.Prov)
+    ExitCode = runProvenanceQueries(*P, R, Main.Policy.get(), Opts);
   finishTrace(Rec.get(), Opts);
-  return 0;
+  return ExitCode;
 }

@@ -31,6 +31,11 @@
 ///                        summary engine and require bit-identical exports
 ///                        against the worklist run (fourth oracle axis;
 ///                        roughly doubles solver cost per program)
+///   --check-provenance   record derivation provenance during every solver
+///                        run and replay sampled steps through the
+///                        rule-checking validator (fifth oracle axis; with
+///                        --compare-summary the summary engine's
+///                        derivations are validated too)
 ///   --deadline-ms MS     whole-campaign deadline; expiry cancels cleanly
 ///   --quiet              suppress progress output
 ///
@@ -61,7 +66,8 @@ int usage(const char *Argv0) {
                "       [--minimize | --no-minimize] [--regress-dir DIR]\n"
                "       [--policy NAME]... [--full-diff-every N]\n"
                "       [--max-failures N] [--solver-budget MS]\n"
-               "       [--compare-summary] [--deadline-ms MS] [--quiet]\n";
+               "       [--compare-summary] [--check-provenance]\n"
+               "       [--deadline-ms MS] [--quiet]\n";
   return 2;
 }
 
@@ -131,6 +137,8 @@ int main(int argc, char **argv) {
         return usage(argv[0]);
     } else if (std::strcmp(Arg, "--compare-summary") == 0) {
       Opts.CompareSummary = true;
+    } else if (std::strcmp(Arg, "--check-provenance") == 0) {
+      Opts.CheckProvenance = true;
     } else if (std::strcmp(Arg, "--deadline-ms") == 0) {
       const char *V = Next();
       if (!V || !parseU64(V, DeadlineMs))

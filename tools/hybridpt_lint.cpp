@@ -23,6 +23,11 @@
 ///   --max-facts N      solver fact budget per run (0 = unlimited)
 ///   --max-memory-mb N  solver memory budget per run (0 = unlimited)
 ///   --deadline-ms MS   whole-process deadline; expiry cancels cleanly
+///   --provenance       record derivation provenance; SARIF results with
+///                      "why" anchors gain codeFlows derivation paths
+///   --why var=Q,heap=N ask why the lint run derived VarPointsTo(Q, *, N)
+///                      and print its derivation tree (implies
+///                      --provenance; repeatable; exit 1 when unproven)
 ///
 /// ^C cancels cooperatively: the solver stops at its next guard poll and
 /// the report (text/JSONL/SARIF) is still rendered and flushed, marked as
@@ -63,6 +68,8 @@ struct CliOptions {
   uint64_t MaxFacts = 0;
   uint64_t MaxMemoryMb = 0;
   uint64_t DeadlineMs = 0;
+  bool Provenance = false;
+  std::vector<std::string> WhyQueries;
 };
 
 int usage(const char *Argv0) {
@@ -72,6 +79,7 @@ int usage(const char *Argv0) {
                "       [--compare BASE,REFINED] [--budget MS] "
                "[--max-facts N]\n"
                "       [--max-memory-mb N] [--deadline-ms MS]\n"
+               "       [--provenance] [--why var=Q,heap=N]\n"
                "       <file.ptir | benchmark-name>\n"
                "       "
             << Argv0 << " --list-checks | --list-policies\n";
@@ -154,6 +162,12 @@ int main(int argc, char **argv) {
       if (!Next(Val))
         return usage(argv[0]);
       Opts.DeadlineMs = std::stoull(Val);
+    } else if (!std::strcmp(Arg, "--provenance")) {
+      Opts.Provenance = true;
+    } else if (!std::strcmp(Arg, "--why")) {
+      if (!Next(Val))
+        return usage(argv[0]);
+      Opts.WhyQueries.push_back(Val);
     } else if (Arg[0] == '-') {
       return usage(argv[0]);
     } else if (Opts.Input.empty()) {
@@ -215,6 +229,22 @@ int main(int argc, char **argv) {
   LOpts.MemoryBudgetBytes = Opts.MaxMemoryMb * 1000000;
   LOpts.Cancel = &Cancel;
 
+  prov::Recorder ProvRec;
+  if (Opts.Provenance || !Opts.WhyQueries.empty()) {
+#if !HYBRIDPT_PROVENANCE_ENABLED
+    std::cerr << "this build has provenance compiled out "
+                 "(HYBRIDPT_PROVENANCE=0)\n";
+    return 1;
+#endif
+    if (!Opts.ComparePair.empty()) {
+      std::cerr << "--provenance/--why do not combine with --compare "
+                   "(two runs cannot share one derivation arena)\n";
+      return 1;
+    }
+    LOpts.Prov = &ProvRec;
+    LOpts.KeepResult = !Opts.WhyQueries.empty();
+  }
+
   if (!Opts.ComparePair.empty()) {
     std::vector<std::string> Pair = splitList(Opts.ComparePair);
     if (Pair.size() != 2) {
@@ -253,5 +283,47 @@ int main(int argc, char **argv) {
     SOpts.PolicyName = Opts.Policy;
     checks::writeSarif(*OS, *P, Run.Diags, Run.Rules, SOpts);
   }
-  return 0;
+
+  // --why queries run against the kept result: derivation trees go to
+  // stdout (never the --output report file).
+  int Exit = 0;
+  for (const std::string &Spec : Opts.WhyQueries) {
+    std::string VarPath, HeapName;
+    for (const std::string &Part : splitList(Spec)) {
+      size_t Eq = Part.find('=');
+      std::string Key = Eq == std::string::npos ? Part : Part.substr(0, Eq);
+      std::string V = Eq == std::string::npos ? "" : Part.substr(Eq + 1);
+      if (Key == "var")
+        VarPath = V;
+      else if (Key == "heap")
+        HeapName = V;
+      else {
+        std::cerr << "unknown --why key '" << Key << "' (var, heap)\n";
+        return 1;
+      }
+    }
+    if (VarPath.empty() || HeapName.empty()) {
+      std::cerr << "--why needs both var= and heap=\n";
+      return 1;
+    }
+    VarId V = findVarByPath(*P, VarPath);
+    if (!V.isValid()) {
+      std::cerr << "no variable '" << VarPath << "'\n";
+      return 1;
+    }
+    HeapId H;
+    for (size_t HI = 0; HI < P->numHeaps(); ++HI)
+      if (P->text(P->heap(HeapId::fromIndex(HI)).Name) == HeapName)
+        H = HeapId::fromIndex(HI);
+    if (!H.isValid()) {
+      std::cerr << "no heap site '" << HeapName << "'\n";
+      return 1;
+    }
+    prov::DerivationTree Tree =
+        prov::whyPointsTo(ProvRec, *Run.Result, V, CtxId(), H);
+    std::cout << prov::renderTreeText(ProvRec, *Run.Result, Tree);
+    if (!Tree.Found)
+      Exit = 1;
+  }
+  return Exit;
 }

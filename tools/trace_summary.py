@@ -3,9 +3,17 @@
 
 Usage:
     tools/trace_summary.py TRACE.jsonl [--top K]
+    tools/trace_summary.py PROFILE.json [--top K]
 
 The input is the file written by `--trace-out` (see docs/OBSERVABILITY.md
-for the record schema).  Three summaries are printed:
+for the record schema), or a cost-attribution profile file written by
+`--profile-out` (hybridpt, hybridpt --matrix, bench/table1_main) or a
+BENCH_*.json with embedded per-cell "profile" objects — profile inputs
+are auto-detected (a single JSON object with a "cells" array) and render
+one top-K attribution table per cell: hottest Figure-2 rules, methods,
+and allocation sites by derivation-step count and arena bytes.
+
+For JSONL traces, these summaries are printed:
 
   * top-K spans, aggregated by span name across threads (total wall time,
     call count) — the "where did the time go" view;
@@ -43,6 +51,88 @@ def to_num(value, default=0):
         return float(value)
     except (TypeError, ValueError):
         return default
+
+
+def load_profile_file(path):
+    """Returns the parsed object when the file is a single-JSON profile or
+    BENCH file (an object with a "cells" array), else None.  Never raises
+    on malformed input — the JSONL path handles everything else."""
+    try:
+        with open(path) as f:
+            head = f.read(1 << 24)  # Profiles are small; bound the sniff.
+    except OSError as e:
+        sys.exit(f"error: cannot read {path}: {e}")
+    try:
+        data = json.loads(head)
+    except json.JSONDecodeError:
+        return None
+    if isinstance(data, dict) and isinstance(data.get("cells"), list):
+        return data
+    # A single-run `hybridpt --profile-out` writes one bare blame object;
+    # wrap it as a one-cell file so both shapes render the same way.
+    if isinstance(data, dict) and ("total_steps" in data
+                                   or "by_rule" in data):
+        return {"cells": [{"policy": "(single run)", "profile": data}]}
+    return None
+
+
+def summarize_profiles(path, data, top):
+    """Renders per-cell cost-attribution profiles (prov::renderBlameJson
+    objects under each cell's "profile" key).  Tolerates truncated or
+    hand-edited cells: anything malformed becomes a warning, not a
+    traceback."""
+    harness = data.get("harness")
+    print(f"cost-attribution profiles: {path}"
+          + (f" (harness {harness})" if isinstance(harness, str) else ""))
+    rendered = 0
+    for i, cell in enumerate(data["cells"]):
+        if not isinstance(cell, dict):
+            print(f"warning: cell #{i} is not an object, skipped",
+                  file=sys.stderr)
+            continue
+        profile = cell.get("profile")
+        if profile is None:
+            continue  # BENCH cells without --profile-out carry none.
+        name = "/".join(str(cell[k]) for k in ("benchmark", "policy")
+                        if isinstance(cell.get(k), str)) or f"cell #{i}"
+        if not isinstance(profile, dict):
+            print(f"warning: {name}: 'profile' is not an object, skipped",
+                  file=sys.stderr)
+            continue
+        rendered += 1
+        steps = int(to_num(profile.get("total_steps", 0)))
+        facts = int(to_num(profile.get("total_facts", 0)))
+        arena = int(to_num(profile.get("arena_bytes", 0)))
+        print(f"\n{name}: {fmt_count(steps)} derivation step(s), "
+              f"{fmt_count(facts)} fact(s), arena {fmt_bytes(arena)}")
+        for section, title in (("by_rule", "hottest rules"),
+                               ("by_method", "hottest methods"),
+                               ("by_alloc_site", "hottest alloc sites"),
+                               ("by_ctx_depth", "by context depth")):
+            rows = profile.get(section)
+            if not isinstance(rows, list) or not rows:
+                continue
+            clean = []
+            for row in rows[:top]:
+                if not isinstance(row, dict):
+                    continue
+                key = row.get("key")
+                clean.append((key if isinstance(key, str) else "?",
+                              int(to_num(row.get("steps", 0))),
+                              int(to_num(row.get("bytes", 0)))))
+            if not clean:
+                print(f"  warning: {section} rows malformed, skipped")
+                continue
+            width = max(len(k) for k, _, _ in clean)
+            print(f"  {title}:")
+            for key, row_steps, row_bytes in clean:
+                pct = 100.0 * row_steps / steps if steps else 0.0
+                print(f"    {key:<{width}}  {fmt_count(row_steps):>8} "
+                      f"step(s) ({pct:.1f}%)  {fmt_bytes(row_bytes)}")
+    if not rendered:
+        print("no cells carry a 'profile' object (run with --profile-out "
+              "and provenance compiled in)")
+    return 0
 
 
 def load_records(path):
@@ -251,10 +341,15 @@ def summarize_ladder(records):
 
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("trace", help="JSONL trace from --trace-out")
+    ap.add_argument("trace", help="JSONL trace from --trace-out, or a "
+                                  "profile/BENCH json from --profile-out")
     ap.add_argument("--top", type=int, default=10,
                     help="entries per ranking (default: 10)")
     args = ap.parse_args()
+
+    profile_data = load_profile_file(args.trace)
+    if profile_data is not None:
+        return summarize_profiles(args.trace, profile_data, args.top)
 
     records = load_records(args.trace)
     if not records:
