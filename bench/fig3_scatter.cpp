@@ -6,7 +6,7 @@
 ///
 /// \file
 /// Regenerates the paper's Figure 3: per benchmark, a scatter of execution
-/// time (Y) against may-fail casts (X) over all twelve analyses — "an
+/// time (Y) against may-fail casts (X) over all fourteen analyses — "an
 /// analysis that is to the left and below another is better in both
 /// precision and performance".
 ///

@@ -8,9 +8,10 @@
 /// Regenerates the paper's Table 1: for each of the ten benchmarks, the
 /// four precision metrics (average points-to set size, call-graph edges,
 /// poly v-calls, may-fail casts) and the two performance metrics (elapsed
-/// time, context-sensitive var-points-to size) across the twelve analyses,
-/// grouped as in the paper: call-site-sensitive, 1obj family, 2obj+H
-/// family, 2type+H family.
+/// time, context-sensitive var-points-to size) across the fourteen
+/// analyses, grouped as in the paper: call-site-sensitive, 1obj family,
+/// 2obj+H family, 2type+H family, plus the two cut-shortcut columns
+/// (cs, S-cs).
 ///
 /// Dash entries mean the per-cell budget expired (paper: 90-minute
 /// timeout; here HYBRIDPT_BUDGET_MS, default 120s).  Pass benchmark names

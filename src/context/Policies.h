@@ -18,6 +18,7 @@
 #ifndef HYBRIDPT_CONTEXT_POLICIES_H
 #define HYBRIDPT_CONTEXT_POLICIES_H
 
+#include "context/CutShortcut.h"
 #include "context/Policy.h"
 
 namespace pt {
@@ -264,6 +265,52 @@ public:
     return makeCtx(Ctxs.elem(Ctx, 0), ContextElem::invoke(Invo),
                    Ctxs.elem(Ctx, 1));
   }
+};
+
+// --- Cut-shortcut family (Ma et al., "Context Sensitivity without
+// Contexts"; see context/CutShortcut.h and docs/ANALYSES.md) ---
+
+/// Cut-shortcut analysis (cs): C = HC = {*} like insens, plus a
+/// program-structure plan that cuts covered store and return flows at
+/// *every* coverable call boundary (virtual boundaries and static-method
+/// returns) and replaces them with per-call-edge shortcut edges.
+/// Precision sits between 1call and S-cs: 1call ⊑ cs ⊑ S-cs ⊑ insens.
+class CutShortcutPolicy final : public ContextPolicy {
+public:
+  explicit CutShortcutPolicy(const Program &Prog)
+      : ContextPolicy(Prog),
+        Plan(computeCutShortcutPlan(Prog, CutMode::All)) {}
+  std::string name() const override { return "cs"; }
+  uint32_t methodCtxArity() const override { return 0; }
+  uint32_t heapCtxArity() const override { return 0; }
+  HCtxId record(HeapId, CtxId) override { return makeHCtx(); }
+  CtxId merge(HeapId, HCtxId, InvokeId, CtxId) override { return makeCtx(); }
+  CtxId mergeStatic(InvokeId, CtxId) override { return makeCtx(); }
+  const CutShortcutPlan *cutPlan() const override { return &Plan; }
+
+private:
+  CutShortcutPlan Plan;
+};
+
+/// Selective cut-shortcut analysis (S-cs): cuts only at virtual call
+/// boundaries — the selected sites where the receiver object carries the
+/// precision — and keeps the generic merged flow for static-method
+/// returns.  Performs a strict subset of cs's cuts, hence cs ⊑ S-cs.
+class SelectiveCutShortcutPolicy final : public ContextPolicy {
+public:
+  explicit SelectiveCutShortcutPolicy(const Program &Prog)
+      : ContextPolicy(Prog),
+        Plan(computeCutShortcutPlan(Prog, CutMode::VirtualOnly)) {}
+  std::string name() const override { return "S-cs"; }
+  uint32_t methodCtxArity() const override { return 0; }
+  uint32_t heapCtxArity() const override { return 0; }
+  HCtxId record(HeapId, CtxId) override { return makeHCtx(); }
+  CtxId merge(HeapId, HCtxId, InvokeId, CtxId) override { return makeCtx(); }
+  CtxId mergeStatic(InvokeId, CtxId) override { return makeCtx(); }
+  const CutShortcutPlan *cutPlan() const override { return &Plan; }
+
+private:
+  CutShortcutPlan Plan;
 };
 
 // --- Deeper-context extensions (paper Section 6: "our model gives the

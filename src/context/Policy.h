@@ -34,6 +34,7 @@
 namespace pt {
 
 class Program;
+struct CutShortcutPlan;
 
 /// Abstract context-sensitivity policy (one per analysis flavor).
 class ContextPolicy {
@@ -62,6 +63,13 @@ public:
   /// MERGESTATIC(invo, ctx): the callee context for a static call at
   /// \p Invo in caller context \p Ctx.
   virtual CtxId mergeStatic(InvokeId Invo, CtxId Ctx) = 0;
+
+  /// The cut-shortcut plan of this policy, or null for pure context-tuple
+  /// policies.  When non-null, both solver engines cut the planned flows
+  /// at call boundaries and wire per-call-edge shortcut edges instead, and
+  /// the Datalog reference model mirrors the same cuts (see
+  /// context/CutShortcut.h).
+  virtual const CutShortcutPlan *cutPlan() const { return nullptr; }
 
   /// The context under which entry-point methods are analyzed: a tuple of
   /// stars of the policy's method arity.

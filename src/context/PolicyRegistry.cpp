@@ -41,6 +41,10 @@ std::unique_ptr<ContextPolicy> pt::createPolicy(std::string_view Name,
     return std::make_unique<UniformTwoTypeHPolicy>(Prog);
   if (Name == "S-2type+H")
     return std::make_unique<SelectiveTwoTypeHPolicy>(Prog);
+  if (Name == "cs")
+    return std::make_unique<CutShortcutPolicy>(Prog);
+  if (Name == "S-cs")
+    return std::make_unique<SelectiveCutShortcutPolicy>(Prog);
   if (Name == "U-2obj+HI")
     return std::make_unique<UniformTwoObjInvokeHeapPolicy>(Prog);
   if (Name == "U-2obj+H-swapped")
@@ -55,10 +59,12 @@ std::unique_ptr<ContextPolicy> pt::createPolicy(std::string_view Name,
 }
 
 const std::vector<std::string> &pt::table1PolicyNames() {
-  // Column order of the paper's Table 1.
+  // Column order of the paper's Table 1, extended with the cut-shortcut
+  // family (contextless call-boundary cutting; docs/ANALYSES.md).
   static const std::vector<std::string> Names = {
       "1call",  "1call+H",  "1obj",    "U-1obj",    "SA-1obj",  "SB-1obj",
-      "2obj+H", "U-2obj+H", "S-2obj+H", "2type+H",  "U-2type+H", "S-2type+H"};
+      "2obj+H", "U-2obj+H", "S-2obj+H", "2type+H",  "U-2type+H", "S-2type+H",
+      "cs",     "S-cs"};
   return Names;
 }
 
@@ -92,16 +98,26 @@ const std::vector<std::pair<std::string, std::string>> &
 pt::precisionOrderPairs() {
   // Each pair was derived from the constructor definitions in
   // context/Policies.h: dropping context/heap-context elements maps the
-  // finer policy's RECORD/MERGE/MERGESTATIC onto the coarser's.  The first
-  // pair per finer policy is its preferred fallback target (see the header
-  // comment), so 2obj+H lists 2type+H before 1obj.
+  // finer policy's RECORD/MERGE/MERGESTATIC onto the coarser's (for the
+  // cut-shortcut pairs, every per-edge shortcut derivation is contained in
+  // the coarser side's generic merged flow).  The first pair per finer
+  // policy is its preferred fallback target (see the header comment), so
+  // 2obj+H lists 2type+H before 1obj.  Every policy's path to "insens" is
+  // enumerated explicitly; a policy absent from the finer column
+  // (U-2obj+H-swapped) has *no* proven ordering and cannot anchor a
+  // fallback ladder.
   static const std::vector<std::pair<std::string, std::string>> Pairs = {
       {"1call+H", "1call"},         {"2call+H", "1call+H"},
+      {"1call", "cs"},              {"cs", "S-cs"},
+      {"S-cs", "insens"},
       {"U-1obj", "1obj"},           {"SB-1obj", "1obj"},
+      {"1obj", "insens"},           {"SA-1obj", "insens"},
       {"2obj+H", "2type+H"},        {"2obj+H", "1obj"},
       {"U-2obj+H", "2obj+H"},       {"S-2obj+H", "2obj+H"},
       {"U-2type+H", "2type+H"},     {"S-2type+H", "2type+H"},
-      {"3obj+2H", "2obj+H"},
+      {"2type+H", "insens"},
+      {"3obj+2H", "2obj+H"},        {"U-2obj+HI", "1obj"},
+      {"D-2obj+H", "1obj"},
   };
   return Pairs;
 }
@@ -109,9 +125,10 @@ pt::precisionOrderPairs() {
 bool pt::isProvablyCoarser(std::string_view Finer, std::string_view Coarser) {
   if (Finer == Coarser)
     return false;
-  if (Coarser == "insens")
-    return Finer != "insens";
-  // BFS over the fine -> coarse edges; the pair set is tiny.
+  // BFS over the fine -> coarse edges; the pair set is tiny.  There is
+  // deliberately no "everything is finer than insens" axiom: an ordering
+  // holds only when the explicit pair ledger proves it, so an unknown or
+  // unordered name can never validate a ladder step.
   std::deque<std::string> Queue;
   std::set<std::string, std::less<>> Seen;
   Queue.emplace_back(Finer);

@@ -28,14 +28,16 @@ class Program;
 /// Instantiates the policy named \p Name for \p Prog.  Returns null for an
 /// unknown name.  Recognized names: insens, 1call, 1call+H, 1obj, U-1obj,
 /// SA-1obj, SB-1obj, 2obj+H, U-2obj+H, S-2obj+H, 2type+H, U-2type+H,
-/// S-2type+H, U-2obj+HI, U-2obj+H-swapped, D-2obj+H, 3obj+2H, 2call+H.
+/// S-2type+H, cs, S-cs, U-2obj+HI, U-2obj+H-swapped, D-2obj+H, 3obj+2H,
+/// 2call+H.
 std::unique_ptr<ContextPolicy> createPolicy(std::string_view Name,
                                             const Program &Prog);
 
-/// The twelve analyses of the paper's Table 1, in column order.
+/// The fourteen Table 1 columns, in order: the paper's twelve analyses
+/// plus the cut-shortcut family (cs, S-cs; docs/ANALYSES.md).
 const std::vector<std::string> &table1PolicyNames();
 
-/// All thirteen paper analyses (Table 1 plus insens).
+/// The fifteen standard analyses (Table 1 columns plus insens).
 const std::vector<std::string> &paperPolicyNames();
 
 /// The extra ablation / future-work variants this repo adds.
@@ -46,13 +48,21 @@ const std::vector<std::string> &allPolicyNames();
 
 /// The known precision-ordering pairs (finer, coarser): each finer
 /// policy's context maps factor through the coarser's (RECORD / MERGE /
-/// MERGESTATIC commute with the projection), so the finer fixpoint's
-/// context-insensitive projection is contained in the coarser's.  This is
-/// the canonical list shared by the fuzz oracle's ordering checks and the
-/// fallback ladder (pta/Degrade.h); "insens" is coarser than everything
-/// and deliberately not enumerated.  SA-1obj is absent — the paper notes
-/// it is incomparable to 1obj — and D-2obj+H's data-driven context shape
-/// admits no static factoring.
+/// MERGESTATIC commute with the projection; for the cut-shortcut pairs,
+/// every per-edge shortcut derivation is contained in the coarser side's
+/// generic flow), so the finer fixpoint's context-insensitive projection
+/// is contained in the coarser's.  This is the canonical list shared by
+/// the fuzz oracle's ordering checks and the fallback ladder
+/// (pta/Degrade.h).  Every ordered policy's path to "insens" is listed
+/// explicitly — there is no implicit "insens is coarser than everything"
+/// axiom.  Policies with *no* finer-side entry have no proven ordering at
+/// all and cannot anchor a ladder: SA-1obj is ordered only against insens
+/// (the paper notes it is incomparable to 1obj), and U-2obj+H-swapped is
+/// deliberately unordered (its inverted slot significance admits no
+/// projection argument).  The cs family slots below 1call: 1call ⊑ cs ⊑
+/// S-cs ⊑ insens.  Object-/type-sensitive chains do not route through cs
+/// — an identity method makes 1obj and cs incomparable — so they reach
+/// insens directly.
 ///
 /// Pair order matters to the ladder: \c fallbackLadder follows the
 /// *first* pair listed for each finer policy, so a policy's preferred
@@ -61,9 +71,9 @@ const std::vector<std::string> &allPolicyNames();
 const std::vector<std::pair<std::string, std::string>> &precisionOrderPairs();
 
 /// True when \p Coarser is provably coarser than \p Finer, i.e. reachable
-/// from it through the transitive closure of \c precisionOrderPairs, or
-/// \p Coarser is "insens" (and \p Finer is not).  Strict: false when the
-/// names are equal.
+/// from it through the transitive closure of \c precisionOrderPairs.
+/// Strict: false when the names are equal; false for any name (known or
+/// not) that the pair ledger does not order.
 bool isProvablyCoarser(std::string_view Finer, std::string_view Coarser);
 
 } // namespace pt

@@ -46,7 +46,7 @@ struct DriverOptions {
   /// unlimited (determinism note: an aborted run skips checks, so any
   /// nonzero value trades reproducibility under load for liveness).
   uint64_t SolverTimeBudgetMs = 0;
-  /// Policies to check; empty = the thirteen paper analyses.
+  /// Policies to check; empty = the fifteen standard analyses.
   std::vector<std::string> Policies;
   /// Fourth comparison axis (OracleOptions::CheckSummary): re-solve every
   /// policy with the compositional summary engine and require bit-identical

@@ -53,7 +53,7 @@ namespace fuzz {
 
 /// Which checks to run over one program.
 struct OracleOptions {
-  /// Policies to solve under; empty = the thirteen paper analyses
+  /// Policies to solve under; empty = the fifteen standard analyses
   /// (Table 1 plus insens).
   std::vector<std::string> Policies;
   /// Interpreter base seed; runs use Seed, Seed+1, ... per repetition.

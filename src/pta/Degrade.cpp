@@ -17,19 +17,25 @@ using namespace pt;
 std::vector<std::string> pt::fallbackLadder(std::string_view Policy) {
   std::vector<std::string> Rungs;
   Rungs.emplace_back(Policy);
-  // Chain walk: follow the first listed coarser pair per policy; a policy
-  // with no listed pair degrades straight to insens.  The pair list is a
-  // DAG, but cap the walk anyway so a bad edit cannot loop forever.
+  // Chain walk: follow the first listed coarser pair per policy.  A policy
+  // with no listed pair ends the walk right there — the old behavior of
+  // silently jumping to insens manufactured a "provable" degradation the
+  // ledger never proved, which validateLadder then waved through because
+  // it shared the same axiom.  Callers that need a complete ladder check
+  // that the walk reached insens and fail fast otherwise.  The pair list
+  // is a DAG, but cap the walk anyway so a bad edit cannot loop forever.
   size_t Cap = allPolicyNames().size() + 1;
   while (Rungs.back() != "insens" && Rungs.size() <= Cap) {
     const std::string &Cur = Rungs.back();
-    std::string Next = "insens";
+    std::string Next;
     for (const auto &[Fine, Coarse] : precisionOrderPairs()) {
       if (Fine == Cur) {
         Next = Coarse;
         break;
       }
     }
+    if (Next.empty())
+      break; // No proven coarser policy: the ladder stops here.
     Rungs.push_back(Next);
   }
   return Rungs;
@@ -46,8 +52,22 @@ bool pt::validateLadder(const std::vector<std::string> &Rungs,
   }
   for (size_t I = 1; I < Rungs.size(); ++I) {
     if (!isProvablyCoarser(Rungs[I - 1], Rungs[I])) {
-      Error = "ladder rung '" + Rungs[I] + "' is not provably coarser than '" +
-              Rungs[I - 1] + "'";
+      // Distinguish "this step is unproven" from "the finer policy has no
+      // precision-order entries at all" — the latter names the policy that
+      // needs a ledger entry instead of blaming an arbitrary step.
+      bool HasAnyPair = false;
+      for (const auto &[Fine, Coarse] : precisionOrderPairs())
+        if (Fine == Rungs[I - 1]) {
+          HasAnyPair = true;
+          break;
+        }
+      if (!HasAnyPair)
+        Error = "policy '" + Rungs[I - 1] +
+                "' has no precision-order pairs; no degradation from it is "
+                "provable";
+      else
+        Error = "ladder rung '" + Rungs[I] +
+                "' is not provably coarser than '" + Rungs[I - 1] + "'";
       return false;
     }
   }
@@ -64,6 +84,15 @@ LadderResult pt::solveWithLadder(const Program &Prog,
   std::vector<std::string> Rungs;
   if (LOpts.Rungs.empty()) {
     Rungs = fallbackLadder(PolicyName);
+    if (Rungs.back() != "insens") {
+      // Fail fast instead of silently degrading through an unproven jump:
+      // the chain walk stopped at a policy with no precision-order pairs.
+      Out.Error = "no complete fallback ladder for '" +
+                  std::string(PolicyName) + "': policy '" + Rungs.back() +
+                  "' has no precision-order pairs, so the derived ladder "
+                  "stops before insens";
+      return Out;
+    }
   } else {
     Rungs.emplace_back(PolicyName);
     Rungs.insert(Rungs.end(), LOpts.Rungs.begin(), LOpts.Rungs.end());

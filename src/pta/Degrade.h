@@ -87,8 +87,10 @@ struct LadderResult {
 
 /// The default fallback ladder starting at \p Policy: the chain walk of
 /// the precision-order DAG following the first listed coarser pair per
-/// policy, terminated with "insens".  Includes \p Policy itself as the
-/// first rung.
+/// policy.  Includes \p Policy itself as the first rung.  The walk stops
+/// at the first policy with no precision-order pair — it does NOT jump to
+/// "insens" on its own — so the result ends at "insens" only when every
+/// step is ledger-proven; \c solveWithLadder fails fast otherwise.
 std::vector<std::string> fallbackLadder(std::string_view Policy);
 
 /// Checks that \p Rungs descends strictly in proven precision order and

@@ -6,6 +6,7 @@
 
 #include "pta/Solver.h"
 
+#include "context/CutShortcut.h"
 #include "context/Policy.h"
 #include "ir/Program.h"
 #include "pta/Trace.h"
@@ -17,7 +18,8 @@
 using namespace pt;
 
 Solver::Solver(const Program &Prog, ContextPolicy &Policy, SolverOptions Opts)
-    : Prog(Prog), Policy(Policy), Opts(Opts), Budget(Opts.TimeBudgetMs) {
+    : Prog(Prog), Policy(Policy), CutPlan(Policy.cutPlan()), Opts(Opts),
+      Budget(Opts.TimeBudgetMs) {
   assert(Prog.isFinalized() && "solver needs a finalized program");
   // Fault injection for harness self-tests and the robustness matrix
   // (docs/ROBUSTNESS.md).  An explicit plan wins; otherwise pick up the
@@ -298,7 +300,12 @@ void Solver::ensureReachable(MethodId M, CtxId Ctx, prov::Rule Why,
       addEdge(FN, To);
     }
   }
-  for (const StoreInstr &S : Body.Stores) {
+  for (uint32_t SI = 0; SI < Body.Stores.size(); ++SI) {
+    const StoreInstr &S = Body.Stores[SI];
+    // A cut store has no generic subscription: dispatch() wires
+    // actual -> receiver.field shortcut edges per call edge instead.
+    if (CutPlan && CutPlan->isStoreCut(M, SI))
+      continue;
     slowRule(FaultRule::Store);
     uint32_t Base = varNode(S.Base, Ctx);
     uint32_t From = varNode(S.From, Ctx);
@@ -452,6 +459,31 @@ void Solver::dispatch(const DispatchSub &Sub, uint32_t Obj) {
                     CEFact);
   wireCall(Sub.Invo, Sub.CallerCtx, Callee, CalleeCtx, prov::Rule::VCall,
            BaseFact);
+
+  // Receiver-dependent shortcut edges (context/CutShortcut.h), wired per
+  // (call site, receiver object).  This cannot live in wireCall: the call
+  // edge dedups by (invoke, ctx, callee, ctx), which collapses distinct
+  // receiver objects under a contextless policy.  Everything below is
+  // idempotent (edge dedup), matching dispatch's replay semantics.
+  if (CutPlan) {
+    const CutShortcutPlan::MethodPlan &MP = CutPlan->method(Callee);
+    for (const CutShortcutPlan::StoreCut &SC : MP.StoreCuts) {
+      if (SC.FormalIdx >= Call.Actuals.size())
+        continue; // Arity mismatch: the generic param bind drops it too.
+      uint32_t FromN = varNode(Call.Actuals[SC.FormalIdx], Sub.CallerCtx);
+      uint32_t FN = fieldNode(Obj, SC.Fld);
+      noteEdgeWhy(FromN, FN, prov::Rule::ShortcutStore, CEFact);
+      addEdge(FromN, FN);
+    }
+    if (MP.RetCut && Call.RetTo.isValid()) {
+      uint32_t RetN = varNode(Call.RetTo, Sub.CallerCtx);
+      for (FieldId F : MP.RetLoads) {
+        uint32_t FN = fieldNode(Obj, F);
+        noteEdgeWhy(FN, RetN, prov::Rule::ShortcutRetLoad, CEFact);
+        addEdge(FN, RetN);
+      }
+    }
+  }
 }
 
 bool Solver::insertCallEdge(const CallGraphEdge &E) {
@@ -504,11 +536,34 @@ void Solver::wireCall(InvokeId Invo, CtxId CallerCtx, MethodId Callee,
   }
 
   // Return value: formal-return -> actual-return (Figure 2, second rule).
-  if (Call.RetTo.isValid() && CalleeInfo.Return.isValid()) {
+  // A ret-cut callee (context/CutShortcut.h) drops this merged edge; the
+  // receiver-independent shortcuts below cover every definition of the
+  // return variable per call edge (receiver-dependent ret-loads are wired
+  // in dispatch).
+  const CutShortcutPlan::MethodPlan *MP =
+      CutPlan ? &CutPlan->method(Callee) : nullptr;
+  bool RetCut = MP && MP->RetCut;
+  if (Call.RetTo.isValid() && CalleeInfo.Return.isValid() && !RetCut) {
     uint32_t FromN = varNode(CalleeInfo.Return, CalleeCtx);
     uint32_t ToN = varNode(Call.RetTo, CallerCtx);
     noteEdgeWhy(FromN, ToN, prov::Rule::ReturnBind, CEFact);
     addEdge(FromN, ToN);
+  }
+  if (RetCut && Call.RetTo.isValid()) {
+    uint32_t RetN = varNode(Call.RetTo, CallerCtx);
+    for (uint32_t Pos : MP->RetArgs) {
+      if (Pos >= Call.Actuals.size())
+        continue;
+      uint32_t FromN = varNode(Call.Actuals[Pos], CallerCtx);
+      noteEdgeWhy(FromN, RetN, prov::Rule::ShortcutRetArg, CEFact);
+      addEdge(FromN, RetN);
+    }
+    for (HeapId H : MP->RetAllocs) {
+      uint32_t Obj = internObject(H, Policy.record(H, CalleeCtx));
+      if (addFact(RetN, Obj) && provOn())
+        Opts.Prov->step(provFact(RetN, Obj), prov::Rule::ShortcutRetAlloc,
+                        CEFact);
+    }
   }
 
   // Exception escalation: what escapes the callee is raised in the

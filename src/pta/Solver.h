@@ -53,6 +53,7 @@ namespace pt {
 
 class Program;
 class ContextPolicy;
+struct CutShortcutPlan;
 
 namespace trace {
 class TraceRecorder;
@@ -331,6 +332,10 @@ private:
 
   const Program &Prog;
   ContextPolicy &Policy;
+  /// Null unless the policy is a cut-shortcut family member
+  /// (context/CutShortcut.h): planned store/return flows are cut and
+  /// per-call-edge shortcut edges wired in dispatch()/wireCall().
+  const CutShortcutPlan *CutPlan = nullptr;
   SolverOptions Opts;
   Deadline Budget;
 

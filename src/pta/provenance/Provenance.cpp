@@ -77,6 +77,14 @@ const char *pt::prov::ruleName(Rule R) {
     return "throw-escalate";
   case Rule::CatchEscalate:
     return "catch-escalate";
+  case Rule::ShortcutStore:
+    return "shortcut-store";
+  case Rule::ShortcutRetArg:
+    return "shortcut-ret-arg";
+  case Rule::ShortcutRetLoad:
+    return "shortcut-ret-load";
+  case Rule::ShortcutRetAlloc:
+    return "shortcut-ret-alloc";
   case Rule::NumRules:
     break;
   }

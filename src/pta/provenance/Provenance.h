@@ -112,6 +112,12 @@ enum class Rule : uint8_t {
   CatchBind,     ///< VPT(hvar, ctx, o) <- VPT(v, ctx, o), handler matches.
   ThrowEscalate, ///< TPT(caller,..) <- TPT(callee,..) + CallEdge, uncaught.
   CatchEscalate, ///< VPT(hvar,..) <- TPT(callee,..) + CallEdge, caught.
+  // Cut-shortcut derivations (context/CutShortcut.h): per-call-edge
+  // shortcut edges replacing cut store/return flows.
+  ShortcutStore,    ///< FPT(recv, f, o) <- VPT(actual,..) + CallEdge.
+  ShortcutRetArg,   ///< VPT(retTo,.., o) <- VPT(actual,..) + CallEdge.
+  ShortcutRetLoad,  ///< VPT(retTo,.., o) <- FPT(recv, f, o) + CallEdge.
+  ShortcutRetAlloc, ///< VPT(retTo,.., (h, RECORD)) <- CallEdge.
   NumRules,
 };
 

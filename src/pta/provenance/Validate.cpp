@@ -18,6 +18,7 @@
 #include "pta/provenance/Provenance.h"
 
 #include "context/ContextTable.h"
+#include "context/CutShortcut.h"
 #include "context/Policy.h"
 #include "ir/Program.h"
 #include "pta/AnalysisResult.h"
@@ -122,6 +123,14 @@ public:
       return checkEscalate(T, P0, P1, HasP0 && HasP1, /*Caught=*/false);
     case Rule::CatchEscalate:
       return checkEscalate(T, P0, P1, HasP0 && HasP1, /*Caught=*/true);
+    case Rule::ShortcutStore:
+      return checkShortcutStore(T, P0, P1, HasP0 && HasP1);
+    case Rule::ShortcutRetArg:
+      return checkShortcutRetArg(T, P0, P1, HasP0 && HasP1);
+    case Rule::ShortcutRetLoad:
+      return checkShortcutRetLoad(T, P0, P1, HasP0 && HasP1);
+    case Rule::ShortcutRetAlloc:
+      return checkShortcutRetAlloc(T, P0, HasP0 && !HasP1);
     case Rule::NumRules:
       break;
     }
@@ -421,6 +430,178 @@ private:
     if (T.A0 != Raiser.rawValue() || T.A1 != P.A1 || T.Obj != P.Obj)
       return "throw-raise conclusion does not match the raising frame";
     return "";
+  }
+
+  // --- Cut-shortcut steps (context/CutShortcut.h) -----------------------
+  //
+  // When a policy is supplied, the recorded step must match its cut plan
+  // exactly; without one, the checks fall back to the plan's *structural
+  // witness* in the callee body (covered store / returned formal / alloc /
+  // load through this), mirroring how the other checkers skip
+  // policy-dependent context checks when no policy is given.
+
+  /// Returns the supplied policy's cut plan, or null.  Shortcut steps are
+  /// only ever recorded by cut-shortcut policies, so a supplied policy
+  /// without a plan is itself an error (reported by callers).
+  const CutShortcutPlan *cutPlan() const {
+    return Policy ? Policy->cutPlan() : nullptr;
+  }
+
+  std::string checkShortcutStore(const FactView &T, const FactView &P0,
+                                 const FactView &P1, bool Has) {
+    if (T.Kind != FactKind::FieldPointsTo || !Has ||
+        P0.Kind != FactKind::VarPointsTo || P1.Kind != FactKind::CallEdge)
+      return "shortcut-store shape (needs actual VPT + CallEdge premises)";
+    if (Policy && !Policy->cutPlan())
+      return "shortcut step under a policy without a cut plan";
+    const InvokeInfo &Inv = Prog.invoke(InvokeId(P1.A0));
+    if (Inv.IsStatic)
+      return "shortcut-store at a static call";
+    if (P0.A1 != P1.A1)
+      return "shortcut-store actual premise is not in the caller context";
+    if (T.Obj != P0.Obj)
+      return "shortcut-store must preserve the stored object";
+    if (!objOk(T.A0))
+      return "shortcut-store receiver object id out of range";
+    MethodId Callee(P1.Callee);
+    MethodId Resolved = Prog.lookup(objType(T.A0), Inv.Sig);
+    if (!Resolved.isValid() || Resolved != Callee)
+      return "shortcut-store receiver does not dispatch to the edge callee";
+    if (const CutShortcutPlan *Plan = cutPlan()) {
+      for (const CutShortcutPlan::StoreCut &SC :
+           Plan->method(Callee).StoreCuts)
+        if (SC.Fld.rawValue() == T.A1 && SC.FormalIdx < Inv.Actuals.size() &&
+            Inv.Actuals[SC.FormalIdx].rawValue() == P0.A0)
+          return "";
+      return "no store cut in the plan witnesses this shortcut";
+    }
+    const MethodInfo &CI = Prog.method(Callee);
+    for (const StoreInstr &S : CI.Stores)
+      if (S.Base == CI.This && S.Fld.rawValue() == T.A1)
+        for (size_t I = 0;
+             I < CI.Formals.size() && I < Inv.Actuals.size(); ++I)
+          if (CI.Formals[I] == S.From && Inv.Actuals[I].rawValue() == P0.A0)
+            return "";
+    return "no covered store witnesses this shortcut";
+  }
+
+  std::string checkShortcutRetArg(const FactView &T, const FactView &P0,
+                                  const FactView &P1, bool Has) {
+    if (T.Kind != FactKind::VarPointsTo || !Has ||
+        P0.Kind != FactKind::VarPointsTo || P1.Kind != FactKind::CallEdge)
+      return "shortcut-ret-arg shape (needs actual VPT + CallEdge premises)";
+    if (Policy && !Policy->cutPlan())
+      return "shortcut step under a policy without a cut plan";
+    const InvokeInfo &Inv = Prog.invoke(InvokeId(P1.A0));
+    if (!Inv.RetTo.isValid() || Inv.RetTo.rawValue() != T.A0)
+      return "shortcut-ret-arg conclusion is not the call's return target";
+    if (T.A1 != P1.A1 || P0.A1 != P1.A1)
+      return "shortcut-ret-arg must stay in the caller context";
+    if (T.Obj != P0.Obj)
+      return "shortcut-ret-arg must preserve the object";
+    MethodId Callee(P1.Callee);
+    if (const CutShortcutPlan *Plan = cutPlan()) {
+      const CutShortcutPlan::MethodPlan &MP = Plan->method(Callee);
+      if (!MP.RetCut)
+        return "shortcut-ret-arg at a callee whose return is not cut";
+      for (uint32_t Pos : MP.RetArgs)
+        if (Pos < Inv.Actuals.size() &&
+            Inv.Actuals[Pos].rawValue() == P0.A0)
+          return "";
+      return "no ret-arg cut in the plan witnesses this shortcut";
+    }
+    const MethodInfo &CI = Prog.method(Callee);
+    if (!CI.Return.isValid())
+      return "shortcut-ret-arg at a callee without a return variable";
+    size_t N = std::min(Inv.Actuals.size(), CI.Formals.size());
+    for (size_t I = 0; I < N; ++I) {
+      if (Inv.Actuals[I].rawValue() != P0.A0)
+        continue;
+      if (CI.Formals[I] == CI.Return)
+        return "";
+      for (const MoveInstr &Mv : CI.Moves)
+        if (Mv.To == CI.Return && Mv.From == CI.Formals[I])
+          return "";
+    }
+    return "no returned formal witnesses this shortcut";
+  }
+
+  std::string checkShortcutRetLoad(const FactView &T, const FactView &P0,
+                                   const FactView &P1, bool Has) {
+    if (T.Kind != FactKind::VarPointsTo || !Has ||
+        P0.Kind != FactKind::FieldPointsTo || P1.Kind != FactKind::CallEdge)
+      return "shortcut-ret-load shape (needs FPT + CallEdge premises)";
+    if (Policy && !Policy->cutPlan())
+      return "shortcut step under a policy without a cut plan";
+    const InvokeInfo &Inv = Prog.invoke(InvokeId(P1.A0));
+    if (Inv.IsStatic)
+      return "shortcut-ret-load at a static call";
+    if (!Inv.RetTo.isValid() || Inv.RetTo.rawValue() != T.A0)
+      return "shortcut-ret-load conclusion is not the call's return target";
+    if (T.A1 != P1.A1)
+      return "shortcut-ret-load must stay in the caller context";
+    if (T.Obj != P0.Obj)
+      return "shortcut-ret-load must preserve the loaded object";
+    if (!objOk(P0.A0))
+      return "shortcut-ret-load receiver object id out of range";
+    MethodId Callee(P1.Callee);
+    MethodId Resolved = Prog.lookup(objType(P0.A0), Inv.Sig);
+    if (!Resolved.isValid() || Resolved != Callee)
+      return "shortcut-ret-load receiver does not dispatch to the callee";
+    if (const CutShortcutPlan *Plan = cutPlan()) {
+      const CutShortcutPlan::MethodPlan &MP = Plan->method(Callee);
+      if (!MP.RetCut)
+        return "shortcut-ret-load at a callee whose return is not cut";
+      for (FieldId F : MP.RetLoads)
+        if (F.rawValue() == P0.A1)
+          return "";
+      return "no ret-load cut in the plan witnesses this shortcut";
+    }
+    const MethodInfo &CI = Prog.method(Callee);
+    if (!CI.Return.isValid())
+      return "shortcut-ret-load at a callee without a return variable";
+    for (const LoadInstr &L : CI.Loads)
+      if (L.To == CI.Return && L.Base == CI.This &&
+          L.Fld.rawValue() == P0.A1)
+        return "";
+    return "no load of this witnesses this shortcut";
+  }
+
+  std::string checkShortcutRetAlloc(const FactView &T, const FactView &P0,
+                                    bool Has) {
+    if (T.Kind != FactKind::VarPointsTo || !Has ||
+        P0.Kind != FactKind::CallEdge)
+      return "shortcut-ret-alloc shape (needs a CallEdge premise)";
+    if (Policy && !Policy->cutPlan())
+      return "shortcut step under a policy without a cut plan";
+    const InvokeInfo &Inv = Prog.invoke(InvokeId(P0.A0));
+    if (!Inv.RetTo.isValid() || Inv.RetTo.rawValue() != T.A0)
+      return "shortcut-ret-alloc conclusion is not the call's return target";
+    if (T.A1 != P0.A1)
+      return "shortcut-ret-alloc must stay in the caller context";
+    if (!objOk(T.Obj))
+      return "shortcut-ret-alloc object id out of range";
+    HeapId H = Res.objHeap(T.Obj);
+    MethodId Callee(P0.Callee);
+    if (Policy &&
+        Policy->record(H, CtxId(P0.CalleeCtx)) != Res.objHCtx(T.Obj))
+      return "shortcut-ret-alloc heap context does not match RECORD";
+    if (const CutShortcutPlan *Plan = cutPlan()) {
+      const CutShortcutPlan::MethodPlan &MP = Plan->method(Callee);
+      if (!MP.RetCut)
+        return "shortcut-ret-alloc at a callee whose return is not cut";
+      for (HeapId PH : MP.RetAllocs)
+        if (PH == H)
+          return "";
+      return "no ret-alloc cut in the plan witnesses this shortcut";
+    }
+    const MethodInfo &CI = Prog.method(Callee);
+    if (!CI.Return.isValid())
+      return "shortcut-ret-alloc at a callee without a return variable";
+    for (const AllocInstr &A : CI.Allocs)
+      if (A.Var == CI.Return && A.Heap == H)
+        return "";
+    return "no returned allocation witnesses this shortcut";
   }
 
   std::string checkEscalate(const FactView &T, const FactView &P0,

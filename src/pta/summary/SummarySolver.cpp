@@ -34,6 +34,7 @@
 
 #include "pta/summary/SummarySolver.h"
 
+#include "context/CutShortcut.h"
 #include "context/Policy.h"
 #include "ir/Program.h"
 #include "pta/Trace.h"
@@ -421,12 +422,17 @@ private:
                  uint32_t WhyAux = prov::InvalidFact);
   /// LOAD consequence field(obj, fld) -> ToNode, with a remote source
   /// shipped to the slot's owner as an Edge message.  \p BaseWhy is the
-  /// triggering base-variable fact (provenance aux).
+  /// triggering base-variable fact (provenance aux); \p Why is the edge's
+  /// justification rule (Load, or ShortcutRetLoad for cut-shortcut edges
+  /// whose aux is the call-edge fact).
   void loadEdge(uint32_t Obj, FieldId Fld, uint32_t ToNode,
-                uint32_t BaseWhy = prov::InvalidFact);
+                uint32_t BaseWhy = prov::InvalidFact,
+                prov::Rule Why = prov::Rule::Load);
   /// STORE consequence FromNode -> field(obj, fld), portal when remote.
+  /// \p Why is Store, or ShortcutStore for cut-shortcut edges.
   void storeEdge(uint32_t FromNode, uint32_t Obj, FieldId Fld,
-                 uint32_t BaseWhy = prov::InvalidFact);
+                 uint32_t BaseWhy = prov::InvalidFact,
+                 prov::Rule Why = prov::Rule::Store);
 
   // --- Provenance hooks (zero-cost when HYBRIDPT_PROVENANCE=0) ---
   bool provOn() const; // Defined after Engine (needs E.Opts).
@@ -563,6 +569,10 @@ public:
 
   const Program &Prog;
   ContextPolicy &Policy;
+  /// Cut-shortcut plan of the policy (null for tuple policies).  Immutable
+  /// program structure owned by the policy, so partitions may read it from
+  /// any thread without taking PolicyMu.
+  const CutShortcutPlan *CutPlan = Policy.cutPlan();
   SolverOptions Opts;
   Condensation Cond;
   ObjInterner Objs;
@@ -883,11 +893,11 @@ void Partition::factToVar(VarId V, CtxId Ctx, uint32_t Obj, prov::Rule Why,
 }
 
 void Partition::loadEdge(uint32_t Obj, FieldId Fld, uint32_t ToNode,
-                         uint32_t BaseWhy) {
+                         uint32_t BaseWhy, prov::Rule Why) {
   uint32_t Owner = E.partOfObj(Obj);
   if (Owner == Id) {
     uint32_t Src = fieldNode(Obj, Fld);
-    noteEdgeWhy(Src, ToNode, prov::Rule::Load, BaseWhy);
+    noteEdgeWhy(Src, ToNode, Why, BaseWhy);
     addEdge(Src, ToNode);
     return;
   }
@@ -905,19 +915,19 @@ void Partition::loadEdge(uint32_t Obj, FieldId Fld, uint32_t ToNode,
   Message.RefA = D.A;
   Message.RefB = D.B;
   if (provOn()) {
-    Message.WhyRule = static_cast<uint8_t>(prov::Rule::Load);
+    Message.WhyRule = static_cast<uint8_t>(Why);
     Message.WhyAux = BaseWhy;
   }
   E.post(Owner, Message);
 }
 
 void Partition::storeEdge(uint32_t FromNode, uint32_t Obj, FieldId Fld,
-                          uint32_t BaseWhy) {
+                          uint32_t BaseWhy, prov::Rule Why) {
   uint32_t Owner = E.partOfObj(Obj);
   uint32_t To = Owner == Id ? fieldNode(Obj, Fld)
                             : portalNode(NK::FieldSlot, Obj, Fld.index(),
                                          Owner);
-  noteEdgeWhy(FromNode, To, prov::Rule::Store, BaseWhy);
+  noteEdgeWhy(FromNode, To, Why, BaseWhy);
   addEdge(FromNode, To);
 }
 
@@ -1048,7 +1058,10 @@ void Partition::ensureReachable(MethodId M, CtxId Ctx, prov::Rule Why,
                provOn() ? provFact(Base, Obj) : prov::InvalidFact);
     }
   }
-  for (const StoreInstr &S : Body.Stores) {
+  for (uint32_t SI = 0; SI < Body.Stores.size(); ++SI) {
+    const StoreInstr &S = Body.Stores[SI];
+    if (E.CutPlan && E.CutPlan->isStoreCut(M, SI))
+      continue; // Covered store: replaced by per-call-edge shortcut edges.
     slowRule(FaultRule::Store);
     uint32_t Base = varNode(S.Base, Ctx);
     uint32_t From = varNode(S.From, Ctx);
@@ -1235,6 +1248,25 @@ void Partition::dispatch(const DispatchSub &Sub, uint32_t Obj) {
             CEFact);
   wireCall(Sub.Invo, Sub.CallerCtx, Callee, CalleeCtx, prov::Rule::VCall,
            BaseFact);
+  // Receiver-dependent cut shortcuts.  These must be wired here, per
+  // (invoke, receiver object): wireCall dedups on the context-free call
+  // edge, which under contextless cut policies collapses all receivers of
+  // an invoke into one edge.  storeEdge/loadEdge and addEdge dedup, so the
+  // occasional dispatch re-fire for the same (Sub, Obj) stays idempotent.
+  if (const CutShortcutPlan *CP = E.CutPlan) {
+    const CutShortcutPlan::MethodPlan &MP = CP->method(Callee);
+    for (const CutShortcutPlan::StoreCut &SC : MP.StoreCuts) {
+      if (SC.FormalIdx >= Call.Actuals.size())
+        continue;
+      uint32_t FromN = varNode(Call.Actuals[SC.FormalIdx], Sub.CallerCtx);
+      storeEdge(FromN, Obj, SC.Fld, CEFact, prov::Rule::ShortcutStore);
+    }
+    if (MP.RetCut && Call.RetTo.isValid()) {
+      uint32_t RetN = varNode(Call.RetTo, Sub.CallerCtx);
+      for (FieldId F : MP.RetLoads)
+        loadEdge(Obj, F, RetN, CEFact, prov::Rule::ShortcutRetLoad);
+    }
+  }
 }
 
 bool Partition::insertCallEdge(const CallGraphEdge &Edge) {
@@ -1298,7 +1330,12 @@ void Partition::wireCall(InvokeId Invo, CtxId CallerCtx, MethodId Callee,
     addEdge(From, To);
   }
 
-  if (Call.RetTo.isValid() && CalleeInfo.Return.isValid()) {
+  // Ret-cut callees drop the generic return edge; per-call-edge shortcut
+  // edges (below) carry the same values directly to the caller.
+  const CutShortcutPlan::MethodPlan *MP =
+      E.CutPlan ? &E.CutPlan->method(Callee) : nullptr;
+  bool RetCut = MP && MP->RetCut;
+  if (Call.RetTo.isValid() && CalleeInfo.Return.isValid() && !RetCut) {
     if (CalleePart == Id) {
       uint32_t From = varNode(CalleeInfo.Return, CalleeCtx);
       uint32_t To = varNode(Call.RetTo, CallerCtx);
@@ -1322,6 +1359,26 @@ void Partition::wireCall(InvokeId Invo, CtxId CallerCtx, MethodId Callee,
         Message.WhyAux = CEFact;
       }
       E.post(CalleePart, Message);
+    }
+  }
+
+  if (RetCut && Call.RetTo.isValid()) {
+    // Receiver-independent shortcut edges: both endpoints are caller-local
+    // variables, so no cross-partition traffic regardless of the callee's
+    // partition.
+    uint32_t RetN = varNode(Call.RetTo, CallerCtx);
+    for (uint32_t Pos : MP->RetArgs) {
+      if (Pos >= Call.Actuals.size())
+        continue;
+      uint32_t FromN = varNode(Call.Actuals[Pos], CallerCtx);
+      noteEdgeWhy(FromN, RetN, prov::Rule::ShortcutRetArg, CEFact);
+      addEdge(FromN, RetN);
+    }
+    for (HeapId H : MP->RetAllocs) {
+      uint32_t O = internObject(H, policyRecord(H, CalleeCtx));
+      if (addFact(RetN, O) && provOn())
+        E.Opts.Prov->step(provFact(RetN, O), prov::Rule::ShortcutRetAlloc,
+                          CEFact);
     }
   }
 

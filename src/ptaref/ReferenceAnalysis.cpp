@@ -6,6 +6,7 @@
 
 #include "ptaref/ReferenceAnalysis.h"
 
+#include "context/CutShortcut.h"
 #include "context/Policy.h"
 #include "ir/Program.h"
 
@@ -46,6 +47,11 @@ ReferenceAnalysis::ReferenceAnalysis(const Program &Prog,
   ThisVar = &Engine.relation("ThisVar", 2);
   HeapType = &Engine.relation("HeapType", 2);
   Lookup = &Engine.relation("Lookup", 3);
+  RetKept = &Engine.relation("RetKept", 1);
+  CutStore = &Engine.relation("CutStore", 3);
+  CutRetArg = &Engine.relation("CutRetArg", 2);
+  CutRetAlloc = &Engine.relation("CutRetAlloc", 2);
+  CutRetLoad = &Engine.relation("CutRetLoad", 2);
 
   VarPointsTo = &Engine.relation("VarPointsTo", 4);
   CallGraph = &Engine.relation("CallGraph", 4);
@@ -61,9 +67,13 @@ ReferenceAnalysis::ReferenceAnalysis(const Program &Prog,
   buildRules();
   buildStaticFieldRules();
   buildExceptionRules();
+  if (Policy.cutPlan())
+    buildCutShortcutRules();
 }
 
 void ReferenceAnalysis::loadFacts() {
+  const CutShortcutPlan *Plan = Policy.cutPlan();
+
   // Instructions and symbol tables (Figure 1's input relations).
   for (size_t MI = 0; MI < Prog.numMethods(); ++MI) {
     MethodId M = MethodId::fromIndex(MI);
@@ -76,8 +86,12 @@ void ReferenceAnalysis::loadFacts() {
       Cast->insert({C.To.index(), C.From.index(), C.Target.index()});
     for (const LoadInstr &L : Info.Loads)
       Load->insert({L.To.index(), L.Base.index(), L.Fld.index()});
-    for (const StoreInstr &S : Info.Stores)
+    for (uint32_t SI = 0; SI < Info.Stores.size(); ++SI) {
+      const StoreInstr &S = Info.Stores[SI];
+      if (Plan && Plan->isStoreCut(M, SI))
+        continue; // Covered store: replaced by the cs-store shortcut rule.
       Store->insert({S.Base.index(), S.Fld.index(), S.From.index()});
+    }
     for (const SLoadInstr &L : Info.SLoads) {
       SLoad->insert({L.To.index(), L.Fld.index()});
       VarMeth->insert({L.To.index(), M.index()});
@@ -90,10 +104,27 @@ void ReferenceAnalysis::loadFacts() {
     for (size_t I = 0; I < Info.Formals.size(); ++I)
       FormalArg->insert({M.index(), static_cast<Value>(I),
                          Info.Formals[I].index()});
-    if (Info.Return.isValid())
+    bool RetCut = Plan && Plan->method(M).RetCut;
+    if (Info.Return.isValid()) {
       FormalRet->insert({M.index(), Info.Return.index()});
+      if (!RetCut)
+        RetKept->insert({M.index()});
+    }
     if (Info.This.isValid())
       ThisVar->insert({M.index(), Info.This.index()});
+    if (Plan) {
+      const CutShortcutPlan::MethodPlan &MP = Plan->method(M);
+      for (const CutShortcutPlan::StoreCut &SC : MP.StoreCuts)
+        CutStore->insert({M.index(), SC.FormalIdx, SC.Fld.index()});
+      if (MP.RetCut) {
+        for (uint32_t Pos : MP.RetArgs)
+          CutRetArg->insert({M.index(), Pos});
+        for (HeapId H : MP.RetAllocs)
+          CutRetAlloc->insert({M.index(), H.index()});
+        for (FieldId F : MP.RetLoads)
+          CutRetLoad->insert({M.index(), F.index()});
+      }
+    }
   }
 
   for (size_t II = 0; II < Prog.numInvokes(); ++II) {
@@ -190,7 +221,10 @@ void ReferenceAnalysis::buildRules() {
     Engine.addRule(std::move(R));
   }
 
-  // Rule 2: return value passing.
+  // Rule 2: return value passing.  Gated on RetKept so ret-cut callees of
+  // a cut-shortcut policy skip the generic return edge (the cs-ret-*
+  // shortcut rules carry their values instead); for tuple policies RetKept
+  // holds every method with a return, making the gate a no-op.
   {
     Rule R;
     R.Name = "interproc-ret";
@@ -201,6 +235,7 @@ void ReferenceAnalysis::buildRules() {
     R.Body.push_back(Atom(*CallGraph, {V(Invo), V(CallerCtx), V(Meth),
                                        V(CalleeCtx)}));
     R.Body.push_back(Atom(*FormalRet, {V(Meth), V(From)}));
+    R.Body.push_back(Atom(*RetKept, {V(Meth)}));
     R.Body.push_back(Atom(*ActualRet, {V(Invo), V(To)}));
     Engine.addRule(std::move(R));
   }
@@ -516,6 +551,150 @@ void ReferenceAnalysis::buildExceptionRules() {
     R.Body.push_back(Atom(*InvokeIn, {V(Invo), V(Caller)}));
     R.Body.push_back(Atom(*HeapType, {V(Heap), V(HeapT)}));
     R.Body.push_back(Atom(*NoHandler, {V(Caller), V(HeapT)}));
+    Engine.addRule(std::move(R));
+  }
+}
+
+void ReferenceAnalysis::buildCutShortcutRules() {
+  ContextPolicy *Pol = &Policy;
+
+  // Cut-shortcut rules (Ma et al., "Context Sensitivity without
+  // Contexts"): each cut constraint removed from the EDB is replaced by a
+  // per-call-edge shortcut joining the caller's data flow directly across
+  // the callee.  Receiver-dependent shortcuts (covered stores, ret-loads
+  // through `this`) exist only for virtual dispatch; argument/alloc return
+  // shortcuts have a static-call twin because CutMode::All also cuts
+  // static-method returns.
+
+  // cs-store: a covered store `this.f = formal_i` becomes
+  // FldPointsTo(recvH, recvHC, f, h, hc) <-
+  //   VCallTarget(invo, cctx, recvH, recvHC, meth, this, calleeCtx),
+  //   CutStore(meth, i, f), ActualArg(invo, i, from),
+  //   VarPointsTo(from, cctx, h, hc).
+  {
+    Rule R;
+    R.Name = "cs-store";
+    enum {
+      Invo, CallerCtx, RecvH, RecvHC, Meth, This, CalleeCtx, Pos, Fld,
+      From, Heap, HCtx, NumVars
+    };
+    R.NumVars = NumVars;
+    R.Head = Atom(*FldPointsTo, {V(RecvH), V(RecvHC), V(Fld), V(Heap),
+                                 V(HCtx)});
+    R.Body.push_back(Atom(*VCallTarget, {V(Invo), V(CallerCtx), V(RecvH),
+                                         V(RecvHC), V(Meth), V(This),
+                                         V(CalleeCtx)}));
+    R.Body.push_back(Atom(*CutStore, {V(Meth), V(Pos), V(Fld)}));
+    R.Body.push_back(Atom(*ActualArg, {V(Invo), V(Pos), V(From)}));
+    R.Body.push_back(Atom(*VarPointsTo, {V(From), V(CallerCtx), V(Heap),
+                                         V(HCtx)}));
+    Engine.addRule(std::move(R));
+  }
+
+  // cs-ret-arg: a return of (a clean copy of) formal_i becomes a direct
+  // actual_i -> retTo edge at every call edge.
+  {
+    Rule R;
+    R.Name = "cs-ret-arg";
+    enum {
+      Invo, CallerCtx, RecvH, RecvHC, Meth, This, CalleeCtx, Pos, From,
+      RetTo, Heap, HCtx, NumVars
+    };
+    R.NumVars = NumVars;
+    R.Head = Atom(*VarPointsTo, {V(RetTo), V(CallerCtx), V(Heap), V(HCtx)});
+    R.Body.push_back(Atom(*VCallTarget, {V(Invo), V(CallerCtx), V(RecvH),
+                                         V(RecvHC), V(Meth), V(This),
+                                         V(CalleeCtx)}));
+    R.Body.push_back(Atom(*CutRetArg, {V(Meth), V(Pos)}));
+    R.Body.push_back(Atom(*ActualArg, {V(Invo), V(Pos), V(From)}));
+    R.Body.push_back(Atom(*ActualRet, {V(Invo), V(RetTo)}));
+    R.Body.push_back(Atom(*VarPointsTo, {V(From), V(CallerCtx), V(Heap),
+                                         V(HCtx)}));
+    Engine.addRule(std::move(R));
+  }
+  {
+    Rule R;
+    R.Name = "cs-ret-arg-s";
+    enum {
+      Invo, CallerCtx, Meth, CalleeCtx, Pos, From, RetTo, Heap, HCtx,
+      NumVars
+    };
+    R.NumVars = NumVars;
+    R.Head = Atom(*VarPointsTo, {V(RetTo), V(CallerCtx), V(Heap), V(HCtx)});
+    R.Body.push_back(Atom(*SCallTarget, {V(Invo), V(CallerCtx), V(Meth),
+                                         V(CalleeCtx)}));
+    R.Body.push_back(Atom(*CutRetArg, {V(Meth), V(Pos)}));
+    R.Body.push_back(Atom(*ActualArg, {V(Invo), V(Pos), V(From)}));
+    R.Body.push_back(Atom(*ActualRet, {V(Invo), V(RetTo)}));
+    R.Body.push_back(Atom(*VarPointsTo, {V(From), V(CallerCtx), V(Heap),
+                                         V(HCtx)}));
+    Engine.addRule(std::move(R));
+  }
+
+  // cs-ret-alloc: a returned local allocation flows straight to retTo,
+  // with RECORD applied under the callee context (the same heap context
+  // the in-callee Alloc rule would have produced).
+  {
+    Rule R;
+    R.Name = "cs-ret-alloc";
+    enum {
+      Invo, CallerCtx, RecvH, RecvHC, Meth, This, CalleeCtx, Heap, RetTo,
+      HCtx, NumVars
+    };
+    R.NumVars = NumVars;
+    R.Head = Atom(*VarPointsTo, {V(RetTo), V(CallerCtx), V(Heap), V(HCtx)});
+    R.Body.push_back(Atom(*VCallTarget, {V(Invo), V(CallerCtx), V(RecvH),
+                                         V(RecvHC), V(Meth), V(This),
+                                         V(CalleeCtx)}));
+    R.Body.push_back(Atom(*CutRetAlloc, {V(Meth), V(Heap)}));
+    R.Body.push_back(Atom(*ActualRet, {V(Invo), V(RetTo)}));
+    FunctorApp F;
+    F.Fn = [Pol](const Value *Args) {
+      return Pol->record(HeapId(Args[0]), CtxId(Args[1])).index();
+    };
+    F.Args = {V(Heap), V(CalleeCtx)};
+    F.ResultVar = HCtx;
+    R.Functors.push_back(std::move(F));
+    Engine.addRule(std::move(R));
+  }
+  {
+    Rule R;
+    R.Name = "cs-ret-alloc-s";
+    enum { Invo, CallerCtx, Meth, CalleeCtx, Heap, RetTo, HCtx, NumVars };
+    R.NumVars = NumVars;
+    R.Head = Atom(*VarPointsTo, {V(RetTo), V(CallerCtx), V(Heap), V(HCtx)});
+    R.Body.push_back(Atom(*SCallTarget, {V(Invo), V(CallerCtx), V(Meth),
+                                         V(CalleeCtx)}));
+    R.Body.push_back(Atom(*CutRetAlloc, {V(Meth), V(Heap)}));
+    R.Body.push_back(Atom(*ActualRet, {V(Invo), V(RetTo)}));
+    FunctorApp F;
+    F.Fn = [Pol](const Value *Args) {
+      return Pol->record(HeapId(Args[0]), CtxId(Args[1])).index();
+    };
+    F.Args = {V(Heap), V(CalleeCtx)};
+    F.ResultVar = HCtx;
+    R.Functors.push_back(std::move(F));
+    Engine.addRule(std::move(R));
+  }
+
+  // cs-ret-load: a return of `this.f` becomes a direct read of the
+  // receiver object's slot at every call edge.
+  {
+    Rule R;
+    R.Name = "cs-ret-load";
+    enum {
+      Invo, CallerCtx, RecvH, RecvHC, Meth, This, CalleeCtx, Fld, RetTo,
+      Heap, HCtx, NumVars
+    };
+    R.NumVars = NumVars;
+    R.Head = Atom(*VarPointsTo, {V(RetTo), V(CallerCtx), V(Heap), V(HCtx)});
+    R.Body.push_back(Atom(*VCallTarget, {V(Invo), V(CallerCtx), V(RecvH),
+                                         V(RecvHC), V(Meth), V(This),
+                                         V(CalleeCtx)}));
+    R.Body.push_back(Atom(*CutRetLoad, {V(Meth), V(Fld)}));
+    R.Body.push_back(Atom(*ActualRet, {V(Invo), V(RetTo)}));
+    R.Body.push_back(Atom(*FldPointsTo, {V(RecvH), V(RecvHC), V(Fld),
+                                         V(Heap), V(HCtx)}));
     Engine.addRule(std::move(R));
   }
 }

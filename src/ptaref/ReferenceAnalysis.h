@@ -83,6 +83,7 @@ private:
   void buildRules();
   void buildStaticFieldRules();
   void buildExceptionRules();
+  void buildCutShortcutRules();
 
   const Program &Prog;
   ContextPolicy &Policy;
@@ -97,6 +98,11 @@ private:
   dl::Relation *VCall, *SCall;
   dl::Relation *FormalArg, *ActualArg, *FormalRet, *ActualRet;
   dl::Relation *ThisVar, *HeapType, *Lookup;
+  // Cut-shortcut structure (context/CutShortcut.h): RetKept gates the
+  // generic interproc-ret rule; the Cut* relations hold the policy's plan
+  // and feed the shortcut rules.  For tuple policies (no plan) RetKept
+  // covers every method with a return and the Cut* relations stay empty.
+  dl::Relation *RetKept, *CutStore, *CutRetArg, *CutRetAlloc, *CutRetLoad;
   // Output / intermediate relations.
   dl::Relation *VarPointsTo, *CallGraph, *FldPointsTo, *InterProcAssign;
   dl::Relation *StaticFldPointsTo, *ThrowPointsTo;

@@ -9,6 +9,7 @@
 
 #include "context/ContextElement.h"
 #include "context/ContextTable.h"
+#include "context/CutShortcut.h"
 #include "context/Policies.h"
 #include "context/PolicyRegistry.h"
 #include "ir/Program.h"
@@ -457,12 +458,13 @@ TEST_F(PolicyFixture, RegistryRejectsUnknownNames) {
 }
 
 TEST_F(PolicyFixture, RegistryLineups) {
-  EXPECT_EQ(table1PolicyNames().size(), 12u);
-  EXPECT_EQ(paperPolicyNames().size(), 13u);
-  EXPECT_EQ(allPolicyNames().size(), 18u);
-  // Table-1 order starts with the call-site group, as in the paper.
+  EXPECT_EQ(table1PolicyNames().size(), 14u);
+  EXPECT_EQ(paperPolicyNames().size(), 15u);
+  EXPECT_EQ(allPolicyNames().size(), 20u);
+  // Table-1 order starts with the call-site group, as in the paper, and
+  // ends with the appended cut-shortcut columns.
   EXPECT_EQ(table1PolicyNames().front(), "1call");
-  EXPECT_EQ(table1PolicyNames().back(), "S-2type+H");
+  EXPECT_EQ(table1PolicyNames().back(), "S-cs");
 }
 
 TEST_F(PolicyFixture, ContextsAreHashConsedAcrossCalls) {
@@ -475,6 +477,148 @@ TEST_F(PolicyFixture, ContextsAreHashConsedAcrossCalls) {
   size_t Before = P.ctxTable().size();
   P.merge(H1, HC, I1, C0);
   EXPECT_EQ(P.ctxTable().size(), Before);
+}
+
+TEST_F(PolicyFixture, CutShortcutPoliciesAreContextless) {
+  for (const char *Name : {"cs", "S-cs"}) {
+    auto P = createPolicy(Name, *Prog);
+    ASSERT_NE(P, nullptr) << Name;
+    EXPECT_EQ(P->methodCtxArity(), 0u);
+    EXPECT_EQ(P->heapCtxArity(), 0u);
+    ASSERT_NE(P->cutPlan(), nullptr) << Name;
+  }
+  // Every other registered policy has no plan.
+  for (const std::string &Name : allPolicyNames()) {
+    if (Name == "cs" || Name == "S-cs")
+      continue;
+    EXPECT_EQ(createPolicy(Name, *Prog)->cutPlan(), nullptr) << Name;
+  }
+}
+
+// --- Cut-shortcut plan derivation (cs / S-cs) ---------------------------
+
+/// Builds one small class with two fields plus an entry point; each test
+/// adds the method shape under scrutiny and derives the plan.
+struct CutPlanFixture : public ::testing::Test {
+  void SetUp() override {
+    TypeId Object = B.addType("Object");
+    Cls = B.addType("Cls", Object);
+    F = B.addField(Cls, "f");
+    G = B.addField(Cls, "g");
+    B.addEntryPoint(B.addMethod(Object, "main", 0, true));
+  }
+
+  const CutShortcutPlan::MethodPlan &plan(MethodId M,
+                                          CutMode Mode = CutMode::All) {
+    Prog = B.build();
+    Plan = computeCutShortcutPlan(*Prog, Mode);
+    return Plan.method(M);
+  }
+
+  ProgramBuilder B;
+  TypeId Cls;
+  FieldId F, G;
+  std::unique_ptr<Program> Prog;
+  CutShortcutPlan Plan;
+};
+
+TEST_F(CutPlanFixture, CoveredStoreIsCut) {
+  MethodId M = B.addMethod(Cls, "set", 1, false);
+  B.addStore(M, B.thisVar(M), F, B.formal(M, 0));
+  const CutShortcutPlan::MethodPlan &MP = plan(M);
+  ASSERT_EQ(MP.StoreCuts.size(), 1u);
+  EXPECT_EQ(MP.StoreCuts[0].StoreIdx, 0u);
+  EXPECT_EQ(MP.StoreCuts[0].FormalIdx, 0u);
+  EXPECT_EQ(MP.StoreCuts[0].Fld, F);
+  EXPECT_TRUE(Plan.isStoreCut(M, 0));
+  EXPECT_FALSE(MP.RetCut); // No return variable.
+  EXPECT_EQ(Plan.numStoreCuts(), 1u);
+}
+
+TEST_F(CutPlanFixture, DirtyFormalOrForeignBaseVetoesStoreCut) {
+  MethodId M = B.addMethod(Cls, "set", 1, false);
+  // p0 is redefined inside the body: the call edge's actual no longer
+  // covers what the store writes.
+  B.addAlloc(M, B.formal(M, 0), Cls);
+  B.addStore(M, B.thisVar(M), F, B.formal(M, 0));
+  // Stores through a non-this base are never cut.
+  VarId L = B.addLocal(M, "l");
+  B.addAlloc(M, L, Cls);
+  B.addStore(M, L, G, B.formal(M, 0));
+  EXPECT_TRUE(plan(M).StoreCuts.empty());
+}
+
+TEST_F(CutPlanFixture, ReturnedFormalIsCutAsRetArg) {
+  MethodId M = B.addMethod(Cls, "id", 1, false);
+  B.setReturn(M, B.formal(M, 0));
+  const CutShortcutPlan::MethodPlan &MP = plan(M);
+  EXPECT_TRUE(MP.RetCut);
+  EXPECT_EQ(MP.RetArgs, std::vector<uint32_t>{0u});
+  EXPECT_TRUE(MP.RetAllocs.empty());
+  EXPECT_TRUE(MP.RetLoads.empty());
+}
+
+TEST_F(CutPlanFixture, ReturnedAllocMoveAndThisLoadAreAllCovered) {
+  MethodId M = B.addMethod(Cls, "mk", 2, false);
+  VarId R = B.addLocal(M, "r");
+  HeapId H = B.addAlloc(M, R, Cls);
+  B.addMove(M, R, B.formal(M, 1));
+  B.addLoad(M, R, B.thisVar(M), F);
+  B.setReturn(M, R);
+  const CutShortcutPlan::MethodPlan &MP = plan(M);
+  ASSERT_TRUE(MP.RetCut);
+  EXPECT_EQ(MP.RetArgs, std::vector<uint32_t>{1u});
+  EXPECT_EQ(MP.RetAllocs, std::vector<HeapId>{H});
+  EXPECT_EQ(MP.RetLoads, std::vector<FieldId>{F});
+}
+
+TEST_F(CutPlanFixture, UncoverableReturnDefsVetoTheRetCut) {
+  // A cast definition is type-filtered; no per-edge shortcut covers it.
+  MethodId M1 = B.addMethod(Cls, "viaCast", 1, false);
+  VarId R1 = B.addLocal(M1, "r");
+  B.addCast(M1, R1, B.formal(M1, 0), Cls);
+  B.setReturn(M1, R1);
+  // A move from a non-formal local.
+  MethodId M2 = B.addMethod(Cls, "viaLocal", 1, false);
+  VarId L = B.addLocal(M2, "l");
+  VarId R2 = B.addLocal(M2, "r");
+  B.addAlloc(M2, L, Cls);
+  B.addMove(M2, R2, L);
+  B.setReturn(M2, R2);
+  // A call-return binding depends on downstream state.
+  MethodId M3 = B.addMethod(Cls, "viaCall", 0, false);
+  VarId R3 = B.addLocal(M3, "r");
+  B.addVCall(M3, B.thisVar(M3), B.getSig("id", 1), {B.thisVar(M3)}, R3);
+  B.setReturn(M3, R3);
+  // Returning `this` itself.
+  MethodId M4 = B.addMethod(Cls, "self", 0, false);
+  B.setReturn(M4, B.thisVar(M4));
+  // A static-field load is global state.
+  MethodId M5 = B.addMethod(Cls, "viaSLoad", 0, false);
+  VarId R5 = B.addLocal(M5, "r");
+  B.addSLoad(M5, R5, G);
+  B.setReturn(M5, R5);
+  Prog = B.build();
+  CutShortcutPlan P = computeCutShortcutPlan(*Prog, CutMode::All);
+  EXPECT_FALSE(P.method(M1).RetCut);
+  EXPECT_FALSE(P.method(M2).RetCut);
+  EXPECT_FALSE(P.method(M3).RetCut);
+  EXPECT_FALSE(P.method(M4).RetCut);
+  EXPECT_FALSE(P.method(M5).RetCut);
+  EXPECT_EQ(P.numRetCuts(), 0u);
+}
+
+TEST_F(CutPlanFixture, VirtualOnlyModeKeepsStaticReturns) {
+  // S-cs cuts only virtual boundaries; a static factory keeps its generic
+  // merged return flow while cs cuts it.
+  MethodId S = B.addMethod(Cls, "mkStatic", 0, true);
+  VarId R = B.addLocal(S, "r");
+  B.addAlloc(S, R, Cls);
+  B.setReturn(S, R);
+  Prog = B.build();
+  EXPECT_TRUE(computeCutShortcutPlan(*Prog, CutMode::All).method(S).RetCut);
+  EXPECT_FALSE(
+      computeCutShortcutPlan(*Prog, CutMode::VirtualOnly).method(S).RetCut);
 }
 
 } // namespace

@@ -54,6 +54,8 @@ const std::map<std::string, GoldenRow> &goldenLuindex() {
       {"D-2obj+H", {7646, 1199, 69, 87, 241, 913}},
       {"3obj+2H", {8922, 1201, 100, 135, 241, 1689}},
       {"2call+H", {22877, 1291, 87, 108, 241, 1336}},
+      {"cs", {11859, 1813, 139, 187, 241, 1745}},
+      {"S-cs", {12622, 2025, 157, 200, 241, 1745}},
   };
   return Rows;
 }

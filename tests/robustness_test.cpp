@@ -26,6 +26,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <map>
 #include <memory>
@@ -172,14 +173,37 @@ TEST(Ladder, DerivedLadderDescendsToInsens) {
 }
 
 TEST(Ladder, EveryPolicyLaddersToInsens) {
+  // "U-2obj+H-swapped" is the deliberate ledger gap: it has no
+  // precision-order pairs, so its derived ladder stops at itself instead
+  // of silently pretending insens is a proven fallback.
   for (const std::string &Name : allPolicyNames()) {
     std::vector<std::string> Rungs = fallbackLadder(Name);
     ASSERT_FALSE(Rungs.empty());
     EXPECT_EQ(Rungs.front(), Name);
-    EXPECT_EQ(Rungs.back(), "insens");
+    if (Name == "U-2obj+H-swapped") {
+      EXPECT_EQ(Rungs, std::vector<std::string>{Name});
+      continue;
+    }
+    EXPECT_EQ(Rungs.back(), "insens") << Name;
     std::string Error;
     EXPECT_TRUE(validateLadder(Rungs, Error)) << Name << ": " << Error;
   }
+}
+
+TEST(Ladder, CallSiteChainRoutesThroughCutShortcut) {
+  // The cut-shortcut analyses slot between the call-site family and
+  // insens: 1call ⊑ cs ⊑ S-cs ⊑ insens.
+  EXPECT_EQ(fallbackLadder("1call"),
+            (std::vector<std::string>{"1call", "cs", "S-cs", "insens"}));
+  EXPECT_TRUE(isProvablyCoarser("1call", "cs"));
+  EXPECT_TRUE(isProvablyCoarser("cs", "S-cs"));
+  EXPECT_TRUE(isProvablyCoarser("S-cs", "insens"));
+  // Object/type-sensitive analyses are incomparable with cs (an identity
+  // method splits under 1obj but not under cs, and vice versa for
+  // cut-covered stores), so their chains must not route through it.
+  EXPECT_FALSE(isProvablyCoarser("1obj", "cs"));
+  EXPECT_FALSE(isProvablyCoarser("2type+H", "cs"));
+  EXPECT_FALSE(isProvablyCoarser("cs", "1obj"));
 }
 
 TEST(Ladder, ValidationRejectsBadLadders) {
@@ -190,8 +214,30 @@ TEST(Ladder, ValidationRejectsBadLadders) {
   EXPECT_FALSE(Error.empty());
   // Incomparable neighbours (2type+H is not provably coarser than 1obj).
   EXPECT_FALSE(validateLadder({"1obj", "2type+H"}, Error));
-  // Unknown policy.
+  // Unknown policy: the diagnostic names the offender.
   EXPECT_FALSE(validateLadder({"2obj+H", "frobnicate"}, Error));
+  EXPECT_NE(Error.find("frobnicate"), std::string::npos) << Error;
+  // A policy with no ledger pairs at all gets the sharper diagnostic —
+  // naming the policy and the missing-pairs cause — instead of a generic
+  // not-coarser message.
+  EXPECT_FALSE(validateLadder({"U-2obj+H-swapped", "insens"}, Error));
+  EXPECT_NE(Error.find("U-2obj+H-swapped"), std::string::npos) << Error;
+  EXPECT_NE(Error.find("no precision-order pairs"), std::string::npos)
+      << Error;
+}
+
+TEST(Ladder, PairlessPolicyFailsFastInsteadOfSilentInsens) {
+  // Regression: fallbackLadder used to jump straight to insens for a
+  // policy with no proven coarser neighbour, so --ladder silently ran an
+  // unvalidated descent.  Now the derived ladder stops at the policy and
+  // solveWithLadder refuses up front, naming it.
+  LadderResult LR = solveWithLadder(luindex(), "U-2obj+H-swapped", {});
+  EXPECT_FALSE(LR.Result.has_value());
+  ASSERT_FALSE(LR.Error.empty());
+  EXPECT_NE(LR.Error.find("U-2obj+H-swapped"), std::string::npos)
+      << LR.Error;
+  EXPECT_NE(LR.Error.find("no precision-order pairs"), std::string::npos)
+      << LR.Error;
 }
 
 TEST(Ladder, PrecisionPairsAreProvable) {
@@ -226,7 +272,13 @@ TEST(AbortSoundness, PartialFactsContainedForEveryFaultAndRung) {
       {"fact-budget", FaultPlan(), 1000, AbortReason::FactBudget, false},
   };
 
-  for (const std::string &Rung : fallbackLadder("2obj+H")) {
+  // Every rung of the default 2obj+H ladder, plus the 1call ladder so the
+  // cut-shortcut rungs (cs, S-cs) get the same every-fault treatment.
+  std::vector<std::string> Rungs = fallbackLadder("2obj+H");
+  for (const std::string &R : fallbackLadder("1call"))
+    if (std::find(Rungs.begin(), Rungs.end(), R) == Rungs.end())
+      Rungs.push_back(R);
+  for (const std::string &Rung : Rungs) {
     const NativeRun &Converged = nativeRun(Rung);
     for (const Fault &F : Faults) {
       SolverOptions Opts;
@@ -315,16 +367,23 @@ uint64_t calibratedBudget(const std::vector<std::string> &Rungs) {
 }
 
 TEST(Ladder, LandsOnInsensAndMatchesNativeBitForBit) {
-  std::vector<std::string> Rungs = fallbackLadder("2call+H");
-  ASSERT_EQ(Rungs,
-            (std::vector<std::string>{"2call+H", "1call+H", "1call",
-                                      "insens"}));
+  // The derived ladder now routes the call-site family through the
+  // cut-shortcut rungs before insens.
+  ASSERT_EQ(fallbackLadder("2call+H"),
+            (std::vector<std::string>{"2call+H", "1call+H", "1call", "cs",
+                                      "S-cs", "insens"}));
+  // cs/S-cs are contextless and at least as precise as insens, so their
+  // fact totals do not carry the insens-vs-finer budget gradient this
+  // test calibrates against; pin an explicit descent that skips them.
+  // (Ladder.LandsOnCutShortcutRung covers landing on cs.)
+  std::vector<std::string> Rungs = {"2call+H", "1call+H", "1call", "insens"};
   SolverOptions Opts;
   Opts.MaxFacts = calibratedBudget(Rungs);
 
   for (bool WarmStart : {false, true}) {
     LadderOptions LOpts;
     LOpts.WarmStart = WarmStart;
+    LOpts.Rungs = {"1call+H", "1call", "insens"};
     LadderResult LR = solveWithLadder(luindex(), "2call+H", Opts, LOpts);
     ASSERT_TRUE(LR.Error.empty()) << LR.Error;
     ASSERT_TRUE(LR.Result.has_value());
@@ -363,6 +422,39 @@ TEST(Ladder, LandsOnInsensAndMatchesNativeBitForBit) {
     EXPECT_EQ(Landed.ThrowFacts, Ref.ThrowFacts);
     EXPECT_EQ(Landed.NumContexts, Ref.NumContexts);
   }
+}
+
+TEST(Ladder, LandsOnCutShortcutRung) {
+  // A budget between the cs total and the cheapest call-site rung makes
+  // the derived 1call ladder abort 1call and converge on cs — the new
+  // rung is a genuine landing spot, not just a pass-through.
+  size_t CsTotal = totalFacts(nativeRun("cs").Result);
+  size_t FinerTotal = totalFacts(nativeRun("1call").Result);
+  ASSERT_LT(CsTotal + 2, FinerTotal)
+      << "workload no longer separates cs from 1call";
+  SolverOptions Opts;
+  Opts.MaxFacts = CsTotal + (FinerTotal - CsTotal) / 2;
+
+  LadderResult LR = solveWithLadder(luindex(), "1call", Opts);
+  ASSERT_TRUE(LR.Error.empty()) << LR.Error;
+  ASSERT_TRUE(LR.Result.has_value());
+  EXPECT_TRUE(LR.degraded());
+  EXPECT_FALSE(LR.Exhausted);
+  EXPECT_EQ(LR.LandedPolicy, "cs");
+  EXPECT_FALSE(LR.Result->Aborted);
+  ASSERT_EQ(LR.Trail.size(), 2u);
+  EXPECT_EQ(LR.Trail[0].Policy, "1call");
+  EXPECT_EQ(LR.Trail[0].Reason, AbortReason::FactBudget);
+  EXPECT_EQ(LR.Trail[1].Policy, "cs");
+  EXPECT_EQ(LR.Trail[1].Reason, AbortReason::None);
+  // The landed result is bit-identical to a cold native cs run.
+  const AnalysisResult &Native = nativeRun("cs").Result;
+  EXPECT_TRUE(ciProject(*LR.Result) == ciProject(Native));
+  PrecisionMetrics Landed = computeMetrics(*LR.Result);
+  PrecisionMetrics Ref = computeMetrics(Native);
+  EXPECT_EQ(Landed.CallGraphEdges, Ref.CallGraphEdges);
+  EXPECT_EQ(Landed.MayFailCasts, Ref.MayFailCasts);
+  EXPECT_EQ(Landed.CsVarPointsTo, Ref.CsVarPointsTo);
 }
 
 TEST(Ladder, CancellationStopsTheLadder) {
@@ -504,13 +596,17 @@ TEST(VariantRunner, InjectedFaultsDoNotShortCircuitRepetitions) {
 TEST(VariantRunner, LadderMatrixHasNoDashCells) {
   std::vector<std::string> Policies = {"2call+H", "1call+H", "insens"};
   MatrixOptions M;
-  M.Solver.MaxFacts = calibratedBudget(fallbackLadder("2call+H"));
+  // Calibrate over the call-site rungs only: the derived ladder's cs/S-cs
+  // rungs are contextless and as cheap as insens, so they sit below any
+  // budget that lets insens converge — the descent lands on cs.
+  M.Solver.MaxFacts =
+      calibratedBudget({"2call+H", "1call+H", "1call", "insens"});
   M.UseLadder = true;
   std::vector<PrecisionMetrics> Cells =
       runVariantMatrix(luindex(), Policies, M);
   ASSERT_EQ(Cells.size(), Policies.size());
 
-  const AnalysisResult &Native = nativeRun("insens").Result;
+  const AnalysisResult &Native = nativeRun("cs").Result;
   PrecisionMetrics Ref = computeMetrics(Native);
   for (size_t I = 0; I < Cells.size(); ++I) {
     const PrecisionMetrics &Cell = Cells[I];
@@ -520,9 +616,10 @@ TEST(VariantRunner, LadderMatrixHasNoDashCells) {
       EXPECT_TRUE(Cell.FallbackFrom.empty());
       continue;
     }
-    // Finer cells degraded to insens and carry its exact metrics.
+    // Finer cells degraded to the first converging rung — cs — and carry
+    // its exact metrics.
     EXPECT_EQ(Cell.FallbackFrom, Policies[I]);
-    EXPECT_EQ(Cell.LandedPolicy, "insens");
+    EXPECT_EQ(Cell.LandedPolicy, "cs");
     ASSERT_GE(Cell.LadderTrail.size(), 2u) << Policies[I];
     EXPECT_EQ(Cell.CallGraphEdges, Ref.CallGraphEdges) << Policies[I];
     EXPECT_EQ(Cell.PolyVCalls, Ref.PolyVCalls) << Policies[I];
@@ -537,18 +634,20 @@ TEST(VariantRunner, LadderMatrixHasNoDashCells) {
 TEST(Ladder, DescentEmitsLadderTraceRecords) {
   trace::TraceRecorder Rec;
   SolverOptions Opts;
-  Opts.MaxFacts = calibratedBudget(fallbackLadder("2call+H"));
+  Opts.MaxFacts = calibratedBudget({"2call+H", "1call+H", "1call", "insens"});
   Opts.Trace = &Rec;
   Opts.TraceLabel = "lt/2call+H";
   LadderResult LR = solveWithLadder(luindex(), "2call+H", Opts);
   ASSERT_TRUE(LR.Result.has_value());
-  EXPECT_EQ(LR.LandedPolicy, "insens");
+  // The derived descent lands on cs, the first rung cheap enough for the
+  // budget (cs is contextless, so its fact total sits at or below insens).
+  EXPECT_EQ(LR.LandedPolicy, "cs");
   // Each fallback rung ran under a "~rung" sub-label so its heartbeat
   // series stays monotone per label; the landed rung's final heartbeat is
   // queryable under that sub-label.
   trace::Heartbeat HB;
   EXPECT_TRUE(Rec.lastHeartbeat("lt/2call+H", HB));
-  EXPECT_TRUE(Rec.lastHeartbeat("lt/2call+H~insens", HB));
+  EXPECT_TRUE(Rec.lastHeartbeat("lt/2call+H~cs", HB));
   EXPECT_TRUE(HB.Final);
   EXPECT_TRUE(HB.Abort.empty());
 }

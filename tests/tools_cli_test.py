@@ -85,6 +85,30 @@ def test_trace_summary_truncated_and_malformed_records():
         os.unlink(path)
 
 
+def test_trace_summary_zero_span_scc_prints_na():
+    # An SCC sweep whose span durations are all zero or malformed has no
+    # derivable work/span figure: the summary must say "n/a", not divide
+    # by zero or print a fabricated "1.00".
+    lines = [
+        json.dumps({"type": "meta", "version": 1, "telemetry": True}),
+        json.dumps({"type": "span", "name": "scc:0", "cat": "scc",
+                    "dur_ms": 0.0,
+                    "args": {"scc": 0, "depth": 0, "methods": 3}}),
+        json.dumps({"type": "span", "name": "scc:1", "cat": "scc",
+                    "dur_ms": "NaNish",
+                    "args": {"scc": 1, "depth": 1, "methods": 1}}),
+    ]
+    path = write_tmp("\n".join(lines) + "\n", ".jsonl")
+    try:
+        proc = run(TRACE_SUMMARY, path)
+        assert_no_traceback(proc, "zero-span scc trace")
+        assert proc.returncode == 0, proc.stderr
+        assert "summary-mode SCC sweep" in proc.stdout
+        assert "parallelism <= n/a" in proc.stdout, proc.stdout
+    finally:
+        os.unlink(path)
+
+
 def test_trace_summary_happy_path_still_works():
     lines = [
         json.dumps({"type": "meta", "version": 1, "telemetry": False}),
@@ -185,7 +209,91 @@ def test_bench_check_detects_a_real_regression():
         os.unlink(cand)
 
 
+def test_bench_check_new_policy_column_collapses_to_one_warning():
+    # A policy absent from the baseline entirely (a newly registered
+    # analysis, e.g. the cs columns) must produce ONE "new column" warning
+    # — not a per-benchmark message storm, not a KeyError, and never a
+    # mis-match through the fallback_from aliasing.
+    base = write_tmp(bench_doc([GOOD_CELL]), ".json")
+    cand = write_tmp(bench_doc([
+        GOOD_CELL,
+        {"benchmark": "b", "policy": "cs", "time_ms": 10.0,
+         "aborted": False},
+        {"benchmark": "b2", "policy": "cs", "time_ms": 11.0,
+         "aborted": False},
+        # An existing policy on a new benchmark keeps the per-cell message.
+        {"benchmark": "b3", "policy": "p", "time_ms": 12.0,
+         "aborted": False},
+    ]), ".json")
+    try:
+        proc = run(BENCH_CHECK, base, cand)
+        assert_no_traceback(proc, "new policy column")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "new column 'cs' (2 cell(s), no baseline)" in proc.stdout, \
+            proc.stdout
+        assert "('b', 'cs')" not in proc.stdout  # no per-cell storm
+        assert "('b2', 'cs')" not in proc.stdout
+        assert "cell ('b3', 'p') new in candidate" in proc.stdout
+    finally:
+        os.unlink(base)
+        os.unlink(cand)
+
+
+# --- hybridpt-lint --compare exit codes ---
+#
+# Needs the built binary; ctest passes it via --lint (see
+# tests/CMakeLists.txt).  Standalone runs without it skip these checks.
+
+LINT_BIN = os.environ.get("HYBRIDPT_LINT_BIN", "")
+EXAMPLE_PTIR = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                            os.pardir, "examples", "programs",
+                            "dispatch.ptir")
+
+
+def _lint():
+    return LINT_BIN if LINT_BIN and os.path.exists(LINT_BIN) else None
+
+
+def run_bin(binary, *args):
+    return subprocess.run([binary] + list(args),
+                          capture_output=True, text=True, timeout=120)
+
+
+def test_lint_compare_unknown_policy_has_distinct_exit_code():
+    # Regression: --compare used to conflate "unknown policy name" with
+    # every other failure under exit 1.  Unknown names now exit 3 with a
+    # message naming the policy, so CI can tell a typo from a genuine
+    # monotonicity violation (exit 2).
+    lint = _lint()
+    if not lint:
+        print("skip: hybridpt-lint binary not provided (--lint)")
+        return
+    proc = run_bin(lint, "--compare", "frobnicate,insens", EXAMPLE_PTIR)
+    assert_no_traceback(proc, "unknown compare policy")
+    assert proc.returncode == 3, (proc.returncode, proc.stderr)
+    assert "unknown policy 'frobnicate'" in proc.stderr, proc.stderr
+
+
+def test_lint_compare_known_pair_is_not_conflated():
+    # A real BASE,REFINED pair (the cut-shortcut gate pair: cs refines
+    # S-cs) must never hit the unknown-name path; the gate passes with
+    # exit 0 on the examples corpus.
+    lint = _lint()
+    if not lint:
+        print("skip: hybridpt-lint binary not provided (--lint)")
+        return
+    proc = run_bin(lint, "--compare", "S-cs,cs", EXAMPLE_PTIR)
+    assert_no_traceback(proc, "known compare pair")
+    assert "unknown policy" not in proc.stderr, proc.stderr
+    assert proc.returncode == 0, (proc.returncode,
+                                  proc.stdout + proc.stderr)
+
+
 def main():
+    global LINT_BIN
+    argv = sys.argv[1:]
+    if "--lint" in argv:
+        LINT_BIN = argv[argv.index("--lint") + 1]
     tests = [(name, fn) for name, fn in sorted(globals().items())
              if name.startswith("test_") and callable(fn)]
     failed = 0

@@ -28,7 +28,9 @@ new baseline.
 Schema drift across PRs is tolerated: cells present in only one file and
 fields present in only one cell (e.g. the telemetry "counters" object or
 peak_bytes, which older baselines lack) are reported as warnings, never
-as errors.  Counter values themselves are diffed warn-only too — they are
+as errors.  A policy column absent from the baseline entirely (a newly
+registered analysis) is collapsed into one "new column" warning instead
+of a per-benchmark message storm.  Counter values themselves are diffed warn-only too — they are
 deterministic, so unexplained drift deserves a look, but they measure
 solver-internal work, not user-visible results.
 
@@ -142,9 +144,23 @@ def main():
     compared = 0
     base_total = cand_total = 0.0
 
+    # A policy column absent from the baseline entirely (a newly added
+    # analysis, e.g. a policy registered since the baseline was captured)
+    # is expected schema growth: report it once per column, not as one
+    # confusing per-cell message per benchmark, and never try to match it
+    # against a fallback_from alias it cannot have.
+    base_policies = {policy for _, policy in base}
+    new_columns = {}
     for key in sorted(cand):
         if key not in base:
-            warnings.append(f"cell {key} new in candidate (no baseline)")
+            bench, policy = key
+            if policy not in base_policies:
+                new_columns[policy] = new_columns.get(policy, 0) + 1
+            else:
+                warnings.append(f"cell {key} new in candidate (no baseline)")
+    for policy in sorted(new_columns):
+        warnings.append(f"new column '{policy}' ({new_columns[policy]} "
+                        f"cell(s), no baseline)")
 
     for key in sorted(base):
         if key not in cand:

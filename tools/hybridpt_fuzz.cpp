@@ -22,7 +22,7 @@
 ///                        delta-debug failing programs (default on)
 ///   --regress-dir DIR    write minimized reproducers to DIR as .ptir
 ///   --policy NAME        check only NAME (repeatable; default: the
-///                        thirteen paper analyses)
+///                        fifteen standard analyses)
 ///   --full-diff-every N  exact reference differential every Nth program
 ///                        (default 25; 0 = never)
 ///   --max-failures N     stop after N failing programs (default 5)

@@ -34,7 +34,9 @@
 /// computed from an under-approximate fixpoint (second ^C kills).
 ///
 /// Exit codes: 0 success, 1 usage/input/analysis error, 2 monotonicity
-/// violation in --compare mode.  Diagnostics alone never fail the run;
+/// violation in --compare mode, 3 unknown policy name in --compare (a
+/// typo'd gate invocation must not read as a precision bug, and CI greps
+/// tell the two apart by code).  Diagnostics alone never fail the run;
 /// baseline-diffing is the CI gate (see .github/workflows/ci.yml).
 ///
 //===----------------------------------------------------------------------===//
@@ -250,6 +252,16 @@ int main(int argc, char **argv) {
     if (Pair.size() != 2) {
       std::cerr << "--compare wants BASE,REFINED\n";
       return 1;
+    }
+    // Reject unknown policy names up front with a distinct exit code:
+    // burying the name error inside the comparison made a typo'd gate
+    // invocation indistinguishable from an analysis failure.
+    for (const std::string &Name : Pair) {
+      if (!createPolicy(Name, *P)) {
+        std::cerr << "error: --compare: unknown policy '" << Name
+                  << "' (not a registered analysis; see docs/ANALYSES.md)\n";
+        return 3;
+      }
     }
     checks::CompareResult CR =
         checks::comparePolicies(*P, Pair[0], Pair[1], LOpts);

@@ -305,9 +305,14 @@ def summarize_sccs(records, top):
     print()
     print(f"summary-mode SCC sweep: {len(spans)} activation(s) over "
           f"{len(busy_per_scc)} SCC(s), DAG height {max_depth}")
+    # A zero critical path means every span duration was zero or malformed
+    # (e.g. a truncated trace whose dur_ms fields failed to parse): no
+    # parallelism figure is derivable, so say so instead of printing a
+    # made-up "1.00".
+    parallelism = (f"{total_busy / critical_path:.2f}"
+                   if critical_path > 0 else "n/a")
     print(f"  total busy {fmt_ms(total_busy)}, critical path >= "
-          f"{fmt_ms(critical_path)}, parallelism <= "
-          f"{total_busy / critical_path if critical_path > 0 else 1.0:.2f}")
+          f"{fmt_ms(critical_path)}, parallelism <= {parallelism}")
     ranked = sorted(busy_per_scc.items(), key=lambda kv: -kv[1][0])[:top]
     print(f"  busiest {len(ranked)} SCC(s):")
     for scc, (busy, acts, depth, methods) in ranked:
