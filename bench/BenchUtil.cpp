@@ -79,6 +79,7 @@ BenchRecord pt::makeBenchRecord(const std::string &Benchmark,
   R.CallGraphEdges = M.CallGraphEdges;
   R.PeakBytes = M.PeakBytes;
   R.ReachableMethods = M.ReachableMethods;
+  R.TaintedSinks = M.TaintedSinks;
   R.Aborted = M.Aborted;
   if (M.Aborted)
     R.AbortReasonName = abortReasonName(M.Reason);
@@ -111,8 +112,10 @@ bool pt::writeBenchJson(const std::string &Path, const std::string &Harness,
      << "  \"threads\": " << Opts.Threads << ",\n"
      << "  \"solver\": \"" << solverEngineName(Opts.Engine) << "\",\n"
      << "  \"solver_threads\": " << Opts.SolverThreads << ",\n"
-     << "  \"ladder\": " << (Opts.UseLadder ? "true" : "false") << ",\n"
-     << "  \"cells\": [\n";
+     << "  \"ladder\": " << (Opts.UseLadder ? "true" : "false") << ",\n";
+  if (!Opts.TaintSpec.empty())
+    OS << "  \"taint_spec\": \"" << Opts.TaintSpec << "\",\n";
+  OS << "  \"cells\": [\n";
   for (size_t I = 0; I < Records.size(); ++I) {
     const BenchRecord &R = Records[I];
     OS << "    {\"benchmark\": \"" << R.Benchmark << "\", \"policy\": \""
@@ -121,6 +124,7 @@ bool pt::writeBenchJson(const std::string &Path, const std::string &Harness,
        << ", \"cg_edges\": " << R.CallGraphEdges
        << ", \"peak_bytes\": " << R.PeakBytes
        << ", \"reachable_methods\": " << R.ReachableMethods
+       << ", \"tainted_sinks\": " << R.TaintedSinks
        << ", \"aborted\": " << (R.Aborted ? "true" : "false");
     if (!R.AbortReasonName.empty())
       OS << ", \"abort_reason\": \"" << R.AbortReasonName << "\"";

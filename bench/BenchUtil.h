@@ -65,6 +65,10 @@ struct CellOptions {
   /// Wired from --profile-out; also HYBRIDPT_PROFILE=1.
   bool Profile = false;
   size_t ProfileTopK = 10;
+  /// Taint-spec path the harness instrumented its programs with ("" =
+  /// uninstrumented); stamped into the BENCH json so regression diffs can
+  /// refuse to compare tainted against untainted runs.
+  std::string TaintSpec;
 
   /// Reads the environment overrides.
   static CellOptions fromEnv();
@@ -92,6 +96,9 @@ struct BenchRecord {
   /// Real container-byte accounting (replaces the old peak_nodes proxy).
   size_t PeakBytes = 0;
   size_t ReachableMethods = 0;
+  /// Tainted-sink triples found by the tainted-sink client; 0 unless the
+  /// harness instrumented the benchmark with --taint-spec.
+  size_t TaintedSinks = 0;
   bool Aborted = false;
   /// Why the landed run stopped short ("" when it converged); one of the
   /// \c pt::abortReasonName strings.

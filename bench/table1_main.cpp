@@ -20,7 +20,9 @@
 /// benchmark out over N workers (0 = hardware concurrency).  Every run
 /// also records its cells to BENCH_table1.json (override with --json
 /// PATH) so tools/check_bench_regression.py can track the perf
-/// trajectory across commits.
+/// trajectory across commits.  With --taint-spec FILE every benchmark is
+/// taint-instrumented first (docs/CHECKS.md "Taint analysis"): the table
+/// gains a "tainted sinks" row and every JSON cell a tainted_sinks count.
 ///
 /// With --ladder (or HYBRIDPT_LADDER=1), budget-expired cells degrade
 /// down the policy fallback ladder (docs/ROBUSTNESS.md) instead of
@@ -37,6 +39,8 @@
 #include "pta/Trace.h"
 #include "support/TableWriter.h"
 #include "support/ThreadPool.h"
+#include "taint/Taint.h"
+#include "taint/TaintSpec.h"
 #include "workloads/Profiles.h"
 
 #include <cstring>
@@ -78,6 +82,8 @@ int main(int argc, char **argv) {
     } else if (std::strcmp(argv[I], "--solver-threads") == 0 && I + 1 < argc) {
       Opts.SolverThreads =
           static_cast<unsigned>(std::strtoul(argv[++I], nullptr, 10));
+    } else if (std::strcmp(argv[I], "--taint-spec") == 0 && I + 1 < argc) {
+      Opts.TaintSpec = argv[++I];
     } else if (std::strcmp(argv[I], "--json") == 0 && I + 1 < argc) {
       JsonPath = argv[++I];
     } else if (std::strcmp(argv[I], "--profile-out") == 0 && I + 1 < argc) {
@@ -95,13 +101,27 @@ int main(int argc, char **argv) {
         std::cerr << ' ' << N;
       std::cerr << "\n(options: --csv, --ladder, --threads N, "
                    "--solver worklist|summary, --solver-threads N, "
-                   "--json PATH, --profile-out PATH, --trace-out FILE, "
-                   "--chrome-trace FILE, --progress)\n";
+                   "--taint-spec FILE, --json PATH, --profile-out PATH, "
+                   "--trace-out FILE, --chrome-trace FILE, --progress)\n";
       return 1;
     }
   }
   if (Selected.empty())
     Selected = benchmarkNames();
+
+  // --taint-spec: every benchmark runs taint-instrumented, and the JSON
+  // grows a tainted_sinks column (stamped with the spec path so
+  // check_bench_regression.py never diffs tainted against untainted).
+  taint::TaintSpec TaintSpec;
+  if (!Opts.TaintSpec.empty()) {
+    taint::SpecParseResult Parsed = taint::parseSpecFile(Opts.TaintSpec);
+    if (!Parsed.ok()) {
+      for (const std::string &E : Parsed.Errors)
+        std::cerr << "taint spec error: " << E << "\n";
+      return 1;
+    }
+    TaintSpec = Parsed.Spec;
+  }
 
   // Observability: one recorder across all benchmarks, so the matrix
   // renders as a single flame view of cells over worker threads.
@@ -131,7 +151,7 @@ int main(int argc, char **argv) {
   CsvOut.setHeader({"benchmark", "analysis", "avg_objs_per_var",
                     "cg_edges", "poly_vcalls", "reachable_vcalls",
                     "may_fail_casts", "reachable_casts", "time_s",
-                    "cs_vpt_facts", "reachable_methods"});
+                    "cs_vpt_facts", "reachable_methods", "tainted_sinks"});
 
   std::vector<BenchRecord> Records;
   for (const std::string &Name : Selected) {
@@ -140,6 +160,10 @@ int main(int argc, char **argv) {
       FactGenSpan = std::make_unique<trace::TraceRecorder::Span>(
           Rec.get(), Name + "/fact-gen", "phase");
     Benchmark Bench = buildBenchmark(Name);
+    if (!Opts.TaintSpec.empty()) {
+      taint::TaintPlan Plan = taint::resolve(TaintSpec, *Bench.Prog);
+      Bench.Prog = taint::instrument(*Bench.Prog, Plan);
+    }
     FactGenSpan.reset();
 
     // All cells of one benchmark are independent solver runs; fan them
@@ -159,7 +183,8 @@ int main(int argc, char **argv) {
            std::to_string(M.ReachableCasts),
            M.Aborted ? "-" : formatSeconds(M.SolveMs),
            M.Aborted ? "-" : std::to_string(M.CsVarPointsTo),
-           M.Aborted ? "-" : std::to_string(M.ReachableMethods)});
+           M.Aborted ? "-" : std::to_string(M.ReachableMethods),
+           M.Aborted ? "-" : std::to_string(M.TaintedSinks)});
     }
     if (Csv)
       continue;
@@ -204,6 +229,10 @@ int main(int argc, char **argv) {
         [](const PrecisionMetrics &M) { return double(M.PolyVCalls); }, 0);
     Row("may-fail casts",
         [](const PrecisionMetrics &M) { return double(M.MayFailCasts); }, 0);
+    if (!Opts.TaintSpec.empty())
+      Row("tainted sinks",
+          [](const PrecisionMetrics &M) { return double(M.TaintedSinks); },
+          0);
 
     std::vector<std::string> TimeRow = {"elapsed time (s)"};
     std::vector<std::string> FactRow = {"sensitive var-points-to"};

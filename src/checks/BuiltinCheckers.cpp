@@ -4,10 +4,11 @@
 //
 //===----------------------------------------------------------------------===//
 //
-// The six builtin checkers.  may-fail-cast and dead/poly-vcall are the
+// The seven builtin checkers.  may-fail-cast and dead/poly-vcall are the
 // paper's two precision clients (Clients.h) re-homed into the checker
 // framework; uninit-deref, unreachable-method, and method-escape are new
-// consumers of the same analysis results.
+// consumers of the same analysis results; tainted-sink is the taint
+// engine's client (docs/CHECKS.md "Taint analysis").
 //
 //===----------------------------------------------------------------------===//
 
@@ -17,6 +18,7 @@
 #include "ir/Program.h"
 #include "pta/AnalysisResult.h"
 #include "pta/Clients.h"
+#include "taint/Taint.h"
 
 #include <string>
 
@@ -302,6 +304,45 @@ public:
   }
 };
 
+//===----------------------------------------------------------------------===//
+// HPT007 tainted-sink: spec-declared sink may receive tainted data.
+//===----------------------------------------------------------------------===//
+
+class TaintedSinkChecker : public BuiltinChecker {
+public:
+  TaintedSinkChecker()
+      : BuiltinChecker({"tainted-sink", "HPT007", "TaintedSink",
+                        "An argument of a taint-spec sink call may receive "
+                        "data born at a taint source without passing a "
+                        "sanitizer",
+                        Severity::Warning, Direction::May}) {}
+
+  void run(const AnalysisResult &R, std::vector<Diagnostic> &Out) const override {
+    // Reports nothing on ordinary programs: only taint::instrument()
+    // attaches sink metadata, so every non-taint pipeline is unaffected.
+    const Program &P = R.program();
+    for (const taint::TaintedSink &S : taint::findTaintedSinks(R)) {
+      const InvokeInfo &Inv = P.invoke(S.Site);
+      Diagnostic D = blank();
+      D.SiteKey = "sink:" + std::to_string(S.Site.index()) + ":" +
+                  std::to_string(S.ArgIdx) + ":" + std::to_string(S.TagIdx);
+      D.Message = "argument " + std::to_string(S.ArgIdx) + " of sink call `" +
+                  P.text(Inv.Name) + "` may receive `" +
+                  P.taintTags()[S.TagIdx] + "`-tainted data in " +
+                  P.qualifiedName(Inv.InMethod);
+      D.Method = Inv.InMethod;
+      D.Line = Inv.Line;
+      // Why is the sink tainted?  Because the actual may hold the witness
+      // taint object — its derivation is the source-to-sink flow.
+      D.WhyVar = S.Actual;
+      D.WhyHeap = S.Witness;
+      D.Evidence.push_back("may hold " + heapDesc(P, S.Witness) +
+                           " tagged `" + P.taintTags()[S.TagIdx] + "`");
+      Out.push_back(std::move(D));
+    }
+  }
+};
+
 } // namespace
 
 namespace pt {
@@ -320,6 +361,8 @@ void registerBuiltinCheckers(CheckerRegistry &R) {
         [] { return std::make_unique<PolyVCallChecker>(); });
   R.add(MethodEscapeChecker().info(),
         [] { return std::make_unique<MethodEscapeChecker>(); });
+  R.add(TaintedSinkChecker().info(),
+        [] { return std::make_unique<TaintedSinkChecker>(); });
 }
 
 } // namespace checks

@@ -96,6 +96,7 @@ DriverResult pt::fuzz::runFuzz(const DriverOptions &Opts) {
         Opts.FullDiffEvery != 0 && Index % Opts.FullDiffEvery == 0;
     OOpts.CheckSummary = Opts.CompareSummary;
     OOpts.CheckProvenance = Opts.CheckProvenance;
+    OOpts.CheckTaint = Opts.CheckTaint;
 
     OracleReport Report = checkProgram(*Prog, OOpts);
     ++Result.ProgramsRun;

@@ -57,6 +57,11 @@ struct DriverOptions {
   /// provenance and replay sampled steps through the rule-checking
   /// validator (--check-provenance).
   bool CheckProvenance = false;
+  /// Sixth axis (OracleOptions::CheckTaint): synthetic-spec taint
+  /// instrumentation plus the dynamic taint oracle — every dynamically
+  /// tainted sink must be statically reported, and HPT007 must be
+  /// monotone across refining pairs (--check-taint).
+  bool CheckTaint = false;
   /// Progress/diagnostics stream (nullptr = silent).
   std::ostream *Log = nullptr;
   /// Cooperative cancellation (^C / deadline); nullptr = none.  A

@@ -14,6 +14,7 @@
 #include "pta/Solver.h"
 #include "pta/provenance/Provenance.h"
 #include "ptaref/ReferenceAnalysis.h"
+#include "taint/Taint.h"
 
 #include <algorithm>
 #include <map>
@@ -133,6 +134,122 @@ std::set<std::string> mayCheckerKeys(const AnalysisResult &R,
   for (const checks::Diagnostic &D : Run.Diags)
     Out.insert(D.key());
   return Out;
+}
+
+/// A tainted-sink report key: (invocation site, argument, tag index).
+using SinkKey = std::tuple<uint32_t, uint32_t, uint32_t>;
+
+std::set<SinkKey> taintedSinkKeys(const AnalysisResult &R) {
+  std::set<SinkKey> Out;
+  for (const taint::TaintedSink &T : taint::findTaintedSinks(R))
+    Out.emplace(T.Site.index(), T.ArgIdx, T.TagIdx);
+  return Out;
+}
+
+std::string renderSinkKeys(const std::vector<SinkKey> &Keys, size_t Max) {
+  std::ostringstream OS;
+  for (size_t I = 0; I < Keys.size() && I < Max; ++I)
+    OS << " (site " << std::get<0>(Keys[I]) << " arg " << std::get<1>(Keys[I])
+       << " tag " << std::get<2>(Keys[I]) << ")";
+  return OS.str();
+}
+
+/// The sixth oracle axis (OracleOptions::CheckTaint): dynamic taint must
+/// be contained in the static tainted-sink report under every policy, and
+/// the report must shrink monotonically with precision.
+void checkTaintOracle(const Program &Prog, const OracleOptions &Opts,
+                      const std::vector<std::string> &Policies,
+                      OracleReport &Report, std::set<std::string> &Involved) {
+  taint::TaintSpec Spec = taint::syntheticSpec(Prog, Opts.InterpSeed);
+  taint::TaintPlan Plan = taint::resolve(Spec, Prog);
+  if (Plan.Sources.empty() || Plan.Sinks.empty())
+    return; // No source-to-sink flow is expressible; nothing to check.
+
+  // Dynamic leg: shadow taint tags on the ORIGINAL program, driven by the
+  // same resolved plan the static instrumentation uses.
+  InterpTaintMap Map;
+  for (auto [Site, Tag] : Plan.Sources)
+    Map.SourceTags[Site.index()] |= 1ULL << Tag;
+  for (InvokeId S : Plan.Sanitizers)
+    Map.SanitizerSites.insert(S.index());
+  for (auto [Site, Arg] : Plan.Sinks)
+    Map.SinkArgs.insert({Site.index(), Arg});
+  std::set<SinkKey> Dynamic;
+  for (uint32_t Run = 0; Run < Opts.InterpRuns; ++Run) {
+    InterpOptions IOpts;
+    IOpts.Seed = Opts.InterpSeed + Run;
+    IOpts.Taint = &Map;
+    ConcreteObservations Obs = interpret(Prog, IOpts);
+    Dynamic.insert(Obs.TaintedSinkHits.begin(), Obs.TaintedSinkHits.end());
+  }
+
+  // Static leg: every policy over the instrumented program.
+  std::unique_ptr<Program> Inst = taint::instrument(Prog, Plan);
+  std::map<std::string, std::set<SinkKey>> StaticKeys;
+  for (const std::string &Name : Policies) {
+    auto Policy = createPolicy(Name, *Inst);
+    if (!Policy)
+      continue; // Unknown names are reported by the main policy loop.
+    SolverOptions SOpts;
+    SOpts.TimeBudgetMs = Opts.SolverTimeBudgetMs;
+    SOpts.Cancel = Opts.Cancel;
+    Solver S(*Inst, *Policy, SOpts);
+    AnalysisResult R = S.run();
+    if (R.Aborted)
+      continue; // Truncated fixpoints under-approximate; skip.
+    std::set<SinkKey> Keys = taintedSinkKeys(R);
+
+    std::vector<SinkKey> Missed;
+    std::set_difference(Dynamic.begin(), Dynamic.end(), Keys.begin(),
+                        Keys.end(), std::back_inserter(Missed));
+    if (!Missed.empty()) {
+      std::ostringstream OS;
+      OS << "policy " << Name << " misses " << Missed.size()
+         << " dynamically tainted sink(s):"
+         << renderSinkKeys(Missed, Opts.MaxViolationsPerCheck);
+      Report.Violations.push_back({"TaintSoundness", OS.str()});
+      Involved.insert(Name);
+    }
+
+    // Engine parity: the summary engine must report the same sinks.
+    if (Opts.CheckSummary) {
+      auto SumPolicy = createPolicy(Name, *Inst);
+      SolverOptions SumOpts = SOpts;
+      SumOpts.Engine = SolverEngine::Summary;
+      AnalysisResult SumR = solveProgram(*Inst, *SumPolicy, SumOpts);
+      if (!SumR.Aborted && taintedSinkKeys(SumR) != Keys) {
+        Report.Violations.push_back(
+            {"TaintEngineParity",
+             "worklist and summary tainted-sink reports differ under " +
+                 Name});
+        Involved.insert(Name);
+      }
+    }
+
+    StaticKeys.emplace(Name, std::move(Keys));
+  }
+
+  // HPT007 monotonicity: more context precision must never introduce a
+  // tainted-sink report.
+  for (const auto &[Fine, Coarse] : pt::precisionOrderPairs()) {
+    auto FIt = StaticKeys.find(Fine);
+    auto CIt = StaticKeys.find(Coarse);
+    if (FIt == StaticKeys.end() || CIt == StaticKeys.end())
+      continue;
+    std::vector<SinkKey> Introduced;
+    std::set_difference(FIt->second.begin(), FIt->second.end(),
+                        CIt->second.begin(), CIt->second.end(),
+                        std::back_inserter(Introduced));
+    if (Introduced.empty())
+      continue;
+    std::ostringstream OS;
+    OS << "refined policy " << Fine << " reports " << Introduced.size()
+       << " tainted sink(s) that " << Coarse << " proves safe:"
+       << renderSinkKeys(Introduced, Opts.MaxViolationsPerCheck);
+    Report.Violations.push_back({"TaintMonotonicity", OS.str()});
+    Involved.insert(Fine);
+    Involved.insert(Coarse);
+  }
 }
 
 } // namespace
@@ -373,6 +490,10 @@ OracleReport pt::fuzz::checkProgram(const Program &Prog,
       Involved.insert(Coarse);
     }
   }
+
+  // --- Sixth axis: the dynamic taint oracle ---
+  if (Opts.CheckTaint)
+    checkTaintOracle(Prog, Opts, Policies, Report, Involved);
 
   Report.InvolvedPolicies.assign(Involved.begin(), Involved.end());
   return Report;

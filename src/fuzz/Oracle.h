@@ -92,6 +92,15 @@ struct OracleOptions {
   /// are validated too (parity: valid under either engine).  No-op when
   /// the build compiles provenance out.
   bool CheckProvenance = false;
+  /// Sixth axis — the dynamic taint oracle (docs/CORRECTNESS.md): derive
+  /// a synthetic taint spec from the program, run the interpreter on the
+  /// original program with shadow taint tags, solve the taint-instrumented
+  /// program under every policy, and require each dynamically observed
+  /// tainted sink (site, argument, tag) to be statically reported by the
+  /// tainted-sink client.  Also checks HPT007 monotonicity between
+  /// refining policy pairs, and (with \c CheckSummary) key-identical
+  /// findings from the summary engine.
+  bool CheckTaint = false;
   /// Every Nth recorded step is replayed (1 = all; default samples).
   size_t ProvenanceStride = 3;
   /// Example cap per relation per failed check.

@@ -19,6 +19,18 @@ namespace {
 /// Null reference sentinel.
 constexpr int32_t Null = -1;
 
+/// One binding: an object reference plus its shadow taint mask.  The mask
+/// co-travels with the value through every assignment — including null
+/// values, so taint introduced by a source that concretely returned null
+/// still flows (statically the per-tag root taint type models exactly
+/// this).  Duplicated rather than stored on the object because taint is a
+/// property of the *data flow*, not the identity: tagging objects would
+/// over-taint through aliases and break the dynamic-implies-static oracle.
+struct Val {
+  int32_t Obj = Null;
+  uint64_t Tag = 0;
+};
+
 class Machine {
 public:
   Machine(const Program &Prog, const InterpOptions &Opts)
@@ -26,9 +38,9 @@ public:
 
   ConcreteObservations run() {
     for (MethodId Entry : Prog.entryPoints()) {
-      std::vector<int32_t> NoArgs;
-      std::vector<int32_t> Escaping;
-      execute(Entry, Null, NoArgs, 0, Escaping);
+      std::vector<Val> NoArgs;
+      std::vector<Val> Escaping;
+      execute(Entry, Val{}, NoArgs, 0, Escaping);
     }
     Obs.Steps = Steps;
     return std::move(Obs);
@@ -37,7 +49,7 @@ public:
 private:
   struct Object {
     HeapId Site;
-    std::unordered_map<uint32_t, int32_t> Fields;
+    std::unordered_map<uint32_t, Val> Fields;
   };
 
   bool budgetLeft() { return Steps < Opts.MaxSteps; }
@@ -47,56 +59,61 @@ private:
     return static_cast<int32_t>(Objects.size() - 1);
   }
 
-  void observeVar(VarId V, int32_t Obj) {
-    if (Obj == Null)
+  void observeVar(VarId V, const Val &X) {
+    if (X.Obj == Null)
       return;
-    Obs.VarPointsTo.insert({V.index(), Objects[Obj].Site.index()});
+    Obs.VarPointsTo.insert({V.index(), Objects[X.Obj].Site.index()});
     if (Opts.OnVarBinding)
-      Opts.OnVarBinding(V.index(), Objects[Obj].Site.index());
+      Opts.OnVarBinding(V.index(), Objects[X.Obj].Site.index());
   }
 
-  void assign(std::unordered_map<uint32_t, int32_t> &Env, VarId V,
-              int32_t Obj) {
-    Env[V.index()] = Obj;
-    observeVar(V, Obj);
+  void assign(std::unordered_map<uint32_t, Val> &Env, VarId V, Val X) {
+    Env[V.index()] = X;
+    observeVar(V, X);
   }
 
-  int32_t lookupEnv(const std::unordered_map<uint32_t, int32_t> &Env,
-                    VarId V) const {
+  Val lookupEnv(const std::unordered_map<uint32_t, Val> &Env,
+                VarId V) const {
     auto It = Env.find(V.index());
-    return It == Env.end() ? Null : It->second;
+    return It == Env.end() ? Val{} : It->second;
   }
 
   /// Routes a raised object within frame (M, Env): binds every matching
   /// handler, or appends to \p Escaping.
-  void raise(MethodId M, std::unordered_map<uint32_t, int32_t> &Env,
-             int32_t Obj, std::vector<int32_t> &Escaping) {
-    if (Obj == Null)
+  void raise(MethodId M, std::unordered_map<uint32_t, Val> &Env, Val X,
+             std::vector<Val> &Escaping) {
+    if (X.Obj == Null)
       return;
     const MethodInfo &Body = Prog.method(M);
-    TypeId ObjType = Prog.heap(Objects[Obj].Site).Type;
+    TypeId ObjType = Prog.heap(Objects[X.Obj].Site).Type;
     bool Caught = false;
     for (const HandlerInfo &H : Body.Handlers) {
       if (Prog.isSubtype(ObjType, H.CatchType)) {
-        assign(Env, H.Var, Obj);
+        assign(Env, H.Var, X);
         Caught = true;
       }
     }
     if (!Caught)
-      Escaping.push_back(Obj);
+      Escaping.push_back(X);
   }
 
-  /// Executes one frame; returns the returned object (or Null).  Objects
+  /// Records the tag bits \p A carries into sink argument \p ArgIdx.
+  void observeSink(InvokeId Inv, uint32_t ArgIdx, const Val &A) {
+    for (uint32_t T = 0; T < 64 && (A.Tag >> T) != 0; ++T)
+      if (A.Tag & (1ULL << T))
+        Obs.TaintedSinkHits.emplace(Inv.index(), ArgIdx, T);
+  }
+
+  /// Executes one frame; returns the returned value (or null).  Objects
   /// escaping via uncaught throws are appended to \p Escaping.
-  int32_t execute(MethodId M, int32_t This,
-                  const std::vector<int32_t> &Args, uint32_t Depth,
-                  std::vector<int32_t> &Escaping) {
+  Val execute(MethodId M, Val This, const std::vector<Val> &Args,
+              uint32_t Depth, std::vector<Val> &Escaping) {
     if (Depth > Opts.MaxDepth || !budgetLeft())
-      return Null;
+      return Val{};
     Obs.ReachableMethods.insert(M.index());
 
     const MethodInfo &Body = Prog.method(M);
-    std::unordered_map<uint32_t, int32_t> Env;
+    std::unordered_map<uint32_t, Val> Env;
     if (Body.This.isValid())
       assign(Env, Body.This, This);
     for (size_t I = 0; I < Body.Formals.size() && I < Args.size(); ++I)
@@ -104,7 +121,8 @@ private:
 
     // One tagged step per instruction; re-shuffled each pass.
     enum class Kind : uint8_t {
-      Alloc, MoveI, CastI, LoadI, StoreI, SLoadI, SStoreI, ThrowI, Invoke
+      Alloc, MoveI, CastI, SanitizeI, LoadI, StoreI, SLoadI, SStoreI,
+      ThrowI, Invoke
     };
     std::vector<std::pair<Kind, uint32_t>> Bag;
     for (uint32_t I = 0; I < Body.Allocs.size(); ++I)
@@ -113,6 +131,8 @@ private:
       Bag.push_back({Kind::MoveI, I});
     for (uint32_t I = 0; I < Body.Casts.size(); ++I)
       Bag.push_back({Kind::CastI, I});
+    for (uint32_t I = 0; I < Body.Sanitizes.size(); ++I)
+      Bag.push_back({Kind::SanitizeI, I});
     for (uint32_t I = 0; I < Body.Loads.size(); ++I)
       Bag.push_back({Kind::LoadI, I});
     for (uint32_t I = 0; I < Body.Stores.size(); ++I)
@@ -138,7 +158,7 @@ private:
         switch (K) {
         case Kind::Alloc: {
           const AllocInstr &A = Body.Allocs[Idx];
-          assign(Env, A.Var, allocate(A.Heap));
+          assign(Env, A.Var, Val{allocate(A.Heap), 0});
           break;
         }
         case Kind::MoveI: {
@@ -148,51 +168,60 @@ private:
         }
         case Kind::CastI: {
           const CastInstr &C = Body.Casts[Idx];
-          int32_t V = lookupEnv(Env, C.From);
-          if (V == Null)
+          Val V = lookupEnv(Env, C.From);
+          if (V.Obj == Null)
             break;
-          if (Prog.isSubtype(Prog.heap(Objects[V].Site).Type, C.Target))
+          if (Prog.isSubtype(Prog.heap(Objects[V.Obj].Site).Type, C.Target))
             assign(Env, C.To, V);
           else
             Obs.FailedCasts.insert(C.Site);
           break;
         }
+        case Kind::SanitizeI: {
+          // The value flows, its taint does not — the dynamic counterpart
+          // of the engines' TaintTag-filtered cast edge.
+          const SanitizeInstr &S = Body.Sanitizes[Idx];
+          Val V = lookupEnv(Env, S.From);
+          V.Tag = 0;
+          assign(Env, S.To, V);
+          break;
+        }
         case Kind::LoadI: {
           const LoadInstr &L = Body.Loads[Idx];
-          int32_t Base = lookupEnv(Env, L.Base);
-          if (Base == Null)
+          Val Base = lookupEnv(Env, L.Base);
+          if (Base.Obj == Null)
             break;
-          auto It = Objects[Base].Fields.find(L.Fld.index());
+          auto It = Objects[Base.Obj].Fields.find(L.Fld.index());
           assign(Env, L.To,
-                 It == Objects[Base].Fields.end() ? Null : It->second);
+                 It == Objects[Base.Obj].Fields.end() ? Val{} : It->second);
           break;
         }
         case Kind::StoreI: {
           const StoreInstr &S = Body.Stores[Idx];
-          int32_t Base = lookupEnv(Env, S.Base);
-          if (Base == Null)
+          Val Base = lookupEnv(Env, S.Base);
+          if (Base.Obj == Null)
             break;
-          int32_t V = lookupEnv(Env, S.From);
-          Objects[Base].Fields[S.Fld.index()] = V;
-          if (V != Null)
-            Obs.FieldPointsTo.emplace(Objects[Base].Site.index(),
+          Val V = lookupEnv(Env, S.From);
+          Objects[Base.Obj].Fields[S.Fld.index()] = V;
+          if (V.Obj != Null)
+            Obs.FieldPointsTo.emplace(Objects[Base.Obj].Site.index(),
                                       S.Fld.index(),
-                                      Objects[V].Site.index());
+                                      Objects[V.Obj].Site.index());
           break;
         }
         case Kind::SLoadI: {
           const SLoadInstr &L = Body.SLoads[Idx];
           auto It = Statics.find(L.Fld.index());
-          assign(Env, L.To, It == Statics.end() ? Null : It->second);
+          assign(Env, L.To, It == Statics.end() ? Val{} : It->second);
           break;
         }
         case Kind::SStoreI: {
           const SStoreInstr &S = Body.SStores[Idx];
-          int32_t V = lookupEnv(Env, S.From);
+          Val V = lookupEnv(Env, S.From);
           Statics[S.Fld.index()] = V;
-          if (V != Null)
+          if (V.Obj != Null)
             Obs.StaticFieldPointsTo.insert(
-                {S.Fld.index(), Objects[V].Site.index()});
+                {S.Fld.index(), Objects[V.Obj].Site.index()});
           break;
         }
         case Kind::ThrowI: {
@@ -202,30 +231,44 @@ private:
         case Kind::Invoke: {
           InvokeId Inv = Body.Invokes[Idx];
           const InvokeInfo &Call = Prog.invoke(Inv);
+          // Sink arguments are observed at the call site — before
+          // dispatch, matching the static model, which keys HPT007 on the
+          // actual's points-to set, not on any callee.
+          if (Opts.Taint)
+            for (uint32_t A = 0; A < Call.Actuals.size(); ++A)
+              if (Opts.Taint->SinkArgs.count({Inv.index(), A}))
+                observeSink(Inv, A, lookupEnv(Env, Call.Actuals[A]));
           MethodId Callee;
-          int32_t Receiver = Null;
+          Val Receiver;
           if (Call.IsStatic) {
             Callee = Call.Target;
           } else {
             Receiver = lookupEnv(Env, Call.Base);
-            if (Receiver == Null)
+            if (Receiver.Obj == Null)
               break;
-            Callee = Prog.lookup(Prog.heap(Objects[Receiver].Site).Type,
+            Callee = Prog.lookup(Prog.heap(Objects[Receiver.Obj].Site).Type,
                                  Call.Sig);
             if (!Callee.isValid())
               break; // Concrete execution would throw; model as no-op.
           }
           Obs.CallEdges.insert({Inv.index(), Callee.index()});
-          std::vector<int32_t> CallArgs;
+          std::vector<Val> CallArgs;
           for (VarId A : Call.Actuals)
             CallArgs.push_back(lookupEnv(Env, A));
-          std::vector<int32_t> CalleeEscaping;
-          int32_t Ret =
+          std::vector<Val> CalleeEscaping;
+          Val Ret =
               execute(Callee, Receiver, CallArgs, Depth + 1, CalleeEscaping);
+          if (Opts.Taint) {
+            if (auto It = Opts.Taint->SourceTags.find(Inv.index());
+                It != Opts.Taint->SourceTags.end())
+              Ret.Tag |= It->second;
+            else if (Opts.Taint->SanitizerSites.count(Inv.index()))
+              Ret.Tag = 0;
+          }
           if (Call.RetTo.isValid())
             assign(Env, Call.RetTo, Ret);
           // Escalate the callee's uncaught exceptions into this frame.
-          for (int32_t Obj : CalleeEscaping)
+          for (Val Obj : CalleeEscaping)
             raise(M, Env, Obj, Escaping);
           break;
         }
@@ -233,7 +276,7 @@ private:
       }
     }
 
-    return Body.Return.isValid() ? lookupEnv(Env, Body.Return) : Null;
+    return Body.Return.isValid() ? lookupEnv(Env, Body.Return) : Val{};
   }
 
   const Program &Prog;
@@ -241,7 +284,7 @@ private:
   Rng R;
   ConcreteObservations Obs;
   std::vector<Object> Objects;
-  std::unordered_map<uint32_t, int32_t> Statics;
+  std::unordered_map<uint32_t, Val> Statics;
   uint64_t Steps = 0;
 };
 

@@ -31,11 +31,31 @@
 #include <functional>
 #include <set>
 #include <tuple>
+#include <unordered_map>
 #include <utility>
 
 namespace pt {
 
 class Program;
+
+/// Dynamic taint roles of invocation sites, for the taint oracle
+/// (docs/CHECKS.md "Taint analysis").  Site-level — the fuzz harness
+/// derives it from the same resolved taint::TaintPlan that drives the
+/// static instrumentation, so the dynamic and static semantics agree on
+/// what is a source, sink, or sanitizer.  Tags are bit positions in a
+/// 64-bit shadow mask carried on every binding.
+struct InterpTaintMap {
+  /// Source sites: mask of tag bits OR-ed into the call's return binding.
+  std::unordered_map<uint32_t, uint64_t> SourceTags;
+  /// Sanitizer sites: the call's return binding drops all tags.
+  std::set<uint32_t> SanitizerSites;
+  /// Sink argument positions (invocation site, argument index).
+  std::set<std::pair<uint32_t, uint32_t>> SinkArgs;
+
+  bool empty() const {
+    return SourceTags.empty() && SanitizerSites.empty() && SinkArgs.empty();
+  }
+};
 
 /// Execution bounds for one run.
 struct InterpOptions {
@@ -52,6 +72,9 @@ struct InterpOptions {
   /// observation hook.  The aggregated set lands in
   /// \c ConcreteObservations::VarPointsTo either way.
   std::function<void(uint32_t Var, uint32_t Heap)> OnVarBinding;
+  /// Optional dynamic taint roles; hits land in
+  /// \c ConcreteObservations::TaintedSinkHits.  Borrowed, may be null.
+  const InterpTaintMap *Taint = nullptr;
 };
 
 /// Everything a run observed, as analysis-comparable projections.
@@ -71,6 +94,11 @@ struct ConcreteObservations {
   /// born at the base site held, in that field, an object born at the
   /// value site.
   std::set<std::tuple<uint32_t, uint32_t, uint32_t>> FieldPointsTo;
+  /// (invocation site, argument index, tag index) triples: a sink argument
+  /// concretely held a value carrying the tag (InterpOptions::Taint).
+  /// Every entry must be statically reported by HPT007 on the
+  /// taint-instrumented program — the dynamic taint oracle.
+  std::set<std::tuple<uint32_t, uint32_t, uint32_t>> TaintedSinkHits;
   /// Total instructions executed.
   uint64_t Steps = 0;
 };

@@ -71,6 +71,22 @@ struct StoreInstr {
   uint32_t Line = 0;
 };
 
+/// `to = sanitize from` — a taint barrier (docs/CHECKS.md "Taint
+/// analysis").
+///
+/// Semantically a move that only propagates objects whose allocation site
+/// is untainted (\c HeapInfo::TaintTag == 0): the engines wire it as a
+/// cast edge with an invalid filter type, which both solvers interpret as
+/// "pass iff the heap carries no taint tag".  For programs without taint
+/// instrumentation it degenerates to a plain move (no heap carries a
+/// tag).  Emitted by taint::instrument() for sanitizer call results and
+/// available in irtext as `sanitize TO FROM`.
+struct SanitizeInstr {
+  VarId To;
+  VarId From;
+  uint32_t Line = 0;
+};
+
 /// `to = Owner.fld` — static field load.  Static fields are global,
 /// context-insensitive slots (the paper omits them as "a mere engineering
 /// complexity, as it does not interact with context choice"; Doop models

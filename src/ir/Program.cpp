@@ -38,8 +38,8 @@ size_t Program::numInstructions() const {
   size_t N = 0;
   for (const MethodInfo &M : Methods)
     N += M.Allocs.size() + M.Moves.size() + M.Casts.size() + M.Loads.size() +
-         M.Stores.size() + M.SLoads.size() + M.SStores.size() +
-         M.Throws.size() + M.Invokes.size();
+         M.Stores.size() + M.Sanitizes.size() + M.SLoads.size() +
+         M.SStores.size() + M.Throws.size() + M.Invokes.size();
   return N;
 }
 
@@ -182,6 +182,10 @@ bool Program::validate(std::vector<std::string> &Errors) const {
       else if (Fields[S.Fld.index()].IsStatic)
         Err("instance store to a static field" + Where);
     }
+    for (const SanitizeInstr &S : Info.Sanitizes) {
+      CheckVarInMethod(S.To, M, "sanitize target");
+      CheckVarInMethod(S.From, M, "sanitize source");
+    }
     for (const SLoadInstr &L : Info.SLoads) {
       CheckVarInMethod(L.To, M, "static load target");
       if (!L.Fld.isValid() || L.Fld.index() >= Fields.size())
@@ -234,6 +238,16 @@ bool Program::validate(std::vector<std::string> &Errors) const {
       }
     }
   }
+
+  for (const TaintSink &S : TaintSinks) {
+    if (!S.Site.isValid() || S.Site.index() >= Invokes.size())
+      Err("taint sink names an unknown invocation site");
+    else if (S.ArgIdx >= Invokes[S.Site.index()].Actuals.size())
+      Err("taint sink argument index out of range");
+  }
+  for (const HeapInfo &H : Heaps)
+    if (H.TaintTag > TaintTags.size())
+      Err("heap taint tag names an unregistered tag");
 
   for (MethodId E : EntryPoints) {
     if (!E.isValid() || E.index() >= Methods.size())

@@ -77,6 +77,11 @@ struct HeapInfo {
   MethodId InMethod;
   /// Source line of the `new`; 0 when unknown.
   uint32_t Line = 0;
+  /// Taint tag carried by objects born here: 0 = untainted (the default
+  /// for all ordinary allocations), otherwise 1 + the tag's index in
+  /// \c Program::taintTags().  Set only by taint::instrument() on the
+  /// synthetic taint allocations it injects at source call sites.
+  uint32_t TaintTag = 0;
 };
 
 /// A method definition with its flow-insensitive instruction bag.
@@ -101,6 +106,7 @@ struct MethodInfo {
   std::vector<CastInstr> Casts;
   std::vector<LoadInstr> Loads;
   std::vector<StoreInstr> Stores;
+  std::vector<SanitizeInstr> Sanitizes;
   std::vector<SLoadInstr> SLoads;
   std::vector<SStoreInstr> SStores;
   std::vector<ThrowInstr> Throws;
@@ -178,6 +184,24 @@ public:
   /// Total instruction count across all methods (program size proxy).
   size_t numInstructions() const;
 
+  // --- Taint metadata (docs/CHECKS.md "Taint analysis") ---
+  //
+  // Filled only by taint::instrument(); empty on ordinary programs, in
+  // which case HPT007 reports nothing.
+
+  /// One sink call-argument position: argument \c ArgIdx of \c Site may
+  /// not receive tainted values.
+  struct TaintSink {
+    InvokeId Site;
+    uint32_t ArgIdx = 0;
+  };
+
+  /// Sink positions resolved from the taint spec, in resolution order.
+  const std::vector<TaintSink> &taintSinks() const { return TaintSinks; }
+
+  /// Tag names, indexed by tag index (HeapInfo::TaintTag - 1).
+  const std::vector<std::string> &taintTags() const { return TaintTags; }
+
 private:
   /// Builds dispatch tables, subtype intervals, and children lists.
   void finalize();
@@ -193,6 +217,8 @@ private:
   std::vector<CastSite> CastSites;
   std::vector<MethodId> EntryPoints;
   std::string SourceName;
+  std::vector<TaintSink> TaintSinks;
+  std::vector<std::string> TaintTags;
 
   /// Per-type virtual dispatch table: SigId -> MethodId, inherited entries
   /// included.  Built in finalize().

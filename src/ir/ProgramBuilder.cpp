@@ -141,6 +141,11 @@ uint32_t ProgramBuilder::addCast(MethodId M, VarId To, VarId From,
   return Site;
 }
 
+void ProgramBuilder::addSanitize(MethodId M, VarId To, VarId From,
+                                 uint32_t Line) {
+  Prog->Methods[M.index()].Sanitizes.push_back({To, From, Line});
+}
+
 void ProgramBuilder::addLoad(MethodId M, VarId To, VarId Base, FieldId Fld,
                              uint32_t Line) {
   assert(!Prog->Fields[Fld.index()].IsStatic && "use addSLoad");
@@ -227,6 +232,23 @@ InvokeId ProgramBuilder::addSCall(MethodId M, MethodId Target,
 
 void ProgramBuilder::setSourceName(std::string_view Name) {
   Prog->SourceName = std::string(Name);
+}
+
+uint32_t ProgramBuilder::addTaintTag(std::string_view Name) {
+  Prog->TaintTags.push_back(std::string(Name));
+  return static_cast<uint32_t>(Prog->TaintTags.size() - 1);
+}
+
+void ProgramBuilder::setHeapTaintTag(HeapId H, uint32_t Tag) {
+  assert(H.isValid() && H.index() < Prog->Heaps.size());
+  assert(Tag <= Prog->TaintTags.size() && "tag not registered");
+  Prog->Heaps[H.index()].TaintTag = Tag;
+}
+
+void ProgramBuilder::addTaintSink(InvokeId Site, uint32_t ArgIdx) {
+  assert(Site.isValid() && Site.index() < Prog->Invokes.size());
+  assert(ArgIdx < Prog->Invokes[Site.index()].Actuals.size());
+  Prog->TaintSinks.push_back({Site, ArgIdx});
 }
 
 TypeId ProgramBuilder::findType(std::string_view Name) const {

@@ -81,6 +81,9 @@ public:
   uint32_t addCast(MethodId M, VarId To, VarId From, TypeId Target,
                    uint32_t Line = 0);
 
+  /// `To = sanitize From` — a taint barrier (see SanitizeInstr).
+  void addSanitize(MethodId M, VarId To, VarId From, uint32_t Line = 0);
+
   /// `To = Base.Fld`.
   void addLoad(MethodId M, VarId To, VarId Base, FieldId Fld,
                uint32_t Line = 0);
@@ -119,6 +122,19 @@ public:
   /// Records the display name of the source being built (e.g. the irtext
   /// file path); surfaced as \c Program::sourceName() for diagnostics.
   void setSourceName(std::string_view Name);
+
+  // --- Taint metadata (used by taint::instrument only) ---
+
+  /// Registers taint tag \p Name; returns its index (HeapInfo::TaintTag
+  /// stores index + 1).
+  uint32_t addTaintTag(std::string_view Name);
+
+  /// Marks allocation site \p H as producing \p Tag-tainted objects
+  /// (\p Tag = tag index + 1, 0 clears).
+  void setHeapTaintTag(HeapId H, uint32_t Tag);
+
+  /// Declares argument \p ArgIdx of call \p Site a taint sink.
+  void addTaintSink(InvokeId Site, uint32_t ArgIdx);
 
   // --- Queries during construction ---
 

@@ -429,6 +429,12 @@ void Parser::parseBody(MethodId M, size_t TokenBegin) {
       if (To.Text.empty() || From.Text.empty())
         continue;
       B.addMove(M, varFor(M, To.Text), varFor(M, From.Text), Op.Line);
+    } else if (Op.Text == "sanitize") {
+      Token To = NeedToken("target");
+      Token From = NeedToken("source");
+      if (To.Text.empty() || From.Text.empty())
+        continue;
+      B.addSanitize(M, varFor(M, To.Text), varFor(M, From.Text), Op.Line);
     } else if (Op.Text == "cast") {
       Token To = NeedToken("target");
       Token Type = NeedToken("type");

@@ -141,6 +141,10 @@ std::string pt::printProgram(const Program &Prog) {
         Ref(S.Base);
         Ref(S.From);
       }
+      for (const SanitizeInstr &S : MInfo.Sanitizes) {
+        Ref(S.To);
+        Ref(S.From);
+      }
       for (const SLoadInstr &L : MInfo.SLoads)
         Ref(L.To);
       for (const SStoreInstr &S : MInfo.SStores)
@@ -177,6 +181,9 @@ std::string pt::printProgram(const Program &Prog) {
       for (const StoreInstr &S : MInfo.Stores)
         OS << "    store " << Namer.name(S.Base) << ' '
            << fieldPath(Prog, S.Fld) << ' ' << Namer.name(S.From) << "\n";
+      for (const SanitizeInstr &S : MInfo.Sanitizes)
+        OS << "    sanitize " << Namer.name(S.To) << ' '
+           << Namer.name(S.From) << "\n";
       for (const SLoadInstr &L : MInfo.SLoads)
         OS << "    sload " << Namer.name(L.To) << ' '
            << fieldPath(Prog, L.Fld) << "\n";

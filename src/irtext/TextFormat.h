@@ -19,6 +19,7 @@
 ///             | ["static"] "method" NAME "/" ARITY "{" instr* "}"
 ///   instr    := "new" VAR TYPE
 ///             | "move" TO FROM
+///             | "sanitize" TO FROM
 ///             | "cast" TO TYPE FROM
 ///             | "load" TO BASE OWNER::FIELD
 ///             | "store" BASE OWNER::FIELD FROM
@@ -37,7 +38,9 @@
 /// without using it — the printer emits it for locals no instruction
 /// references, so print→parse preserves the exact variable count.  Call
 /// instructions distinguish the optional RET by token count (arity is
-/// known from the signature).
+/// known from the signature).  `sanitize` is a taint barrier: a move that
+/// drops taint-tagged objects (docs/CHECKS.md "Taint analysis"); on
+/// programs without taint instrumentation it behaves as a plain move.
 ///
 //===----------------------------------------------------------------------===//
 

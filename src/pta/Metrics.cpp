@@ -108,5 +108,24 @@ PrecisionMetrics pt::computeMetrics(const AnalysisResult &Result) {
     }
   }
 
+  // Tainted sinks: distinct (sink site, argument, tag) triples where a
+  // reachable sink argument may point to a taint-tagged object.  This is
+  // the count behind taint::findTaintedSinks / checker HPT007; programs
+  // without taint instrumentation carry no sinks and report 0.
+  for (const Program::TaintSink &S : Prog.taintSinks()) {
+    const InvokeInfo &Inv = Prog.invoke(S.Site);
+    if (!ReachableMethods.count(Inv.InMethod.index()) ||
+        S.ArgIdx >= Inv.Actuals.size())
+      continue;
+    auto It = HeapsPerVar.find(Inv.Actuals[S.ArgIdx].index());
+    if (It == HeapsPerVar.end())
+      continue;
+    std::unordered_set<uint32_t> Tags;
+    for (uint32_t HeapIdx : It->second)
+      if (uint32_t Tag = Prog.heap(HeapId(HeapIdx)).TaintTag)
+        Tags.insert(Tag);
+    M.TaintedSinks += Tags.size();
+  }
+
   return M;
 }

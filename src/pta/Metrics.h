@@ -64,6 +64,10 @@ struct PrecisionMetrics {
   size_t StaticFieldPointsTo = 0;
   /// Method-throws facts (context-sensitive escaping exceptions).
   size_t ThrowFacts = 0;
+  /// Distinct (sink site, argument, tag) triples where a reachable taint
+  /// sink argument may receive a tagged object (the tainted-sink client);
+  /// always 0 for programs without taint instrumentation.
+  size_t TaintedSinks = 0;
   /// Distinct exception heap sites escaping main uncaught.
   size_t UncaughtExceptionSites = 0;
   /// Distinct method contexts, heap contexts, and (heap, hctx) objects.

@@ -175,11 +175,12 @@ void Solver::noteEdgeWhy(uint32_t From, uint32_t To, prov::Rule Why,
   EdgeWhy.tryEmplace(packPair(From, To), Packed);
 }
 
-void Solver::noteCastEdgeWhy(uint32_t From, uint32_t To, uint32_t Aux) {
+void Solver::noteCastEdgeWhy(uint32_t From, uint32_t To, uint32_t Aux,
+                             prov::Rule Why) {
   if (!provOn())
     return;
   uint64_t Packed = (static_cast<uint64_t>(Aux) << 8) |
-                    static_cast<uint64_t>(prov::Rule::Cast);
+                    static_cast<uint64_t>(Why);
   CastEdgeWhy.tryEmplace(packPair(From, To), Packed);
 }
 
@@ -217,6 +218,15 @@ void Solver::addEdge(uint32_t From, uint32_t To) {
   }
 }
 
+bool Solver::passesCastFilter(uint32_t Obj, TypeId Filter) const {
+  const HeapInfo &H = Prog.heap(ObjHeaps[Obj]);
+  // An invalid filter marks a sanitize edge: pass untainted objects only
+  // (SanitizeInstr; docs/CHECKS.md "Taint analysis").
+  if (!Filter.isValid())
+    return H.TaintTag == 0;
+  return Prog.isSubtype(H.Type, Filter);
+}
+
 void Solver::addCastEdge(uint32_t From, uint32_t To, TypeId Filter) {
   PT_COUNT(Counters.EdgesAdded);
   Nodes[From].CastEdges.push_back({To, Filter});
@@ -225,8 +235,7 @@ void Solver::addCastEdge(uint32_t From, uint32_t To, TypeId Filter) {
   for (uint32_t I = 0; I < Count; ++I) {
     uint32_t Obj = Nodes[From].Set.at(I);
     PT_COUNT(Counters.RuleCast);
-    if (Prog.isSubtype(Prog.heap(ObjHeaps[Obj]).Type, Filter) &&
-        addFact(To, Obj) && provOn())
+    if (passesCastFilter(Obj, Filter) && addFact(To, Obj) && provOn())
       provEdgeStep(From, To, Obj, /*IsCast=*/true);
   }
 }
@@ -278,6 +287,14 @@ void Solver::ensureReachable(MethodId M, CtxId Ctx, prov::Rule Why,
     uint32_t FromN = varNode(C.From, Ctx), ToN = varNode(C.To, Ctx);
     noteCastEdgeWhy(FromN, ToN, RFact);
     addCastEdge(FromN, ToN, C.Target);
+  }
+
+  // Sanitize: copy edges filtered by the taint tag (invalid filter type;
+  // see passesCastFilter).
+  for (const SanitizeInstr &S : Body.Sanitizes) {
+    uint32_t FromN = varNode(S.From, Ctx), ToN = varNode(S.To, Ctx);
+    noteCastEdgeWhy(FromN, ToN, RFact, prov::Rule::Sanitize);
+    addCastEdge(FromN, ToN, TypeId::invalid());
   }
 
   // LOAD / STORE: subscribe on the base variable.  Each object that ever
@@ -645,8 +662,8 @@ void Solver::processDelta(uint32_t NodeIdx) {
       CastEdge E = Nodes[NodeIdx].CastEdges[I];
       PT_COUNT(Counters.RuleCast);
       slowRule(FaultRule::Cast);
-      if (Prog.isSubtype(Prog.heap(ObjHeaps[Obj]).Type, E.Filter) &&
-          addFact(E.ToNode, Obj) && provOn())
+      if (passesCastFilter(Obj, E.Filter) && addFact(E.ToNode, Obj) &&
+          provOn())
         provEdgeStep(NodeIdx, E.ToNode, Obj, /*IsCast=*/true);
     }
   }

@@ -229,6 +229,11 @@ private:
   void addEdge(uint32_t From, uint32_t To);
   void addCastEdge(uint32_t From, uint32_t To, TypeId Filter);
 
+  /// Cast-edge filter predicate.  A valid \p Filter admits subtypes of the
+  /// target type; an invalid one marks a sanitize edge and admits only
+  /// objects whose allocation site carries no taint tag.
+  bool passesCastFilter(uint32_t Obj, TypeId Filter) const;
+
   /// REACHABLE(M, Ctx): instantiates the method body on first sight.
   /// \p Why / \p WhyPrem describe how reachability was derived (entry
   /// point, ladder seed, or a call edge) for the provenance arena.
@@ -257,7 +262,8 @@ private:
   /// Remembers why edge \p From -> \p To exists, keyed like EdgeDedup;
   /// must run before \c addEdge so replayed facts find the justification.
   void noteEdgeWhy(uint32_t From, uint32_t To, prov::Rule Why, uint32_t Aux);
-  void noteCastEdgeWhy(uint32_t From, uint32_t To, uint32_t Aux);
+  void noteCastEdgeWhy(uint32_t From, uint32_t To, uint32_t Aux,
+                       prov::Rule Why = prov::Rule::Cast);
 
   /// Records the step for one fact propagated along (\p From, \p To).
   void provEdgeStep(uint32_t From, uint32_t To, uint32_t Obj, bool IsCast);

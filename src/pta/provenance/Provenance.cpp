@@ -85,6 +85,8 @@ const char *pt::prov::ruleName(Rule R) {
     return "shortcut-ret-load";
   case Rule::ShortcutRetAlloc:
     return "shortcut-ret-alloc";
+  case Rule::Sanitize:
+    return "sanitize";
   case Rule::NumRules:
     break;
   }

@@ -118,6 +118,7 @@ enum class Rule : uint8_t {
   ShortcutRetArg,   ///< VPT(retTo,.., o) <- VPT(actual,..) + CallEdge.
   ShortcutRetLoad,  ///< VPT(retTo,.., o) <- FPT(recv, f, o) + CallEdge.
   ShortcutRetAlloc, ///< VPT(retTo,.., (h, RECORD)) <- CallEdge.
+  Sanitize,         ///< Move filtered by TaintTag(site(o)) == 0.
   NumRules,
 };
 

@@ -131,6 +131,8 @@ public:
       return checkShortcutRetLoad(T, P0, P1, HasP0 && HasP1);
     case Rule::ShortcutRetAlloc:
       return checkShortcutRetAlloc(T, P0, HasP0 && !HasP1);
+    case Rule::Sanitize:
+      return checkSanitize(T, P0, HasP0);
     case Rule::NumRules:
       break;
     }
@@ -228,6 +230,23 @@ private:
       if (Mv.To == To && Mv.From == From)
         return "";
     return "no move instruction witnesses this fact";
+  }
+
+  std::string checkSanitize(const FactView &T, const FactView &P, bool Has) {
+    if (T.Kind != FactKind::VarPointsTo || !Has ||
+        P.Kind != FactKind::VarPointsTo)
+      return "sanitize shape";
+    if (T.A1 != P.A1 || T.Obj != P.Obj)
+      return "sanitize must preserve context and object";
+    if (!objOk(T.Obj))
+      return "object id out of range";
+    if (Prog.heap(Res.objHeap(T.Obj)).TaintTag != 0)
+      return "sanitize passes a tainted object";
+    VarId To(T.A0), From(P.A0);
+    for (const SanitizeInstr &S : Prog.method(Prog.var(To).Owner).Sanitizes)
+      if (S.To == To && S.From == From)
+        return "";
+    return "no sanitize instruction witnesses this fact";
   }
 
   std::string checkLoad(const FactView &T, const FactView &P0,

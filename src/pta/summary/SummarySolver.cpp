@@ -446,12 +446,17 @@ private:
                          (static_cast<uint64_t>(Aux) << 8) |
                              static_cast<uint64_t>(Why));
   }
-  void noteCastEdgeWhy(uint32_t From, uint32_t To, uint32_t Aux) {
+  void noteCastEdgeWhy(uint32_t From, uint32_t To, uint32_t Aux,
+                       prov::Rule Why = prov::Rule::Cast) {
     if (provOn())
       CastEdgeWhy.tryEmplace(packPair(From, To),
                              (static_cast<uint64_t>(Aux) << 8) |
-                                 static_cast<uint64_t>(prov::Rule::Cast));
+                                 static_cast<uint64_t>(Why));
   }
+
+  /// Cast-edge filter: a valid \p Filter admits subtypes; an invalid one
+  /// marks a sanitize edge and admits only untainted allocation sites.
+  bool passesCastFilter(uint32_t Obj, TypeId Filter) const;
   /// Records the step for a fresh propagation of \p Obj across an edge.
   void provEdgeStep(uint32_t From, uint32_t To, uint32_t Obj, bool IsCast);
 
@@ -980,6 +985,13 @@ void Partition::addEdge(uint32_t From, uint32_t To) {
   }
 }
 
+bool Partition::passesCastFilter(uint32_t Obj, TypeId Filter) const {
+  const HeapInfo &H = E.Prog.heap(E.Objs.heapOf(Obj));
+  if (!Filter.isValid())
+    return H.TaintTag == 0; // Sanitize edge (SanitizeInstr).
+  return E.Prog.isSubtype(H.Type, Filter);
+}
+
 void Partition::addCastEdge(uint32_t From, uint32_t To, TypeId Filter) {
   PT_COUNT(Counters.EdgesAdded);
   Nodes[From].CastEdges.push_back({To, Filter});
@@ -988,7 +1000,7 @@ void Partition::addCastEdge(uint32_t From, uint32_t To, TypeId Filter) {
   for (uint32_t I = 0; I < Count; ++I) {
     uint32_t Obj = Nodes[From].Set.at(I);
     PT_COUNT(Counters.RuleCast);
-    if (E.Prog.isSubtype(E.Prog.heap(E.Objs.heapOf(Obj)).Type, Filter))
+    if (passesCastFilter(Obj, Filter))
       if (addFact(To, Obj) && provOn())
         provEdgeStep(From, To, Obj, /*IsCast=*/true);
   }
@@ -1043,6 +1055,15 @@ void Partition::ensureReachable(MethodId M, CtxId Ctx, prov::Rule Why,
     uint32_t To = varNode(C.To, Ctx);
     noteCastEdgeWhy(From, To, RFact);
     addCastEdge(From, To, C.Target);
+  }
+
+  // Sanitize edges: intra-method, so both endpoints live in this
+  // partition (invalid filter = taint barrier; see passesCastFilter).
+  for (const SanitizeInstr &S : Body.Sanitizes) {
+    uint32_t From = varNode(S.From, Ctx);
+    uint32_t To = varNode(S.To, Ctx);
+    noteCastEdgeWhy(From, To, RFact, prov::Rule::Sanitize);
+    addCastEdge(From, To, TypeId::invalid());
   }
 
   for (const LoadInstr &L : Body.Loads) {
@@ -1478,7 +1499,7 @@ void Partition::processDelta(uint32_t NodeIdx) {
       CastEdge Ce = Nodes[NodeIdx].CastEdges[I];
       PT_COUNT(Counters.RuleCast);
       slowRule(FaultRule::Cast);
-      if (E.Prog.isSubtype(E.Prog.heap(E.Objs.heapOf(Obj)).Type, Ce.Filter))
+      if (passesCastFilter(Obj, Ce.Filter))
         if (addFact(Ce.ToNode, Obj) && provOn())
           provEdgeStep(NodeIdx, Ce.ToNode, Obj, /*IsCast=*/true);
     }

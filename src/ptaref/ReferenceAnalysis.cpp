@@ -27,6 +27,8 @@ ReferenceAnalysis::ReferenceAnalysis(const Program &Prog,
 
   Alloc = &Engine.relation("Alloc", 3);
   Move = &Engine.relation("Move", 2);
+  Sanitize = &Engine.relation("Sanitize", 2);
+  CleanHeap = &Engine.relation("CleanHeap", 1);
   Cast = &Engine.relation("Cast", 3);
   SubtypeOf = &Engine.relation("SubtypeOf", 2);
   Load = &Engine.relation("Load", 3);
@@ -82,6 +84,8 @@ void ReferenceAnalysis::loadFacts() {
       Alloc->insert({A.Var.index(), A.Heap.index(), M.index()});
     for (const MoveInstr &Mv : Info.Moves)
       Move->insert({Mv.To.index(), Mv.From.index()});
+    for (const SanitizeInstr &S : Info.Sanitizes)
+      Sanitize->insert({S.To.index(), S.From.index()});
     for (const CastInstr &C : Info.Casts)
       Cast->insert({C.To.index(), C.From.index(), C.Target.index()});
     for (const LoadInstr &L : Info.Loads)
@@ -147,6 +151,8 @@ void ReferenceAnalysis::loadFacts() {
   for (size_t HI = 0; HI < Prog.numHeaps(); ++HI) {
     HeapId H = HeapId::fromIndex(HI);
     HeapType->insert({H.index(), Prog.heap(H).Type.index()});
+    if (Prog.heap(H).TaintTag == 0)
+      CleanHeap->insert({H.index()});
   }
 
   // Reflexive-transitive subtype pairs and the dispatch LOOKUP table.
@@ -286,6 +292,22 @@ void ReferenceAnalysis::buildRules() {
                                          V(HCtx)}));
     R.Body.push_back(Atom(*HeapType, {V(Heap), V(HeapT)}));
     R.Body.push_back(Atom(*SubtypeOf, {V(HeapT), V(Target)}));
+    Engine.addRule(std::move(R));
+  }
+
+  // Rule 4c: sanitize (taint-filtered move; docs/CHECKS.md).  CleanHeap
+  // holds every allocation site with TaintTag == 0, so tagged objects
+  // simply fail to propagate across the barrier.
+  {
+    Rule R;
+    R.Name = "sanitize";
+    enum { To, From, Ctx, Heap, HCtx, NumVars };
+    R.NumVars = NumVars;
+    R.Head = Atom(*VarPointsTo, {V(To), V(Ctx), V(Heap), V(HCtx)});
+    R.Body.push_back(Atom(*Sanitize, {V(To), V(From)}));
+    R.Body.push_back(Atom(*VarPointsTo, {V(From), V(Ctx), V(Heap),
+                                         V(HCtx)}));
+    R.Body.push_back(Atom(*CleanHeap, {V(Heap)}));
     Engine.addRule(std::move(R));
   }
 

@@ -92,7 +92,8 @@ private:
   bool HasRun = false;
 
   // Input relations.
-  dl::Relation *Alloc, *Move, *Cast, *SubtypeOf, *Load, *Store;
+  dl::Relation *Alloc, *Move, *Sanitize, *CleanHeap, *Cast, *SubtypeOf,
+      *Load, *Store;
   dl::Relation *SLoad, *SStore, *VarMeth;
   dl::Relation *Throw, *HandlerFor, *NoHandler, *InvokeIn;
   dl::Relation *VCall, *SCall;

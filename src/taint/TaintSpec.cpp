@@ -1,0 +1,195 @@
+//===- taint/TaintSpec.cpp --------------------------------------------------===//
+//
+// Part of the hybridpt project (PLDI 2013 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "taint/TaintSpec.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+using namespace pt;
+using namespace pt::taint;
+
+namespace {
+
+/// Splits \p Line into whitespace-separated tokens, dropping `#` comments.
+std::vector<std::string> tokenize(std::string_view Line) {
+  std::vector<std::string> Out;
+  std::string Cur;
+  for (char C : Line) {
+    if (C == '#')
+      break;
+    if (C == ' ' || C == '\t' || C == '\r') {
+      if (!Cur.empty())
+        Out.push_back(std::move(Cur));
+      Cur.clear();
+    } else {
+      Cur += C;
+    }
+  }
+  if (!Cur.empty())
+    Out.push_back(std::move(Cur));
+  return Out;
+}
+
+/// Parses "Owner::name/arity" (Owner may be "*").
+bool parsePattern(const std::string &Text, SigPattern &Out,
+                  std::string &Why) {
+  size_t Sep = Text.find("::");
+  if (Sep == std::string::npos) {
+    Why = "pattern '" + Text + "' lacks '::' (want Owner::name/arity)";
+    return false;
+  }
+  size_t Slash = Text.rfind('/');
+  if (Slash == std::string::npos || Slash < Sep + 2) {
+    Why = "pattern '" + Text + "' lacks '/arity'";
+    return false;
+  }
+  Out.Owner = Text.substr(0, Sep);
+  Out.Name = Text.substr(Sep + 2, Slash - Sep - 2);
+  if (Out.Owner.empty() || Out.Name.empty()) {
+    Why = "pattern '" + Text + "' has an empty owner or name";
+    return false;
+  }
+  const std::string ArityText = Text.substr(Slash + 1);
+  char *End = nullptr;
+  unsigned long Arity = std::strtoul(ArityText.c_str(), &End, 10);
+  if (ArityText.empty() || *End != '\0') {
+    Why = "pattern '" + Text + "' has a non-numeric arity";
+    return false;
+  }
+  Out.Arity = static_cast<uint32_t>(Arity);
+  return true;
+}
+
+/// Parses a "key=value" token; returns false when the key differs.
+bool keyValue(const std::string &Token, std::string_view Key,
+              std::string &Value) {
+  if (Token.size() <= Key.size() + 1 || Token.compare(0, Key.size(), Key) ||
+      Token[Key.size()] != '=')
+    return false;
+  Value = Token.substr(Key.size() + 1);
+  return true;
+}
+
+} // namespace
+
+SpecParseResult pt::taint::parseSpec(std::string_view Text,
+                                     std::string_view SourceName) {
+  SpecParseResult Result;
+  std::string Prefix =
+      SourceName.empty() ? "<spec>" : std::string(SourceName);
+  auto Error = [&](uint32_t Line, std::string Message) {
+    Result.Errors.push_back(Prefix + ":" + std::to_string(Line) + ": " +
+                            std::move(Message));
+  };
+
+  uint32_t LineNo = 0;
+  size_t Pos = 0;
+  while (Pos <= Text.size()) {
+    size_t Eol = Text.find('\n', Pos);
+    if (Eol == std::string_view::npos)
+      Eol = Text.size();
+    ++LineNo;
+    std::vector<std::string> Tok = tokenize(Text.substr(Pos, Eol - Pos));
+    Pos = Eol + 1;
+    if (Tok.empty())
+      continue;
+
+    std::string Why;
+    SigPattern Pattern;
+    if (Tok[0] == "source") {
+      if (Tok.size() != 3) {
+        Error(LineNo, "'source' wants: source Owner::name/arity tag=NAME");
+        continue;
+      }
+      if (!parsePattern(Tok[1], Pattern, Why)) {
+        Error(LineNo, Why);
+        continue;
+      }
+      std::string Tag;
+      if (!keyValue(Tok[2], "tag", Tag)) {
+        Error(LineNo, "'source' needs a tag=NAME argument");
+        continue;
+      }
+      Result.Spec.Sources.push_back({std::move(Pattern), std::move(Tag)});
+    } else if (Tok[0] == "sink") {
+      if (Tok.size() != 3) {
+        Error(LineNo, "'sink' wants: sink Owner::name/arity arg=N");
+        continue;
+      }
+      if (!parsePattern(Tok[1], Pattern, Why)) {
+        Error(LineNo, Why);
+        continue;
+      }
+      std::string Arg;
+      if (!keyValue(Tok[2], "arg", Arg)) {
+        Error(LineNo, "'sink' needs an arg=N argument");
+        continue;
+      }
+      char *End = nullptr;
+      unsigned long Idx = std::strtoul(Arg.c_str(), &End, 10);
+      if (Arg.empty() || *End != '\0') {
+        Error(LineNo, "'sink' arg index is not a number");
+        continue;
+      }
+      Result.Spec.Sinks.push_back(
+          {std::move(Pattern), static_cast<uint32_t>(Idx)});
+    } else if (Tok[0] == "sanitize") {
+      if (Tok.size() != 2) {
+        Error(LineNo, "'sanitize' wants: sanitize Owner::name/arity");
+        continue;
+      }
+      if (!parsePattern(Tok[1], Pattern, Why)) {
+        Error(LineNo, Why);
+        continue;
+      }
+      Result.Spec.Sanitizers.push_back({std::move(Pattern)});
+    } else {
+      Error(LineNo, "unknown rule '" + Tok[0] +
+                        "' (want source, sink, or sanitize)");
+    }
+  }
+
+  // Tags live in a 64-bit mask downstream (interp shadow tags).
+  std::vector<std::string> Tags;
+  for (const SourceRule &S : Result.Spec.Sources) {
+    bool Known = false;
+    for (const std::string &T : Tags)
+      Known |= T == S.Tag;
+    if (!Known)
+      Tags.push_back(S.Tag);
+  }
+  if (Tags.size() > 64)
+    Error(LineNo, "more than 64 distinct taint tags");
+  return Result;
+}
+
+SpecParseResult pt::taint::parseSpecFile(const std::string &Path) {
+  std::ifstream In(Path);
+  if (!In) {
+    SpecParseResult Result;
+    Result.Errors.push_back("cannot read taint spec '" + Path + "'");
+    return Result;
+  }
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  return parseSpec(Buf.str(), Path);
+}
+
+std::string pt::taint::printSpec(const TaintSpec &Spec) {
+  std::ostringstream OS;
+  auto Pat = [](const SigPattern &P) {
+    return P.Owner + "::" + P.Name + "/" + std::to_string(P.Arity);
+  };
+  for (const SourceRule &S : Spec.Sources)
+    OS << "source " << Pat(S.Pattern) << " tag=" << S.Tag << "\n";
+  for (const SinkRule &S : Spec.Sinks)
+    OS << "sink " << Pat(S.Pattern) << " arg=" << S.ArgIdx << "\n";
+  for (const SanitizeRule &S : Spec.Sanitizers)
+    OS << "sanitize " << Pat(S.Pattern) << "\n";
+  return OS.str();
+}

@@ -1,0 +1,103 @@
+//===- taint/TaintSpec.h - Taint specification format -----------*- C++ -*-===//
+//
+// Part of the hybridpt project (PLDI 2013 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The textual taint specification consumed by the taint engine
+/// (docs/CHECKS.md "Taint analysis").  A spec names call signatures that
+/// act as taint sources, sinks, and sanitizers; taint::resolve matches it
+/// against a concrete program's invocation sites.
+///
+/// Grammar (line oriented; `#` starts a comment; tokens are
+/// whitespace-separated):
+///
+///   spec     := rule*
+///   rule     := "source" pattern "tag=" NAME
+///             | "sink" pattern "arg=" N
+///             | "sanitize" pattern
+///   pattern  := (OWNER | "*") "::" NAME "/" ARITY
+///
+/// OWNER is a class name (`*` matches any owner).  Static call sites match
+/// a pattern when the resolved callee's owner, simple name, and arity
+/// match.  Virtual call sites match on the dispatch signature's name and
+/// arity only — the owner is ignored, because the receiver's runtime type
+/// is exactly what the analysis is computing (a deliberate
+/// over-approximation, documented in docs/CHECKS.md).  At most 64
+/// distinct tags are supported.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HYBRIDPT_TAINT_TAINTSPEC_H
+#define HYBRIDPT_TAINT_TAINTSPEC_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pt {
+namespace taint {
+
+/// One `Owner::name/arity` call-signature pattern.
+struct SigPattern {
+  /// Owning class name; "*" matches any owner.
+  std::string Owner;
+  /// Simple method name.
+  std::string Name;
+  uint32_t Arity = 0;
+};
+
+/// `source` rule: a matching call's return value is born tainted with
+/// \c Tag.
+struct SourceRule {
+  SigPattern Pattern;
+  std::string Tag;
+};
+
+/// `sink` rule: argument \c ArgIdx of a matching call must not receive
+/// tainted values.
+struct SinkRule {
+  SigPattern Pattern;
+  uint32_t ArgIdx = 0;
+};
+
+/// `sanitize` rule: a matching call's return value drops all taint tags.
+struct SanitizeRule {
+  SigPattern Pattern;
+};
+
+/// A parsed taint specification.
+struct TaintSpec {
+  std::vector<SourceRule> Sources;
+  std::vector<SinkRule> Sinks;
+  std::vector<SanitizeRule> Sanitizers;
+
+  bool empty() const {
+    return Sources.empty() && Sinks.empty() && Sanitizers.empty();
+  }
+};
+
+/// Result of parsing a spec; \c Errors lines carry "file:line: message".
+struct SpecParseResult {
+  TaintSpec Spec;
+  std::vector<std::string> Errors;
+
+  bool ok() const { return Errors.empty(); }
+};
+
+/// Parses taint-spec text.  \p SourceName prefixes error messages.
+SpecParseResult parseSpec(std::string_view Text,
+                          std::string_view SourceName = {});
+
+/// Reads and parses \p Path; a missing/unreadable file is one error.
+SpecParseResult parseSpecFile(const std::string &Path);
+
+/// Renders \p Spec back into spec text (round-trip tested).
+std::string printSpec(const TaintSpec &Spec);
+
+} // namespace taint
+} // namespace pt
+
+#endif // HYBRIDPT_TAINT_TAINTSPEC_H

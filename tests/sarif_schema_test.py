@@ -10,11 +10,14 @@ Drives the hybridpt-lint binary over the examples corpus and checks that
 2. the dispatch.ptir log byte-matches the checked-in golden file
    (tests/golden/dispatch.sarif) — the determinism / baseline gate;
 3. the JSONL and compare modes behave (parseable lines; exit code 0 and a
-   non-negative reduction for a refining policy pair).
+   non-negative reduction for a refining policy pair);
+4. with --taint-golden: a taint-instrumented provenance run over
+   taintflow.ptir byte-matches its golden, and its HPT007 result carries a
+   schema-valid codeFlows derivation (source -> container -> sink).
 
 Usage:
   sarif_schema_test.py --lint BIN --examples DIR --schema FILE --golden FILE
-                       [--update-golden]
+                       [--taint-golden FILE] [--update-golden]
 """
 
 import argparse
@@ -47,6 +50,18 @@ def structural_validate(doc, path):
     def expect(cond, what):
         if not cond:
             fail("%s: %s" % (path, what))
+
+    def check_location(loc, where):
+        phys = loc.get("physicalLocation", {})
+        uri = phys.get("artifactLocation", {}).get("uri")
+        expect(isinstance(uri, str) and uri, "%s without uri" % where)
+        region = phys.get("region")
+        if region is not None:
+            expect(
+                isinstance(region.get("startLine"), int)
+                and region["startLine"] >= 1,
+                "%s region.startLine must be a positive integer" % where,
+            )
 
     expect(isinstance(doc, dict), "top level is not an object")
     expect(doc.get("version") == "2.1.0", "version is not 2.1.0")
@@ -89,16 +104,28 @@ def structural_validate(doc, path):
                 "bad result level %r" % result.get("level"),
             )
             for loc in result.get("locations", []):
-                phys = loc.get("physicalLocation", {})
-                uri = phys.get("artifactLocation", {}).get("uri")
-                expect(isinstance(uri, str) and uri, "location without uri")
-                region = phys.get("region")
-                if region is not None:
+                check_location(loc, "location")
+            for flow in result.get("codeFlows", []):
+                tfs = flow.get("threadFlows")
+                expect(
+                    isinstance(tfs, list) and tfs,
+                    "codeFlow without threadFlows",
+                )
+                for tf in tfs or []:
+                    steps = tf.get("locations")
                     expect(
-                        isinstance(region.get("startLine"), int)
-                        and region["startLine"] >= 1,
-                        "region.startLine must be a positive integer",
+                        isinstance(steps, list) and steps,
+                        "threadFlow without locations",
                     )
+                    for step in steps or []:
+                        loc = step.get("location", {})
+                        check_location(loc, "threadFlowLocation")
+                        expect(
+                            isinstance(
+                                loc.get("message", {}).get("text"), str
+                            ),
+                            "flow step without message.text",
+                        )
 
 
 def schema_validate(doc, schema, path):
@@ -119,6 +146,11 @@ def main():
     ap.add_argument("--examples", required=True)
     ap.add_argument("--schema", required=True)
     ap.add_argument("--golden", required=True)
+    ap.add_argument(
+        "--taint-golden",
+        help="golden for the taint-instrumented provenance run over "
+        "taintflow.ptir (codeFlows coverage); omitted = skip that check",
+    )
     ap.add_argument(
         "--update-golden",
         action="store_true",
@@ -174,6 +206,50 @@ def main():
                 "golden mismatch for dispatch.ptir; rerun with "
                 "--update-golden after auditing the diff"
             )
+
+    # 2b. Taint + provenance: the HPT007 flow over taintflow.ptir is
+    # schema-valid, carries a codeFlows derivation, and matches its golden.
+    if args.taint_golden:
+        proc = run_lint(
+            args.lint,
+            [
+                "--format", "sarif", "--policy", "2obj+H",
+                "--taint-spec", "default.taintspec", "--provenance",
+                "taintflow.ptir",
+            ],
+            cwd=args.examples,
+        )
+        if proc.returncode != 0:
+            fail("taint golden: lint exited %d: %s"
+                 % (proc.returncode, proc.stderr))
+        else:
+            try:
+                doc = json.loads(proc.stdout)
+            except json.JSONDecodeError as e:
+                doc = None
+                fail("taint golden: output is not valid JSON: %s" % e)
+            if doc is not None:
+                structural_validate(doc, "taintflow.sarif")
+                schema_validate(doc, schema, "taintflow.sarif")
+                flows = [
+                    r
+                    for r in doc["runs"][0].get("results", [])
+                    if r.get("ruleId") == "HPT007" and r.get("codeFlows")
+                ]
+                if not flows:
+                    fail("taint golden: no HPT007 result with codeFlows")
+            if args.update_golden:
+                with open(args.taint_golden, "w") as f:
+                    f.write(proc.stdout)
+                print("golden updated: %s" % args.taint_golden)
+            else:
+                with open(args.taint_golden) as f:
+                    want = f.read()
+                if proc.stdout != want:
+                    fail(
+                        "golden mismatch for taintflow.ptir; rerun with "
+                        "--update-golden after auditing the diff"
+                    )
 
     # 3. JSONL mode emits one parseable object per line.
     proc = run_lint(

@@ -36,6 +36,9 @@
 ///   --solver-threads N workers for the summary solver's bottom-up SCC
 ///                      sweep (default 1 = deterministic inline sweep,
 ///                      0 = hardware concurrency)
+///   --taint-spec FILE  instrument the program with the taint spec before
+///                      solving (docs/CHECKS.md "Taint analysis"); the
+///                      metric block then reports tainted sinks
 ///   --csv              machine-readable metric output
 ///
 /// Graceful degradation (docs/ROBUSTNESS.md):
@@ -89,6 +92,8 @@
 #include "support/Cancel.h"
 #include "support/TableWriter.h"
 #include "support/ThreadPool.h"
+#include "taint/Taint.h"
+#include "taint/TaintSpec.h"
 #include "workloads/Profiles.h"
 
 #include <cstring>
@@ -120,6 +125,7 @@ struct CliOptions {
   unsigned SolverThreads = 1;
   bool Matrix = false;
   bool Metrics = false;
+  std::string TaintSpecPath;
   bool Stats = false;
   bool Devirt = false;
   bool Casts = false;
@@ -162,6 +168,7 @@ int usage(const char *Argv0) {
          "       [--deadline-ms MS] [--ladder] [--ladder-rungs A,B,...]\n"
          "       [--matrix] [--threads N]\n"
          "       [--solver worklist|summary] [--solver-threads N]\n"
+         "       [--taint-spec FILE]\n"
          "       [--csv] [--trace-out FILE] [--chrome-trace FILE]\n"
          "       [--progress] [--explain-abort] [--heartbeat-steps N]\n"
          "       [--heartbeat-ms MS] [--provenance]\n"
@@ -478,15 +485,21 @@ int runMatrix(const Program &P, const CliOptions &Cli,
 }
 
 void printMetrics(const PrecisionMetrics &M, const std::string &Policy,
-                  bool Csv) {
+                  bool Csv, bool Taint) {
   if (Csv) {
     std::cout << "policy,avg_objs_per_var,cg_edges,poly_vcalls,"
-                 "may_fail_casts,reachable_methods,time_s,cs_vpt\n"
+                 "may_fail_casts,reachable_methods,time_s,cs_vpt";
+    if (Taint)
+      std::cout << ",tainted_sinks";
+    std::cout << "\n"
               << Policy << ',' << formatFixed(M.AvgPointsTo, 2) << ','
               << M.CallGraphEdges << ',' << M.PolyVCalls << ','
               << M.MayFailCasts << ',' << M.ReachableMethods << ','
               << formatFixed(M.SolveMs / 1000.0, 3) << ','
-              << M.CsVarPointsTo << "\n";
+              << M.CsVarPointsTo;
+    if (Taint)
+      std::cout << ',' << M.TaintedSinks;
+    std::cout << "\n";
     return;
   }
   std::cout << "analysis:                " << Policy
@@ -512,6 +525,8 @@ void printMetrics(const PrecisionMetrics &M, const std::string &Policy,
             << M.NumHContexts << "\n"
             << "method-throws facts:     " << M.ThrowFacts << " ("
             << M.UncaughtExceptionSites << " sites escape main)\n";
+  if (Taint)
+    std::cout << "tainted sinks:           " << M.TaintedSinks << "\n";
 }
 
 } // namespace
@@ -581,6 +596,8 @@ int main(int argc, char **argv) {
     } else if (Arg == "--solver-threads")
       Opts.SolverThreads =
           static_cast<unsigned>(std::strtoul(Value(), nullptr, 10));
+    else if (Arg == "--taint-spec")
+      Opts.TaintSpecPath = Value();
     else if (Arg == "--matrix")
       Opts.Matrix = true;
     else if (Arg == "--metrics")
@@ -709,6 +726,21 @@ int main(int argc, char **argv) {
     }
   }
 
+  // --taint-spec: instrument before solving, so every downstream consumer
+  // (metrics, clients, provenance, --matrix) sees the taint objects.
+  std::unique_ptr<Program> Instrumented;
+  if (!Opts.TaintSpecPath.empty()) {
+    taint::SpecParseResult Spec = taint::parseSpecFile(Opts.TaintSpecPath);
+    if (!Spec.ok()) {
+      for (const std::string &E : Spec.Errors)
+        std::cerr << "taint spec error: " << E << "\n";
+      return 1;
+    }
+    taint::TaintPlan Plan = taint::resolve(Spec.Spec, *P);
+    Instrumented = taint::instrument(*P, Plan);
+    P = Instrumented.get();
+  }
+
   if (Opts.Matrix)
     return runMatrix(*P, Opts, Rec.get(), &Cancel);
 
@@ -733,7 +765,8 @@ int main(int argc, char **argv) {
   if (!Main.FallbackFrom.empty())
     MetricsLabel += " (fallback from " + Main.FallbackFrom + ")";
   if (Opts.Metrics)
-    printMetrics(computeMetrics(R), MetricsLabel, Opts.Csv);
+    printMetrics(computeMetrics(R), MetricsLabel, Opts.Csv,
+                 !Opts.TaintSpecPath.empty());
 
   if (Opts.Stats)
     std::cout << "\n" << formatStats(computeStats(R), *P);

@@ -36,6 +36,12 @@
 ///                        rule-checking validator (fifth oracle axis; with
 ///                        --compare-summary the summary engine's
 ///                        derivations are validated too)
+///   --check-taint        derive a synthetic taint spec per program, run
+///                        the interpreter with shadow taint tags, and
+///                        require every dynamically tainted sink to be
+///                        statically reported by the tainted-sink client
+///                        under every policy, monotonically across the
+///                        precision order (sixth oracle axis)
 ///   --deadline-ms MS     whole-campaign deadline; expiry cancels cleanly
 ///   --quiet              suppress progress output
 ///
@@ -67,7 +73,7 @@ int usage(const char *Argv0) {
                "       [--policy NAME]... [--full-diff-every N]\n"
                "       [--max-failures N] [--solver-budget MS]\n"
                "       [--compare-summary] [--check-provenance]\n"
-               "       [--deadline-ms MS] [--quiet]\n";
+               "       [--check-taint] [--deadline-ms MS] [--quiet]\n";
   return 2;
 }
 
@@ -139,6 +145,8 @@ int main(int argc, char **argv) {
       Opts.CompareSummary = true;
     } else if (std::strcmp(Arg, "--check-provenance") == 0) {
       Opts.CheckProvenance = true;
+    } else if (std::strcmp(Arg, "--check-taint") == 0) {
+      Opts.CheckTaint = true;
     } else if (std::strcmp(Arg, "--deadline-ms") == 0) {
       const char *V = Next();
       if (!V || !parseU64(V, DeadlineMs))

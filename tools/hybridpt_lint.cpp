@@ -28,6 +28,13 @@
 ///   --why var=Q,heap=N ask why the lint run derived VarPointsTo(Q, *, N)
 ///                      and print its derivation tree (implies
 ///                      --provenance; repeatable; exit 1 when unproven)
+///   --taint-spec FILE  taint-instrument the program under spec FILE
+///                      before linting (docs/CHECKS.md "Taint analysis");
+///                      the tainted-sink checker (HPT007) reports nothing
+///                      without it
+///   --fail-on SEV      exit 4 when any diagnostic of severity SEV or
+///                      higher (note < warning < error) was reported —
+///                      the CI gating mode
 ///
 /// ^C cancels cooperatively: the solver stops at its next guard poll and
 /// the report (text/JSONL/SARIF) is still rendered and flushed, marked as
@@ -36,7 +43,8 @@
 /// Exit codes: 0 success, 1 usage/input/analysis error, 2 monotonicity
 /// violation in --compare mode, 3 unknown policy name in --compare (a
 /// typo'd gate invocation must not read as a precision bug, and CI greps
-/// tell the two apart by code).  Diagnostics alone never fail the run;
+/// tell the two apart by code), 4 a diagnostic at or above --fail-on.
+/// Without --fail-on, diagnostics alone never fail the run;
 /// baseline-diffing is the CI gate (see .github/workflows/ci.yml).
 ///
 //===----------------------------------------------------------------------===//
@@ -48,6 +56,7 @@
 #include "ir/Program.h"
 #include "irtext/TextFormat.h"
 #include "support/Cancel.h"
+#include "taint/Taint.h"
 #include "workloads/Profiles.h"
 
 #include <cstring>
@@ -72,6 +81,8 @@ struct CliOptions {
   uint64_t DeadlineMs = 0;
   bool Provenance = false;
   std::vector<std::string> WhyQueries;
+  std::string TaintSpecPath;
+  std::string FailOn;
 };
 
 int usage(const char *Argv0) {
@@ -82,6 +93,7 @@ int usage(const char *Argv0) {
                "[--max-facts N]\n"
                "       [--max-memory-mb N] [--deadline-ms MS]\n"
                "       [--provenance] [--why var=Q,heap=N]\n"
+               "       [--taint-spec FILE] [--fail-on note|warning|error]\n"
                "       <file.ptir | benchmark-name>\n"
                "       "
             << Argv0 << " --list-checks | --list-policies\n";
@@ -170,6 +182,15 @@ int main(int argc, char **argv) {
       if (!Next(Val))
         return usage(argv[0]);
       Opts.WhyQueries.push_back(Val);
+    } else if (!std::strcmp(Arg, "--taint-spec")) {
+      if (!Next(Opts.TaintSpecPath))
+        return usage(argv[0]);
+    } else if (!std::strcmp(Arg, "--fail-on")) {
+      if (!Next(Opts.FailOn))
+        return usage(argv[0]);
+      if (Opts.FailOn != "note" && Opts.FailOn != "warning" &&
+          Opts.FailOn != "error")
+        return usage(argv[0]);
     } else if (Arg[0] == '-') {
       return usage(argv[0]);
     } else if (Opts.Input.empty()) {
@@ -204,6 +225,21 @@ int main(int argc, char **argv) {
     }
     Owned = std::move(Parsed.Prog);
     P = Owned.get();
+  }
+
+  // Taint instrumentation rewrites the program before any analysis, so
+  // both the single-run and --compare paths see the instrumented IR.
+  std::unique_ptr<Program> Instrumented;
+  if (!Opts.TaintSpecPath.empty()) {
+    taint::SpecParseResult Spec = taint::parseSpecFile(Opts.TaintSpecPath);
+    if (!Spec.ok()) {
+      for (const std::string &E : Spec.Errors)
+        std::cerr << "taint spec error: " << E << "\n";
+      return 1;
+    }
+    taint::TaintPlan Plan = taint::resolve(Spec.Spec, *P);
+    Instrumented = taint::instrument(*P, Plan);
+    P = Instrumented.get();
   }
 
   std::ofstream OutFile;
@@ -248,6 +284,11 @@ int main(int argc, char **argv) {
   }
 
   if (!Opts.ComparePair.empty()) {
+    if (!Opts.FailOn.empty()) {
+      std::cerr << "--fail-on does not combine with --compare (the "
+                   "monotonicity diff already gates via exit 2)\n";
+      return 1;
+    }
     std::vector<std::string> Pair = splitList(Opts.ComparePair);
     if (Pair.size() != 2) {
       std::cerr << "--compare wants BASE,REFINED\n";
@@ -336,6 +377,23 @@ int main(int argc, char **argv) {
     std::cout << prov::renderTreeText(ProvRec, *Run.Result, Tree);
     if (!Tree.Found)
       Exit = 1;
+  }
+
+  // --fail-on gating: exit 4 when any diagnostic reaches the threshold.
+  if (Exit == 0 && !Opts.FailOn.empty()) {
+    checks::Severity Min = Opts.FailOn == "error" ? checks::Severity::Error
+                           : Opts.FailOn == "warning"
+                               ? checks::Severity::Warning
+                               : checks::Severity::Note;
+    size_t Gating = 0;
+    for (const checks::Diagnostic &D : Run.Diags)
+      if (D.Sev >= Min)
+        ++Gating;
+    if (Gating != 0) {
+      std::cerr << "hybridpt-lint: " << Gating << " diagnostic(s) at or "
+                << "above --fail-on " << Opts.FailOn << "\n";
+      Exit = 4;
+    }
   }
   return Exit;
 }
