@@ -9,11 +9,40 @@
 #include "ir/Program.h"
 #include "pta/AnalysisResult.h"
 #include "support/Hashing.h"
+#include "support/TableWriter.h"
 
 #include <unordered_map>
 #include <unordered_set>
 
 using namespace pt;
+
+std::string pt::metricsCsvHeader(bool Taint, bool WithTime) {
+  std::string Out = "policy,avg_objs_per_var,cg_edges,poly_vcalls,"
+                    "may_fail_casts,reachable_methods";
+  if (WithTime)
+    Out += ",time_s";
+  Out += ",cs_vpt";
+  if (Taint)
+    Out += ",tainted_sinks";
+  return Out;
+}
+
+std::string pt::metricsCsvRow(const PrecisionMetrics &M,
+                              const std::string &Label, bool Taint,
+                              bool WithTime) {
+  std::string Out = Label;
+  Out += ',' + formatFixed(M.AvgPointsTo, 2);
+  Out += ',' + std::to_string(M.CallGraphEdges);
+  Out += ',' + std::to_string(M.PolyVCalls);
+  Out += ',' + std::to_string(M.MayFailCasts);
+  Out += ',' + std::to_string(M.ReachableMethods);
+  if (WithTime)
+    Out += ',' + formatFixed(M.SolveMs / 1000.0, 3);
+  Out += ',' + std::to_string(M.CsVarPointsTo);
+  if (Taint)
+    Out += ',' + std::to_string(M.TaintedSinks);
+  return Out;
+}
 
 PrecisionMetrics pt::computeMetrics(const AnalysisResult &Result) {
   const Program &Prog = Result.program();

@@ -109,6 +109,15 @@ struct PrecisionMetrics {
 /// Computes all metrics for \p Result.
 PrecisionMetrics computeMetrics(const AnalysisResult &Result);
 
+/// The machine-readable metric row shared by the batch CLI (--csv) and the
+/// serving layer's callgraph answers — one renderer so a daemon reply is
+/// bit-identical to the batch output by construction (docs/SERVING.md).
+/// \p WithTime controls the time_s column: the daemon omits it because a
+/// cached answer's solve time is not a property of the request.
+std::string metricsCsvHeader(bool Taint, bool WithTime = true);
+std::string metricsCsvRow(const PrecisionMetrics &M, const std::string &Label,
+                          bool Taint, bool WithTime = true);
+
 } // namespace pt
 
 #endif // HYBRIDPT_PTA_METRICS_H

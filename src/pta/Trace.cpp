@@ -218,6 +218,29 @@ void TraceRecorder::counters(std::string_view Label,
   writeLineLocked(OS.str());
 }
 
+void TraceRecorder::request(const RequestRecord &R) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::ostringstream OS;
+  OS << "{\"type\":\"request\",\"id\":" << R.Id << ",\"kind\":\""
+     << jsonEscape(R.Kind) << "\",\"policy\":\"" << jsonEscape(R.Policy)
+     << "\",\"epoch\":" << R.EpochId << ",\"outcome\":\""
+     << jsonEscape(R.Outcome) << '"';
+  if (!R.Code.empty())
+    OS << ",\"code\":\"" << jsonEscape(R.Code) << '"';
+  OS << ",\"cache_hit\":" << (R.CacheHit ? "true" : "false")
+     << ",\"tid\":" << tidLocked() << ",\"t_ms\":" << formatDouble(nowMs())
+     << ",\"queue_ms\":" << formatDouble(R.QueueMs)
+     << ",\"latency_ms\":" << formatDouble(R.LatencyMs) << '}';
+  writeLineLocked(OS.str());
+  if (Progress) {
+    std::ostringstream Line;
+    Line << "[req] #" << R.Id << ' ' << R.Kind << ' ' << R.Outcome << " in "
+         << formatDouble(R.LatencyMs) << "ms"
+         << (R.CacheHit ? " (cached)" : "") << '\n';
+    *Progress << Line.str() << std::flush;
+  }
+}
+
 void TraceRecorder::ladder(std::string_view Label, std::string_view From,
                            std::string_view To, std::string_view Reason,
                            double SolveMs) {

@@ -57,6 +57,22 @@ struct Heartbeat {
   double TMs = 0.0;      ///< Recorder-relative time; filled on record.
 };
 
+/// One served request's latency record (docs/SERVING.md): what the daemon
+/// streams per answered request instead of solver heartbeats — requests
+/// mostly hit warm caches, so the interesting signal is admission-to-reply
+/// latency, not worklist progress.
+struct RequestRecord {
+  uint64_t Id = 0;          ///< Client-chosen request id.
+  std::string Kind;         ///< "points-to", "lint", "reload", ...
+  std::string Policy;       ///< Policy the answer describes ("" if n/a).
+  uint64_t EpochId = 0;     ///< Epoch the answer was computed against.
+  std::string Outcome;      ///< "ok", "degraded", "error", "shed".
+  std::string Code;         ///< Error code for error/shed outcomes.
+  bool CacheHit = false;    ///< Answered from the epoch's result cache.
+  double QueueMs = 0.0;     ///< Admission-to-dispatch wait.
+  double LatencyMs = 0.0;   ///< Admission-to-reply total.
+};
+
 /// Thread-safe trace sink shared by one harness run.
 class TraceRecorder {
 public:
@@ -94,6 +110,10 @@ public:
   /// Records a cell's final aggregate counters.
   void counters(std::string_view Label,
                 const telemetry::SolverCounters &Counters);
+
+  /// Records one served request (streams a {"type":"request",...} JSONL
+  /// line; mirrored to the progress stream when enabled).
+  void request(const RequestRecord &R);
 
   /// Records one fallback-ladder transition for \p Label: rung \p From
   /// aborted for \p Reason after \p SolveMs and the ladder moved on to

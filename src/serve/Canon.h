@@ -1,0 +1,75 @@
+//===- serve/Canon.h - Canonical answer renderings --------------*- C++ -*-===//
+//
+// Part of the hybridpt project (PLDI 2013 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The single source of truth for what a daemon answer looks like
+/// (docs/SERVING.md).  Every answer body is a list of text lines rendered
+/// by these functions, and the batch CLIs render the same bodies through
+/// the same underlying code paths — so a daemon reply is bit-identical to
+/// the corresponding batch output by construction, not by test luck:
+///
+///  - points-to lines match the `hybridpt --dump-vpt` body (minus its
+///    two-space indent),
+///  - lint lines ARE `hybridpt-lint --format jsonl` lines
+///    (checks::renderJsonl),
+///  - callgraph lines are the `hybridpt --csv` header+row
+///    (pt::metricsCsvHeader / metricsCsvRow) without the time column
+///    (a cached answer's solve time is not a property of the request),
+///  - compare lines are the `hybridpt-lint --compare` rendering
+///    (checks::renderCompare).
+///
+/// The replay driver's --verify mode recomputes answers through these
+/// same functions and demands equality, closing the loop.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HYBRIDPT_SERVE_CANON_H
+#define HYBRIDPT_SERVE_CANON_H
+
+#include "support/Ids.h"
+
+#include <string>
+#include <vector>
+
+namespace pt {
+
+class AnalysisResult;
+class Program;
+struct PrecisionMetrics;
+
+namespace checks {
+struct CompareResult;
+struct Diagnostic;
+} // namespace checks
+
+namespace serve {
+
+/// Splits \p Text into lines (no trailing newlines; a final unterminated
+/// fragment counts as a line; empty lines are kept).
+std::vector<std::string> splitLines(const std::string &Text);
+
+/// "heapName : TypeName" per pointed-to heap site, in the solver's
+/// deterministic \c AnalysisResult::pointsTo order.
+std::vector<std::string> pointsToLines(const Program &P,
+                                       const AnalysisResult &R, VarId V);
+
+/// The `--format jsonl` diagnostic lines for \p Diags under \p Policy.
+std::vector<std::string> lintLines(const Program &P,
+                                   const std::vector<checks::Diagnostic> &Diags,
+                                   const std::string &Policy);
+
+/// The `--csv` metric header and row for \p M, labelled \p Policy,
+/// without the time_s column.
+std::vector<std::string> callGraphLines(const PrecisionMetrics &M,
+                                        const std::string &Policy);
+
+/// The `--compare` rendering of \p CR.
+std::vector<std::string> compareLines(const checks::CompareResult &CR);
+
+} // namespace serve
+} // namespace pt
+
+#endif // HYBRIDPT_SERVE_CANON_H

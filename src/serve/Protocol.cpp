@@ -1,0 +1,222 @@
+//===- serve/Protocol.cpp ------------------------------------------------------===//
+//
+// Part of the hybridpt project (PLDI 2013 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Protocol.h"
+
+#include <sstream>
+
+using namespace pt;
+using namespace pt::serve;
+
+const char *pt::serve::kindName(RequestKind K) {
+  switch (K) {
+  case RequestKind::PointsTo:
+    return "points-to";
+  case RequestKind::CallGraph:
+    return "callgraph";
+  case RequestKind::Lint:
+    return "lint";
+  case RequestKind::Compare:
+    return "compare";
+  case RequestKind::Reload:
+    return "reload";
+  case RequestKind::Health:
+    return "health";
+  case RequestKind::Drain:
+    return "drain";
+  }
+  return "health";
+}
+
+bool pt::serve::kindByName(std::string_view Name, RequestKind &Out) {
+  if (Name == "points-to")
+    Out = RequestKind::PointsTo;
+  else if (Name == "callgraph")
+    Out = RequestKind::CallGraph;
+  else if (Name == "lint")
+    Out = RequestKind::Lint;
+  else if (Name == "compare")
+    Out = RequestKind::Compare;
+  else if (Name == "reload")
+    Out = RequestKind::Reload;
+  else if (Name == "health")
+    Out = RequestKind::Health;
+  else if (Name == "drain")
+    Out = RequestKind::Drain;
+  else
+    return false;
+  return true;
+}
+
+const char *pt::serve::errorCodeName(ErrorCode C) {
+  switch (C) {
+  case ErrorCode::None:
+    return "none";
+  case ErrorCode::BadRequest:
+    return "bad-request";
+  case ErrorCode::UnknownKind:
+    return "unknown-kind";
+  case ErrorCode::UnknownPolicy:
+    return "unknown-policy";
+  case ErrorCode::UnknownVar:
+    return "unknown-var";
+  case ErrorCode::BadProgram:
+    return "bad-program";
+  case ErrorCode::Overloaded:
+    return "overloaded";
+  case ErrorCode::Draining:
+    return "draining";
+  case ErrorCode::Budget:
+    return "budget";
+  case ErrorCode::Cancelled:
+    return "cancelled";
+  case ErrorCode::Internal:
+    return "internal";
+  }
+  return "internal";
+}
+
+namespace {
+
+/// Reads an optional string member; a present-but-not-string member is a
+/// protocol error (tolerating it would silently drop a client's intent).
+bool readString(const json::Value &Obj, std::string_view Key,
+                std::string &Into, std::string &Error) {
+  const json::Value *V = Obj.find(Key);
+  if (!V)
+    return true;
+  if (!V->isString()) {
+    std::ostringstream OS;
+    OS << '\'' << Key << "' must be a string, got " << V->kindName();
+    Error = OS.str();
+    return false;
+  }
+  Into = V->Str;
+  return true;
+}
+
+/// Reads an optional non-negative integer member.
+bool readU64(const json::Value &Obj, std::string_view Key, uint64_t &Into,
+             std::string &Error) {
+  const json::Value *V = Obj.find(Key);
+  if (!V)
+    return true;
+  if (!V->asU64(Into)) {
+    std::ostringstream OS;
+    OS << '\'' << Key << "' must be a non-negative integer, got "
+       << V->kindName();
+    Error = OS.str();
+    return false;
+  }
+  return true;
+}
+
+} // namespace
+
+bool pt::serve::parseRequest(std::string_view Line, Request &Out,
+                             ErrorCode &Code, std::string &Error,
+                             const ProtocolLimits &Limits) {
+  Out = Request{};
+  Code = ErrorCode::BadRequest;
+  if (Line.size() > Limits.MaxLineBytes) {
+    Error = "request line exceeds " + std::to_string(Limits.MaxLineBytes) +
+            " bytes";
+    return false;
+  }
+  json::ParseLimits JLimits = Limits.Json;
+  if (JLimits.MaxBytes > Limits.MaxLineBytes)
+    JLimits.MaxBytes = Limits.MaxLineBytes;
+  json::Value Root;
+  std::string JsonError;
+  if (!json::parse(Line, Root, JsonError, JLimits)) {
+    Error = "invalid JSON: " + JsonError;
+    return false;
+  }
+  if (!Root.isObject()) {
+    Error = std::string("request must be a JSON object, got ") +
+            Root.kindName();
+    return false;
+  }
+
+  // Pull the id first so even otherwise-invalid requests get a correlated
+  // error reply.
+  const json::Value *IdV = Root.find("id");
+  if (!IdV) {
+    Error = "request needs a numeric 'id'";
+    return false;
+  }
+  if (!IdV->asU64(Out.Id)) {
+    Error = std::string("'id' must be a non-negative integer, got ") +
+            IdV->kindName();
+    return false;
+  }
+
+  const json::Value *KindV = Root.find("kind");
+  if (!KindV || !KindV->isString()) {
+    Error = "request needs a string 'kind'";
+    return false;
+  }
+  if (!kindByName(KindV->Str, Out.Kind)) {
+    Code = ErrorCode::UnknownKind;
+    Error = "unknown kind '" + KindV->Str +
+            "' (points-to, callgraph, lint, compare, reload, health, drain)";
+    return false;
+  }
+
+  if (!readString(Root, "policy", Out.Policy, Error) ||
+      !readString(Root, "base", Out.Base, Error) ||
+      !readString(Root, "refined", Out.Refined, Error) ||
+      !readString(Root, "var", Out.Var, Error) ||
+      !readString(Root, "program", Out.Program, Error) ||
+      !readU64(Root, "deadline_ms", Out.DeadlineMs, Error) ||
+      !readU64(Root, "budget_ms", Out.BudgetMs, Error) ||
+      !readU64(Root, "max_facts", Out.MaxFacts, Error) ||
+      !readU64(Root, "max_memory_mb", Out.MaxMemoryMb, Error))
+    return false;
+
+  if (const json::Value *ChecksV = Root.find("checks")) {
+    if (!ChecksV->isArray()) {
+      Error = std::string("'checks' must be an array of strings, got ") +
+              ChecksV->kindName();
+      return false;
+    }
+    if (ChecksV->Arr.size() > Limits.MaxChecks) {
+      Error = "'checks' exceeds " + std::to_string(Limits.MaxChecks) +
+              " entries";
+      return false;
+    }
+    for (const json::Value &C : ChecksV->Arr) {
+      if (!C.isString()) {
+        Error = std::string("'checks' entries must be strings, got ") +
+                C.kindName();
+        return false;
+      }
+      Out.Checks.push_back(C.Str);
+    }
+  }
+
+  // Per-kind required fields.
+  switch (Out.Kind) {
+  case RequestKind::PointsTo:
+    if (Out.Var.empty()) {
+      Error = "points-to needs 'var' (Class::method/arity::name)";
+      return false;
+    }
+    break;
+  case RequestKind::Compare:
+    if (Out.Base.empty() || Out.Refined.empty()) {
+      Error = "compare needs both 'base' and 'refined' policy names";
+      return false;
+    }
+    break;
+  default:
+    break;
+  }
+
+  Code = ErrorCode::None;
+  Error.clear();
+  return true;
+}

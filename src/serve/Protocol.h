@@ -1,0 +1,123 @@
+//===- serve/Protocol.h - Daemon request protocol ---------------*- C++ -*-===//
+//
+// Part of the hybridpt project (PLDI 2013 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The wire protocol of the resident analysis daemon (docs/SERVING.md):
+/// newline-delimited JSON requests in, newline-delimited JSON replies out.
+/// One request per line, one reply per request, correlated by a
+/// client-chosen numeric "id".
+///
+/// Request shape:
+///
+///   {"id":1,"kind":"points-to","var":"A::main/0::x","policy":"2obj+H"}
+///   {"id":2,"kind":"callgraph","policy":"insens"}
+///   {"id":3,"kind":"lint","checks":["casts"]}
+///   {"id":4,"kind":"compare","base":"insens","refined":"2obj+H"}
+///   {"id":5,"kind":"reload","program":"examples/programs/factory.ptir"}
+///   {"id":6,"kind":"health"}
+///   {"id":7,"kind":"drain"}
+///
+/// Work requests optionally carry per-request guard overrides:
+/// "deadline_ms" (wall-clock reply deadline), "budget_ms" (solver time
+/// budget), "max_facts", "max_memory_mb".  Unknown keys are tolerated (a
+/// newer client may talk to an older daemon); known keys of the wrong type
+/// are a protocol error.
+///
+/// Validation is strict and total: every malformed line yields a
+/// structured error reply naming an \c ErrorCode — the daemon never
+/// crashes, never closes the connection, and answers the next request
+/// as if the bad one had not happened.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HYBRIDPT_SERVE_PROTOCOL_H
+#define HYBRIDPT_SERVE_PROTOCOL_H
+
+#include "support/Json.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pt::serve {
+
+/// The request kinds the daemon answers.
+enum class RequestKind : uint8_t {
+  PointsTo,  ///< Points-to set of one variable ("var").
+  CallGraph, ///< Table 1 metric row (CSV, shared renderer with --csv).
+  Lint,      ///< Checker-suite diagnostics as JSONL lines.
+  Compare,   ///< Policy precision diff ("base" vs "refined").
+  Reload,    ///< Load a new program epoch; invalidates the cache.
+  Health,    ///< Liveness + counters; answered inline, never queued.
+  Drain,     ///< Stop admitting; in-flight requests still complete.
+};
+
+/// "points-to", "callgraph", "lint", "compare", "reload", "health",
+/// "drain".
+const char *kindName(RequestKind K);
+
+/// Parses a kind name; false on unknown names (\p Out untouched).
+bool kindByName(std::string_view Name, RequestKind &Out);
+
+/// True for kinds that go through the admission queue and solver.
+inline bool isWorkKind(RequestKind K) {
+  return K == RequestKind::PointsTo || K == RequestKind::CallGraph ||
+         K == RequestKind::Lint || K == RequestKind::Compare;
+}
+
+/// Machine-readable failure classes, stamped on every non-ok reply as
+/// "code" so clients can branch without parsing messages.
+enum class ErrorCode : uint8_t {
+  None,
+  BadRequest,    ///< Malformed JSON / missing or mistyped field.
+  UnknownKind,   ///< "kind" names no request kind.
+  UnknownPolicy, ///< Policy name not in the registry.
+  UnknownVar,    ///< points-to "var" path resolves to no variable.
+  BadProgram,    ///< reload target missing or failed to parse.
+  Overloaded,    ///< Admission queue full; reply carries retry_after_ms.
+  Draining,      ///< Daemon is draining; no new work admitted.
+  Budget,        ///< Solver budget blown and no ladder rung converged.
+  Cancelled,     ///< Per-request deadline or process shutdown tripped.
+  Internal,      ///< Unexpected failure; daemon stays up.
+};
+
+/// "bad-request", "unknown-kind", ..., "internal".
+const char *errorCodeName(ErrorCode C);
+
+/// One parsed request.  String fields are empty when absent; numeric
+/// guard overrides are 0 when absent (= use the server default).
+struct Request {
+  uint64_t Id = 0;
+  RequestKind Kind = RequestKind::Health;
+  std::string Policy;              ///< points-to / callgraph / lint.
+  std::string Base, Refined;       ///< compare.
+  std::string Var;                 ///< points-to.
+  std::vector<std::string> Checks; ///< lint / compare checker selection.
+  std::string Program;             ///< reload target (empty = same spec).
+  uint64_t DeadlineMs = 0;
+  uint64_t BudgetMs = 0;
+  uint64_t MaxFacts = 0;
+  uint64_t MaxMemoryMb = 0;
+};
+
+/// Hard limits on a single request line, layered over the JSON parser's
+/// own \c json::ParseLimits.
+struct ProtocolLimits {
+  size_t MaxLineBytes = 1 << 20;
+  size_t MaxChecks = 64;
+  json::ParseLimits Json;
+};
+
+/// Parses one request line.  On failure returns false and fills \p Code /
+/// \p Error; \p Out.Id is still filled when the line carried a readable
+/// id, so the error reply can be correlated.
+bool parseRequest(std::string_view Line, Request &Out, ErrorCode &Code,
+                  std::string &Error, const ProtocolLimits &Limits = {});
+
+} // namespace pt::serve
+
+#endif // HYBRIDPT_SERVE_PROTOCOL_H

@@ -12,30 +12,41 @@ using namespace pt;
 
 namespace {
 
-// The token the SIGINT handler trips.  A plain pointer written before the
+// One token slot per supported signal.  Atomic pointers written before the
 // handler is installed and only read from the handler; the handler itself
-// performs nothing but a relaxed atomic store, which is async-signal-safe.
-CancelToken *SigintToken = nullptr;
+// performs nothing but a relaxed atomic store into the token, which is
+// async-signal-safe.
+std::atomic<CancelToken *> SigintToken{nullptr};
+std::atomic<CancelToken *> SigtermToken{nullptr};
 
-extern "C" void hybridptSigintHandler(int) {
-  if (SigintToken)
-    SigintToken->cancel();
+std::atomic<CancelToken *> &slotFor(int Sig) {
+  return Sig == SIGTERM ? SigtermToken : SigintToken;
+}
+
+extern "C" void hybridptSignalHandler(int Sig) {
+  if (CancelToken *Token = slotFor(Sig).load(std::memory_order_relaxed))
+    Token->cancel();
 }
 
 } // namespace
 
-void pt::installSigintCancel(CancelToken &Token) {
-  SigintToken = &Token;
+void pt::installSignalCancel(int Sig, CancelToken &Token) {
+  slotFor(Sig).store(&Token, std::memory_order_relaxed);
 #if defined(_WIN32)
-  std::signal(SIGINT, hybridptSigintHandler);
+  std::signal(Sig, hybridptSignalHandler);
 #else
   struct sigaction SA;
-  SA.sa_handler = hybridptSigintHandler;
+  SA.sa_handler = hybridptSignalHandler;
   sigemptyset(&SA.sa_mask);
-  // SA_RESETHAND: the first ^C cancels cooperatively, the second one kills
-  // the process the old-fashioned way.  No SA_RESTART: blocking reads may
-  // return EINTR, which is fine for our file-writing call sites.
+  // SA_RESETHAND: the first delivery cancels cooperatively, the second one
+  // kills the process the old-fashioned way (re-install to re-arm).  No
+  // SA_RESTART: blocking reads may return EINTR, which is what lets a
+  // daemon's reader thread notice a drain request mid-read.
   SA.sa_flags = SA_RESETHAND;
-  sigaction(SIGINT, &SA, nullptr);
+  sigaction(Sig, &SA, nullptr);
 #endif
+}
+
+void pt::installSigintCancel(CancelToken &Token) {
+  installSignalCancel(SIGINT, Token);
 }

@@ -23,9 +23,19 @@
 ///   drop-scall         silently skip static-call wiring (the legacy
 ///                      unsoundness used to self-test the fuzz oracle)
 ///
+/// A directive may appear at most once per plan: a repeated directive is
+/// rejected with a clear error instead of last-write-wins, so a CI matrix
+/// that concatenates plan fragments cannot silently drop a fault.
+///
 /// Sources, in priority order: an explicit \c SolverOptions::Faults plan,
 /// else the HYBRIDPT_FAULT_PLAN environment variable, else the legacy
 /// HYBRIDPT_TEST_BREAK=drop-scall spelling.  Never set outside tests/CI.
+///
+/// The serving layer (docs/SERVING.md) schedules faults per *request*
+/// rather than per step: a \c RequestFaultPlan maps admitted-request
+/// ordinals to whole fault plans ("5=oom-at-step=100;9=slow-rule=vcall"),
+/// so CI can prove that a faulted request degrades alone while its
+/// neighbors keep answering from the warm state.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -35,6 +45,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace pt {
 
@@ -89,6 +100,45 @@ struct FaultPlan {
   static FaultPlan fromEnv();
 
   /// Round-trips the plan back to spec syntax ("" for an empty plan).
+  std::string spec() const;
+};
+
+/// One scheduled per-request fault: the Nth admitted work request (1-based)
+/// runs under \c Plan.
+struct RequestFault {
+  uint64_t Request = 0;
+  FaultPlan Plan;
+};
+
+/// A schedule of per-request faults for the resident daemon
+/// (docs/SERVING.md).  Spec syntax: ';'-separated entries, each
+/// "N=<fault-plan-spec>", e.g.
+///
+///   5=oom-at-step=100;9=slow-rule=vcall;12=cancel-at-step=1
+///
+/// Duplicate request ordinals are rejected (same rationale as duplicate
+/// directives within one plan).  Default-constructed = no faults.
+struct RequestFaultPlan {
+  /// Entries sorted by request ordinal.
+  std::vector<RequestFault> Entries;
+
+  bool any() const { return !Entries.empty(); }
+
+  /// The plan scheduled for admitted request \p N (1-based); nullptr when
+  /// request N runs clean.
+  const FaultPlan *planForRequest(uint64_t N) const;
+
+  /// Parses a schedule spec.  On success fills \p Out; on failure returns
+  /// false and names the bad entry in \p Error.  Empty spec = empty plan.
+  static bool parse(std::string_view Spec, RequestFaultPlan &Out,
+                    std::string &Error);
+
+  /// The environment-supplied schedule (HYBRIDPT_SERVE_FAULT_PLAN).  A
+  /// malformed value aborts the process with a clear message, mirroring
+  /// \c FaultPlan::fromEnv.
+  static RequestFaultPlan fromEnv();
+
+  /// Round-trips the schedule back to spec syntax.
   std::string spec() const;
 };
 

@@ -4,6 +4,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "support/Cancel.h"
 #include "support/Hashing.h"
 #include "support/Ids.h"
 #include "support/Rng.h"
@@ -245,6 +246,61 @@ TEST(Timer, TinyDeadlineExpires) {
   while (!D.expired())
     Sink = Sink + 1;
   EXPECT_TRUE(D.expired());
+}
+
+TEST(Cancel, FreshTokenNotCancelled) {
+  CancelToken T;
+  EXPECT_FALSE(T.cancelled());
+  T.cancel();
+  EXPECT_TRUE(T.cancelled());
+}
+
+TEST(Cancel, DeadlineTripsAndRearms) {
+  CancelToken T;
+  T.setDeadlineMs(1);
+  volatile uint64_t Sink = 0;
+  while (!T.cancelled())
+    Sink = Sink + 1;
+  EXPECT_TRUE(T.cancelled());
+  // Re-arming relative to now un-trips an expired (but not flagged) token.
+  T.setDeadlineMs(60000);
+  EXPECT_FALSE(T.cancelled());
+  T.setDeadlineMs(0); // disarm
+  EXPECT_FALSE(T.cancelled());
+}
+
+// Regression: the pre-daemon token kept an expired deadline armed across
+// reset(), so every run after the first expiry aborted instantly.  A
+// resident server re-arms one guard per request; the second deadline must
+// time out on its own schedule, not the first one's.
+TEST(Cancel, SecondDeadlineFiresAfterReset) {
+  CancelToken T;
+  T.setDeadlineMs(1);
+  volatile uint64_t Sink = 0;
+  while (!T.cancelled())
+    Sink = Sink + 1;
+  T.reset();
+  EXPECT_FALSE(T.cancelled()) << "reset must disarm the spent deadline";
+  T.setDeadlineMs(60000);
+  EXPECT_FALSE(T.cancelled()) << "second arming must start from now";
+  T.setDeadlineMs(1);
+  while (!T.cancelled())
+    Sink = Sink + 1;
+  EXPECT_TRUE(T.cancelled()) << "second deadline must still fire";
+}
+
+TEST(Cancel, ParentTripPropagatesAndSurvivesReset) {
+  CancelToken Parent;
+  CancelToken Child(&Parent);
+  EXPECT_FALSE(Child.cancelled());
+  Parent.cancel();
+  EXPECT_TRUE(Child.cancelled());
+  // reset() clears only the child's own state: a drained process stays
+  // drained for every per-request token chained under it.
+  Child.reset();
+  EXPECT_TRUE(Child.cancelled());
+  Child.setParent(nullptr);
+  EXPECT_FALSE(Child.cancelled());
 }
 
 } // namespace

@@ -43,6 +43,14 @@ alarm.  The top-level "solver"/"solver_threads" config keys must match
 between the two files for timings to be comparable at all (a worklist
 baseline vs. a summary candidate is apples to oranges); a mismatch warns.
 
+BENCH_serve.json (hybridpt-replay --out) cells are per-request-kind
+latency aggregates keyed ("benchmark" = program, "policy" =
+"serve:<kind>"): time_ms is the average request latency, so the standard
+timing comparison applies, and the percentile fields ride along under
+the generic schema-drift warnings.  Cells from the "hybridpt-replay"
+harness must carry numeric "count" and "time_ms" keys — a file missing
+either fails hard, exactly like the utilization gate below.
+
 One schema rule IS load-bearing and fails hard: a cell that carries a
 "utilization" object must carry numeric work ("busy_ms") and span
 ("critical_path_ms") keys — parallelism is work/span, so a file missing
@@ -102,6 +110,22 @@ def load(path):
         # work/span keys cannot yield a parallelism number — that file is
         # truncated or from a drifted harness, and comparing it would
         # silently check nothing.  Fail clearly instead.
+        # Serve-replay schema guard (BENCH_serve.json, harness
+        # "hybridpt-replay"): every cell is a per-request-kind latency
+        # aggregate, so one without a numeric request count or average
+        # time is a truncated or drifted file — comparing it would
+        # silently check nothing.  Same rationale as the utilization
+        # gate below.
+        if data.get("harness") == "hybridpt-replay":
+            for key, what in (("count", "request count"),
+                              ("time_ms", "average latency")):
+                if to_float(c.get(key)) is None:
+                    sys.exit(f"error: {path}: cell {bench}/{policy}: "
+                             f"serve-replay cell lacks a numeric "
+                             f"'{key}' ({what}) key — not a usable serve "
+                             f"baseline; regenerate it with "
+                             f"hybridpt-replay --out")
+
         util = c.get("utilization")
         if util is not None:
             if not isinstance(util, dict):
@@ -203,7 +227,8 @@ def main():
             continue
 
         for fact in ("cs_vpt_facts", "cg_edges", "reachable_methods",
-                     "num_sccs", "max_depth", "facts_match"):
+                     "num_sccs", "max_depth", "facts_match",
+                     "count", "errors"):
             if b.get(fact) != c.get(fact):
                 warnings.append(f"{name}: {fact} changed "
                                 f"{b.get(fact)} -> {c.get(fact)} "

@@ -487,19 +487,10 @@ int runMatrix(const Program &P, const CliOptions &Cli,
 void printMetrics(const PrecisionMetrics &M, const std::string &Policy,
                   bool Csv, bool Taint) {
   if (Csv) {
-    std::cout << "policy,avg_objs_per_var,cg_edges,poly_vcalls,"
-                 "may_fail_casts,reachable_methods,time_s,cs_vpt";
-    if (Taint)
-      std::cout << ",tainted_sinks";
-    std::cout << "\n"
-              << Policy << ',' << formatFixed(M.AvgPointsTo, 2) << ','
-              << M.CallGraphEdges << ',' << M.PolyVCalls << ','
-              << M.MayFailCasts << ',' << M.ReachableMethods << ','
-              << formatFixed(M.SolveMs / 1000.0, 3) << ','
-              << M.CsVarPointsTo;
-    if (Taint)
-      std::cout << ',' << M.TaintedSinks;
-    std::cout << "\n";
+    // Shared with the daemon's callgraph answers (pta/Metrics.h) so the
+    // two front doors cannot drift apart.
+    std::cout << metricsCsvHeader(Taint) << "\n"
+              << metricsCsvRow(M, Policy, Taint) << "\n";
     return;
   }
   std::cout << "analysis:                " << Policy

@@ -21,6 +21,10 @@ For JSONL traces, these summaries are printed:
     the "which Figure-2 rules did the work" view;
   * per-label final heartbeat state (facts, nodes, memory), each aborted
     run flagged with its abort reason;
+  * per-request latency (docs/SERVING.md, only when hybridpt-serve
+    "request" records are present): per-kind outcome counts, cache hit
+    rate, and min/avg/p50/p95/p99/max latency — mixed batch/serve traces
+    render both this and the batch views;
   * fallback-ladder descents (docs/ROBUSTNESS.md): which labels degraded,
     through which rungs, why, and how much time the aborted attempts cost;
   * summary-mode SCC sweep (docs/PERF.md, only when `cat == "scc"` spans
@@ -322,6 +326,62 @@ def summarize_sccs(records, top):
     return True
 
 
+def percentile(sorted_vals, p):
+    if not sorted_vals:
+        return 0.0
+    rank = p * (len(sorted_vals) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(sorted_vals) - 1)
+    return sorted_vals[lo] + (sorted_vals[hi] - sorted_vals[lo]) * (rank - lo)
+
+
+def summarize_requests(records, top):
+    """Per-request latency view over the daemon's "request" records
+    (docs/SERVING.md): one row per request kind with outcome counts, cache
+    hit rate, and latency percentiles.  Returns False when the trace has
+    no request records (a batch-run trace) so the caller can skip the
+    section entirely — mixed batch/serve traces render both views."""
+    by_kind = {}  # kind -> dict(lat=[], queue=[], outcomes={}, hits=n)
+    for rec in records:
+        if rec.get("type") != "request":
+            continue
+        kind = rec.get("kind")
+        if not isinstance(kind, str) or not kind:
+            kind = "?"
+        entry = by_kind.setdefault(kind, {"lat": [], "queue": [],
+                                          "outcomes": {}, "hits": 0})
+        entry["lat"].append(to_num(rec.get("latency_ms", 0.0), 0.0))
+        entry["queue"].append(to_num(rec.get("queue_ms", 0.0), 0.0))
+        outcome = rec.get("outcome")
+        if not isinstance(outcome, str) or not outcome:
+            outcome = "?"
+        entry["outcomes"][outcome] = entry["outcomes"].get(outcome, 0) + 1
+        if rec.get("cache_hit") is True:
+            entry["hits"] += 1
+    if not by_kind:
+        return False
+    total = sum(len(e["lat"]) for e in by_kind.values())
+    print(f"per-request latency ({total} request(s), "
+          f"{len(by_kind)} kind(s)):")
+    width = max(len(k) for k in by_kind)
+    for kind in sorted(by_kind, key=lambda k: -len(by_kind[k]["lat"]))[:top]:
+        entry = by_kind[kind]
+        lat = sorted(entry["lat"])
+        n = len(lat)
+        avg = sum(lat) / n if n else 0.0
+        outcomes = ", ".join(f"{k}:{v}" for k, v in
+                             sorted(entry["outcomes"].items()))
+        hit_pct = 100.0 * entry["hits"] / n if n else 0.0
+        print(f"  {kind:<{width}}  x{n:<6} "
+              f"min {fmt_ms(lat[0] if lat else 0.0)}  "
+              f"avg {fmt_ms(avg)}  p50 {fmt_ms(percentile(lat, 0.50))}  "
+              f"p95 {fmt_ms(percentile(lat, 0.95))}  "
+              f"p99 {fmt_ms(percentile(lat, 0.99))}  "
+              f"max {fmt_ms(lat[-1] if lat else 0.0)}")
+        print(f"  {'':<{width}}  cache hits {hit_pct:.0f}%  [{outcomes}]")
+    return True
+
+
 def summarize_ladder(records):
     """Fallback-ladder descents, grouped per label (docs/ROBUSTNESS.md)."""
     by_label = {}
@@ -374,6 +434,9 @@ def main():
     summarize_rules(records, args.top)
     print()
     summarize_heartbeats(records)
+    if any(r.get("type") == "request" for r in records):
+        print()
+        summarize_requests(records, args.top)
     ladder = [r for r in records if r.get("type") == "ladder"]
     if ladder:
         print()
